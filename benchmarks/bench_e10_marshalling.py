@@ -1,0 +1,18 @@
+"""E10 bench: marshalling costs and reference-vs-value passing (figure E10)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e10_marshalling
+
+
+def test_e10_marshalling(benchmark):
+    rows = run_experiment(benchmark, e10_marshalling, ops=40)
+    payload = [row for row in rows if row["scenario"] == "payload"]
+    assert payload[-1]["mean_ms"] > payload[0]["mean_ms"] * 10, \
+        "byte costs must dominate at 64KB"
+    ref16 = next(row for row in rows
+                 if row["scenario"] == "16 args by reference")
+    val16 = next(row for row in rows
+                 if row["scenario"] == "16 args by value")
+    assert ref16["bytes_per_op"] < val16["bytes_per_op"] / 3, \
+        "references must be dramatically cheaper on the wire"

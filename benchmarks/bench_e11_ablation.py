@@ -1,0 +1,18 @@
+"""E11 bench: machinery ablations (table E11)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e11_ablation
+
+
+def test_e11_ablation(benchmark):
+    rows = run_experiment(benchmark, e11_ablation, ops=90)
+    def value(ablation, setting):
+        return next(row["value"] for row in rows
+                    if row["ablation"] == ablation
+                    and row["setting"] == setting)
+    assert value("at-most-once", "on") == 0
+    assert value("at-most-once", "off") > 0
+    assert value("proxy GC", "after sweep") < value("proxy GC", "before sweep")
+    assert value("forwarding", "compacted") == 1
+    assert value("forwarding", "raw chain") == 4

@@ -1,0 +1,15 @@
+"""E12 bench: promise pipelining (extension figure E12)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e12_pipelining
+
+
+def test_e12_pipelining(benchmark):
+    rows = run_experiment(benchmark, e12_pipelining, ops=32)
+    by_window = {row["window"]: row for row in rows}
+    assert by_window["unbounded"]["total_ms"] < by_window[1]["total_ms"] / 4, \
+        "unbounded pipelining must beat sequential RPC by 4x+"
+    totals = [by_window[w]["total_ms"] for w in (1, 2, 4, 8)]
+    assert totals == sorted(totals, reverse=True), \
+        "wider windows must be monotonically faster"

@@ -1,0 +1,19 @@
+"""E13 bench: checkpoint-interval trade-off (extension table E13)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e13_persistence
+
+
+def test_e13_persistence(benchmark):
+    rows = run_experiment(benchmark, e13_persistence)
+    by_interval = {row["interval"]: row for row in rows}
+    assert by_interval[1]["lost_at_crash"] == 0, \
+        "checkpoint-every-mutation must lose nothing"
+    assert by_interval[32]["lost_at_crash"] > 0, \
+        "sparse checkpoints must roll back work"
+    assert by_interval[1]["mean_write_ms"] > \
+        by_interval[32]["mean_write_ms"] * 2, \
+        "frequent checkpoints must cost real write latency"
+    losses = [by_interval[n]["lost_at_crash"] for n in (1, 2, 4, 8, 16, 32)]
+    assert losses == sorted(losses), "loss grows with the interval"

@@ -1,0 +1,17 @@
+"""E14 bench: optimistic transactions under contention (extension)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e14_transactions
+
+
+def test_e14_transactions(benchmark):
+    rows = run_experiment(benchmark, e14_transactions)
+    by_pool = {row["hot_keys"]: row for row in rows}
+    assert by_pool[64]["abort_rate"] < 0.15, \
+        "a wide key pool should rarely conflict"
+    assert by_pool[1]["abort_rate"] > by_pool[64]["abort_rate"] + 0.2, \
+        "a single hot key must conflict heavily"
+    rates = [by_pool[n]["abort_rate"] for n in (64, 16, 4, 2, 1)]
+    assert rates == sorted(rates), "abort rate grows as the pool shrinks"
+    assert by_pool[1]["goodput_per_s"] < by_pool[64]["goodput_per_s"]

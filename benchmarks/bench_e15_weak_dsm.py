@@ -1,0 +1,21 @@
+"""E15 bench: weak vs strong DSM under write sharing (extension)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e15_weak_dsm
+
+
+def test_e15_weak_dsm(benchmark):
+    rows = run_experiment(benchmark, e15_weak_dsm, ops=100)
+    def row(clients, protocol):
+        return next(r for r in rows
+                    if r["clients"] == clients and r["protocol"] == protocol)
+    assert row(8, "weak")["messages"] < row(8, "strong")["messages"] / 2, \
+        "dropping invalidations must slash coherence traffic"
+    assert row(8, "weak")["mean_ms"] < row(8, "strong")["mean_ms"], \
+        "weak consistency must be faster under sharing"
+    assert all(r["stale_read_frac"] == 0 for r in rows
+               if r["protocol"] == "strong"), \
+        "strong consistency never serves stale reads"
+    assert row(8, "weak")["stale_read_frac"] > 0, \
+        "the weak protocol pays in staleness"

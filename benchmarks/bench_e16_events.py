@@ -1,0 +1,22 @@
+"""E16 bench: event fan-out and loss recovery (extension)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e16_events
+
+
+def test_e16_events(benchmark):
+    rows = run_experiment(benchmark, e16_events)
+    fanout = [row for row in rows if row["scenario"] == "fan-out"]
+    publish_costs = [row["publish_ms"] for row in fanout]
+    assert publish_costs == sorted(publish_costs), \
+        "publish cost grows with subscribers"
+    assert fanout[-1]["messages"] > fanout[0]["messages"], \
+        "fan-out messages grow with subscribers"
+    assert all(row["push_delivered_frac"] == 1.0 for row in fanout), \
+        "no loss: every push arrives"
+    lossy = next(row for row in rows if row["scenario"] == "40% loss")
+    assert lossy["push_delivered_frac"] < 1.0, \
+        "pushes must go missing under loss"
+    assert lossy["after_catch_up_frac"] == 1.0, \
+        "replay must recover every event"

@@ -1,0 +1,22 @@
+"""E17 bench: WAN placement strategies (extension capstone)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e17_wan_placement
+
+
+def test_e17_wan_placement(benchmark):
+    rows = run_experiment(benchmark, e17_wan_placement, ops=120)
+    def cell(deployment, site):
+        return next(row["mean_ms"] for row in rows
+                    if row["deployment"] == deployment
+                    and row["site"] == site)
+    assert cell("central", "beta") > cell("central", "alpha") * 4, \
+        "a central service strands the remote site behind the WAN"
+    assert cell("replicated", "beta") < cell("central", "beta") / 3, \
+        "a local replica rescues the remote site"
+    assert abs(cell("replicated", "alpha") - cell("replicated", "beta")) < \
+        cell("replicated", "alpha"), \
+        "replication roughly equalises the sites"
+    assert cell("caching", "beta") < cell("central", "beta"), \
+        "coherent caching also helps the remote site"

@@ -1,0 +1,18 @@
+"""E1 bench: the invocation-technique matrix (DESIGN.md table E1)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e1_invocation_matrix
+
+
+def test_e1_invocation_matrix(benchmark):
+    rows = run_experiment(benchmark, e1_invocation_matrix, ops=200)
+    by_technique = {row["technique"]: row for row in rows}
+    local = by_technique["procedure call"]["mean_us"]
+    lrpc = by_technique["lightweight RPC"]["mean_us"]
+    rpc = by_technique["remote procedure call"]["mean_us"]
+    proxy = by_technique["proxy (stub policy)"]["mean_us"]
+    dsm = by_technique["distributed virtual memory"]["mean_us"]
+    assert local <= lrpc < rpc
+    assert proxy <= rpc * 1.05
+    assert dsm < rpc / 100

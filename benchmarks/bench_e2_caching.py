@@ -1,0 +1,16 @@
+"""E2 bench: caching proxy vs stub across the read/write mix (figure E2)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e2_caching
+from repro.bench.render import who_wins
+
+
+def test_e2_caching(benchmark):
+    rows = run_experiment(benchmark, e2_caching, clients=4, ops=150, keys=50)
+    read_heavy = [row for row in rows if row["read_ratio"] >= 0.9
+                  and row["policy"] in ("stub", "caching")]
+    assert who_wins(read_heavy, "policy", "mean_ms") == "caching"
+    write_only = {row["policy"]: row["mean_ms"]
+                  for row in rows if row["read_ratio"] == 0.0}
+    assert write_only["caching"] >= write_only["stub"] * 0.95

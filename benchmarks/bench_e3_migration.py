@@ -1,0 +1,19 @@
+"""E3 bench: the migration crossover (figure E3)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e3_migration
+from repro.bench.render import render_table
+
+
+def test_e3_migration(benchmark):
+    rows = run_experiment(benchmark, e3_migration)
+    paired = e3_migration.paired(rows)
+    print()
+    print(render_table(paired, "E3 paired (crossover view)"))
+    winners = [row for row in paired
+               if row["migrating_ms"] < row["stub_ms"]]
+    assert winners, "migration must win for long bursts"
+    assert winners[0]["ops"] <= 20, "crossover should be early"
+    longest = paired[-1]
+    assert longest["migrating_ms"] < longest["stub_ms"] / 5

@@ -1,0 +1,16 @@
+"""E4 bench: RPC vs caching vs DSM as writers multiply (figure E4)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e4_sharing
+from repro.bench.render import who_wins
+
+
+def test_e4_sharing(benchmark):
+    rows = run_experiment(benchmark, e4_sharing, ops=120)
+    single = [row for row in rows if row["clients"] == 1]
+    crowded = [row for row in rows if row["clients"] == 8]
+    assert who_wins(single, "technique", "mean_ms") == "dsm"
+    dsm = next(row["mean_ms"] for row in crowded if row["technique"] == "dsm")
+    rpc = next(row["mean_ms"] for row in crowded if row["technique"] == "rpc")
+    assert dsm > rpc, "write sharing must sink DSM below plain RPC"

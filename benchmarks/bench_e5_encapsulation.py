@@ -1,0 +1,14 @@
+"""E5 bench: one script, five protocols, identical results (table E5)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e5_encapsulation
+
+
+def test_e5_encapsulation(benchmark):
+    rows = run_experiment(benchmark, e5_encapsulation)
+    assert e5_encapsulation.digests_agree(rows), \
+        "every policy must produce the identical observable outcome"
+    messages = {row["policy"]: row["messages"] for row in rows}
+    assert len(set(messages.values())) >= 3, \
+        "the protocols must differ measurably"

@@ -1,0 +1,16 @@
+"""E6 bench: bootstrap handshake and directory chains (figure E6)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e6_bootstrap
+
+
+def test_e6_bootstrap(benchmark):
+    rows = run_experiment(benchmark, e6_bootstrap)
+    bind_row = next(row for row in rows
+                    if row["scenario"] == "bind via name service")
+    assert bind_row["messages"] == 4, "lookup + installation handshake"
+    chain = {row["depth"]: row["messages"] for row in rows
+             if row["scenario"] == "directory chain"}
+    assert chain[8] >= chain[4] >= chain[2] >= chain[1]
+    assert chain[8] == 2 * chain[4], "two messages per resolution hop"

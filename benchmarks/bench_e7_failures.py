@@ -1,0 +1,15 @@
+"""E7 bench: failure masking under message loss (figure E7)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e7_failures
+
+
+def test_e7_failures(benchmark):
+    rows = run_experiment(benchmark, e7_failures, ops=120)
+    assert all(row["success_rate"] == 1.0 for row in rows), \
+        "retries must fully mask loss up to 30%"
+    assert all(row["duplicate_execs"] == 0 for row in rows), \
+        "at-most-once must hold at every loss rate"
+    assert rows[-1]["mean_ms"] > rows[0]["mean_ms"] * 2, \
+        "the client pays for loss in latency"

@@ -1,0 +1,15 @@
+"""E8 bench: the lightweight-RPC fast path (figure E8)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e8_lrpc
+
+
+def test_e8_lrpc(benchmark):
+    rows = run_experiment(benchmark, e8_lrpc, ops=200)
+    at = {(row["local_fraction"], row["fast_path"]): row["mean_us"]
+          for row in rows}
+    assert at[(1.0, True)] < at[(1.0, False)] / 10, \
+        "fully local workload must win 10x from the fast path"
+    assert abs(at[(0.0, True)] - at[(0.0, False)]) < 1.0, \
+        "fully remote workload must be unaffected"

@@ -1,0 +1,16 @@
+"""E9 bench: replication latency and availability (figure E9)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e9_replication
+
+
+def test_e9_replication(benchmark):
+    rows = run_experiment(benchmark, e9_replication, ops=120)
+    at = {row["replicas"]: row for row in rows}
+    assert at[3]["read_ms"] < at[1]["read_ms"] / 2, \
+        "a near replica must cut read latency"
+    writes = [at[n]["write_ms"] for n in sorted(at)]
+    assert writes == sorted(writes), "write-all cost grows with replicas"
+    assert at[5]["availability"] > at[1]["availability"], \
+        "replication must buy availability under crashes"

@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each bench runs one experiment exactly once under pytest-benchmark timing
+(the experiments are deterministic — repetition would measure the host CPU,
+not the simulated system) and prints the experiment's result table, which
+is the artefact EXPERIMENTS.md records.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, module, **kwargs):
+    """Execute ``module.run(**kwargs)`` once under the benchmark timer and
+    print its rendered table; returns the rows for assertions."""
+    from repro.bench.render import render_table
+    rows = benchmark.pedantic(lambda: module.run(**kwargs),
+                              rounds=1, iterations=1)
+    print()
+    print(render_table(rows, getattr(module, "TITLE", module.__name__)))
+    return rows

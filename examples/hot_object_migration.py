@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A proxy that migrates its object to the client hammering it.
+
+"Proxies can make use of local information and decide to migrate the remote
+object it represents from its remote context to the local one."
+
+A build coordinator allocates ticket numbers.  The night shift runs on one
+workstation and draws thousands of tickets; the migrating proxy notices and
+pulls the counter onto that workstation — after which every draw is a local
+call.  When the morning shift takes over on another machine, the object
+follows *it* instead.
+
+Run with::
+
+    python examples/hot_object_migration.py
+"""
+
+import repro
+from repro.apps.counter import MigratingCounter
+
+
+def burst(label: str, proxy, count: int) -> None:
+    ctx = proxy.proxy_context
+    t0 = ctx.now
+    last = 0
+    for _ in range(count):
+        last = proxy.incr()
+    elapsed = (ctx.now - t0) * 1e3
+    where = proxy.proxy_ref.context_id
+    local = "local" if proxy.proxy_is_local else "remote"
+    print(f"  {label}: {count} tickets (last #{last}) in {elapsed:8.3f} ms "
+          f"— object now at {where} ({local})")
+
+
+def main() -> None:
+    system = repro.make_system(seed=3)
+    coordinator = system.add_node("coordinator").create_context("svc")
+    night = system.add_node("night-shift").create_context("apps")
+    morning = system.add_node("morning-shift").create_context("apps")
+    repro.install_name_service(coordinator)
+
+    # MigratingCounter ships the "migrating" proxy (threshold: 4 calls).
+    repro.register(coordinator, "tickets", MigratingCounter())
+
+    print("== night shift draws tickets ==")
+    night_proxy = repro.bind(night, "tickets")
+    burst("warm-up  ", night_proxy, 3)     # still remote: below threshold
+    burst("burst    ", night_proxy, 100)   # migrates, then goes local
+
+    print("== morning shift takes over ==")
+    morning_proxy = repro.bind(morning, "tickets")
+    burst("warm-up  ", morning_proxy, 3)   # remote again (object at night's)
+    burst("burst    ", morning_proxy, 100)  # the object follows the heat
+
+    print("== numbering stayed globally consistent ==")
+    print(f"  night's view: next would be #{night_proxy.incr()}")
+    stats = morning_proxy.proxy_stats
+    print(f"  morning proxy: migrations={stats['migrations']} "
+          f"rebinds={stats['rebinds']}")
+
+    repro.assert_principle(system)
+    print("principle audit: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A build-farm monitor: event channels, failure detection, lossy networks.
+
+Build agents publish status events to a channel; dashboards on other nodes
+subscribe to topic patterns.  The network turns lossy mid-run — pushed
+events go missing, the dashboards detect the gaps and pull the replay log.
+Meanwhile a failure detector watches the agents and notices one dying.
+
+Run with::
+
+    python examples/pubsub_build_monitor.py
+"""
+
+import repro
+from repro.core.export import get_space
+from repro.events import EventChannel, EventSubscriber
+from repro.failures.detector import FailureDetector
+from repro.failures.injectors import message_loss
+from repro.kernel.errors import RpcTimeout
+
+
+def main() -> None:
+    system = repro.make_system(seed=31)
+    hub = system.add_node("hub").create_context("svc")
+    agents = [system.add_node(f"agent{i}").create_context("ci")
+              for i in range(3)]
+    dashboard = system.add_node("dashboard").create_context("ui")
+    wall = system.add_node("wallboard").create_context("ui")
+    repro.install_name_service(hub)
+    repro.register(hub, "events", EventChannel())
+
+    # Dashboards subscribe by pattern; the wallboard only cares about fails.
+    all_events = EventSubscriber(dashboard, repro.bind(dashboard, "events"),
+                                 ["builds/*"])
+    failures_only = EventSubscriber(wall, repro.bind(wall, "events"),
+                                    ["builds/failed"])
+
+    publishers = [repro.bind(ctx, "events") for ctx in agents]
+    print("== agents publish build results (healthy network) ==")
+    for round_no in range(3):
+        for index, publisher in enumerate(publishers):
+            topic = "builds/failed" if (round_no + index) % 4 == 0 \
+                else "builds/passed"
+            publisher.publish(topic, f"agent{index} round {round_no}")
+    print(f"  dashboard saw {len(all_events.events)} events, "
+          f"wallboard saw {len(failures_only.events)} failures")
+
+    print("== the network degrades to 40% loss ==")
+    with message_loss(system, 0.4):
+        for round_no in range(3, 8):
+            for index, publisher in enumerate(publishers):
+                try:
+                    publisher.publish("builds/passed",
+                                      f"agent{index} round {round_no}")
+                except RpcTimeout:
+                    pass
+    published = publishers[0].last_seq()
+    print(f"  channel logged {published} events; dashboard has "
+          f"{len(all_events.events)} (pushes were lost)")
+    recovered = all_events.catch_up()
+    print(f"  dashboard pulled {recovered} missed events from the replay "
+          f"log -> {len(all_events.events)} total, gaps: {all_events.gaps()}")
+
+    print("== agent1 dies; the failure detector notices ==")
+    for ctx in agents:
+        get_space(ctx)
+    detector = FailureDetector(hub, suspicion_threshold=2)
+    for ctx in agents:
+        detector.watch(ctx.context_id)
+    agents[1].node.crash()
+    detector.probe()
+    detector.probe()
+    print(f"  alive: {detector.alive()}")
+    print(f"  suspected: {detector.suspected()}")
+
+    repro.assert_principle(system)
+    print("principle audit: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A replicated company directory that survives machine crashes.
+
+The service is deployed as three replicas; the proxy it ships routes reads
+to the nearest live replica and writes to all of them.  Clients notice
+nothing when a replica host dies — the availability claim of the proxy
+principle's "bind to a replica" intelligence.
+
+Run with::
+
+    python examples/replicated_directory.py
+"""
+
+import repro
+from repro.apps.kv import KVStore
+from repro.kernel.errors import DistributionError
+
+
+def main() -> None:
+    system = repro.make_system(seed=11)
+    sites = [system.add_node(name).create_context("svc")
+             for name in ("hq", "lab", "warehouse")]
+    laptop = system.add_node("laptop").create_context("apps")
+    repro.install_name_service(sites[0])
+
+    # Deploy three replicas; a majority quorum tolerates one crash.
+    group_ref = repro.replicate(sites, KVStore, write_quorum=2)
+    repro.register(sites[0], "directory", group_ref)
+
+    directory = repro.bind(laptop, "directory")
+    print(f"bound: {type(directory).__name__}")
+
+    print("== normal operation ==")
+    directory.put("alice", "hq, room 101")
+    directory.put("bob", "lab, bench 7")
+    print(f"  alice -> {directory.get('alice')!r}")
+
+    print("== the HQ machine crashes ==")
+    system.node("hq").crash()
+    print(f"  alice -> {directory.get('alice')!r}  (served by a replica)")
+    directory.put("carol", "warehouse, dock 3")
+    print("  write succeeded with 2/3 replicas (quorum)")
+
+    print("== a second crash takes us below quorum ==")
+    system.node("lab").crash()
+    print(f"  alice -> {directory.get('alice')!r}  (reads still fine)")
+    try:
+        directory.put("dave", "nowhere")
+    except DistributionError as exc:
+        print(f"  write correctly refused: {exc}")
+
+    print("== recovery ==")
+    system.node("hq").restart()
+    system.node("lab").restart()
+    directory.put("dave", "hq, room 202")
+    print(f"  dave -> {directory.get('dave')!r}")
+
+    stats = directory.proxy_stats
+    print(f"proxy stats: reads={stats['reads']} writes={stats['writes']} "
+          f"failovers={stats['read_failovers']} "
+          f"write_failures={stats['write_failures']}")
+    repro.assert_principle(system)
+    print("principle audit: clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A compute farm assembled at run time: trader + work queue + promises.
+
+Three provider nodes advertise KV "shard" services with live load figures in
+a trader.  A coordinator imports the least-loaded shard for each batch of
+records, submits work through a batching queue, and uses promises to overlap
+the verification reads at the end.  Every moving part is the public API —
+no subsystem knows about any other except through proxies.
+
+Run with::
+
+    python examples/traded_compute_farm.py
+"""
+
+import repro
+from repro.apps.kv import KVStore
+from repro.apps.queue import WorkQueue
+from repro.core.export import get_space
+from repro.naming.trading import TraderService
+
+
+def main() -> None:
+    system = repro.make_system(seed=13)
+    hub = system.add_node("hub").create_context("svc")
+    providers = [system.add_node(f"p{i}").create_context("svc")
+                 for i in range(3)]
+    coordinator = system.add_node("coord").create_context("apps")
+    repro.install_name_service(hub)
+
+    # -- providers advertise shards in the trader -----------------------------
+    trader = TraderService()
+    repro.register(hub, "trader", trader)
+    shards, offer_ids = [], []
+    for index, ctx in enumerate(providers):
+        shard = KVStore()
+        shards.append(shard)
+        get_space(ctx).export(shard)
+        provider_view = repro.bind(ctx, "trader")
+        offer_ids.append(provider_view.export_offer(
+            "shard", {"load": 0, "zone": f"zone-{index}"}, shard))
+    repro.register(hub, "work", WorkQueue())
+    print(f"trader holds {trader.offer_count('shard')} shard offers")
+
+    # -- the coordinator spreads batches by live load --------------------------
+    coord_trader = repro.bind(coordinator, "trader")
+    queue = repro.bind(coordinator, "work")
+    for batch in range(9):
+        shard = coord_trader.select("shard", {}, prefer=("min", "load"))
+        shard.put(f"batch-{batch}", f"results of batch {batch}")
+        queue.submit(f"post-process batch-{batch}")
+        # The provider reports its new load; the trader redirects the next one.
+        busiest = batch % 3
+        coord_trader.update_properties(offer_ids[busiest],
+                                       {"load": batch + 1})
+    queue.depth()   # flush the batching proxy
+    spread = [len(shard.data) for shard in shards]
+    print(f"batches per shard: {spread} (trader balanced by load)")
+    print(f"queued follow-ups: {queue.depth()}")
+
+    # -- promises overlap the verification reads -------------------------------
+    shard0 = coord_trader.query("shard", {"zone": "zone-0"})[0]
+    keys = sorted(shards[0].data)
+    t0 = coordinator.now
+    for key in keys:
+        shard0.get(key)
+    sequential = coordinator.now - t0
+    t0 = coordinator.now
+    promises = [repro.call_async(shard0, "get", key) for key in keys]
+    values = repro.gather(promises)
+    pipelined = coordinator.now - t0
+    print(f"verification: {len(values)} reads sequential "
+          f"{sequential * 1e3:.2f} ms vs pipelined {pipelined * 1e3:.2f} ms")
+
+    repro.assert_principle(system)
+    print("principle audit: clean")
+
+
+if __name__ == "__main__":
+    main()

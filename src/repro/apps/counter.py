@@ -1,0 +1,74 @@
+"""Counters — tiny state, ideal for exercising migration and replication."""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class Counter(Service):
+    """A single integer with increment/decrement."""
+
+    default_policy = "stub"
+
+    def __init__(self, value: int = 0):
+        self.value = value
+
+    @operation(compute=2e-6)
+    def incr(self, amount: int = 1) -> int:
+        """Add ``amount``; returns the new value."""
+        self.value += amount
+        return self.value
+
+    @operation(compute=2e-6)
+    def decr(self, amount: int = 1) -> int:
+        """Subtract ``amount``; returns the new value."""
+        self.value -= amount
+        return self.value
+
+    @operation(readonly=True, compute=1e-6)
+    def read(self) -> int:
+        """Current value."""
+        return self.value
+
+    @operation(compute=2e-6)
+    def reset(self) -> int:
+        """Zero the counter; returns the previous value."""
+        previous, self.value = self.value, 0
+        return previous
+
+
+class MigratingCounter(Counter):
+    """A counter that follows its hottest client around."""
+
+    default_policy = "migrating"
+    default_config = {"migrate_after": 4}
+
+
+class StatsAccumulator(Service):
+    """Running mean/min/max — slightly richer migratable state."""
+
+    default_policy = "migrating"
+    default_config = {"migrate_after": 6}
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    @operation(compute=3e-6)
+    def observe(self, value: float) -> int:
+        """Record one observation; returns the sample count."""
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        return self.count
+
+    @operation(readonly=True, compute=2e-6)
+    def summary(self) -> dict:
+        """Mean/min/max/count of everything observed so far."""
+        mean = self.total / self.count if self.count else 0.0
+        return {"count": self.count, "mean": mean,
+                "min": self.minimum, "max": self.maximum}

@@ -1,0 +1,110 @@
+"""A collaborative document service — the SOMIW office-automation anchor.
+
+The paper's system (SOS) came out of the SOMIW Esprit project, whose
+flagship application was distributed office automation (later CIDRE).  This
+service is that workload in miniature: documents made of sections, edited
+concurrently by users on different machines, with optimistic per-section
+version checks so two editors cannot silently overwrite each other.
+
+Interface metadata is tuned for caching proxies: section reads are
+cacheable per ``(doc, section)``; an edit invalidates exactly its document
+(coarse-grained on purpose — outlines change when sections do).
+"""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class DocumentStore(Service):
+    """Sectioned documents with optimistic per-section versioning."""
+
+    default_policy = "caching"
+    default_config = {"invalidation": True}
+
+    def __init__(self):
+        #: doc -> section -> (text, version, author)
+        self._docs: dict[str, dict[str, tuple[str, int, str]]] = {}
+
+    @operation(compute=1e-5)
+    def create_document(self, doc: str) -> bool:
+        """Create an empty document; returns False when it already exists."""
+        if doc in self._docs:
+            return False
+        self._docs[doc] = {}
+        return True
+
+    @operation(readonly=True, compute=5e-6)
+    def list_documents(self) -> list:
+        """All document names, sorted."""
+        return sorted(self._docs)
+
+    @operation(readonly=True, compute=5e-6)
+    def outline(self, doc: str) -> list:
+        """Section names of a document, sorted; raises ``KeyError``."""
+        return sorted(self._sections(doc))
+
+    @operation(readonly=True, compute=8e-6)
+    def read_section(self, doc: str, section: str) -> list:
+        """``[text, version, author]`` (``["", 0, ""]`` when absent)."""
+        cell = self._sections(doc).get(section, ("", 0, ""))
+        return list(cell)
+
+    @operation(invalidates=("doc",), compute=1.5e-5)
+    def edit_section(self, doc: str, section: str, text: str,
+                     expected_version: int, author: str) -> int:
+        """Replace a section's text if nobody edited it meanwhile.
+
+        Returns the new version; raises ``ValueError`` on a version
+        conflict (the caller re-reads and merges — optimistic editing).
+        """
+        sections = self._sections(doc)
+        current = sections.get(section, ("", 0, ""))
+        if current[1] != expected_version:
+            raise ValueError(
+                f"section {doc}/{section} is at version {current[1]}, "
+                f"edit expected {expected_version}")
+        version = current[1] + 1
+        sections[section] = (text, version, author)
+        return version
+
+    @operation(invalidates=("doc",), compute=1e-5)
+    def delete_section(self, doc: str, section: str) -> bool:
+        """Remove a section; returns whether it existed."""
+        return self._sections(doc).pop(section, None) is not None
+
+    @operation(readonly=True, compute=2e-5)
+    def render(self, doc: str) -> str:
+        """The document as text: sections in order, attributed."""
+        parts = []
+        for section in sorted(self._sections(doc)):
+            text, version, author = self._docs[doc][section]
+            parts.append(f"== {section} (v{version}, {author}) ==\n{text}")
+        return "\n\n".join(parts)
+
+    @operation(readonly=True, compute=5e-6)
+    def word_count(self, doc: str) -> int:
+        """Total words across all sections."""
+        return sum(len(text.split())
+                   for text, _, _ in self._sections(doc).values())
+
+    def _sections(self, doc: str) -> dict:
+        try:
+            return self._docs[doc]
+        except KeyError:
+            raise KeyError(f"no document {doc!r}") from None
+
+    # Documents are migratable/persistable like any state capsule.
+    def migrate_state(self):
+        return {"docs": {doc: {section: list(cell)
+                               for section, cell in sections.items()}
+                         for doc, sections in self._docs.items()}}
+
+    @classmethod
+    def from_migration_state(cls, state):
+        obj = cls()
+        obj._docs = {doc: {section: tuple(cell)
+                           for section, cell in sections.items()}
+                     for doc, sections in state["docs"].items()}
+        return obj

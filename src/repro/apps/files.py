@@ -1,0 +1,104 @@
+"""A block file service — the paper's own motivating example.
+
+"A proxy for a remote file object may cache recently accessed data to speed
+up access" [Shapiro86 via Guedes91].  :class:`FileService` stores whole
+files as byte blocks; :class:`BlockFileService` exposes block-granular reads
+(cache-friendly: each ``read_block`` result is independently cacheable, and
+``write_block`` invalidates exactly its path+block).
+"""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+#: Block size of :class:`BlockFileService`, in bytes.
+BLOCK_SIZE = 1024
+
+
+class FileService(Service):
+    """Whole-file storage keyed by path."""
+
+    default_policy = "caching"
+    default_config = {"invalidation": True}
+
+    def __init__(self):
+        self._files: dict[str, bytes] = {}
+
+    @operation(invalidates=("path",), compute=2e-5)
+    def write_file(self, path: str, data: bytes) -> int:
+        """Store a file; returns its size."""
+        self._files[path] = bytes(data)
+        return len(data)
+
+    @operation(readonly=True, compute=2e-5)
+    def read_file(self, path: str) -> bytes:
+        """The file's contents; raises ``FileNotFoundError`` when absent."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    @operation(invalidates=("path",), compute=1e-5)
+    def delete_file(self, path: str) -> bool:
+        """Remove a file; returns whether it existed."""
+        return self._files.pop(path, None) is not None
+
+    @operation(readonly=True, compute=1e-5)
+    def stat(self, path: str) -> dict:
+        """Size metadata; raises ``FileNotFoundError`` when absent."""
+        try:
+            data = self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+        return {"path": path, "size": len(data)}
+
+    @operation(readonly=True, compute=3e-5)
+    def list_files(self, prefix: str) -> list:
+        """Paths starting with ``prefix``, sorted."""
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+
+class BlockFileService(Service):
+    """Block-granular file storage (better cache behaviour for large files)."""
+
+    default_policy = "caching"
+    default_config = {"invalidation": True}
+
+    def __init__(self, block_size: int = BLOCK_SIZE):
+        self.block_size = block_size
+        self._blocks: dict[tuple[str, int], bytes] = {}
+        self._lengths: dict[str, int] = {}
+
+    @operation(invalidates=("path", "index"), compute=2e-5)
+    def write_block(self, path: str, index: int, data: bytes) -> bool:
+        """Write one block of a file."""
+        data = bytes(data)[: self.block_size]
+        self._blocks[(path, index)] = data
+        end = index * self.block_size + len(data)
+        self._lengths[path] = max(self._lengths.get(path, 0), end)
+        return True
+
+    @operation(readonly=True, compute=2e-5)
+    def read_block(self, path: str, index: int) -> bytes:
+        """Read one block (empty bytes beyond end of file)."""
+        if path not in self._lengths:
+            raise FileNotFoundError(path)
+        return self._blocks.get((path, index), b"")
+
+    @operation(readonly=True, compute=1e-5)
+    def file_length(self, path: str) -> int:
+        """Length in bytes; raises ``FileNotFoundError`` when absent."""
+        try:
+            return self._lengths[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    @operation(invalidates=("path",), compute=2e-5)
+    def truncate(self, path: str) -> bool:
+        """Drop a file entirely; returns whether it existed."""
+        existed = self._lengths.pop(path, None) is not None
+        victims = [key for key in self._blocks if key[0] == path]
+        for key in victims:
+            del self._blocks[key]
+        return existed

@@ -1,0 +1,75 @@
+"""A lock service — deliberately cache-hostile state.
+
+Locks are the counter-example to caching: the whole point of ``holder`` is
+to be current.  The service ships the plain stub policy and demonstrates
+(in tests) why its operations' metadata matters: ``try_acquire`` is a
+mutator even though it often changes nothing, so no smart proxy may elide
+it.
+"""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class LockService(Service):
+    """Named, non-blocking mutual-exclusion locks with FIFO waiters."""
+
+    default_policy = "stub"
+
+    def __init__(self):
+        self._holders: dict[str, str] = {}
+        self._waiters: dict[str, list[str]] = {}
+        self._grants = 0
+
+    @operation(compute=3e-6)
+    def try_acquire(self, name: str, owner: str) -> bool:
+        """Take the lock if free (re-entrant for the same owner)."""
+        current = self._holders.get(name)
+        if current is None:
+            self._holders[name] = owner
+            self._grants += 1
+            return True
+        return current == owner
+
+    @operation(compute=3e-6)
+    def enqueue(self, name: str, owner: str) -> int:
+        """Join the FIFO wait queue; returns the queue position (0 = next)."""
+        queue = self._waiters.setdefault(name, [])
+        if owner not in queue:
+            queue.append(owner)
+        return queue.index(owner)
+
+    @operation(compute=3e-6)
+    def release(self, name: str, owner: str) -> str:
+        """Release a held lock; hands it to the first waiter (returned as
+        the new holder, or ``""`` when the lock is now free).
+
+        Raises ``PermissionError`` when ``owner`` does not hold the lock.
+        """
+        if self._holders.get(name) != owner:
+            raise PermissionError(f"{owner!r} does not hold {name!r}")
+        queue = self._waiters.get(name) or []
+        if queue:
+            successor = queue.pop(0)
+            self._holders[name] = successor
+            self._grants += 1
+            return successor
+        del self._holders[name]
+        return ""
+
+    @operation(readonly=True, compute=2e-6)
+    def holder(self, name: str) -> str:
+        """Current holder (``""`` when free)."""
+        return self._holders.get(name, "")
+
+    @operation(readonly=True, compute=2e-6)
+    def queue_length(self, name: str) -> int:
+        """Number of queued waiters."""
+        return len(self._waiters.get(name) or [])
+
+    @operation(readonly=True, compute=2e-6)
+    def grant_count(self) -> int:
+        """Total grants ever made (diagnostics)."""
+        return self._grants

@@ -1,0 +1,42 @@
+"""A mailbox service — append-heavy, the batching policy's natural habitat."""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class Mailbox(Service):
+    """Ordered message queue with cursor-style fetch."""
+
+    default_policy = "batching"
+    default_config = {"batch_size": 8, "batch_ops": ["post"]}
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self._messages: list[tuple[str, str]] = []
+
+    @operation(compute=5e-6)
+    def post(self, sender: str, body: str) -> bool:
+        """Append one message (drops oldest beyond capacity)."""
+        self._messages.append((sender, body))
+        if len(self._messages) > self.capacity:
+            del self._messages[0]
+        return True
+
+    @operation(readonly=True, compute=1e-5)
+    def fetch(self, start: int, limit: int) -> list:
+        """Messages ``[start, start+limit)`` as ``[sender, body]`` pairs."""
+        return [list(item) for item in self._messages[start:start + limit]]
+
+    @operation(readonly=True, compute=3e-6)
+    def count(self) -> int:
+        """Number of queued messages."""
+        return len(self._messages)
+
+    @operation(compute=1e-5)
+    def drain(self) -> int:
+        """Drop everything; returns how many messages were dropped."""
+        dropped = len(self._messages)
+        self._messages.clear()
+        return dropped

@@ -1,0 +1,80 @@
+"""A work queue — producers and consumers decoupled by a service.
+
+Shows the interplay of metadata and policies: ``submit`` is batchable
+(producers trade latency for message count), while ``take`` is a mutator
+that must never be cached or deferred — exactly the distinction the
+operation metadata encodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class WorkQueue(Service):
+    """FIFO task queue with acknowledgement tracking."""
+
+    default_policy = "batching"
+    default_config = {"batch_size": 8, "batch_ops": ["submit"]}
+
+    def __init__(self):
+        self._pending: list[tuple[int, Any]] = []
+        self._in_flight: dict[int, tuple[str, Any]] = {}
+        self._done: set[int] = set()
+        self._next_id = 1
+
+    @operation(compute=4e-6)
+    def submit(self, task) -> int:
+        """Enqueue a task; returns its id (``None`` through a batching
+        proxy — producers that need the id should flush first)."""
+        task_id = self._next_id
+        self._next_id += 1
+        self._pending.append((task_id, task))
+        return task_id
+
+    @operation(compute=5e-6)
+    def take(self, worker: str):
+        """Pop the oldest task for ``worker``; ``None`` when empty.
+
+        Returns ``[task_id, task]``.
+        """
+        if not self._pending:
+            return None
+        task_id, task = self._pending.pop(0)
+        self._in_flight[task_id] = (worker, task)
+        return [task_id, task]
+
+    @operation(compute=3e-6)
+    def ack(self, task_id: int) -> bool:
+        """Acknowledge completion; returns whether the id was in flight."""
+        if task_id in self._in_flight:
+            del self._in_flight[task_id]
+            self._done.add(task_id)
+            return True
+        return False
+
+    @operation(compute=3e-6)
+    def requeue_worker(self, worker: str) -> int:
+        """Return a dead worker's in-flight tasks to the queue (front);
+        returns how many were requeued."""
+        stranded = sorted((task_id, task) for task_id, (who, task)
+                          in self._in_flight.items() if who == worker)
+        for task_id, task in reversed(stranded):
+            del self._in_flight[task_id]
+            self._pending.insert(0, (task_id, task))
+        return len(stranded)
+
+    @operation(readonly=True, compute=2e-6)
+    def depth(self) -> int:
+        """Number of pending (not yet taken) tasks."""
+        return len(self._pending)
+
+    @operation(readonly=True, compute=2e-6)
+    def stats(self) -> dict:
+        """Pending / in-flight / done counts."""
+        return {"pending": len(self._pending),
+                "in_flight": len(self._in_flight),
+                "done": len(self._done)}

@@ -1,0 +1,52 @@
+"""Shared scaffolding for the experiments (one module per experiment).
+
+Every experiment builds its own fresh :class:`~repro.kernel.system.System`
+from an explicit seed, so experiments are independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from .. import make_system
+from ..kernel.context import Context
+from ..kernel.params import CostModel
+from ..kernel.system import System
+from ..naming.bootstrap import install_name_service
+
+
+def star(seed: int = 7, clients: int = 1, costs: CostModel | None = None,
+         name_service: bool = True) -> tuple[System, Context, list[Context]]:
+    """A server node plus N client nodes, one context each.
+
+    Returns ``(system, server_context, client_contexts)``.  The name service
+    (when requested) lives in the server context.
+    """
+    system = make_system(seed=seed, costs=costs)
+    server = system.add_node("server").create_context("main")
+    client_contexts = [
+        system.add_node(f"client{i}").create_context("main")
+        for i in range(clients)
+    ]
+    if name_service:
+        install_name_service(server)
+    return system, server, client_contexts
+
+
+def mesh(seed: int = 7, nodes: int = 3, costs: CostModel | None = None,
+         name_service: bool = True) -> tuple[System, list[Context]]:
+    """N peer nodes, one context each; name service on the first."""
+    system = make_system(seed=seed, costs=costs)
+    contexts = [system.add_node(f"n{i}").create_context("main")
+                for i in range(nodes)]
+    if name_service:
+        install_name_service(contexts[0])
+    return system, contexts
+
+
+def us(seconds: float) -> float:
+    """Seconds → microseconds (for readable table cells)."""
+    return seconds * 1e6
+
+
+def ms(seconds: float) -> float:
+    """Seconds → milliseconds (for readable table cells)."""
+    return seconds * 1e3

@@ -1,0 +1,31 @@
+"""The experiment suite: one module per table/figure (see DESIGN.md)."""
+
+from . import (
+    e1_invocation_matrix,
+    e2_caching,
+    e3_migration,
+    e4_sharing,
+    e5_encapsulation,
+    e6_bootstrap,
+    e7_failures,
+    e8_lrpc,
+    e9_replication,
+    e10_marshalling,
+    e11_ablation,
+    e12_pipelining,
+    e13_persistence,
+    e14_transactions,
+    e15_weak_dsm,
+    e16_events,
+    e17_wan_placement,
+)
+
+#: Every experiment module, in presentation order.
+ALL = [
+    e1_invocation_matrix, e2_caching, e3_migration, e4_sharing,
+    e5_encapsulation, e6_bootstrap, e7_failures, e8_lrpc, e9_replication,
+    e10_marshalling, e11_ablation, e12_pipelining, e13_persistence,
+    e14_transactions, e15_weak_dsm, e16_events, e17_wan_placement,
+]
+
+__all__ = ["ALL"] + [module.__name__.rsplit(".", 1)[-1] for module in ALL]

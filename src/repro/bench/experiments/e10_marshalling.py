@@ -1,0 +1,101 @@
+"""E10 — marshalling cost and reference-vs-value parameter passing.
+
+Two measurements at the wire layer:
+
+* **payload sweep**: per-invocation latency as the argument grows from 16 B
+  to 64 KB — at small sizes the fixed per-message costs dominate (the
+  lightweight-RPC argument); at large sizes the byte costs do;
+* **reference vs value**: passing N service objects per call.  By value
+  they are re-serialised state every time; by reference each is a
+  constant-size :class:`ObjectRef` that surfaces remotely as a proxy —
+  claim 5 of the paper, with byte counts attached.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...core.export import get_space
+from ...iface.interface import operation
+from ...core.service import Service
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, register
+from ..common import ms, star
+
+TITLE = "E10: marshalling — payload sweep and reference vs value"
+COLUMNS = ["scenario", "size", "mean_ms", "bytes_per_op"]
+
+PAYLOAD_SIZES = (16, 256, 1024, 4096, 16384, 65536)
+REF_COUNTS = (1, 4, 16)
+OPS = 40
+
+
+class Sink(Service):
+    """Accepts anything; used to measure pure transport cost."""
+
+    @operation(compute=1e-6)
+    def accept(self, item) -> int:
+        """Swallow one argument; returns 0."""
+        return 0
+
+    @operation(compute=1e-6)
+    def accept_many(self, items: list) -> int:
+        """Swallow a list; returns its length."""
+        return len(items)
+
+
+def run(ops: int = OPS, seed: int = 41) -> list[dict]:
+    """Payload sweep plus reference-vs-value comparison."""
+    rows = []
+    for size in PAYLOAD_SIZES:
+        system, server, (client,) = star(seed=seed, clients=1)
+        register(server, "sink", Sink())
+        sink = bind(client, "sink")
+        blob = b"x" * size
+        sink.accept(blob)  # warm the bind path out of the measurement
+        with MessageWindow(system) as window:
+            t0 = client.clock.now
+            for _ in range(ops):
+                sink.accept(blob)
+            mean = (client.clock.now - t0) / ops
+        rows.append({"scenario": "payload", "size": size,
+                     "mean_ms": ms(mean),
+                     "bytes_per_op": window.report.bytes / ops})
+
+    for count in REF_COUNTS:
+        # by value: ship each object's state dict every call
+        system, server, (client,) = star(seed=seed, clients=1)
+        register(server, "sink", Sink())
+        sink = bind(client, "sink")
+        values = [{"name": f"obj{i}", "data": "y" * 512} for i in range(count)]
+        sink.accept_many(values)
+        with MessageWindow(system) as window:
+            t0 = client.clock.now
+            for _ in range(ops):
+                sink.accept_many(values)
+            mean = (client.clock.now - t0) / ops
+        rows.append({"scenario": f"{count} args by value", "size": count,
+                     "mean_ms": ms(mean),
+                     "bytes_per_op": window.report.bytes / ops})
+
+        # by reference: the same objects exported once, refs on the wire
+        system, server, (client,) = star(seed=seed, clients=1)
+        register(server, "sink", Sink())
+        sink = bind(client, "sink")
+        space = get_space(client)
+        stores = []
+        for i in range(count):
+            store = KVStore()
+            store.put("name", f"obj{i}")
+            store.put("data", "y" * 512)
+            space.export(store)
+            stores.append(store)
+        sink.accept_many(stores)
+        with MessageWindow(system) as window:
+            t0 = client.clock.now
+            for _ in range(ops):
+                sink.accept_many(stores)
+            mean = (client.clock.now - t0) / ops
+        rows.append({"scenario": f"{count} args by reference", "size": count,
+                     "mean_ms": ms(mean),
+                     "bytes_per_op": window.report.bytes / ops})
+    return rows

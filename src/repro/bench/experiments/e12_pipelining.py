@@ -1,0 +1,50 @@
+"""E12 — asynchronous promises: hiding the round trip (extension).
+
+Not in the 1986 paper, but the next step its lineage took (Liskov & Shrira's
+promises, 1988): once invocation is reified behind a proxy, nothing forces
+the client to block per call.  We issue a fixed batch of independent reads
+with a bounded number outstanding and sweep that window.
+
+Expected shape: total time falls from N × RTT (window 1 — classic RPC)
+towards RTT + N × server-spacing (unbounded window), with diminishing
+returns once the window covers the bandwidth-delay product.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...naming.bootstrap import bind, register
+from ...rpc.promises import pipeline_calls
+from ..common import ms, star
+
+TITLE = "E12: promise pipelining — total time vs window size"
+COLUMNS = ["window", "total_ms", "speedup"]
+
+WINDOWS = (1, 2, 4, 8, 16, 0)   # 0 = unbounded
+OPS = 32
+
+
+def run(ops: int = OPS, seed: int = 47) -> list[dict]:
+    """Sweep the pipelining window; returns one row per window."""
+    rows = []
+    baseline = None
+    for window in WINDOWS:
+        system, server, (client,) = star(seed=seed, clients=1)
+        store = KVStore()
+        for index in range(8):
+            store.put(f"k{index}", index)
+        register(server, "kv", store)
+        proxy = bind(client, "kv")
+        proxy.get("k0")   # warm the bind path
+        calls = [("get", f"k{index % 8}") for index in range(ops)]
+        started = client.clock.now
+        results = pipeline_calls(proxy, calls,
+                                 window=window if window > 0 else None)
+        total = client.clock.now - started
+        assert results == [index % 8 for index in range(ops)]
+        if baseline is None:
+            baseline = total
+        rows.append({"window": window if window else "unbounded",
+                     "total_ms": ms(total),
+                     "speedup": baseline / total if total else 0.0})
+    return rows

@@ -1,0 +1,57 @@
+"""E13 — persistence ablation: checkpoint interval vs overhead and loss.
+
+Extension experiment for the persistence substrate (the paper's lineage:
+SOS treated persistence behind the same object machinery).  One service is
+checkpointed every N mutations; a crash hits mid-run.  The sweep exposes
+the classic trade-off:
+
+* small N — expensive (a disk write every few operations inflates mean
+  latency) but almost nothing is lost at the crash;
+* large N — cheap in steady state, but the crash rolls back up to N-1
+  mutations.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...core.export import get_space
+from ...naming.bootstrap import bind, register
+from ...persistence.manager import PersistenceManager, crash_node, recover_context
+from ..common import ms, star
+
+TITLE = "E13: checkpoint interval — write latency vs mutations lost at crash"
+COLUMNS = ["interval", "mean_write_ms", "lost_at_crash", "disk_writes"]
+
+INTERVALS = (1, 2, 4, 8, 16, 32)
+OPS = 64
+CRASH_AFTER = 50
+
+
+def run(ops: int = OPS, seed: int = 53) -> list[dict]:
+    """Sweep the auto-checkpoint interval; returns one row per interval."""
+    rows = []
+    for interval in INTERVALS:
+        system, server, (client,) = star(seed=seed, clients=1)
+        store = KVStore()
+        register(server, "kv", store)
+        space = get_space(server)
+        manager = PersistenceManager(space)
+        manager.auto_checkpoint(store, every=interval)
+        proxy = bind(client, "kv")
+        started = client.clock.now
+        for index in range(CRASH_AFTER):
+            proxy.put(f"k{index}", index)
+        mean_write = (client.clock.now - started) / CRASH_AFTER
+        disk_writes = manager.store.stats["writes"]
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        survived = sum(1 for index in range(CRASH_AFTER)
+                       if proxy.get(f"k{index}") == index)
+        rows.append({
+            "interval": interval,
+            "mean_write_ms": ms(mean_write),
+            "lost_at_crash": CRASH_AFTER - survived,
+            "disk_writes": disk_writes,
+        })
+    return rows

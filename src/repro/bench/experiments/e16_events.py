@@ -1,0 +1,82 @@
+"""E16 — event fan-out: push cost, and recovery after loss (extension).
+
+The invalidation-callback pattern generalised to pub/sub.  Two measurements:
+
+* **fan-out cost**: publish latency and messages grow linearly with the
+  subscriber count (the channel pays one one-way message per match);
+* **reliability split**: under loss, push delivery degrades gracefully
+  (at-most-once) while the pull-side replay recovers everything — the
+  hybrid the design argues for.
+"""
+
+from __future__ import annotations
+
+from ...events.channel import EventChannel
+from ...events.subscriber import EventSubscriber
+from ...failures.injectors import message_loss
+from ...kernel.errors import RpcTimeout
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, register
+from ..common import mesh, ms
+
+TITLE = "E16: event fan-out — publish cost vs subscribers; loss recovery"
+COLUMNS = ["scenario", "subscribers", "publish_ms", "messages",
+           "push_delivered_frac", "after_catch_up_frac"]
+
+SUBSCRIBER_COUNTS = (1, 2, 4, 8)
+EVENTS = 30
+
+
+def run(events: int = EVENTS, seed: int = 67) -> list[dict]:
+    """Fan-out sweep plus the loss/recovery scenario."""
+    rows = []
+    for count in SUBSCRIBER_COUNTS:
+        system, contexts = mesh(seed=seed, nodes=count + 2)
+        hub, publisher_ctx = contexts[0], contexts[-1]
+        register(hub, "bus", EventChannel())
+        subscribers = [EventSubscriber(ctx, bind(ctx, "bus"), ["t"])
+                       for ctx in contexts[1:-1]] or \
+                      [EventSubscriber(hub, bind(hub, "bus"), ["t"])]
+        publisher = bind(publisher_ctx, "bus")
+        publisher.publish("t", "warm")
+        with MessageWindow(system) as window:
+            started = publisher_ctx.clock.now
+            for index in range(events):
+                publisher.publish("t", index)
+            publish_ms = ms((publisher_ctx.clock.now - started) / events)
+        delivered = sum(len(sub.events) for sub in subscribers)
+        expected = (events + 1) * len(subscribers)
+        rows.append({
+            "scenario": "fan-out", "subscribers": len(subscribers),
+            "publish_ms": publish_ms,
+            "messages": window.report.messages / events,
+            "push_delivered_frac": delivered / expected,
+            "after_catch_up_frac": delivered / expected,
+        })
+
+    # -- loss and recovery -------------------------------------------------------
+    system, contexts = mesh(seed=seed + 1, nodes=4)
+    hub, publisher_ctx = contexts[0], contexts[-1]
+    register(hub, "bus", EventChannel())
+    subscribers = [EventSubscriber(ctx, bind(ctx, "bus"), ["t"])
+                   for ctx in contexts[1:-1]]
+    publisher = bind(publisher_ctx, "bus")
+    with message_loss(system, 0.4):
+        for index in range(events):
+            try:
+                publisher.publish("t", index)
+            except RpcTimeout:
+                pass
+    published = publisher.last_seq()
+    pushed = sum(len(sub.events) for sub in subscribers)
+    expected = published * len(subscribers)
+    for sub in subscribers:
+        sub.catch_up()
+    recovered = sum(len(sub.events) for sub in subscribers)
+    rows.append({
+        "scenario": "40% loss", "subscribers": len(subscribers),
+        "publish_ms": 0.0, "messages": 0.0,
+        "push_delivered_frac": pushed / expected if expected else 0.0,
+        "after_catch_up_frac": recovered / expected if expected else 0.0,
+    })
+    return rows

@@ -1,0 +1,106 @@
+"""E1 — the invocation-technique matrix.
+
+Reproduces the comparison the proxy principle is cited for: *access method*
+× *location strategy* across the three techniques (plus the lightweight
+local fast path), measured as per-invocation latency and messages per
+operation on an identical single-client key-value workload.
+
+Expected shape: local call ≪ LRPC ≪ remote RPC ≈ remote proxy (the proxy
+adds only local dispatch); DSM pays page faults up front and then behaves
+like a local call until sharing invalidates its pages.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...core.export import get_space
+from ...dsm.heap import make_dsm_kv
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, register
+from ...rpc.stubs import RemoteStub
+from ..common import star, us
+
+TITLE = "E1: invocation techniques — access method x location strategy"
+COLUMNS = ["technique", "locality", "access_method", "location_strategy",
+           "mean_us", "msgs_per_op"]
+
+#: Number of measured operations per technique.
+OPS = 200
+
+
+def _drive(system, context, reader, ops: int) -> tuple[float, float]:
+    """Mean latency and messages/op of ``ops`` repeated reads."""
+    reader("warm")  # populate caches/pages so we measure steady state
+    with MessageWindow(system) as window:
+        started = context.clock.now
+        for _ in range(ops):
+            reader("warm")
+        elapsed = context.clock.now - started
+    return elapsed / ops, window.report.messages / ops
+
+
+def run(ops: int = OPS, seed: int = 7) -> list[dict]:
+    """Run the matrix; returns one row per (technique, locality)."""
+    rows = []
+
+    # --- same-context: direct call and the LRPC fast path ------------------
+    # Home access is the real object: a plain procedure call.  A raw Python
+    # call advances no virtual time, so the row reports the cost model's
+    # local-call charge directly (the floor every other row is measured
+    # against).
+    system, server, _ = star(seed=seed, clients=0)
+    store = KVStore()
+    store.put("warm", "x" * 32)
+    register(server, "kv", store)
+    local = bind(server, "kv")
+    assert local is store, "home bind must return the real object"
+    rows.append({"technique": "procedure call", "locality": "same context",
+                 "access_method": "local call", "location_strategy": "none",
+                 "mean_us": us(system.costs.local_call), "msgs_per_op": 0.0})
+
+    system, server, _ = star(seed=seed, clients=0)
+    store = KVStore()
+    register(server, "kv", store)
+    ref = get_space(server).ref_of(store)
+    stub = RemoteStub(server, ref, interface=type(store).interface())
+    stub.put("warm", "x" * 32)
+    mean, msgs = _drive(system, server, stub.get, ops)
+    rows.append({"technique": "lightweight RPC", "locality": "same context",
+                 "access_method": "LRPC fast path",
+                 "location_strategy": "leave at site",
+                 "mean_us": us(mean), "msgs_per_op": msgs})
+
+    # --- remote: classic stub, proxy, DSM -----------------------------------
+    system, server, (client,) = star(seed=seed, clients=1)
+    store = KVStore()
+    register(server, "kv", store)
+    ref = get_space(server).ref_of(store)
+    stub = RemoteStub(client, ref, interface=type(store).interface())
+    stub.put("warm", "x" * 32)
+    mean, msgs = _drive(system, client, stub.get, ops)
+    rows.append({"technique": "remote procedure call", "locality": "remote",
+                 "access_method": "RPC", "location_strategy": "leave at site",
+                 "mean_us": us(mean), "msgs_per_op": msgs})
+
+    system, server, (client,) = star(seed=seed, clients=1)
+    store = KVStore()
+    register(server, "kv", store)
+    proxy = bind(client, "kv")
+    proxy.put("warm", "x" * 32)
+    mean, msgs = _drive(system, client, proxy.get, ops)
+    rows.append({"technique": "proxy (stub policy)", "locality": "remote",
+                 "access_method": "RPC via proxy",
+                 "location_strategy": "may cache/migrate",
+                 "mean_us": us(mean), "msgs_per_op": msgs})
+
+    system, server, (client,) = star(seed=seed, clients=1)
+    dsm_kv = make_dsm_kv(server, [client], num_pages=16)
+    dsm_kv.put(server, "warm", "x" * 32)
+    mean, msgs = _drive(system, client,
+                        lambda key: dsm_kv.get(client, key), ops)
+    rows.append({"technique": "distributed virtual memory",
+                 "locality": "remote", "access_method": "procedure call",
+                 "location_strategy": "map into local space",
+                 "mean_us": us(mean), "msgs_per_op": msgs})
+
+    return rows

@@ -1,0 +1,74 @@
+"""E2 — caching proxy vs plain stub across the read/write mix.
+
+The paper's file-cache example, quantified: as the read fraction rises, the
+caching proxy answers more operations locally and pulls away from the plain
+stub; in write-dominated mixes the invalidation traffic makes it roughly a
+wash (that near-crossover is the shape this experiment pins down).
+
+Variants: server-driven invalidation (coherent) and pure-TTL caching
+(weaker; no server machinery) — an ablation DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, register
+from ...workloads.distributions import ZipfSampler
+from ...workloads.sessions import OpMix, proxy_session, run_interleaved
+from ..common import ms, star
+
+TITLE = "E2: caching proxy vs stub — latency vs read ratio"
+COLUMNS = ["read_ratio", "policy", "mean_ms", "messages", "hit_rate"]
+
+READ_RATIOS = (0.0, 0.25, 0.5, 0.75, 0.9, 0.99)
+POLICIES = (
+    ("stub", {}),
+    ("caching", {"invalidation": True}),
+    ("caching-ttl", {"invalidation": False, "ttl": 0.02}),
+)
+
+
+def _run_one(policy: str, config: dict, read_ratio: float, clients: int,
+             ops: int, keys: int, seed: int) -> dict:
+    system, server, client_contexts = star(seed=seed, clients=clients)
+    actual_policy = "caching" if policy.startswith("caching") else policy
+    store = KVStore()
+    from ...core.export import get_space
+    get_space(server).export(store, policy=actual_policy, config=dict(config))
+    register(server, "kv", store)
+    sessions = []
+    for index, ctx in enumerate(client_contexts):
+        proxy = bind(ctx, "kv")
+        rng = system.seeds.stream(f"e2.{policy}.{read_ratio}.{index}")
+        sampler = ZipfSampler(keys, system.seeds.stream(
+            f"e2.keys.{policy}.{read_ratio}.{index}"))
+        sessions.append(proxy_session(f"s{index}", ctx, proxy,
+                                      OpMix(read_ratio, sampler), rng))
+    with MessageWindow(system) as window:
+        result = run_interleaved(sessions, ops)
+    hits = misses = 0
+    for ctx in client_contexts:
+        for proxy in ctx.proxies.values():
+            stats = proxy.proxy_stats
+            hits += stats.get("hits", 0)
+            misses += stats.get("misses", 0)
+    total_reads = hits + misses
+    return {
+        "read_ratio": read_ratio,
+        "policy": policy,
+        "mean_ms": ms(result.mean_latency()),
+        "messages": window.report.messages,
+        "hit_rate": hits / total_reads if total_reads else 0.0,
+    }
+
+
+def run(clients: int = 4, ops: int = 150, keys: int = 50,
+        seed: int = 11) -> list[dict]:
+    """Sweep read ratio × policy; returns one row per combination."""
+    rows = []
+    for read_ratio in READ_RATIOS:
+        for policy, config in POLICIES:
+            rows.append(_run_one(policy, config, read_ratio, clients,
+                                 ops, keys, seed))
+    return rows

@@ -1,0 +1,56 @@
+"""E3 — the migration crossover.
+
+A single client hammers one small object.  The migrating proxy pays a
+one-time relocation cost (state transfer + bookkeeping) to turn every later
+invocation into a local call; the plain stub pays a round trip forever.
+Total cost as a function of burst length exposes the crossover at roughly
+
+    migrate_cost / (remote_rpc - local_call)   operations.
+"""
+
+from __future__ import annotations
+
+from ...apps.counter import Counter
+from ...core.export import get_space
+from ...naming.bootstrap import bind, register
+from ..common import ms, star
+
+TITLE = "E3: migrating proxy vs stub — total cost vs burst length"
+COLUMNS = ["ops", "policy", "total_ms", "migrated"]
+
+BURSTS = (1, 2, 5, 10, 20, 50, 100, 200)
+MIGRATE_AFTER = 4
+
+
+def _run_one(policy: str, ops: int, seed: int) -> dict:
+    system, server, (client,) = star(seed=seed, clients=1)
+    counter = Counter()
+    config = {"migrate_after": MIGRATE_AFTER} if policy == "migrating" else {}
+    get_space(server).export(counter, policy=policy, config=config)
+    register(server, "ctr", counter)
+    proxy = bind(client, "ctr")
+    started = client.clock.now
+    for _ in range(ops):
+        proxy.incr()
+    elapsed = client.clock.now - started
+    migrated = bool(proxy.proxy_stats.get("migrations", 0))
+    return {"ops": ops, "policy": policy, "total_ms": ms(elapsed),
+            "migrated": migrated}
+
+
+def run(seed: int = 13) -> list[dict]:
+    """Sweep burst length × policy; returns one row per combination."""
+    rows = []
+    for ops in BURSTS:
+        for policy in ("stub", "migrating"):
+            rows.append(_run_one(policy, ops, seed))
+    return rows
+
+
+def paired(rows: list[dict]) -> list[dict]:
+    """Re-shape to one row per burst with both totals (for crossover_x)."""
+    by_ops: dict[int, dict] = {}
+    for row in rows:
+        slot = by_ops.setdefault(row["ops"], {"ops": row["ops"]})
+        slot[f"{row['policy']}_ms"] = row["total_ms"]
+    return [by_ops[ops] for ops in sorted(by_ops)]

@@ -1,0 +1,83 @@
+"""E4 — sharing: RPC vs caching proxy vs DSM as writers multiply.
+
+All clients touch the *same small key set* (one DSM page), with a fixed
+read/write mix, while the number of concurrently writing clients grows.
+
+Expected shape: with one client DSM behaves like local memory (best);
+as writers multiply, every write invalidates every other copy and the page
+ping-pongs — DSM degrades past plain RPC.  The caching proxy sits between:
+its invalidations are per-entry and its writes are ordinary RPCs.  This is
+the trade-off table at the heart of the secondary-source comparison.
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...core.export import get_space
+from ...dsm.heap import make_dsm_kv
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, register
+from ...workloads.distributions import HotspotSampler
+from ...workloads.sessions import OpMix, dsm_session, proxy_session, run_interleaved
+from ..common import ms, star
+
+TITLE = "E4: sharing — mean latency vs number of writing clients"
+COLUMNS = ["clients", "technique", "mean_ms", "messages"]
+
+CLIENT_COUNTS = (1, 2, 4, 8)
+READ_FRACTION = 0.5
+HOT_KEYS = 4
+
+
+def _sampler(system, label: str, keys: int):
+    return HotspotSampler(keys, system.seeds.stream(f"e4.keys.{label}"),
+                          hot_fraction=1.0, hot_keys=HOT_KEYS)
+
+
+def _run_proxy(technique: str, clients: int, ops: int, seed: int) -> dict:
+    system, server, client_contexts = star(seed=seed, clients=clients)
+    policy = "caching" if technique == "caching" else "stub"
+    store = KVStore()
+    get_space(server).export(store, policy=policy)
+    register(server, "kv", store)
+    sessions = []
+    for index, ctx in enumerate(client_contexts):
+        proxy = bind(ctx, "kv")
+        sessions.append(proxy_session(
+            f"s{index}", ctx, proxy,
+            OpMix(READ_FRACTION, _sampler(system, f"{technique}.{clients}.{index}",
+                                          HOT_KEYS)),
+            system.seeds.stream(f"e4.{technique}.{clients}.{index}")))
+    with MessageWindow(system) as window:
+        result = run_interleaved(sessions, ops)
+    return {"clients": clients, "technique": technique,
+            "mean_ms": ms(result.mean_latency()),
+            "messages": window.report.messages}
+
+
+def _run_dsm(clients: int, ops: int, seed: int) -> dict:
+    system, server, client_contexts = star(seed=seed, clients=clients)
+    dsm_kv = make_dsm_kv(server, client_contexts, num_pages=4,
+                         slots_per_page=64)
+    sessions = []
+    for index, ctx in enumerate(client_contexts):
+        sessions.append(dsm_session(
+            f"s{index}", ctx, dsm_kv,
+            OpMix(READ_FRACTION, _sampler(system, f"dsm.{clients}.{index}",
+                                          HOT_KEYS)),
+            system.seeds.stream(f"e4.dsm.{clients}.{index}")))
+    with MessageWindow(system) as window:
+        result = run_interleaved(sessions, ops)
+    return {"clients": clients, "technique": "dsm",
+            "mean_ms": ms(result.mean_latency()),
+            "messages": window.report.messages}
+
+
+def run(ops: int = 120, seed: int = 17) -> list[dict]:
+    """Sweep client count × technique; returns one row per combination."""
+    rows = []
+    for clients in CLIENT_COUNTS:
+        rows.append(_run_proxy("rpc", clients, ops, seed))
+        rows.append(_run_proxy("caching", clients, ops, seed))
+        rows.append(_run_dsm(clients, ops, seed))
+    return rows

@@ -1,0 +1,62 @@
+"""E6 — uniform structure: binding through the name service.
+
+Two measurements:
+
+* the **bootstrap handshake**: messages needed to go from "knows only the
+  primordial reference" to "holds a working, fully configured proxy" —
+  one lookup round trip plus one installation-handshake round trip;
+* the **resolution chain**: hierarchical names resolved through directory
+  services scattered across contexts — latency and messages grow linearly
+  with depth because each component is one proxied invocation (the
+  structural figure of the paper, executed).
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...metrics.counters import MessageWindow
+from ...naming.bootstrap import bind, make_directory_tree, register, resolve
+from ..common import mesh, ms, star
+
+TITLE = "E6: bootstrap and name-resolution chains"
+COLUMNS = ["scenario", "depth", "messages", "latency_ms"]
+
+DEPTHS = (1, 2, 4, 8)
+
+
+def run(seed: int = 23) -> list[dict]:
+    """Measure the bind handshake and resolution chains of growing depth."""
+    rows = []
+
+    # --- flat bind through the root name service ------------------------------
+    system, server, (client,) = star(seed=seed, clients=1)
+    register(server, "kv", KVStore())
+    with MessageWindow(system) as window:
+        started = client.clock.now
+        proxy = bind(client, "kv")
+        latency = client.clock.now - started
+    assert proxy is not None
+    rows.append({"scenario": "bind via name service", "depth": 1,
+                 "messages": window.report.messages,
+                 "latency_ms": ms(latency)})
+
+    # --- directory chains across contexts -------------------------------------
+    for depth in DEPTHS:
+        system, contexts = mesh(seed=seed, nodes=min(4, depth + 1))
+        client = contexts[-1]
+        target = KVStore()
+        from ...core.export import get_space
+        get_space(contexts[0]).export(target)
+        root = make_directory_tree(client, depth, leaf_target=target,
+                                   contexts=contexts[:-1])
+        path = "/".join(f"d{level}" for level in range(1, depth)) + \
+            ("/" if depth > 1 else "") + "leaf"
+        with MessageWindow(system) as window:
+            started = client.clock.now
+            leaf = resolve(client, root, path)
+            latency = client.clock.now - started
+        assert leaf is not None
+        rows.append({"scenario": "directory chain", "depth": depth,
+                     "messages": window.report.messages,
+                     "latency_ms": ms(latency)})
+    return rows

@@ -1,0 +1,71 @@
+"""E7 — failure transparency: what the proxy absorbs as the network degrades.
+
+A client works a key-value service while the network drops messages with
+rising probability.  The RPC discipline under the proxy (retransmission +
+server-side replay cache) masks loss completely until the retry budget is
+exhausted; the client sees only latency growth.
+
+The at-most-once half matters as much as the retry half: the companion E11
+ablation turns the replay cache *off* and counts duplicate executions — with
+it on, this experiment's duplicate count stays zero at every loss rate.
+"""
+
+from __future__ import annotations
+
+from ...apps.counter import Counter
+from ...apps.kv import KVStore
+from ...core.export import get_space
+from ...failures.injectors import message_loss
+from ...kernel.errors import RpcTimeout
+from ...naming.bootstrap import bind, register
+from ..common import ms, star
+
+TITLE = "E7: proxy under message loss — success, latency, retries"
+COLUMNS = ["loss", "success_rate", "mean_ms", "retries_per_op",
+           "duplicate_execs"]
+
+LOSS_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
+OPS = 120
+
+
+def run(ops: int = OPS, seed: int = 29) -> list[dict]:
+    """Sweep loss probability; returns one row per rate."""
+    rows = []
+    for loss in LOSS_RATES:
+        system, server, (client,) = star(seed=seed, clients=1)
+        store = KVStore()
+        register(server, "kv", store)
+        counter = Counter()
+        register(server, "ctr", counter)
+        kv = bind(client, "kv")
+        ctr = bind(client, "ctr")
+        protocol = system.rpc
+        retries_before = protocol.stats["retries"]
+        successes = 0
+        incr_attempts = 0
+        started = client.clock.now
+        with message_loss(system, loss):
+            for index in range(ops):
+                try:
+                    if index % 3 == 0:
+                        ctr.incr()
+                        incr_attempts += 1
+                    elif index % 3 == 1:
+                        kv.put(f"k{index}", index)
+                    else:
+                        kv.get(f"k{index - 1}")
+                    successes += 1
+                except RpcTimeout:
+                    pass
+        elapsed = client.clock.now - started
+        # With at-most-once semantics the counter equals the number of
+        # *executed* increments; duplicates would push it past attempts.
+        duplicates = max(0, counter.value - incr_attempts)
+        rows.append({
+            "loss": loss,
+            "success_rate": successes / ops,
+            "mean_ms": ms(elapsed / ops),
+            "retries_per_op": (protocol.stats["retries"] - retries_before) / ops,
+            "duplicate_execs": duplicates,
+        })
+    return rows

@@ -1,0 +1,76 @@
+"""E9 — replication: read latency, write cost, and availability.
+
+The replicated proxy binds reads to the nearest replica and fans writes out
+to all of them.  Three effects, one sweep over the replica count:
+
+* read latency *falls* (a nearby replica exists more often — modelled here
+  with one slow "far" link to the primary);
+* write latency *rises* linearly (write-all);
+* availability under a periodic crash plan *rises* (reads fail over; writes
+  succeed while a quorum remains).
+"""
+
+from __future__ import annotations
+
+from ...apps.kv import KVStore
+from ...core.policies.replicating import replicate
+from ...failures.injectors import CrashPlan
+from ...kernel.network import LinkSpec
+from ...naming.bootstrap import bind, register
+from ...workloads.distributions import UniformSampler
+from ...workloads.sessions import OpMix, proxy_session, run_interleaved
+from ..common import mesh, ms
+
+TITLE = "E9: replication — latency and availability vs replica count"
+COLUMNS = ["replicas", "read_ms", "write_ms", "availability"]
+
+REPLICA_COUNTS = (1, 2, 3, 5)
+OPS = 120
+
+
+def _build(replicas: int, seed: int):
+    system, contexts = mesh(seed=seed, nodes=replicas + 1)
+    client = contexts[-1]
+    # The client sits far from the primary: a 5x-latency link models a WAN
+    # hop, so additional (near) replicas visibly help reads.
+    costs = system.costs
+    system.network.set_link(client.node.name, contexts[0].node.name,
+                            LinkSpec(latency=costs.remote_latency * 5,
+                                     byte_cost=costs.byte_cost))
+    quorum = max(1, replicas // 2 + 1)
+    ref = replicate(contexts[:replicas], KVStore, write_quorum=quorum)
+    register(contexts[0], "kv", ref)
+    proxy = bind(client, "kv")
+    return system, contexts, client, proxy
+
+
+def run(ops: int = OPS, seed: int = 37) -> list[dict]:
+    """Sweep replica count; returns one row per count."""
+    rows = []
+    for replicas in REPLICA_COUNTS:
+        # -- latency, fault-free ------------------------------------------------
+        system, contexts, client, proxy = _build(replicas, seed)
+        proxy.put("key", "value0")
+        t0 = client.clock.now
+        for index in range(ops):
+            proxy.get("key")
+        read_ms = ms((client.clock.now - t0) / ops)
+        t0 = client.clock.now
+        for index in range(ops // 4):
+            proxy.put("key", f"value{index}")
+        write_ms = ms((client.clock.now - t0) / (ops // 4))
+
+        # -- availability under a crash plan -------------------------------------
+        system, contexts, client, proxy = _build(replicas, seed + 1)
+        replica_nodes = [ctx.node.name for ctx in contexts[:replicas]]
+        plan = CrashPlan.periodic(replica_nodes, every=15, duration=5,
+                                  total_ops=ops)
+        session = proxy_session(
+            "avail", client, proxy,
+            OpMix(0.8, UniformSampler(8, system.seeds.stream("e9.keys"))),
+            system.seeds.stream(f"e9.{replicas}"))
+        result = run_interleaved([session], ops, crash_plan=plan)
+        availability = 1.0 - result.failures / result.operations
+        rows.append({"replicas": replicas, "read_ms": read_ms,
+                     "write_ms": write_ms, "availability": availability})
+    return rows

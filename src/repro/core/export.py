@@ -1,0 +1,314 @@
+"""Export and bind: the object space of a context.
+
+Every context that participates in the proxy regime gets an
+:class:`ObjectSpace`, which owns:
+
+* the **export table** (oid → :class:`~repro.rpc.dispatcher.ExportEntry`),
+* the **proxy table** (object key → live proxy, at most one proxy per remote
+  object per context),
+* the **swizzle hooks** installed on the context's marshaller path — the
+  single point where the proxy principle is *enforced*:
+
+  - outbound: a proxy crossing the boundary is replaced by its target's
+    reference; an exported object is replaced by its reference; an
+    unexported service object is either auto-exported (default) or rejected
+    (``strict`` mode) — a raw remote pointer can never leave,
+  - inbound: a reference arriving home unswizzles to the real object; any
+    other reference materialises as a proxy built by the factory the
+    *exporter* named in the reference.
+
+* the per-context **context-manager service** (oid ``"_ctxmgr"``), through
+  which remote binders fetch the full proxy configuration (the *proxy
+  installation handshake*) and liveness pings travel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..iface.conformance import check_implements
+from ..iface.interface import Interface, is_operation, operation
+from ..kernel.context import Context
+from ..kernel.errors import BindError, ConfigurationError, EncapsulationViolation
+from ..rpc.dispatcher import ExportEntry, ensure_dispatcher
+from ..wire.refs import ObjectRef, OidMinter
+from .proxy import Proxy
+
+#: Types that can never be (or contain) an exportable object; the encoder
+#: hook returns immediately for them.
+_PLAIN_TYPES = frozenset([type(None), bool, int, float, str, bytes, bytearray])
+
+#: Well-known oid of the per-context manager object.
+CTXMGR_OID = "_ctxmgr"
+
+
+class ContextManager:
+    """Per-context system service: handshakes, pings, and introspection."""
+
+    def __init__(self, space: "ObjectSpace"):
+        self._space = space
+
+    @operation(readonly=True)
+    def describe(self, oid: str) -> dict:
+        """The proxy-installation handshake: full metadata for one export."""
+        entry = self._space.context.exports.get(oid)
+        if entry is None or entry.revoked:
+            raise KeyError(f"no export {oid!r}")
+        return {
+            "policy": entry.policy_name,
+            "config": entry.policy_config,
+            "interface": entry.interface.name,
+            "epoch": entry.ref.epoch,
+            "moved_to": None if entry.moved_to is None else str(entry.moved_to),
+        }
+
+    @operation(readonly=True)
+    def ping(self) -> str:
+        """Liveness probe."""
+        return "pong"
+
+    @operation(readonly=True)
+    def list_exports(self) -> list:
+        """Oids of all live exports (diagnostics)."""
+        return sorted(oid for oid, entry in self._space.context.exports.items()
+                      if not entry.revoked)
+
+
+class ObjectSpace:
+    """Export/bind manager for one context (see module docstring)."""
+
+    def __init__(self, context: Context, strict: bool = False,
+                 auto_export: bool = True):
+        if context.space is not None:
+            raise ConfigurationError(
+                f"context {context.context_id!r} already has an object space")
+        self.context = context
+        self.system = context.system
+        self.strict = strict
+        self.auto_export = auto_export
+        self.minter = OidMinter(context.context_id)
+        self._exported_ids: dict[int, str] = {}
+        self._exportable_types: dict[type, bool] = {}
+        self.stats = {"exports": 0, "auto_exports": 0, "binds": 0,
+                      "handshakes": 0, "unswizzles": 0, "violations": 0}
+        context.space = self
+        context.encoder_hook = self._encode_value
+        context.decoder_hook = self._decode_ref
+        self.dispatcher = ensure_dispatcher(context, self.system.transport)
+        self._ctxmgr_ref = self.export(ContextManager(self), oid=CTXMGR_OID)
+
+    # -- export side -----------------------------------------------------------
+
+    def export(self, obj: Any, interface: Interface | None = None,
+               policy: str | None = None, config: dict | None = None,
+               oid: str | None = None, epoch: int = 0) -> ObjectRef:
+        """Make ``obj`` invocable from other contexts; returns its reference.
+
+        The interface defaults to the one derived from ``obj``'s
+        ``@operation`` methods; the proxy policy defaults to the class's
+        ``default_policy`` attribute (``"stub"`` if absent).  The returned
+        reference carries the policy name, so every holder of the reference
+        gets the representative this exporter chose.
+        """
+        if isinstance(obj, Proxy):
+            raise EncapsulationViolation(
+                "cannot export a proxy; pass the proxy around instead — it "
+                "travels as a reference to its target")
+        if interface is None:
+            interface = Interface.of(type(obj))
+        check_implements(obj, interface)
+        self.system.codebase.register_interface(interface)
+        if policy is None:
+            policy = getattr(type(obj), "default_policy", "stub")
+        if policy not in self.system.codebase.factories:
+            raise ConfigurationError(f"unknown proxy policy {policy!r}")
+        if config is None:
+            config = dict(getattr(type(obj), "default_config", {}) or {})
+        if oid is None:
+            oid = self.minter.mint()
+        elif oid in self.context.exports and not self.context.exports[oid].revoked:
+            raise ConfigurationError(
+                f"oid {oid!r} already exported in {self.context.context_id!r}")
+        ref = ObjectRef(self.context.context_id, oid, interface.name,
+                        epoch, policy)
+        entry = ExportEntry(obj=obj, interface=interface, ref=ref,
+                            policy_name=policy, policy_config=config)
+        self.context.exports[oid] = entry
+        self._exported_ids.setdefault(id(obj), oid)
+        self.stats["exports"] += 1
+        on_export = getattr(self.system.codebase.factories[policy],
+                            "on_export", None)
+        if on_export is not None:
+            on_export(self, entry)
+        return ref
+
+    def unexport(self, ref_or_obj: Any) -> None:
+        """Withdraw an export; outstanding references become dangling."""
+        entry = self._entry_for(ref_or_obj)
+        entry.revoked = True
+        if self._exported_ids.get(id(entry.obj)) == entry.ref.oid:
+            del self._exported_ids[id(entry.obj)]
+
+    def mark_migrated(self, oid: str, new_ref: ObjectRef) -> None:
+        """Record that export ``oid`` moved away: keep a forwarding pointer,
+        release the object (it now lives at ``new_ref``).
+
+        The stale local copy stays pinned in the entry (and its identity
+        mapping kept), so that any lingering local alias — e.g. a registry
+        that stored the object before it moved — marshals as the forwarding
+        reference, never as a fresh auto-export of the zombie.  (Pinning also
+        keeps ``id()``-based identity sound: the id cannot be reused while
+        the entry holds the object.)"""
+        entry = self.entry(oid)
+        entry.moved_to = new_ref
+
+    def entry(self, oid: str) -> ExportEntry:
+        """Look up an export entry by oid."""
+        entry = self.context.exports.get(oid)
+        if entry is None:
+            raise BindError(
+                f"context {self.context.context_id!r} exports no {oid!r}")
+        return entry
+
+    def ref_of(self, obj: Any) -> ObjectRef:
+        """The reference under which a (previously exported) object travels."""
+        return self._entry_for(obj).ref
+
+    def _entry_for(self, ref_or_obj: Any) -> ExportEntry:
+        if isinstance(ref_or_obj, ObjectRef):
+            return self.entry(ref_or_obj.oid)
+        oid = self._exported_ids.get(id(ref_or_obj))
+        if oid is None:
+            raise BindError(
+                f"object {ref_or_obj!r} is not exported from "
+                f"{self.context.context_id!r}")
+        return self.entry(oid)
+
+    # -- bind side ----------------------------------------------------------------
+
+    def bind_ref(self, ref: ObjectRef, handshake: bool = True,
+                 config: dict | None = None) -> Any:
+        """Obtain this context's access path for ``ref``.
+
+        Returns the real object when ``ref`` points into this very context
+        (no proxy is ever interposed at home).  Otherwise returns the
+        (single, table-cached) proxy, instantiating the exporter-chosen
+        factory on first bind.  With ``handshake=True`` the full policy
+        configuration is fetched from the exporter first (one extra RPC —
+        the installation handshake); without it, the factory starts from the
+        defaults encoded in the reference.
+        """
+        if ref.context_id == self.context.context_id:
+            entry = self.context.exports.get(ref.oid)
+            if entry is not None and not entry.revoked and entry.moved_to is None:
+                self.stats["unswizzles"] += 1
+                return entry.obj
+        existing = self.context.proxies.get(ref.key)
+        if existing is not None:
+            return existing
+        merged = dict(config or {})
+        if handshake:
+            merged = {**self._handshake(ref), **merged}
+        proxy = self.system.codebase.instantiate(self.context, ref, merged)
+        self.context.proxies[ref.key] = proxy
+        self.stats["binds"] += 1
+        proxy.proxy_handshaken = handshake
+        proxy.proxy_install()
+        return proxy
+
+    def upgrade(self, proxy: Proxy) -> Proxy:
+        """Complete the installation handshake for a proxy bound without one.
+
+        Proxies materialised by the decoder hook start from the defaults the
+        reference carries; a deliberate ``bind`` upgrades them with the full
+        exporter-side configuration (one ``describe`` RPC).  Idempotent.
+        """
+        if isinstance(proxy, Proxy) and not proxy.proxy_handshaken:
+            config = self._handshake(proxy.proxy_ref)
+            proxy.proxy_handshaken = True
+            proxy.proxy_upgrade(config)
+        return proxy
+
+    def discard(self, proxy: Proxy) -> None:
+        """Drop a proxy from the table (it must not be used afterwards)."""
+        table = self.context.proxies
+        if table.get(proxy.proxy_ref.key) is proxy:
+            del table[proxy.proxy_ref.key]
+        proxy.proxy_discard()
+
+    def sweep(self, unused_for: float) -> int:
+        """Garbage-collect proxies idle for at least ``unused_for`` seconds.
+
+        Returns the number of proxies discarded.  The context-manager proxy
+        of the name-service context is never collected (it is the bootstrap
+        path).
+        """
+        now = self.context.clock.now
+        victims = [proxy for proxy in self.context.proxies.values()
+                   if now - proxy.proxy_last_used >= unused_for
+                   and proxy.proxy_ref.oid != CTXMGR_OID]
+        for proxy in victims:
+            self.discard(proxy)
+        return len(victims)
+
+    def ctxmgr_proxy(self, context_id: str):
+        """A proxy for the context manager of a (remote) context."""
+        ref = ObjectRef(context_id, CTXMGR_OID, "ContextManager", 0, "stub")
+        return self.bind_ref(ref, handshake=False)
+
+    def _handshake(self, ref: ObjectRef) -> dict:
+        """Fetch the exporter's policy configuration for ``ref``."""
+        self.stats["handshakes"] += 1
+        mgr = self.ctxmgr_proxy(ref.context_id)
+        description = mgr.describe(ref.oid)
+        return dict(description.get("config") or {})
+
+    # -- swizzle hooks ---------------------------------------------------------------
+
+    def _encode_value(self, value: Any):
+        """Outbound hook: no raw remote-capable object leaves this context."""
+        if type(value) in _PLAIN_TYPES:
+            return None
+        if isinstance(value, Proxy):
+            return value.proxy_ref
+        if isinstance(value, ObjectRef):
+            return None
+        if not self._is_exportable_type(type(value)):
+            return None
+        oid = self._exported_ids.get(id(value))
+        if oid is not None:
+            entry = self.context.exports.get(oid)
+            if entry is not None and not entry.revoked:
+                return entry.moved_to if entry.moved_to is not None else entry.ref
+        if not self.auto_export or self.strict:
+            self.stats["violations"] += 1
+            raise EncapsulationViolation(
+                f"unexported service object {type(value).__name__!r} may not "
+                f"cross the boundary of {self.context.context_id!r}; export "
+                "it first (or enable auto_export)")
+        self.stats["auto_exports"] += 1
+        return self.export(value)
+
+    def _decode_ref(self, ref: ObjectRef) -> Any:
+        """Inbound hook: every arriving reference surfaces as proxy or home object."""
+        return self.bind_ref(ref, handshake=False)
+
+    def _is_exportable_type(self, klass: type) -> bool:
+        known = self._exportable_types.get(klass)
+        if known is None:
+            known = any(is_operation(getattr(klass, name, None))
+                        for name in dir(klass))
+            self._exportable_types[klass] = known
+        return known
+
+    def __repr__(self) -> str:
+        return (f"ObjectSpace({self.context.context_id!r}, "
+                f"exports={len(self.context.exports)}, "
+                f"proxies={len(self.context.proxies)})")
+
+
+def get_space(context: Context, strict: bool = False) -> ObjectSpace:
+    """The context's object space, created on first use."""
+    if context.space is None:
+        ObjectSpace(context, strict=strict)
+    return context.space

@@ -1,0 +1,110 @@
+"""The ``composite`` policy: stacking proxy intelligences.
+
+Policies compose: a cache in front of a replica group, tracing around a
+migrating proxy.  The composite proxy instantiates each named layer and
+chains them with ``proxy_next``, so a call entering the outermost layer
+flows down the stack and only the innermost layer talks to the protocol.
+
+Configuration::
+
+    config = {
+        "layers": ["caching", "replicated"],      # outermost first
+        "layer_configs": {"caching": {...}, "replicated": {...}},
+    }
+
+Server-side components of every layer are installed at export time (each
+layer's ``on_export`` hook runs), so e.g. ``["caching", "replicated"]``
+gets both the invalidation control and the replica list.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...kernel.errors import ConfigurationError
+from ..factory import register_policy
+from ..proxy import Proxy
+
+
+def _layer_names(config: dict) -> list[str]:
+    layers = config.get("layers") or []
+    if not layers:
+        raise ConfigurationError(
+            "composite policy needs a non-empty 'layers' list")
+    if "composite" in layers:
+        raise ConfigurationError("composite layers cannot nest composites")
+    return list(layers)
+
+
+def _layer_config(config: dict, name: str) -> dict:
+    specific = dict((config.get("layer_configs") or {}).get(name, {}))
+    # Layer-relevant shared keys (shipped by on_export hooks) pass through.
+    for key in ("control", "batch_control", "replicas", "collector",
+                "read_policy", "write_quorum", "ttl", "invalidation",
+                "migrate_after", "batch_size", "batch_ops", "report_every"):
+        if key in config and key not in specific:
+            specific[key] = config[key]
+    return specific
+
+
+@register_policy
+class CompositeProxy(Proxy):
+    """A stack of policy layers behind one proxy face."""
+
+    policy_name = "composite"
+
+    def __init__(self, context, ref, interface, config=None):
+        super().__init__(context, ref, interface, config)
+        self._stack: list[Proxy] | None = None
+
+    def _build_stack(self) -> list[Proxy]:
+        if self._stack is not None:
+            return self._stack
+        codebase = self.proxy_context.system.codebase
+        names = _layer_names(self.proxy_config)
+        layers: list[Proxy] = []
+        for name in names:
+            factory = codebase.factories.get(name)
+            if factory is None:
+                raise ConfigurationError(f"unknown layer policy {name!r}")
+            layer = factory(self.proxy_context, self.proxy_ref,
+                            self.proxy_interface,
+                            _layer_config(self.proxy_config, name))
+            layers.append(layer)
+        for outer, inner in zip(layers, layers[1:]):
+            outer.proxy_next = inner
+        for layer in layers:
+            layer.proxy_install()
+        self._stack = layers
+        return layers
+
+    def proxy_install(self) -> None:
+        # Defer to first use so a handshake-less bind stays message-free.
+        pass
+
+    def proxy_discard(self) -> None:
+        for layer in self._stack or []:
+            layer.proxy_discard()
+        self._stack = None
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["invocations"] += 1
+        stack = self._build_stack()
+        return stack[0].invoke(verb, args, kwargs)
+
+    @property
+    def proxy_layers(self) -> list[str]:
+        """Class names of the instantiated layers (outermost first)."""
+        return [type(layer).__name__ for layer in self._build_stack()]
+
+    @classmethod
+    def on_export(cls, space, entry) -> None:
+        """Run every layer's server-side installation."""
+        codebase = space.system.codebase
+        for name in _layer_names(entry.policy_config):
+            factory = codebase.factories.get(name)
+            if factory is None:
+                raise ConfigurationError(f"unknown layer policy {name!r}")
+            hook = getattr(factory, "on_export", None)
+            if hook is not None:
+                hook(space, entry)

@@ -1,0 +1,188 @@
+"""The ``replicated`` policy: a proxy that binds to a replica group.
+
+The service is deployed as N copies in different contexts; the proxy the
+service ships routes each operation:
+
+* **reads** (``readonly`` operations) go to one replica, chosen by the
+  configured ``read_policy`` (``"nearest"`` by transit time, ``"roundrobin"``,
+  or ``"primary"``), failing over to the next candidate on a distribution
+  error — this is the availability story of experiment E9;
+* **writes** (everything else) go to *all* replicas, synchronously, in a
+  fixed order; the write succeeds when at least ``write_quorum`` replicas
+  (default: all alive is required — i.e. ``len(replicas)``) acknowledged.
+
+Consistency contract: with synchronous write-all and a single writer this
+gives read-your-writes everywhere.  Concurrent writers are ordered only
+per-replica (no global order) — the 1986-era trade-off; services needing
+more layer a sequencer on top.
+
+Deployment helper: :func:`replicate` builds the group and returns the
+client-facing reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...kernel.errors import DistributionError
+from ...wire.refs import ObjectRef
+from ..factory import register_policy
+from ..proxy import Proxy
+
+
+@register_policy
+class ReplicatedProxy(Proxy):
+    """Route reads to one replica and writes to all of them."""
+
+    policy_name = "replicated"
+
+    def __init__(self, context, ref, interface, config=None):
+        super().__init__(context, ref, interface, config)
+        self._replicas: list | None = None
+        self._rr_counter = 0
+        self.proxy_stats.update(reads=0, writes=0, read_failovers=0,
+                                write_failures=0)
+
+    # -- replica resolution -------------------------------------------------------
+
+    def _resolve_replicas(self) -> list:
+        """Sub-proxies for every replica, fetched lazily.
+
+        Falls back to the installation handshake when the configuration
+        arrived without the replica list (reference passed by value), and to
+        plain forwarding when even that yields nothing.
+        """
+        if self._replicas is not None:
+            return self._replicas
+        raw = self.proxy_config.get("replicas")
+        if raw is None and not self.proxy_handshaken:
+            self.proxy_context.space.upgrade(self)
+            raw = self.proxy_config.get("replicas")
+        space = self.proxy_context.space
+        replicas = []
+        for item in raw or []:
+            if isinstance(item, ObjectRef):
+                item = space.bind_ref(item, handshake=False)
+            replicas.append(item)
+        self._replicas = replicas
+        return replicas
+
+    def _read_order(self, replicas: list) -> list:
+        policy = self.proxy_config.get("read_policy", "nearest")
+        if policy == "roundrobin":
+            start = self._rr_counter % len(replicas)
+            self._rr_counter += 1
+            return replicas[start:] + replicas[:start]
+        if policy == "primary":
+            return list(replicas)
+        network = self.proxy_context.system.network
+        my_node = self.proxy_context.node.name
+
+        def distance(replica) -> float:
+            if not isinstance(replica, Proxy):
+                return 0.0  # a co-located raw replica is as near as it gets
+            return network.transit_time(my_node, replica.proxy_ref.node_name, 64)
+
+        return sorted(replicas, key=distance)
+
+    # -- invocation ---------------------------------------------------------------------
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["invocations"] += 1
+        replicas = self._resolve_replicas()
+        if not replicas:
+            return self.proxy_remote(verb, args, kwargs)
+        op = self.proxy_interface.operation(verb)
+        if op.readonly:
+            return self._read(replicas, verb, args, kwargs)
+        return self._write(replicas, verb, args, kwargs)
+
+    def _call(self, replica, verb: str, args: tuple, kwargs: dict) -> Any:
+        """Invoke on one replica: through its proxy, or directly when the
+        replica lives in this very context (home access is the object)."""
+        if isinstance(replica, Proxy):
+            return replica.invoke(verb, args, kwargs)
+        self.proxy_context.charge(self.proxy_context.system.costs.local_call)
+        return getattr(replica, verb)(*args, **kwargs)
+
+    def _read(self, replicas: list, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["reads"] += 1
+        last_error: Exception | None = None
+        for replica in self._read_order(replicas):
+            try:
+                return self._call(replica, verb, args, kwargs)
+            except DistributionError as exc:
+                self.proxy_stats["read_failovers"] += 1
+                last_error = exc
+        raise last_error if last_error is not None else DistributionError(
+            f"no replica answered {verb!r}")
+
+    def _write(self, replicas: list, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["writes"] += 1
+        quorum = int(self.proxy_config.get("write_quorum", len(replicas)))
+        acknowledged = 0
+        result: Any = None
+        last_error: Exception | None = None
+        for replica in replicas:
+            try:
+                outcome = self._call(replica, verb, args, kwargs)
+            except DistributionError as exc:
+                last_error = exc
+                continue
+            if acknowledged == 0:
+                result = outcome
+            acknowledged += 1
+        if acknowledged < quorum:
+            self.proxy_stats["write_failures"] += 1
+            raise DistributionError(
+                f"write {verb!r} reached {acknowledged}/{len(replicas)} "
+                f"replicas, quorum is {quorum}") from last_error
+        return result
+
+
+def replicate(contexts: list, factory: Callable[[], object],
+              interface=None, read_policy: str = "nearest",
+              write_quorum: int | None = None,
+              extra_layers: list[str] | None = None) -> ObjectRef:
+    """Deploy a replica group and return the client-facing reference.
+
+    One instance from ``factory`` is exported (under the plain ``stub``
+    policy) in each of ``contexts``; the first context additionally exports
+    the group entry under the ``replicated`` policy, whose configuration
+    carries the replica references.  Clients bind the returned reference and
+    receive a :class:`ReplicatedProxy`.
+
+    ``extra_layers`` stacks additional policies *in front of* replication
+    (outermost first), e.g. ``["caching"]`` for a cached replica group; the
+    group is then exported under the ``composite`` policy.
+    """
+    from ...iface.adapters import make_delegate
+    from ...iface.interface import Interface
+    from ..export import get_space
+    if not contexts:
+        raise ValueError("replicate() needs at least one context")
+    replica_refs = []
+    first_obj = None
+    for ctx in contexts:
+        obj = factory()
+        if first_obj is None:
+            first_obj = obj
+            if interface is None:
+                interface = Interface.of(type(obj))
+        replica_refs.append(get_space(ctx).export(obj, interface=interface,
+                                                  policy="stub"))
+    config: dict = {"replicas": replica_refs, "read_policy": read_policy}
+    if write_quorum is not None:
+        config["write_quorum"] = write_quorum
+    policy = "replicated"
+    if extra_layers:
+        policy = "composite"
+        config["layers"] = list(extra_layers) + ["replicated"]
+    # The group entry is a distinct delegate object (not the primary itself),
+    # so the primary's identity keeps exactly one export and the group
+    # reference carries the replicated policy.  The delegate answers clients
+    # that call the group entry directly (e.g. before resolving replicas).
+    coordinator = make_delegate(first_obj, interface)
+    primary_space = get_space(contexts[0])
+    return primary_space.export(coordinator, interface=interface,
+                                policy=policy, config=config)

@@ -1,0 +1,179 @@
+"""The proxy: a service's local representative in a client context.
+
+This is the paper's central object.  A proxy
+
+* lives in the client's context and exports exactly the service's interface
+  (``__getattr__`` dispatch checked against the interface signature),
+* is the *only* access path from that context to the service,
+* is implemented by code the **service** chose (the factory named in the
+  reference's ``policy`` field), so the client↔service protocol is
+  encapsulated inside the service's own code, and
+* may contain intelligence beyond forwarding: caching, batching, migration,
+  replica selection — see :mod:`repro.core.policies`.
+
+Naming convention: everything local to the proxy is prefixed ``proxy_`` so
+that ``__getattr__`` can treat all other names as remote operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..iface.interface import Interface
+from ..kernel.context import Context
+from ..kernel.errors import InterfaceError, ObjectMoved, RpcTimeout
+from ..wire.refs import ObjectRef
+
+
+class Proxy:
+    """Base proxy: transparent forwarding with migration rebinding.
+
+    Subclasses (policies) customise behaviour by overriding :meth:`invoke`
+    and the lifecycle hooks; client code never sees the difference — that is
+    the encapsulation claim (experiment E5).
+
+    Attributes:
+        proxy_context: the context this proxy lives in.
+        proxy_ref: current reference to the service object (rebinds on
+            migration).
+        proxy_interface: the interface the proxy exports.
+        proxy_config: marshallable configuration shipped by the exporter.
+        proxy_stats: per-proxy counters (invocations, remote calls, hits…).
+    """
+
+    #: Name under which this class registers in the factory codebase.
+    policy_name = "stub"
+
+    @classmethod
+    def on_export(cls, space, entry) -> None:
+        """Server-side setup hook, run when an object is exported under this
+        policy (e.g. the caching policy installs its invalidation control
+        here).  The base policy needs none."""
+
+    def __init__(self, context: Context, ref: ObjectRef, interface: Interface,
+                 config: dict | None = None):
+        self.proxy_context = context
+        self.proxy_ref = ref
+        self.proxy_interface = interface
+        self.proxy_config = dict(config or {})
+        self.proxy_protocol = context.system.rpc
+        self.proxy_stats = {"invocations": 0, "remote_calls": 0, "rebinds": 0}
+        self.proxy_last_used = context.clock.now
+        self.proxy_handshaken = False
+        #: When set, this proxy forwards through another proxy (its next
+        #: layer) instead of the RPC protocol — see policies.composite.
+        self.proxy_next: "Proxy | None" = None
+
+    # -- lifecycle hooks ------------------------------------------------------
+
+    def proxy_install(self) -> None:
+        """Called once, after the proxy is placed in its context's table.
+
+        Policies use this to set up client-side machinery (e.g. export a
+        cache-invalidation callback object).
+        """
+
+    def proxy_discard(self) -> None:
+        """Called when the proxy is dropped from its context's table."""
+
+    def proxy_upgrade(self, config: dict) -> None:
+        """Fold in configuration from a late installation handshake.
+
+        Called by :meth:`ObjectSpace.upgrade` on proxies that were first
+        materialised without a handshake (e.g. from a reference embedded in
+        a reply).  Shipped values do not override local ones already set.
+        """
+        merged = {**config, **self.proxy_config}
+        self.proxy_config = merged
+        self.proxy_install()
+
+    # -- invocation ------------------------------------------------------------
+
+    def __getattr__(self, verb: str) -> Any:
+        if verb.startswith("proxy_") or verb.startswith("_"):
+            raise AttributeError(verb)
+        if verb not in self.proxy_interface:
+            raise InterfaceError(
+                f"interface {self.proxy_interface.name!r} declares no "
+                f"operation {verb!r}")
+        return _BoundProxyOperation(self, verb)
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        """Perform one operation.  Policies override this.
+
+        The base behaviour is transparent forwarding, following at most
+        ``proxy_config["max_forwards"]`` (default 4) migration redirects.
+        """
+        self.proxy_stats["invocations"] += 1
+        return self.proxy_remote(verb, args, kwargs)
+
+    def proxy_remote(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        """Forward to the current binding, rebinding on ``ObjectMoved``.
+
+        When this proxy is stacked on another layer (``proxy_next``), the
+        call flows down the stack instead of hitting the protocol directly.
+        """
+        if self.proxy_next is not None:
+            self.proxy_stats["remote_calls"] += 1
+            return self.proxy_next.invoke(verb, args, kwargs)
+        max_forwards = int(self.proxy_config.get("max_forwards", 4))
+        op = self.proxy_interface.operation(verb)
+        for _ in range(1 + max_forwards):
+            self.proxy_stats["remote_calls"] += 1
+            try:
+                if op.oneway:
+                    self.proxy_protocol.send_oneway(
+                        self.proxy_context, self.proxy_ref, verb, args, kwargs)
+                    return None
+                return self.proxy_protocol.call(
+                    self.proxy_context, self.proxy_ref, verb, args, kwargs)
+            except ObjectMoved as moved:
+                if moved.forward is None:
+                    raise
+                self.proxy_rebind(moved.forward)
+        raise RpcTimeout(
+            f"{verb!r} on {self.proxy_ref}: too many migration redirects")
+
+    def proxy_rebind(self, ref: ObjectRef) -> None:
+        """Point this proxy at a new location of the same object."""
+        self.proxy_stats["rebinds"] += 1
+        old = self.proxy_ref
+        self.proxy_ref = ref
+        table = self.proxy_context.proxies
+        if table.get(old.key) is self:
+            del table[old.key]
+            table[ref.key] = self
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def proxy_is_local(self) -> bool:
+        """Whether the target currently lives in this proxy's own context."""
+        return self.proxy_ref.context_id == self.proxy_context.context_id
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.proxy_ref} "
+                f"in {self.proxy_context.context_id!r})")
+
+
+class _BoundProxyOperation:
+    """A callable bound to one proxy operation."""
+
+    __slots__ = ("_proxy", "_verb")
+
+    def __init__(self, proxy: Proxy, verb: str):
+        self._proxy = proxy
+        self._verb = verb
+
+    def __call__(self, *args, **kwargs):
+        proxy = self._proxy
+        proxy.proxy_last_used = proxy.proxy_context.clock.now
+        return proxy.invoke(self._verb, args, kwargs)
+
+    def __repr__(self) -> str:
+        return f"<proxied operation {self._verb!r} on {self._proxy.proxy_ref}>"
+
+
+def is_proxy(value: Any) -> bool:
+    """Whether ``value`` is a proxy (of any policy)."""
+    return isinstance(value, Proxy)

@@ -1,0 +1,53 @@
+"""Service base class: a convenience for writing exportable objects.
+
+Nothing in the library *requires* inheriting from :class:`Service` — any
+object whose class marks methods with
+:func:`~repro.iface.interface.operation` can be exported.  The base class
+adds the idioms every real service wants:
+
+* ``default_policy`` / ``default_config`` class attributes that name the
+  proxy implementation the service ships to its clients (the heart of the
+  encapsulation claim: changing these lines — and nothing in any client —
+  changes the distribution protocol),
+* a cached :meth:`interface` derivation,
+* the migration protocol (:meth:`migrate_state` /
+  :meth:`from_migration_state`) with a default implementation based on
+  ``__dict__`` for services whose state is plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..iface.interface import Interface
+
+
+class Service:
+    """Base class for exportable service implementations."""
+
+    #: Proxy factory this service ships to clients (see repro.core.policies).
+    default_policy: str = "stub"
+    #: Configuration shipped with the factory (marshallable values only).
+    default_config: dict = {}
+
+    @classmethod
+    def interface(cls) -> Interface:
+        """The interface derived from this class's ``@operation`` methods."""
+        return Interface.of(cls)
+
+    # -- migration protocol ------------------------------------------------------
+
+    def migrate_state(self) -> Any:
+        """Marshallable snapshot of this object's state for migration.
+
+        The default ships ``__dict__`` and requires every attribute to be
+        plain data; services with richer state override this pair.
+        """
+        return dict(self.__dict__)
+
+    @classmethod
+    def from_migration_state(cls, state: Any) -> "Service":
+        """Rebuild an instance at the migration destination."""
+        obj = cls.__new__(cls)
+        obj.__dict__.update(state)
+        return obj

@@ -1,0 +1,12 @@
+"""Distributed shared memory: the paper's third invocation technique."""
+
+from .coherence import CONTROL_SIZE, CoherenceProtocol
+from .heap import DsmKV, SharedHeap, make_dsm_kv
+from .pages import Mode, PageCache, PageState, SharedRegion
+from .weak import DEFAULT_STALENESS, WeakCoherence
+
+__all__ = [
+    "CONTROL_SIZE", "CoherenceProtocol", "DEFAULT_STALENESS", "DsmKV",
+    "Mode", "PageCache", "PageState", "SharedHeap", "SharedRegion",
+    "WeakCoherence", "make_dsm_kv",
+]

@@ -1,0 +1,173 @@
+"""DSM coherence: single-writer / multiple-reader with invalidation.
+
+A centralized-manager protocol (the textbook Li & Hudak variant):
+
+* **read fault** — requester asks the manager; the manager forwards to the
+  current owner; the owner ships the page (a full ``page_size`` transfer)
+  and downgrades its own copy to read mode;
+* **write fault** — requester asks the manager; the manager invalidates
+  every outstanding copy (control messages to each holder, in parallel,
+  acknowledged), transfers the page from the old owner, and passes
+  ownership.
+
+Every message is recorded in the system trace with its size, and all
+latencies are charged to the faulting context's virtual clock; the manager
+context serialises protocol handling through its busy line, which is what
+makes the protocol degrade under write-sharing (the E4 shape).
+
+Delivery is assumed reliable: real DSMs run over a reliable transport and
+retry invisibly; modelling that retry traffic is out of scope for the
+comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+from ..kernel.context import Context
+from .pages import Mode, SharedRegion
+
+#: Size in bytes of a protocol control message (request, forward, ack).
+CONTROL_SIZE = 64
+
+
+class CoherenceProtocol:
+    """The region's coherence engine (one per :class:`SharedRegion`)."""
+
+    def __init__(self, region: SharedRegion):
+        self.region = region
+        self.system = region.manager.system
+        self.stats = {"read_faults": 0, "write_faults": 0,
+                      "invalidations_sent": 0, "page_transfers": 0,
+                      "control_messages": 0}
+
+    # -- public access checks ---------------------------------------------------
+
+    def read_access(self, context: Context, page: int) -> None:
+        """Ensure ``context`` may read ``page``, faulting if necessary."""
+        cache = self.region.cache_of(context)
+        if cache.mode(page) is not Mode.NONE:
+            cache.stats["read_hits"] += 1
+            return
+        cache.stats["read_faults"] += 1
+        self.stats["read_faults"] += 1
+        self._read_fault(context, cache, page)
+
+    def write_access(self, context: Context, page: int) -> None:
+        """Ensure ``context`` may write ``page``, faulting if necessary."""
+        cache = self.region.cache_of(context)
+        if cache.mode(page) is Mode.WRITE:
+            cache.stats["write_hits"] += 1
+            return
+        cache.stats["write_faults"] += 1
+        self.stats["write_faults"] += 1
+        self._write_fault(context, cache, page)
+
+    # -- faults -------------------------------------------------------------------
+
+    def _read_fault(self, context: Context, cache, page: int) -> None:
+        costs = self.system.costs
+        network = self.system.network
+        state = self.region.directory[page]
+        manager = self.region.manager
+        context.charge(costs.page_fault_overhead)
+        at = self._control(context.context_id, manager.context_id,
+                           context.clock.now, "dsm-read-req")
+        at = self._manager_handle(at)
+        owner_id = state.owner
+        if owner_id != manager.context_id:
+            at = self._control(manager.context_id, owner_id, at, "dsm-fwd")
+        # Owner ships the page to the requester and keeps a read copy.
+        owner_node = owner_id.split("/", 1)[0]
+        my_node = context.node.name
+        at += network.transit_time(owner_node, my_node, costs.page_size)
+        self.system.trace.emit(at, "send", owner_id, context.context_id,
+                               "dsm-page", costs.page_size)
+        self.stats["page_transfers"] += 1
+        owner_cache = self.region.caches.get(owner_id)
+        if owner_cache is not None:
+            owner_cache.downgrade(page)
+        if context.context_id != owner_id:
+            state.copies.add(context.context_id)
+        cache.grant(page, Mode.READ)
+        context.clock.advance_to(at)
+
+    def _write_fault(self, context: Context, cache, page: int) -> None:
+        costs = self.system.costs
+        network = self.system.network
+        state = self.region.directory[page]
+        manager = self.region.manager
+        context.charge(costs.page_fault_overhead)
+        at = self._control(context.context_id, manager.context_id,
+                           context.clock.now, "dsm-write-req")
+        at = self._manager_handle(at)
+        holders = set(state.copies) | {state.owner}
+        holders.discard(context.context_id)
+        if holders:
+            # Parallel invalidations, each acknowledged to the manager.
+            slowest = 0.0
+            manager_node = manager.node.name
+            for holder in holders:
+                holder_node = holder.split("/", 1)[0]
+                there = network.transit_time(manager_node, holder_node,
+                                             CONTROL_SIZE)
+                back = network.transit_time(holder_node, manager_node,
+                                            CONTROL_SIZE)
+                self.system.trace.emit(at, "send", manager.context_id, holder,
+                                       "dsm-inval", CONTROL_SIZE)
+                self.system.trace.emit(at + there, "send", holder,
+                                       manager.context_id, "dsm-inval-ack",
+                                       CONTROL_SIZE)
+                self.stats["invalidations_sent"] += 1
+                self.stats["control_messages"] += 2
+                holder_cache = self.region.caches.get(holder)
+                if holder_cache is not None:
+                    holder_cache.invalidate(page)
+                slowest = max(slowest, there + back)
+            at += slowest
+        old_owner = state.owner
+        if old_owner != context.context_id:
+            old_node = old_owner.split("/", 1)[0]
+            at += network.transit_time(old_node, context.node.name,
+                                       costs.page_size)
+            self.system.trace.emit(at, "send", old_owner, context.context_id,
+                                   "dsm-page", costs.page_size)
+            self.stats["page_transfers"] += 1
+        state.owner = context.context_id
+        state.copies = set()
+        state.version += 1
+        cache.grant(page, Mode.WRITE)
+        context.clock.advance_to(at)
+
+    # -- slot access (overridden by weaker protocols) -----------------------------
+
+    def read_slot(self, context: Context, page: int, offset: int):
+        """Read one slot under this protocol's consistency regime.
+
+        The strong protocol reads ground truth — invalidation guarantees the
+        local copy equals it.  Weaker protocols override this to serve from
+        their (possibly stale) snapshots.
+        """
+        self.read_access(context, page)
+        return self.region.contents[page].get(offset)
+
+    def write_slot(self, context: Context, page: int, offset: int,
+                   value) -> None:
+        """Write one slot under this protocol's consistency regime."""
+        self.write_access(context, page)
+        self.region.contents[page][offset] = value
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _control(self, src_id: str, dst_id: str, at: float, label: str) -> float:
+        """One control message; returns its arrival time."""
+        network = self.system.network
+        src_node = src_id.split("/", 1)[0]
+        dst_node = dst_id.split("/", 1)[0]
+        self.system.trace.emit(at, "send", src_id, dst_id, label, CONTROL_SIZE)
+        self.stats["control_messages"] += 1
+        return at + network.transit_time(src_node, dst_node, CONTROL_SIZE)
+
+    def _manager_handle(self, arrive: float) -> float:
+        """Serialise a request through the manager (queueing under load)."""
+        _, end = self.region.manager.line.occupy(
+            arrive, self.system.costs.dispatch_cost)
+        return end

@@ -1,0 +1,106 @@
+"""The DSM object layer: slots, a heap, and a KV store mapped onto pages.
+
+``Distributed invocation [over DSM] introduces a further optimisation over
+proxies by migrating objects into a local address space`` — accessing an
+object through DSM is an ordinary procedure call plus whatever page faults
+the access pattern produces.  :class:`DsmKV` packages that as a key-value
+store API-compatible with :class:`repro.apps.kv.KVStore`, so the E1/E4
+benches can swap access techniques under an identical workload.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from ..kernel.context import Context
+from ..kernel.errors import ConfigurationError
+from .coherence import CoherenceProtocol
+from .pages import SharedRegion
+
+
+class SharedHeap:
+    """Slot-granular typed storage over a shared region."""
+
+    def __init__(self, region: SharedRegion,
+                 protocol: CoherenceProtocol | None = None):
+        self.region = region
+        self.protocol = protocol or CoherenceProtocol(region)
+        self._next_slot = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots in the region."""
+        return self.region.num_pages * self.region.slots_per_page
+
+    def alloc(self, nslots: int = 1) -> int:
+        """Reserve ``nslots`` consecutive slots; returns the first index."""
+        if self._next_slot + nslots > self.capacity:
+            raise ConfigurationError(
+                f"heap exhausted: {self.capacity} slots, "
+                f"{self._next_slot} used, {nslots} requested")
+        start = self._next_slot
+        self._next_slot += nslots
+        return start
+
+    def read(self, context: Context, slot: int) -> Any:
+        """Read one slot from ``context`` (page fault if not cached)."""
+        page, offset = self._locate(slot)
+        context.charge(context.system.costs.local_call)
+        return self.protocol.read_slot(context, page, offset)
+
+    def write(self, context: Context, slot: int, value: Any) -> None:
+        """Write one slot from ``context`` (ownership fault if needed)."""
+        page, offset = self._locate(slot)
+        context.charge(context.system.costs.local_call)
+        self.protocol.write_slot(context, page, offset, value)
+
+    def _locate(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.capacity:
+            raise ConfigurationError(f"slot {slot} out of range")
+        return divmod(slot, self.region.slots_per_page)
+
+
+class DsmKV:
+    """A key-value store whose data lives in distributed shared memory.
+
+    Keys are hashed onto slots (open addressing is deliberately *not*
+    modelled: two keys sharing a page is exactly the false-sharing effect
+    the experiments probe, and ``slots_per_page`` is the knob).
+
+    Unlike the RPC/proxy stores, methods take the accessing context
+    explicitly — with DSM there is no server: whoever touches the data pays
+    the faults.
+    """
+
+    def __init__(self, heap: SharedHeap, capacity: int | None = None):
+        self.heap = heap
+        self.capacity = capacity or heap.capacity
+        self.base = heap.alloc(self.capacity)
+
+    def slot_of(self, key: str) -> int:
+        """The heap slot a key maps to (stable across runs)."""
+        digest = zlib.crc32(key.encode("utf-8"))
+        return self.base + digest % self.capacity
+
+    def get(self, context: Context, key: str) -> Any:
+        """Read a key's value (``None`` when absent)."""
+        cell = self.heap.read(context, self.slot_of(key))
+        if cell is None:
+            return None
+        stored_key, value = cell
+        return value if stored_key == key else None
+
+    def put(self, context: Context, key: str, value: Any) -> bool:
+        """Write a key's value (last write to a colliding slot wins)."""
+        self.heap.write(context, self.slot_of(key), (key, value))
+        return True
+
+
+def make_dsm_kv(manager: Context, members: list[Context], num_pages: int = 64,
+                slots_per_page: int = 64) -> DsmKV:
+    """Convenience: region + protocol + heap + KV, with members attached."""
+    region = SharedRegion("dsm-kv", manager, num_pages, slots_per_page)
+    for member in members:
+        region.attach(member)
+    return DsmKV(SharedHeap(region))

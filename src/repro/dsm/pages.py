@@ -1,0 +1,132 @@
+"""Distributed shared memory: pages and per-context caches.
+
+This package implements the paper's third invocation technique —
+"map the object into the local address space" — as a comparator for
+proxies (experiments E1 and E4).  It is a deliberately classic design
+(Li & Hudak-style single-writer / multiple-reader with invalidation),
+not an attempt at a modern DSM.
+
+A :class:`SharedRegion` is a flat array of pages with one *manager*
+context that tracks, per page, the owner and the copy set.  Each
+participating context holds a :class:`PageCache` mapping page numbers to
+access modes.  The coherence protocol lives in
+:mod:`repro.dsm.coherence`; the object layer in :mod:`repro.dsm.heap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..kernel.context import Context
+from ..kernel.errors import ConfigurationError
+
+
+class Mode(Enum):
+    """Access mode of a cached page copy."""
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+
+
+@dataclass
+class PageState:
+    """Manager-side record for one page.
+
+    Attributes:
+        owner: context id of the current owner (has the latest contents).
+        copies: context ids holding read copies (owner not included).
+        version: bumped on every ownership transfer (diagnostics).
+    """
+
+    owner: str
+    copies: set[str] = field(default_factory=set)
+    version: int = 0
+
+
+class PageCache:
+    """One context's view of a shared region."""
+
+    def __init__(self, context: Context):
+        self.context = context
+        self.modes: dict[int, Mode] = {}
+        self.stats = {"read_hits": 0, "write_hits": 0, "read_faults": 0,
+                      "write_faults": 0, "invalidations": 0, "downgrades": 0}
+
+    def mode(self, page: int) -> Mode:
+        """Current access mode for ``page`` (NONE when not cached)."""
+        return self.modes.get(page, Mode.NONE)
+
+    def grant(self, page: int, mode: Mode) -> None:
+        """Record a granted copy."""
+        self.modes[page] = mode
+
+    def invalidate(self, page: int) -> None:
+        """Drop the copy entirely (another context wants to write)."""
+        if self.modes.pop(page, None) is not None:
+            self.stats["invalidations"] += 1
+
+    def downgrade(self, page: int) -> None:
+        """Demote a write copy to read (another context wants to read)."""
+        if self.modes.get(page) == Mode.WRITE:
+            self.modes[page] = Mode.READ
+            self.stats["downgrades"] += 1
+
+
+class SharedRegion:
+    """A DSM segment: page contents plus manager-side directory.
+
+    Page *contents* are held centrally (keyed by page number) purely as the
+    simulation's ground truth; the protocol still pays every transfer, and
+    a context may only touch a slot when its cache holds the page in a
+    sufficient mode — enforced by the coherence layer.
+    """
+
+    def __init__(self, name: str, manager: Context, num_pages: int,
+                 slots_per_page: int = 64):
+        if num_pages <= 0:
+            raise ConfigurationError("region needs at least one page")
+        self.name = name
+        self.manager = manager
+        self.num_pages = num_pages
+        self.slots_per_page = slots_per_page
+        self.directory: dict[int, PageState] = {
+            page: PageState(owner=manager.context_id)
+            for page in range(num_pages)
+        }
+        self.contents: dict[int, dict[int, object]] = {
+            page: {} for page in range(num_pages)
+        }
+        self.caches: dict[str, PageCache] = {}
+        self.attach(manager)
+        # The manager starts owning every page with a write copy.
+        home_cache = self.caches[manager.context_id]
+        for page in range(num_pages):
+            home_cache.grant(page, Mode.WRITE)
+
+    def attach(self, context: Context) -> PageCache:
+        """Join a context to the region (idempotent)."""
+        cache = self.caches.get(context.context_id)
+        if cache is None:
+            cache = PageCache(context)
+            self.caches[context.context_id] = cache
+        return cache
+
+    def cache_of(self, context: Context) -> PageCache:
+        """The page cache of an attached context."""
+        cache = self.caches.get(context.context_id)
+        if cache is None:
+            raise ConfigurationError(
+                f"context {context.context_id!r} is not attached to region "
+                f"{self.name!r}")
+        return cache
+
+    def address(self, linear_slot: int) -> tuple[int, int]:
+        """Split a linear slot index into ``(page, slot)``."""
+        return divmod(linear_slot, self.slots_per_page)[0] % self.num_pages, \
+            linear_slot % self.slots_per_page
+
+    def __repr__(self) -> str:
+        return (f"SharedRegion({self.name!r}, pages={self.num_pages}, "
+                f"members={len(self.caches)})")

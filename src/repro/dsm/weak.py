@@ -1,0 +1,143 @@
+"""Weakly-consistent DSM: trading freshness for coherence traffic.
+
+"Current research is therefore considering weaker forms of consistency to
+lessen this overhead [Hutto90]" — this module is that trade, executable.
+
+:class:`WeakCoherence` departs from the strong protocol in one way: a write
+does **not** invalidate outstanding read copies.  Readers keep a private
+snapshot of each page and re-fetch only when it is older than the
+``staleness_bound``; writers still transfer ownership through the manager
+(single writer), but pay no invalidation fan-out.
+
+Consequences, both measured by experiment E15:
+
+* message count under write-sharing collapses (no invalidations, no
+  re-fetch storms);
+* reads may return values up to ``staleness_bound`` old — the protocol
+  counts every read whose snapshot disagrees with ground truth.
+
+Synchronisation points are explicit: :meth:`WeakCoherence.sync` drops a
+context's snapshots, forcing fresh fetches (the release-consistency
+``acquire`` in spirit).
+"""
+
+from __future__ import annotations
+
+from ..kernel.context import Context
+from .coherence import CoherenceProtocol
+from .pages import Mode
+
+#: Default staleness bound in virtual seconds.
+DEFAULT_STALENESS = 0.05
+
+
+class WeakCoherence(CoherenceProtocol):
+    """Single-writer DSM with bounded-staleness read snapshots."""
+
+    def __init__(self, region, staleness_bound: float = DEFAULT_STALENESS):
+        super().__init__(region)
+        self.staleness_bound = staleness_bound
+        #: (context_id, page) -> (snapshot dict, fetched_at)
+        self._snapshots: dict[tuple[str, int], tuple[dict, float]] = {}
+        self.stats.update(stale_reads=0, snapshot_refreshes=0, syncs=0)
+
+    # -- reads ------------------------------------------------------------------
+
+    def read_slot(self, context: Context, page: int, offset: int):
+        snapshot = self._fresh_snapshot(context, page)
+        value = snapshot.get(offset)
+        truth = self.region.contents[page].get(offset)
+        if value != truth:
+            self.stats["stale_reads"] += 1
+        return value
+
+    def _fresh_snapshot(self, context: Context, page: int) -> dict:
+        state = self.region.directory[page]
+        if state.owner == context.context_id:
+            # The owner holds the write copy: its view IS ground truth.
+            self.region.cache_of(context).stats["read_hits"] += 1
+            return self.region.contents[page]
+        key = (context.context_id, page)
+        cached = self._snapshots.get(key)
+        now = context.clock.now
+        if cached is not None:
+            snapshot, fetched_at = cached
+            if now - fetched_at <= self.staleness_bound:
+                self.region.cache_of(context).stats["read_hits"] += 1
+                return snapshot
+        # (Re-)fetch the page from its current owner; no directory update
+        # is needed for readers — they are invisible to the protocol.
+        self.stats["snapshot_refreshes"] += 1
+        cache = self.region.cache_of(context)
+        cache.stats["read_faults"] += 1
+        costs = self.system.costs
+        state = self.region.directory[page]
+        context.charge(costs.page_fault_overhead)
+        at = self._control(context.context_id, state.owner,
+                           context.clock.now, "dsm-weak-read")
+        owner_node = state.owner.split("/", 1)[0]
+        at += self.system.network.transit_time(owner_node, context.node.name,
+                                               costs.page_size)
+        self.system.trace.emit(at, "send", state.owner, context.context_id,
+                               "dsm-page", costs.page_size)
+        self.stats["page_transfers"] += 1
+        context.clock.advance_to(at)
+        snapshot = dict(self.region.contents[page])
+        self._snapshots[(context.context_id, page)] = (snapshot,
+                                                       context.clock.now)
+        cache.grant(page, Mode.READ)
+        return snapshot
+
+    # -- writes ------------------------------------------------------------------
+
+    def write_slot(self, context: Context, page: int, offset: int,
+                   value) -> None:
+        self.write_access(context, page)
+        self.region.contents[page][offset] = value
+        # The writer's own snapshot (if any) tracks its writes.
+        key = (context.context_id, page)
+        cached = self._snapshots.get(key)
+        if cached is not None:
+            cached[0][offset] = value
+
+    def _write_fault(self, context: Context, cache, page: int) -> None:
+        """Ownership transfer without invalidation fan-out."""
+        costs = self.system.costs
+        state = self.region.directory[page]
+        manager = self.region.manager
+        context.charge(costs.page_fault_overhead)
+        at = self._control(context.context_id, manager.context_id,
+                           context.clock.now, "dsm-weak-write-req")
+        at = self._manager_handle(at)
+        old_owner = state.owner
+        if old_owner != context.context_id:
+            old_node = old_owner.split("/", 1)[0]
+            at += self.system.network.transit_time(old_node,
+                                                   context.node.name,
+                                                   costs.page_size)
+            self.system.trace.emit(at, "send", old_owner, context.context_id,
+                                   "dsm-page", costs.page_size)
+            self.stats["page_transfers"] += 1
+            old_cache = self.region.caches.get(old_owner)
+            if old_cache is not None:
+                old_cache.downgrade(page)
+        state.owner = context.context_id
+        state.version += 1
+        cache.grant(page, Mode.WRITE)
+        context.clock.advance_to(at)
+
+    # -- synchronisation -----------------------------------------------------------
+
+    def sync(self, context: Context) -> int:
+        """Drop every snapshot of ``context``: its next reads are fresh.
+
+        Returns the number of snapshots dropped.  This is the explicit
+        synchronisation point weak models expose; a client that needs a
+        fresh view calls it before reading.
+        """
+        victims = [key for key in self._snapshots
+                   if key[0] == context.context_id]
+        for key in victims:
+            del self._snapshots[key]
+        self.stats["syncs"] += 1
+        return len(victims)

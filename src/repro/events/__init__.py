@@ -1,0 +1,9 @@
+"""Events: publish/subscribe channels with pull-based reliability."""
+
+from .channel import DEFAULT_LOG_CAPACITY, EventChannel, topic_matches
+from .subscriber import EventCallback, EventSubscriber
+
+__all__ = [
+    "DEFAULT_LOG_CAPACITY", "EventCallback", "EventChannel",
+    "EventSubscriber", "topic_matches",
+]

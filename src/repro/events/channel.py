@@ -1,0 +1,111 @@
+"""Event channels: publish/subscribe over the proxy machinery.
+
+The caching policy's invalidation callbacks, generalised: subscribers
+export a callback object; the channel fans every matching event out to the
+callbacks as one-way messages.  The pattern is pure proxy principle — the
+channel holds *proxies* for its subscribers and neither side ever sees an
+address.
+
+Delivery semantics are honest for one-way messaging: **at-most-once** per
+event.  Reliability is layered on top, pull-style: every event gets a
+sequence number and lands in the channel's replay log; a subscriber that
+spots a gap (or reconnects) calls ``replay`` to fill in what it missed —
+see :class:`repro.events.subscriber.EventSubscriber`.
+
+Topics are slash-separated; a subscription pattern matches exactly or by
+prefix with a trailing ``/*`` (``"builds/*"`` matches ``"builds/linux"``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.service import Service
+from ..iface.interface import operation
+from ..kernel.errors import DistributionError
+
+#: Default replay-log capacity (events).
+DEFAULT_LOG_CAPACITY = 1024
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Whether a subscription pattern covers a topic."""
+    if pattern.endswith("/*"):
+        prefix = pattern[:-1]          # keep the slash: "builds/"
+        return topic.startswith(prefix) or topic == pattern[:-2]
+    return pattern == topic
+
+
+class EventChannel(Service):
+    """A named fan-out point with a bounded replay log."""
+
+    default_policy = "stub"
+
+    def __init__(self, log_capacity: int = DEFAULT_LOG_CAPACITY):
+        self._subscribers: dict[int, tuple[Any, list[str]]] = {}
+        self._next_sid = 1
+        self._next_seq = 1
+        self._log: list[tuple[int, str, Any]] = []
+        self._log_capacity = log_capacity
+        self.stats = {"published": 0, "deliveries": 0, "delivery_failures": 0,
+                      "replays": 0}
+
+    @operation(compute=5e-6)
+    def subscribe(self, callback, patterns: list) -> int:
+        """Register a callback for the given topic patterns; returns the
+        subscription id.  ``callback`` must export an ``on_event(seq, topic,
+        payload)`` operation (it arrives here as a proxy)."""
+        sid = self._next_sid
+        self._next_sid += 1
+        self._subscribers[sid] = (callback, list(patterns))
+        return sid
+
+    @operation(compute=3e-6)
+    def unsubscribe(self, sid: int) -> bool:
+        """Drop a subscription; returns whether it existed."""
+        return self._subscribers.pop(sid, None) is not None
+
+    @operation(compute=8e-6)
+    def publish(self, topic: str, payload) -> int:
+        """Log one event and fan it out; returns its sequence number.
+
+        Fan-out is one-way and best-effort: a crashed subscriber costs a
+        delivery failure, never an error to the publisher.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self._log.append((seq, topic, payload))
+        if len(self._log) > self._log_capacity:
+            del self._log[0]
+        self.stats["published"] += 1
+        for callback, patterns in list(self._subscribers.values()):
+            if not any(topic_matches(pattern, topic) for pattern in patterns):
+                continue
+            try:
+                callback.on_event(seq, topic, payload)
+                self.stats["deliveries"] += 1
+            except DistributionError:
+                self.stats["delivery_failures"] += 1
+        return seq
+
+    @operation(readonly=True, compute=1e-5)
+    def replay(self, patterns: list, since_seq: int) -> list:
+        """Logged events matching ``patterns`` with seq > ``since_seq``.
+
+        Returns ``[seq, topic, payload]`` triples in order; the pull-side
+        of the reliability story.
+        """
+        self.stats["replays"] += 1
+        return [[seq, topic, payload] for seq, topic, payload in self._log
+                if seq > since_seq
+                and any(topic_matches(p, topic) for p in patterns)]
+
+    @operation(readonly=True, compute=2e-6)
+    def last_seq(self) -> int:
+        """Sequence number of the most recent event (0 when none)."""
+        return self._next_seq - 1
+
+    @operation(readonly=True, compute=2e-6)
+    def subscriber_count(self) -> int:
+        """Number of live subscriptions."""
+        return len(self._subscribers)

@@ -1,0 +1,87 @@
+"""The subscriber side: callback export, gap detection, catch-up.
+
+:class:`EventSubscriber` wraps the boilerplate a reliable consumer needs:
+it exports the callback object, subscribes, buffers received events in
+order, notices sequence gaps (one-way fan-out is at-most-once), and closes
+them by pulling the channel's replay log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.export import get_space
+from ..iface.interface import operation
+from ..kernel.context import Context
+
+
+class EventCallback:
+    """The exported sink; one per subscriber."""
+
+    def __init__(self, owner: "EventSubscriber"):
+        self._owner = owner
+
+    @operation(oneway=True)
+    def on_event(self, seq: int, topic: str, payload) -> None:
+        """Receive one pushed event (may be lost, may arrive after a gap)."""
+        self._owner._receive(seq, topic, payload)
+
+
+class EventSubscriber:
+    """A reliable consumer over an at-most-once event channel."""
+
+    def __init__(self, context: Context, channel, patterns: list[str],
+                 on_event: Callable[[int, str, Any], None] | None = None):
+        self.context = context
+        self.channel = channel
+        self.patterns = list(patterns)
+        self.events: list[tuple[int, str, Any]] = []
+        self._seen: set[int] = set()
+        self._handler = on_event
+        self._callback = EventCallback(self)
+        get_space(context).export(self._callback)
+        self.sid = channel.subscribe(self._callback, self.patterns)
+        self._baseline = channel.last_seq()
+
+    def _receive(self, seq: int, topic: str, payload) -> None:
+        if seq in self._seen:
+            return
+        self._seen.add(seq)
+        self.events.append((seq, topic, payload))
+        if self._handler is not None:
+            self._handler(seq, topic, payload)
+
+    @property
+    def last_seen_seq(self) -> int:
+        """Highest sequence number received so far (or the baseline)."""
+        return max(self._seen) if self._seen else self._baseline
+
+    def gaps(self) -> bool:
+        """Whether any matching event between baseline and the channel's
+        head is missing locally (requires one RPC to ask the head)."""
+        head = self.channel.last_seq()
+        expected = self.channel.replay(self.patterns, self._baseline)
+        return any(seq not in self._seen for seq, _, _ in expected) \
+            or head > self.last_seen_seq
+
+    def catch_up(self) -> int:
+        """Pull missed events from the replay log; returns how many were
+        recovered.  Events arrive through the same ``_receive`` path, so
+        ordering in ``self.events`` is by recovery time, with ``seq``
+        available for re-sorting."""
+        recovered = 0
+        for seq, topic, payload in self.channel.replay(self.patterns,
+                                                       self._baseline):
+            if seq not in self._seen:
+                self._receive(seq, topic, payload)
+                recovered += 1
+        return recovered
+
+    def ordered_events(self) -> list[tuple[int, str, Any]]:
+        """All received events, sorted by sequence number."""
+        return sorted(self.events)
+
+    def close(self) -> None:
+        """Unsubscribe and withdraw the callback export."""
+        self.channel.unsubscribe(self.sid)
+        get_space(self.context).unexport(self._callback)

@@ -1,0 +1,15 @@
+"""Failure injection: message loss, degraded links, partitions, crash plans."""
+
+from .detector import (
+    ALIVE,
+    DEFAULT_SUSPICION_THRESHOLD,
+    FailureDetector,
+    PeerState,
+    SUSPECTED,
+)
+from .injectors import CrashPlan, degraded_link, message_loss, partitioned
+
+__all__ = [
+    "ALIVE", "CrashPlan", "DEFAULT_SUSPICION_THRESHOLD", "FailureDetector",
+    "PeerState", "SUSPECTED", "degraded_link", "message_loss", "partitioned",
+]

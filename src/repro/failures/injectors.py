@@ -1,0 +1,109 @@
+"""Failure injection: deterministic faults for the E7/E9 experiments.
+
+Everything here is seeded through the system's
+:class:`~repro.kernel.randomness.SeedSequence`, so a failure experiment is
+exactly reproducible: same seed, same drops, same crashes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..kernel.network import LinkSpec
+from ..kernel.system import System
+
+
+@contextmanager
+def message_loss(system: System, probability: float):
+    """Scoped uniform message loss on every inter-node link."""
+    network = system.network
+    previous = network._default_loss
+    network.set_default_loss(probability)
+    try:
+        yield system
+    finally:
+        network.set_default_loss(previous)
+
+
+@contextmanager
+def degraded_link(system: System, src: str, dst: str,
+                  latency: float | None = None, loss: float = 0.0):
+    """Scoped override of one link (slow and/or lossy), symmetric."""
+    network = system.network
+    costs = system.costs
+    saved = (network._links.get((src, dst)), network._links.get((dst, src)))
+    network.set_link(src, dst, LinkSpec(
+        latency=latency if latency is not None else costs.remote_latency,
+        byte_cost=costs.byte_cost, loss=loss))
+    try:
+        yield system
+    finally:
+        for key, spec in (((src, dst), saved[0]), ((dst, src), saved[1])):
+            if spec is None:
+                network._links.pop(key, None)
+            else:
+                network._links[key] = spec
+
+
+@contextmanager
+def partitioned(system: System, islands: list[set[str]]):
+    """Scoped network partition into the given islands."""
+    system.network.partition(islands)
+    try:
+        yield system
+    finally:
+        system.network.heal()
+
+
+@dataclass
+class CrashPlan:
+    """A deterministic crash/restart schedule driven by an operation counter.
+
+    Built once per experiment; the workload driver calls :meth:`tick` before
+    every operation.  ``outages`` maps an operation index to a
+    ``(node_name, duration_in_ops)`` pair: at that index the node crashes,
+    and it restarts ``duration_in_ops`` operations later.
+
+    Attributes:
+        outages: op index → (node name, outage length in ops).
+    """
+
+    outages: dict[int, tuple[str, int]]
+    _pending_restarts: dict[int, str] = field(default_factory=dict)
+    _ticks: int = 0
+
+    def tick(self, system: System) -> None:
+        """Advance the schedule by one operation."""
+        index = self._ticks
+        self._ticks += 1
+        node_name = self._pending_restarts.pop(index, None)
+        if node_name is not None:
+            node = system.node(node_name)
+            if not node.alive:
+                node.restart()
+        outage = self.outages.get(index)
+        if outage is not None:
+            name, duration = outage
+            node = system.node(name)
+            if node.alive:
+                node.crash()
+            self._pending_restarts[index + max(1, duration)] = name
+
+    @property
+    def ticks(self) -> int:
+        """Operations seen so far."""
+        return self._ticks
+
+    @classmethod
+    def periodic(cls, node_names: list[str], every: int, duration: int,
+                 total_ops: int, start: int | None = None) -> "CrashPlan":
+        """Crash the given nodes round-robin every ``every`` operations."""
+        outages: dict[int, tuple[str, int]] = {}
+        index = start if start is not None else every
+        victim = 0
+        while index < total_ops:
+            outages[index] = (node_names[victim % len(node_names)], duration)
+            victim += 1
+            index += every
+        return cls(outages=outages)

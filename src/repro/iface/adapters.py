@@ -1,0 +1,72 @@
+"""Interface adapters: synthesising conforming classes at run time.
+
+:func:`make_delegate` builds (and caches) a class that structurally
+implements a given interface by forwarding every operation to a target
+object.  Generated methods carry real signatures (via ``__signature__``) and
+the proper ``@operation`` metadata, so a delegate passes the same
+conformance checks as a hand-written implementation.
+
+Used by the replication helper (the group coordinator delegates to the
+primary replica) and available to applications for wrappers/decorators that
+must remain exportable.
+"""
+
+from __future__ import annotations
+
+import inspect
+import weakref
+from typing import Any
+
+from .interface import Interface, Operation, operation
+
+_PARAM = inspect.Parameter
+# Keyed by the interface *object* (weakly): two interfaces that happen to
+# share a name must not share a delegate class.
+_delegate_cache: "weakref.WeakKeyDictionary[Interface, type]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _make_forwarder(op: Operation):
+    """A function that forwards ``op`` to ``self._delegate_target``."""
+    verb = op.name
+
+    def forwarder(self, *args, **kwargs):
+        return getattr(self._delegate_target, verb)(*args, **kwargs)
+
+    forwarder.__name__ = verb
+    forwarder.__qualname__ = verb
+    forwarder.__doc__ = f"Forward {verb!r} to the delegate target."
+    parameters = [_PARAM("self", _PARAM.POSITIONAL_OR_KEYWORD)]
+    parameters += [_PARAM(name, _PARAM.POSITIONAL_OR_KEYWORD)
+                   for name in op.params]
+    forwarder.__signature__ = inspect.Signature(parameters)
+    return operation(readonly=op.readonly, idempotent=op.idempotent,
+                     oneway=op.oneway, invalidates=op.invalidates,
+                     compute=op.compute)(forwarder)
+
+
+def delegate_class(interface: Interface) -> type:
+    """The (cached) delegate class for ``interface``."""
+    cached = _delegate_cache.get(interface)
+    if cached is not None:
+        return cached
+
+    def __init__(self, target: Any):
+        self._delegate_target = target
+
+    namespace: dict[str, Any] = {
+        "__init__": __init__,
+        "__doc__": f"Auto-generated delegate implementing {interface.name!r}.",
+        "_delegate_interface": interface,
+    }
+    for op in interface.operations.values():
+        namespace[op.name] = _make_forwarder(op)
+    cls = type(f"{interface.name}Delegate", (), namespace)
+    cls.__repro_interface__ = interface
+    _delegate_cache[interface] = cls
+    return cls
+
+
+def make_delegate(target: Any, interface: Interface):
+    """An object conforming to ``interface`` that forwards to ``target``."""
+    return delegate_class(interface)(target)

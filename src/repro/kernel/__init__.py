@@ -1,0 +1,44 @@
+"""Simulation kernel: virtual time, nodes, contexts, and the network.
+
+This package is the substrate everything else runs on.  It knows nothing
+about proxies, RPC, or marshalling — only machines, address spaces, virtual
+time, and unreliable message transmission.
+"""
+
+from .clock import BusyLine, Clock
+from .context import Context
+from .errors import (
+    BindError,
+    ConfigurationError,
+    ConformanceError,
+    DanglingReference,
+    DistributionError,
+    EncapsulationViolation,
+    InterfaceError,
+    MarshalError,
+    MessageLost,
+    NodeDown,
+    ObjectMoved,
+    PartitionedError,
+    ProtocolError,
+    ReproError,
+    RpcTimeout,
+    SimulationError,
+)
+from .network import Delivery, LinkSpec, Network
+from .node import Node
+from .params import DEFAULT_COSTS, CostModel
+from .randomness import SeedSequence
+from .system import System
+from .topology import Site, build_ring, build_sites, build_star
+from .trace import Trace, TraceEvent, TraceSummary
+
+__all__ = [
+    "BindError", "BusyLine", "Clock", "ConfigurationError", "ConformanceError",
+    "Context", "CostModel", "DEFAULT_COSTS", "DanglingReference", "Delivery",
+    "DistributionError", "EncapsulationViolation", "InterfaceError", "LinkSpec",
+    "MarshalError", "MessageLost", "Network", "Node", "NodeDown", "ObjectMoved",
+    "PartitionedError", "ProtocolError", "ReproError", "RpcTimeout",
+    "SeedSequence", "SimulationError", "Site", "System", "Trace",
+    "TraceEvent", "TraceSummary", "build_ring", "build_sites", "build_star",
+]

@@ -1,0 +1,106 @@
+"""Virtual time.
+
+The whole system runs in *virtual time*: a float number of seconds that is
+advanced explicitly by the layers that model work (network transmission,
+marshalling, dispatching, service compute).  Nothing in the library reads the
+wall clock, which makes every experiment deterministic and replayable.
+
+Each single-threaded *activity* (in practice: each context) owns a
+:class:`Clock` cursor.  Interactions between activities — a request arriving
+at a busy server, for instance — are mediated by :class:`BusyLine`, which
+models a serially-reusable resource in the style of an M/D/1 queue: work
+arriving at time ``t`` begins at ``max(t, busy_until)``.
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationError
+
+
+class Clock:
+    """A monotonic virtual-time cursor for one activity.
+
+    The cursor can only move forward; attempting to move it backwards raises
+    :class:`~repro.kernel.errors.SimulationError`, which catches the most
+    common way a cost model goes wrong.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the cursor forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the cursor forward to ``when`` (no-op if already past it)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def reset(self, when: float = 0.0) -> None:
+        """Set the cursor unconditionally (may rewind).
+
+        For test/bench setup and for the one sanctioned runtime use: the
+        promise layer rewinding a client to its request's send time to model
+        asynchronous overlap (:mod:`repro.rpc.promises`).
+        """
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.9f})"
+
+
+class BusyLine:
+    """A serially-reusable resource with FIFO occupancy in virtual time.
+
+    Models a single-threaded server object (a *monitor* in 1986 terms): each
+    piece of work occupies the line for its duration, and work arriving while
+    the line is busy queues.  ``occupy`` returns the interval actually used.
+    """
+
+    __slots__ = ("_busy_until", "total_busy", "jobs")
+
+    def __init__(self):
+        self._busy_until = 0.0
+        self.total_busy = 0.0
+        self.jobs = 0
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the line becomes free."""
+        return self._busy_until
+
+    def occupy(self, arrive: float, duration: float) -> tuple[float, float]:
+        """Occupy the line for ``duration`` starting no earlier than ``arrive``.
+
+        Returns ``(start, end)`` in virtual time, where ``start`` includes any
+        queueing delay behind previously-accepted work.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative service duration {duration!r}")
+        start = max(arrive, self._busy_until)
+        end = start + duration
+        self._busy_until = end
+        self.total_busy += duration
+        self.jobs += 1
+        return start, end
+
+    def reset(self) -> None:
+        """Clear occupancy (test/bench setup only)."""
+        self._busy_until = 0.0
+        self.total_busy = 0.0
+        self.jobs = 0
+
+    def __repr__(self) -> str:
+        return f"BusyLine(busy_until={self._busy_until:.9f}, jobs={self.jobs})"

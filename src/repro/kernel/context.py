@@ -1,0 +1,76 @@
+"""Contexts: address spaces, the unit of encapsulation.
+
+A context is the paper's protection boundary.  Objects live inside exactly
+one context; nothing outside a context may touch its objects except through
+messages — and, one layer up, through proxies.
+
+At kernel level a context is mostly bookkeeping: an identity, a virtual-time
+clock for the single activity executing inside it, and the mailbox hookup
+(``handler``) that the RPC layer installs.  The export and proxy tables are
+populated by :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .clock import BusyLine, Clock
+
+
+class Context:
+    """One address space on one node.
+
+    Attributes:
+        node: the hosting :class:`~repro.kernel.node.Node`.
+        name: context name, unique within the node.
+        clock: virtual-time cursor of the activity running in this context.
+        handler: message handler installed by the RPC layer; called as
+            ``handler(frame_bytes, arrive_time) -> (reply_bytes, done_time)``
+            or ``None`` for one-way messages.
+        exports: export table — oid → exported entry (managed by repro.core).
+        proxies: proxy table — remote ref key → live proxy (repro.core).
+        line: busy line serialising request processing in this context.
+        encoder_hook: marshalling swizzle hook for values leaving this
+            context (installed by repro.core; exported objects become refs).
+        decoder_hook: swizzle hook for refs arriving in this context
+            (installed by repro.core; refs become proxies).
+    """
+
+    def __init__(self, node, name: str):
+        self.node = node
+        self.name = name
+        self.clock = Clock()
+        self.line = BusyLine()
+        self.handler: Callable[[bytes, float], tuple[bytes, float] | None] | None = None
+        self.exports: dict[str, Any] = {}
+        self.proxies: dict[str, Any] = {}
+        self.encoder_hook: Callable[[Any], Any] | None = None
+        self.decoder_hook: Callable[[Any], Any] | None = None
+        self.space: Any = None  # ObjectSpace, attached by repro.core.export
+
+    @property
+    def context_id(self) -> str:
+        """Globally unique id: ``"<node>/<context>"``."""
+        return f"{self.node.name}/{self.name}"
+
+    @property
+    def system(self):
+        """The owning :class:`~repro.kernel.system.System`."""
+        return self.node.system
+
+    @property
+    def alive(self) -> bool:
+        """Whether the hosting node is up."""
+        return self.node.alive
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of this context's activity."""
+        return self.clock.now
+
+    def charge(self, seconds: float) -> float:
+        """Charge local CPU time to this context's activity."""
+        return self.clock.advance(seconds)
+
+    def __repr__(self) -> str:
+        return f"Context({self.context_id!r}, now={self.clock.now:.6f})"

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the proxy-principle reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+
+The distribution-related subtree mirrors the failure modes a 1986-era
+distributed OS exposes to its clients: unreachable nodes, lost messages,
+dangling references, and protocol violations.  The *proxy principle* is
+precisely about confining where these surface: only proxies and the layers
+below them may raise the distribution subtree; client code that follows the
+principle never sees a raw transport error unless the proxy chooses to
+propagate it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system, node, or context was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The virtual-time kernel was driven incorrectly (e.g. time moved backwards)."""
+
+
+# --------------------------------------------------------------------------
+# Distribution failures (the transport / protocol subtree)
+# --------------------------------------------------------------------------
+
+
+class DistributionError(ReproError):
+    """Base class for failures caused by distribution itself."""
+
+
+class NodeDown(DistributionError):
+    """The destination node is crashed or unreachable."""
+
+
+class PartitionedError(DistributionError):
+    """Source and destination are on opposite sides of a network partition."""
+
+
+class MessageLost(DistributionError):
+    """A message was dropped by the (simulated) network."""
+
+
+class RpcTimeout(DistributionError):
+    """No reply arrived within the protocol's retry budget."""
+
+
+class BindError(DistributionError):
+    """Binding to a service failed (unknown name, no exporter, bad handshake)."""
+
+
+class DanglingReference(DistributionError):
+    """An object reference points at an object that no longer exists there."""
+
+
+class ObjectMoved(DistributionError):
+    """The object migrated; carries a forwarding hint when one is known.
+
+    Attributes:
+        forward: the :class:`~repro.wire.refs.ObjectRef` of the new location,
+            or ``None`` when the old host kept no forwarding pointer.
+    """
+
+    def __init__(self, message: str, forward=None):
+        super().__init__(message)
+        self.forward = forward
+
+
+# --------------------------------------------------------------------------
+# Protocol / typing violations
+# --------------------------------------------------------------------------
+
+
+class ProtocolError(ReproError):
+    """A peer sent a malformed or out-of-sequence protocol message."""
+
+
+class MarshalError(ReproError):
+    """A value could not be marshalled or unmarshalled."""
+
+
+class InterfaceError(ReproError):
+    """An operation was invoked that the target interface does not declare."""
+
+
+class ConformanceError(InterfaceError):
+    """An implementation does not structurally conform to its declared interface."""
+
+
+class EncapsulationViolation(ReproError):
+    """The proxy principle was violated.
+
+    Raised when code attempts to smuggle a raw (non-proxy) reference to a
+    remote object across a context boundary, or to invoke a remote object
+    without going through its proxy.
+    """

@@ -1,0 +1,161 @@
+"""The simulated inter-node network.
+
+Models a mid-1980s LAN: point-to-point message delivery with propagation
+latency, per-byte transmission cost, optional per-link overrides, seeded
+random loss, node crashes, and partitions.
+
+The network is deliberately *unreliable and silent*: a dropped message is not
+reported to the sender (that is the RPC layer's problem to detect by
+timeout), exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+from .params import CostModel
+from .randomness import SeedSequence
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Per-link override of the default cost model.
+
+    Attributes:
+        latency: one-way propagation delay in seconds.
+        byte_cost: per-byte transmission cost in seconds.
+        loss: probability in [0, 1] that a message on this link is dropped.
+    """
+
+    latency: float
+    byte_cost: float
+    loss: float = 0.0
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of one transmission attempt.
+
+    Attributes:
+        delivered: whether the message arrived.
+        arrive_time: virtual arrival time (meaningful only when delivered).
+        reason: drop reason when not delivered (``"loss"``, ``"crash"``,
+            ``"partition"``).
+    """
+
+    delivered: bool
+    arrive_time: float
+    reason: str = ""
+
+
+class Network:
+    """Node-to-node link model with loss, crashes and partitions."""
+
+    def __init__(self, costs: CostModel, seeds: SeedSequence, trace: Trace):
+        self.costs = costs
+        self.trace = trace
+        self._rng = seeds.stream("network.loss")
+        self._nodes: dict[str, "object"] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._default_loss = 0.0
+        self._groups: dict[str, int] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def register_node(self, node) -> None:
+        """Attach a node to the network (done by :class:`System.add_node`)."""
+        if node.name in self._nodes:
+            raise ConfigurationError(f"node {node.name!r} already registered")
+        self._nodes[node.name] = node
+        self._groups[node.name] = 0
+
+    def node(self, name: str):
+        """Look up a registered node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec,
+                 symmetric: bool = True) -> None:
+        """Override the cost model for one directed (or symmetric) link."""
+        self._links[(src, dst)] = spec
+        if symmetric:
+            self._links[(dst, src)] = spec
+
+    def set_default_loss(self, probability: float) -> None:
+        """Set the loss probability applied to links without an override."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(f"loss probability {probability!r} not in [0,1]")
+        self._default_loss = probability
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, islands: list[set[str]]) -> None:
+        """Split the network into isolated islands of node names.
+
+        Nodes not mentioned in any island keep their current group only if it
+        is group 0; every mentioned node is reassigned.  Messages between
+        different islands are silently dropped until :meth:`heal`.
+        """
+        for group, island in enumerate(islands, start=1):
+            for name in island:
+                if name not in self._nodes:
+                    raise ConfigurationError(f"unknown node {name!r} in partition")
+                self._groups[name] = group
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        for name in self._groups:
+            self._groups[name] = 0
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """Whether nodes ``a`` and ``b`` are currently separated."""
+        return self._groups.get(a, 0) != self._groups.get(b, 0)
+
+    # -- transmission --------------------------------------------------------
+
+    def link_spec(self, src: str, dst: str) -> LinkSpec:
+        """The effective spec for one directed link (override or defaults)."""
+        spec = self._links.get((src, dst))
+        if spec is not None:
+            return spec
+        return LinkSpec(latency=self.costs.remote_latency,
+                        byte_cost=self.costs.byte_cost,
+                        loss=self._default_loss)
+
+    def transit_time(self, src: str, dst: str, nbytes: int) -> float:
+        """One-way transfer time for ``nbytes`` from ``src`` to ``dst``.
+
+        Same-node transfers use the IPC costs from the cost model.
+        """
+        if src == dst:
+            return self.costs.ipc_latency + nbytes * self.costs.ipc_byte_cost
+        spec = self.link_spec(src, dst)
+        return spec.latency + nbytes * spec.byte_cost
+
+    def transmit(self, src: str, dst: str, nbytes: int, at: float) -> Delivery:
+        """Attempt delivery of one message; never raises for network faults.
+
+        Loss, crash, and partition all surface as ``delivered=False`` — the
+        sender cannot tell them apart, just like on a real wire.
+        """
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        arrive = at + self.transit_time(src, dst, nbytes)
+        if not src_node.alive:
+            return Delivery(False, arrive, "crash")
+        if not dst_node.alive:
+            self.trace.emit(at, "drop", src, dst, "crash", nbytes)
+            return Delivery(False, arrive, "crash")
+        if src != dst and self.partitioned(src, dst):
+            self.trace.emit(at, "drop", src, dst, "partition", nbytes)
+            return Delivery(False, arrive, "partition")
+        if src != dst:
+            loss = self.link_spec(src, dst).loss
+            if loss > 0.0 and self._rng.random() < loss:
+                self.trace.emit(at, "drop", src, dst, "loss", nbytes)
+                return Delivery(False, arrive, "loss")
+        return Delivery(True, arrive)

@@ -1,0 +1,70 @@
+"""Nodes: the machines of the simulated distributed system.
+
+A node hosts any number of *contexts* (protection/address spaces — the
+paper's unit of encapsulation).  Nodes can crash and restart; while crashed,
+the network drops everything addressed to them and their contexts refuse to
+execute.
+"""
+
+from __future__ import annotations
+
+from .context import Context
+from .errors import ConfigurationError
+
+
+class Node:
+    """One machine.
+
+    Created through :meth:`repro.kernel.system.System.add_node`; not meant to
+    be instantiated directly.
+    """
+
+    def __init__(self, system, name: str):
+        self.system = system
+        self.name = name
+        self.alive = True
+        self.contexts: dict[str, Context] = {}
+        self._crash_count = 0
+
+    def create_context(self, name: str) -> Context:
+        """Create a new context (address space) on this node."""
+        if name in self.contexts:
+            raise ConfigurationError(f"context {name!r} already exists on node {self.name!r}")
+        ctx = Context(self, name)
+        self.contexts[name] = ctx
+        self.system.register_context(ctx)
+        return ctx
+
+    def context(self, name: str) -> Context:
+        """Look up a context on this node by name."""
+        try:
+            return self.contexts[name]
+        except KeyError:
+            raise ConfigurationError(f"no context {name!r} on node {self.name!r}") from None
+
+    # -- failure model -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the node: all its contexts stop answering until restart."""
+        self.alive = False
+        self._crash_count += 1
+        self.system.trace.emit(self.system.max_time(), "crash", self.name, "", "node-crash")
+
+    def restart(self) -> None:
+        """Restart a crashed node.
+
+        Volatile context state survives in this model — the simulation stands
+        in for stable storage plus recovery, which the paper treats as a
+        service-internal matter hidden behind the proxy.
+        """
+        self.alive = True
+        self.system.trace.emit(self.system.max_time(), "restart", self.name, "", "node-restart")
+
+    @property
+    def crash_count(self) -> int:
+        """Number of times this node has crashed."""
+        return self._crash_count
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"Node({self.name!r}, {state}, contexts={sorted(self.contexts)})"

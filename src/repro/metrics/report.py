@@ -1,0 +1,90 @@
+"""System reports: one-call observability over a whole simulated system.
+
+``snapshot(system)`` gathers, per context: clock, exports, proxies, and
+dispatcher statistics — plus protocol and network aggregates.  ``render``
+prints the tables the way operators read them.  Used by the examples and
+handy when debugging an experiment that produces a surprising shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.render import render_table
+from ..kernel.system import System
+from ..kernel.trace import TraceSummary
+
+
+@dataclass
+class SystemSnapshot:
+    """Point-in-time view of a system.
+
+    Attributes:
+        time: latest virtual time across the system.
+        contexts: one row per context (see :func:`snapshot`).
+        protocol: RPC protocol counters.
+        traffic: whole-trace message summary.
+        policies: live proxy count per policy class name.
+    """
+
+    time: float
+    contexts: list[dict] = field(default_factory=list)
+    protocol: dict = field(default_factory=dict)
+    traffic: dict = field(default_factory=dict)
+    policies: dict = field(default_factory=dict)
+
+
+def snapshot(system: System) -> SystemSnapshot:
+    """Collect a :class:`SystemSnapshot` for ``system``."""
+    view = SystemSnapshot(time=system.max_time())
+    for ctx in system.contexts():
+        live_exports = sum(1 for entry in ctx.exports.values()
+                           if not entry.revoked)
+        migrated = sum(1 for entry in ctx.exports.values()
+                       if entry.moved_to is not None)
+        dispatcher_stats: dict = {}
+        handler = ctx.handler
+        if handler is not None and hasattr(handler, "__self__"):
+            dispatcher_stats = dict(handler.__self__.stats)
+        view.contexts.append({
+            "context": ctx.context_id,
+            "alive": ctx.alive,
+            "clock_ms": ctx.clock.now * 1e3,
+            "exports": live_exports,
+            "migrated_away": migrated,
+            "proxies": len(ctx.proxies),
+            "requests": dispatcher_stats.get("requests", 0),
+            "duplicates": dispatcher_stats.get("duplicates", 0),
+        })
+        for proxy in ctx.proxies.values():
+            name = type(proxy).__name__
+            view.policies[name] = view.policies.get(name, 0) + 1
+    if system.rpc is not None:
+        view.protocol = dict(system.rpc.stats)
+    summary = TraceSummary.of(system.trace.events)
+    view.traffic = {
+        "messages": summary.messages,
+        "bytes": summary.bytes,
+        "drops": summary.drops,
+        "invokes": summary.invokes,
+    }
+    return view
+
+
+def render(view: SystemSnapshot) -> str:
+    """Human-readable rendering of a snapshot."""
+    parts = [f"system @ {view.time * 1e3:.3f} ms virtual"]
+    parts.append(render_table(view.contexts, "contexts"))
+    if view.policies:
+        policy_rows = [{"policy": name, "live_proxies": count}
+                       for name, count in sorted(view.policies.items())]
+        parts.append(render_table(policy_rows, "proxies by policy"))
+    if view.protocol:
+        parts.append(render_table([view.protocol], "rpc protocol"))
+    parts.append(render_table([view.traffic], "traffic"))
+    return "\n\n".join(parts)
+
+
+def report(system: System) -> str:
+    """``render(snapshot(system))`` in one call."""
+    return render(snapshot(system))

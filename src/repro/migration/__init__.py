@@ -1,0 +1,9 @@
+"""Migration substrate: movers, forwarding pointers, reference integrity."""
+
+from .forwarding import compact, final_location, forwarding_chain, scrub
+from .mover import MOVER_OID, MoverService, ensure_mover, migrate, mover_proxy
+
+__all__ = [
+    "MOVER_OID", "MoverService", "compact", "ensure_mover", "final_location",
+    "forwarding_chain", "migrate", "mover_proxy", "scrub",
+]

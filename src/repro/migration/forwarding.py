@@ -1,0 +1,81 @@
+"""Forwarding-pointer maintenance.
+
+After repeated migrations an object leaves a chain of forwarding pointers
+behind.  Proxies shorten their own path lazily (they rebind to the final
+location the first time they chase the chain), but the *pointers themselves*
+accumulate.  This module provides the maintenance pass a real system runs in
+the background:
+
+* :func:`forwarding_chain` — the chain of hops a reference currently implies;
+* :func:`compact` — rewrite every forwarding pointer in a context to point
+  directly at the final location (path compression);
+* :func:`scrub` — drop forwarding pointers older than a grace period,
+  trading dangling-reference risk for table space (the classic trade-off;
+  used by the E11 ablation).
+"""
+
+from __future__ import annotations
+
+from ..core.export import ObjectSpace
+from ..kernel.system import System
+from ..wire.refs import ObjectRef
+
+
+def forwarding_chain(system: System, ref: ObjectRef,
+                     limit: int = 64) -> list[ObjectRef]:
+    """The sequence of locations a reference leads through, ending at the
+    live one (or at the last known hop if the chain dead-ends)."""
+    chain = [ref]
+    current = ref
+    for _ in range(limit):
+        try:
+            ctx = system.context(current.context_id)
+        except Exception:
+            break
+        entry = ctx.exports.get(current.oid)
+        if entry is None or entry.moved_to is None:
+            break
+        current = entry.moved_to
+        chain.append(current)
+    return chain
+
+
+def final_location(system: System, ref: ObjectRef) -> ObjectRef:
+    """The last hop of :func:`forwarding_chain`."""
+    return forwarding_chain(system, ref)[-1]
+
+
+def compact(space: ObjectSpace) -> int:
+    """Path-compress every forwarding pointer in one context.
+
+    Returns the number of pointers rewritten.  After compaction, a stale
+    client pays exactly one redirect regardless of how many times the object
+    has moved since the client last spoke to it.
+    """
+    rewritten = 0
+    system = space.system
+    for entry in space.context.exports.values():
+        if entry.moved_to is None:
+            continue
+        final = final_location(system, entry.moved_to)
+        if final != entry.moved_to:
+            entry.moved_to = final
+            rewritten += 1
+    return rewritten
+
+
+def scrub(space: ObjectSpace, keep: int | None = None) -> int:
+    """Drop (revoke) migrated-away entries, keeping at most ``keep`` newest.
+
+    A dropped pointer turns a stale reference into a
+    :class:`~repro.kernel.errors.DanglingReference` instead of a redirect —
+    the holder must re-resolve through the name service.  Returns the number
+    of entries dropped.
+    """
+    moved = [(oid, entry) for oid, entry in space.context.exports.items()
+             if entry.moved_to is not None and not entry.revoked]
+    if keep is not None:
+        moved = moved[:max(0, len(moved) - keep)]
+    for oid, entry in moved:
+        entry.revoked = True
+    return len(moved)

@@ -1,0 +1,20 @@
+"""Naming: the registry services and the bootstrap entry points."""
+
+from .bootstrap import (
+    NAMESERVICE_OID,
+    bind,
+    install_name_service,
+    make_directory_tree,
+    name_service_proxy,
+    register,
+    resolve,
+    unregister,
+)
+from .service import DirectoryService, NameService
+from .trading import TraderService
+
+__all__ = [
+    "DirectoryService", "NAMESERVICE_OID", "NameService", "TraderService",
+    "bind", "install_name_service", "make_directory_tree",
+    "name_service_proxy", "register", "resolve", "unregister",
+]

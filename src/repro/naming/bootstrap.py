@@ -1,0 +1,142 @@
+"""Bootstrap: the primordial proxy and the bind/register entry points.
+
+``install_name_service`` exports a :class:`NameService` under the well-known
+oid ``"_nameservice"`` and records its reference on the system.  From then
+on, *any* context can manufacture the primordial proxy locally — no message
+is needed to learn how to talk to the name service, only to use it.
+
+These module-level functions (:func:`register`, :func:`bind`,
+:func:`resolve`) are the public face most applications use; see
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.export import get_space
+from ..core.proxy import Proxy
+from ..kernel.context import Context
+from ..kernel.errors import BindError, ConfigurationError
+from ..kernel.system import System
+from ..wire.refs import ObjectRef
+from .service import DirectoryService, NameService
+
+#: Well-known oid of the root name service.
+NAMESERVICE_OID = "_nameservice"
+
+
+def install_name_service(context: Context) -> ObjectRef:
+    """Export the root name service in ``context`` and record it system-wide."""
+    system = context.system
+    if system.name_service is not None:
+        raise ConfigurationError("this system already has a name service")
+    ref = get_space(context).export(NameService(), oid=NAMESERVICE_OID)
+    system.name_service = ref
+    return ref
+
+
+def name_service_proxy(context: Context):
+    """The primordial proxy: this context's access path to the name service.
+
+    Constructed purely from the well-known reference — when the name service
+    happens to live in ``context`` itself, the real object is returned (home
+    access is direct, as everywhere else).
+    """
+    system = context.system
+    if system.name_service is None:
+        raise BindError("no name service installed; call install_name_service")
+    return get_space(context).bind_ref(system.name_service, handshake=False)
+
+
+def register(context: Context, name: str, target: Any) -> None:
+    """Register ``target`` under ``name`` in the root name service.
+
+    ``target`` may be an exported object, an unexported service object (it
+    is auto-exported under its class's ``default_policy`` on the way out),
+    a proxy (the registry then points at the proxy's target), or an
+    :class:`ObjectRef` (e.g. from :func:`repro.replicate`).
+    """
+    space = get_space(context)
+    if isinstance(target, ObjectRef):
+        target = space.bind_ref(target, handshake=False)
+    elif not isinstance(target, Proxy):
+        # Ensure local service objects are exported even when the name
+        # service is co-located (home calls bypass the marshalling hooks
+        # that would otherwise auto-export on the way out).
+        try:
+            space.ref_of(target)
+        except BindError:
+            space.export(target)
+    name_service_proxy(context).register(name, target)
+
+
+def bind(context: Context, name: str):
+    """Resolve ``name`` and return this context's access path to the service.
+
+    One RPC to the name service yields the proxy (the reference in the reply
+    materialises through the swizzle hooks); a second RPC — the installation
+    handshake — upgrades it with the exporter's full policy configuration.
+    Returns the real object when the service lives in ``context`` itself.
+    """
+    target = name_service_proxy(context).lookup(name)
+    if isinstance(target, Proxy):
+        return get_space(context).upgrade(target)
+    return target
+
+
+def unregister(context: Context, name: str) -> bool:
+    """Remove ``name`` from the root name service."""
+    return name_service_proxy(context).unregister(name)
+
+
+# -- hierarchical names ---------------------------------------------------------
+
+
+def make_directory_tree(context: Context, depth: int,
+                        leaf_target: Any = None,
+                        contexts: list[Context] | None = None) -> Any:
+    """Build a directory chain ``d0/d1/.../d<depth-1>`` for experiment E6.
+
+    When ``contexts`` is given, directory *i* is placed in
+    ``contexts[i % len(contexts)]`` so each resolution step hops contexts.
+    Returns the root directory (object or proxy, depending on placement).
+    The leaf name ``"leaf"`` in the deepest directory binds ``leaf_target``
+    when one is provided.
+    """
+    homes = contexts or [context]
+    directories = []
+    for level in range(depth):
+        home = homes[level % len(homes)]
+        directory = DirectoryService(name=f"/d{level}")
+        get_space(home).export(directory)
+        directories.append((home, directory))
+    for level in range(depth - 1):
+        parent_home, parent = directories[level]
+        child_home, child = directories[level + 1]
+        parent.bind_entry(f"d{level + 1}", _travel(child_home, parent_home, child))
+    if leaf_target is not None and directories:
+        directories[-1][1].bind_entry("leaf", leaf_target)
+    root_home, root = directories[0]
+    return _travel(root_home, context, root)
+
+
+def resolve(context: Context, root, path: str):
+    """Walk a ``"a/b/c"`` path from ``root`` (a directory object or proxy).
+
+    Each component is one ``lookup_entry`` invocation — on a proxy when the
+    next directory lives elsewhere, locally when it does not: the resolution
+    chain of experiment E6.
+    """
+    current = root
+    for component in [part for part in path.split("/") if part]:
+        current = current.lookup_entry(component)
+    return current
+
+
+def _travel(src_context: Context, dst_context: Context, obj: Any) -> Any:
+    """What ``obj`` (exported in ``src_context``) looks like from ``dst_context``."""
+    if src_context is dst_context:
+        return obj
+    ref = get_space(src_context).ref_of(obj)
+    return get_space(dst_context).bind_ref(ref, handshake=False)

@@ -1,0 +1,103 @@
+"""The name service — itself just another service behind a proxy.
+
+The paper's uniformity claim (claim 4): the mechanism for obtaining proxies
+is used to reach the very service that hands out proxies.  Concretely:
+
+* the name service is an ordinary exported object; clients reach it through
+  an ordinary (stub-policy) proxy constructed from one well-known reference
+  — the *primordial proxy*, the system's only piece of a-priori knowledge;
+* ``register`` accepts any exported object or proxy — the swizzle hooks turn
+  it into a reference in flight, so the registry physically stores access
+  paths, never raw objects from other contexts;
+* ``lookup`` returns that access path — which materialises in the caller's
+  context as a proxy of the *target service's* chosen policy.  Binding a
+  name therefore never requires talking to the target first: one RPC to the
+  name service yields a working proxy.
+
+:class:`DirectoryService` adds hierarchical names: a directory maps a
+component either to a target or to another directory (possibly in another
+context), and resolution walks the chain through proxies — experiment E6
+measures this chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..iface.interface import operation
+
+
+class NameService:
+    """A flat name registry (the system-wide root registry)."""
+
+    def __init__(self):
+        self._bindings: dict[str, Any] = {}
+
+    @operation(invalidates=("name",))
+    def register(self, name: str, target) -> bool:
+        """Bind ``name`` to a service; replaces any previous binding."""
+        self._bindings[name] = target
+        return True
+
+    @operation(readonly=True)
+    def lookup(self, name: str):
+        """The service bound to ``name``; raises ``KeyError`` if unbound."""
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise KeyError(f"name {name!r} is not registered") from None
+
+    @operation(invalidates=("name",))
+    def unregister(self, name: str) -> bool:
+        """Remove a binding; returns whether it existed."""
+        return self._bindings.pop(name, None) is not None
+
+    @operation(readonly=True)
+    def list_names(self, prefix: str) -> list:
+        """All registered names starting with ``prefix``, sorted."""
+        return sorted(name for name in self._bindings if name.startswith(prefix))
+
+    @operation(readonly=True)
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` is currently bound."""
+        return name in self._bindings
+
+
+class DirectoryService:
+    """One level of a hierarchical name space.
+
+    Entries may be leaf targets or other directories; cross-context
+    sub-directories are stored (like everything else) as proxies, so a
+    resolution step transparently hops contexts.
+    """
+
+    def __init__(self, name: str = "/"):
+        self.name = name
+        self._entries: dict[str, Any] = {}
+
+    @operation(invalidates=("component",))
+    def bind_entry(self, component: str, target) -> bool:
+        """Bind one path component in this directory."""
+        if "/" in component or not component:
+            raise ValueError(f"invalid path component {component!r}")
+        self._entries[component] = target
+        return True
+
+    @operation(readonly=True)
+    def lookup_entry(self, component: str):
+        """The entry for one component; raises ``KeyError`` if absent."""
+        try:
+            return self._entries[component]
+        except KeyError:
+            raise KeyError(
+                f"directory {self.name!r} has no entry {component!r}") from None
+
+    @operation(invalidates=("component",))
+    def unbind_entry(self, component: str) -> bool:
+        """Remove one component; returns whether it existed."""
+        return self._entries.pop(component, None) is not None
+
+    @operation(readonly=True)
+    def list_entries(self) -> list:
+        """All components in this directory, sorted."""
+        return sorted(self._entries)

@@ -1,0 +1,116 @@
+"""Trading: attribute-based service selection (ANSA-style).
+
+A name service answers "give me *the* thing called X"; a **trader** answers
+"give me *a* thing of type T whose properties satisfy C" — the next step the
+distributed-systems community took after 1986, and a natural tenant of the
+same proxy machinery: offers store access paths (proxies/references), and a
+successful query hands the importer a proxy built by the *offering*
+service's chosen factory.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..iface.interface import operation
+
+#: Recognised constraint operators for :meth:`TraderService.query`.
+_OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+}
+
+
+def _matches(properties: dict, constraints: dict) -> bool:
+    for prop, constraint in constraints.items():
+        if prop not in properties:
+            return False
+        value = properties[prop]
+        if isinstance(constraint, (tuple, list)) and len(constraint) == 2 \
+                and constraint[0] in _OPERATORS:
+            op, bound = constraint
+            try:
+                if not _OPERATORS[op](value, bound):
+                    return False
+            except TypeError:
+                return False
+        elif value != constraint:
+            return False
+    return True
+
+
+class TraderService:
+    """A registry of typed, attributed service offers."""
+
+    def __init__(self):
+        self._offers: dict[int, dict] = {}
+        self._next_id = 1
+
+    @operation
+    def export_offer(self, service_type: str, properties: dict,
+                     target) -> int:
+        """Advertise a service; returns the offer id."""
+        offer_id = self._next_id
+        self._next_id += 1
+        self._offers[offer_id] = {
+            "type": service_type,
+            "properties": dict(properties),
+            "target": target,
+        }
+        return offer_id
+
+    @operation
+    def withdraw(self, offer_id: int) -> bool:
+        """Remove an offer; returns whether it existed."""
+        return self._offers.pop(offer_id, None) is not None
+
+    @operation
+    def update_properties(self, offer_id: int, properties: dict) -> bool:
+        """Merge new property values into an offer (e.g. load updates)."""
+        offer = self._offers.get(offer_id)
+        if offer is None:
+            return False
+        offer["properties"].update(properties)
+        return True
+
+    @operation(readonly=True)
+    def query(self, service_type: str, constraints: dict,
+              prefer: tuple | None = None, limit: int = 0) -> list:
+        """Targets of matching offers.
+
+        ``constraints`` maps property → exact value or ``(op, bound)`` with
+        op in ``== != <= >= < >``.  ``prefer`` is ``("min", prop)`` or
+        ``("max", prop)`` and orders the result; ``limit`` truncates it
+        (0 = all).
+        """
+        matches = [offer for offer in self._offers.values()
+                   if offer["type"] == service_type
+                   and _matches(offer["properties"], constraints or {})]
+        if prefer is not None:
+            direction, prop = prefer
+            matches.sort(key=lambda offer: offer["properties"].get(prop, 0),
+                         reverse=(direction == "max"))
+        targets = [offer["target"] for offer in matches]
+        if limit:
+            targets = targets[:limit]
+        return targets
+
+    @operation(readonly=True)
+    def select(self, service_type: str, constraints: dict,
+               prefer: tuple | None = None):
+        """The single best matching target; ``KeyError`` when none match."""
+        targets = self.query(service_type, constraints, prefer, limit=1)
+        if not targets:
+            raise KeyError(
+                f"no offer of type {service_type!r} matches {constraints!r}")
+        return targets[0]
+
+    @operation(readonly=True)
+    def offer_count(self, service_type: str) -> int:
+        """Number of live offers of one type."""
+        return sum(1 for offer in self._offers.values()
+                   if offer["type"] == service_type)

@@ -1,0 +1,14 @@
+"""Persistence: stable stores, checkpointing, crash-with-loss, recovery."""
+
+from .manager import (
+    CheckpointHook,
+    PersistenceManager,
+    crash_node,
+    recover_context,
+)
+from .store import StableStore, stable_store
+
+__all__ = [
+    "CheckpointHook", "PersistenceManager", "StableStore", "crash_node",
+    "recover_context", "stable_store",
+]

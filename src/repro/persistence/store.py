@@ -1,0 +1,90 @@
+"""The stable store: simulated disk that survives crashes.
+
+A :class:`StableStore` belongs to a node.  Node crashes lose everything in
+contexts (volatile memory); the store's contents persist by definition —
+that asymmetry is the whole reason persistence managers exist.
+
+Accesses charge realistic 1986 disk costs (20 ms latency, ~1 MB/s) to the
+accessing context's virtual clock, and values are round-tripped through the
+wire format so (a) only marshallable state can be made persistent and (b)
+the byte size charged is honest.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..kernel.context import Context
+from ..kernel.errors import ConfigurationError
+from ..wire.marshal import PLAIN
+
+
+class StableStore:
+    """Crash-surviving key/value storage attached to one node."""
+
+    def __init__(self, node):
+        self.node = node
+        self._blocks: dict[str, bytes] = {}
+        self.stats = {"writes": 0, "reads": 0, "bytes_written": 0,
+                      "bytes_read": 0}
+
+    def write(self, context: Context, key: str, value: Any) -> int:
+        """Persist ``value`` under ``key``; returns the bytes written.
+
+        Charged to ``context`` (which must live on this node — a remote
+        context reaches a store through a service, never directly).
+        """
+        self._check_local(context)
+        data = PLAIN.encode(value)
+        costs = context.system.costs
+        context.charge(costs.disk_latency + len(data) * costs.disk_byte_cost)
+        self._blocks[key] = data
+        self.stats["writes"] += 1
+        self.stats["bytes_written"] += len(data)
+        context.system.trace.emit(context.clock.now, "disk",
+                                  context.context_id, self.node.name,
+                                  f"write:{key}", len(data))
+        return len(data)
+
+    def read(self, context: Context, key: str) -> Any:
+        """Load the value under ``key``; raises ``KeyError`` when absent."""
+        self._check_local(context)
+        try:
+            data = self._blocks[key]
+        except KeyError:
+            raise KeyError(f"stable store has no block {key!r}") from None
+        costs = context.system.costs
+        context.charge(costs.disk_latency + len(data) * costs.disk_byte_cost)
+        self.stats["reads"] += 1
+        self.stats["bytes_read"] += len(data)
+        return PLAIN.decode(data)
+
+    def delete(self, context: Context, key: str) -> bool:
+        """Drop a block; returns whether it existed."""
+        self._check_local(context)
+        context.charge(context.system.costs.disk_latency)
+        return self._blocks.pop(key, None) is not None
+
+    def keys(self, prefix: str = "") -> list[str]:
+        """Stored keys with the given prefix, sorted (no cost: directory
+        scans are noise next to the block transfers)."""
+        return sorted(key for key in self._blocks if key.startswith(prefix))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+    def _check_local(self, context: Context) -> None:
+        if context.node is not self.node:
+            raise ConfigurationError(
+                f"context {context.context_id!r} cannot access the stable "
+                f"store of node {self.node.name!r} directly; go through a "
+                "service")
+
+
+def stable_store(node) -> StableStore:
+    """The node's stable store, created on first use."""
+    store = getattr(node, "_stable_store", None)
+    if store is None:
+        store = StableStore(node)
+        node._stable_store = store
+    return store

@@ -1,0 +1,21 @@
+"""RPC substrate: transport, dispatcher, request/reply protocol, stubs."""
+
+from .dispatcher import Dispatcher, ExportEntry, ensure_dispatcher
+from .lightweight import (
+    fast_path_available,
+    lrpc_disabled,
+    lrpc_enabled,
+    same_context,
+    same_node,
+)
+from .promises import Promise, call_async, gather, pipeline_calls
+from .protocol import RemoteError, RpcProtocol
+from .stubs import RemoteStub
+from .transport import Transport
+
+__all__ = [
+    "Dispatcher", "ExportEntry", "Promise", "RemoteError", "RemoteStub",
+    "RpcProtocol", "Transport", "call_async", "ensure_dispatcher",
+    "fast_path_available", "gather", "lrpc_disabled", "lrpc_enabled",
+    "pipeline_calls", "same_context", "same_node",
+]

@@ -1,0 +1,209 @@
+"""Server-side dispatch: the skeleton half of RPC.
+
+Each context that exports objects gets a :class:`Dispatcher`, installed as
+the context's message handler.  It implements:
+
+* export-table lookup (oid → object + interface),
+* interface checking (undeclared verbs are rejected, not ducked),
+* **at-most-once execution** via a replay cache keyed ``(caller, msg_id)`` —
+  retransmitted requests return the cached reply instead of re-executing
+  (togglable, ablation E11),
+* migration redirects: a request for an object that moved away answers with
+  an ``ObjectMoved`` exception carrying the forwarding reference,
+* virtual-time accounting: queueing behind earlier requests, unmarshal,
+  dispatch, declared per-operation compute, and reply marshalling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..iface.interface import Interface
+from ..kernel.context import Context
+from ..kernel.errors import ReproError
+from ..wire.frames import EXCEPTION, ONEWAY, REQUEST, Frame
+from ..wire.refs import ObjectRef
+
+
+@dataclass
+class ExportEntry:
+    """One exported object in a context's export table.
+
+    Attributes:
+        obj: the implementation object (lives only in this context).
+        interface: the interface it is exported under.
+        ref: the reference under which remote contexts know it.
+        moved_to: forwarding reference if the object migrated away.
+        revoked: true once unexported; requests answer ``DanglingReference``.
+        policy_name: name of the proxy factory the exporter chose (the
+            service-selected client-side representative; see repro.core).
+        policy_config: marshallable configuration shipped with the factory.
+        mutation_hooks: server-side components whose ``after(verb, args,
+            kwargs)`` runs after each successful mutating operation — the
+            caching policy's invalidation broadcaster and the persistence
+            manager's checkpointer live here.
+    """
+
+    obj: object
+    interface: Interface
+    ref: ObjectRef
+    moved_to: ObjectRef | None = None
+    revoked: bool = False
+    policy_name: str = "stub"
+    policy_config: dict = field(default_factory=dict)
+    mutation_hooks: list = field(default_factory=list)
+
+    def run_mutation_hooks(self, verb: str, args: tuple, kwargs: dict) -> None:
+        """Notify every hook of one successful mutating operation."""
+        for hook in self.mutation_hooks:
+            hook.after(verb, args, kwargs)
+
+
+class Dispatcher:
+    """Demultiplexes inbound frames onto a context's exported objects."""
+
+    def __init__(self, context: Context, transport, replay_capacity: int = 4096):
+        self.context = context
+        self.transport = transport
+        self.at_most_once = True
+        self.replay_capacity = replay_capacity
+        self._replay: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self.stats = {"requests": 0, "duplicates": 0, "exceptions": 0,
+                      "oneways": 0, "redirects": 0}
+        context.handler = self.handle
+
+    # -- entry point -----------------------------------------------------------
+
+    def handle(self, data: bytes, arrive: float) -> tuple[bytes, float] | None:
+        """Process one inbound frame; returns ``(reply_bytes, ready_time)``.
+
+        Returns ``None`` for one-way frames.
+
+        Virtual-time model: requests serialise through the context's busy
+        line — work starts at ``max(arrive, line.busy_until)``.  The
+        context's activity clock is rebased to that start for the duration
+        of the request (so nested outbound calls the handler makes are
+        timed correctly), then restored to the latest time the context has
+        seen.  An *idle* server therefore never delays a request just
+        because its clock ran ahead serving someone else — or standing
+        around.
+        """
+        ctx = self.context
+        start = max(arrive, ctx.line.busy_until)
+        resume_at = max(ctx.clock.now, start)
+        ctx.clock.reset(start)
+        try:
+            outcome = self._handle_at(data)
+        finally:
+            end = ctx.clock.now
+            if end > start:
+                ctx.line.occupy(start, end - start)
+            ctx.clock.reset(max(resume_at, end))
+        return outcome
+
+    def _handle_at(self, data: bytes) -> tuple[bytes, float] | None:
+        """Body of :meth:`handle`, running on the rebased context clock."""
+        ctx = self.context
+        system = ctx.system
+        costs = system.costs
+        ctx.charge(self.transport.unmarshal_cost(len(data)))
+        frame = self.transport.decode_frame(data, ctx)
+        if frame.kind == ONEWAY:
+            self.stats["oneways"] += 1
+            ctx.charge(costs.dispatch_cost)
+            self._execute(frame)
+            return None
+        if frame.kind != REQUEST:
+            return None
+        self.stats["requests"] += 1
+        dedup_key = (frame.src, frame.msg_id)
+        if self.at_most_once and dedup_key in self._replay:
+            self.stats["duplicates"] += 1
+            ctx.charge(costs.dispatch_cost)
+            return self._replay[dedup_key], ctx.clock.now
+        ctx.charge(costs.dispatch_cost)
+        reply = self._dispatch(frame)
+        system.trace.emit(ctx.clock.now, "invoke", frame.src, ctx.context_id,
+                          f"{frame.verb}")
+        reply_data = self.transport.encode_frame(reply)
+        if self.at_most_once:
+            self._remember(dedup_key, reply_data)
+        return reply_data, ctx.clock.now
+
+    # -- internals ---------------------------------------------------------------
+
+    def _dispatch(self, frame: Frame) -> Frame:
+        entry = self.context.exports.get(frame.target)
+        if entry is None or entry.revoked:
+            return frame.exception_to(
+                "DanglingReference",
+                f"context {self.context.context_id!r} exports no object "
+                f"{frame.target!r}")
+        if entry.moved_to is not None:
+            self.stats["redirects"] += 1
+            fwd = entry.moved_to
+            return frame.exception_to(
+                "ObjectMoved",
+                f"object {frame.target!r} migrated to {fwd.context_id!r}",
+                detail=(fwd.context_id, fwd.oid, fwd.interface, fwd.epoch,
+                        fwd.policy))
+        if frame.verb not in entry.interface:
+            return frame.exception_to(
+                "InterfaceError",
+                f"interface {entry.interface.name!r} declares no operation "
+                f"{frame.verb!r}")
+        op = entry.interface.operation(frame.verb)
+        if op.compute > 0:
+            self.context.charge(op.compute)
+        try:
+            result = self._call(entry, frame)
+        except ReproError as exc:
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        except Exception as exc:  # application error: ship it, don't die
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        if entry.mutation_hooks and not op.readonly:
+            args, kwargs = frame.body if frame.body else ((), {})
+            entry.run_mutation_hooks(frame.verb, args, kwargs)
+        return frame.reply_to(result)
+
+    def _execute(self, frame: Frame) -> None:
+        """Best-effort execution for one-way frames (errors are dropped)."""
+        entry = self.context.exports.get(frame.target)
+        if entry is None or entry.revoked or entry.moved_to is not None:
+            return
+        if frame.verb not in entry.interface:
+            return
+        try:
+            self._call(entry, frame)
+        except Exception:
+            pass
+
+    def _call(self, entry: ExportEntry, frame: Frame):
+        args, kwargs = frame.body if frame.body else ((), {})
+        method = getattr(entry.obj, frame.verb)
+        return method(*args, **kwargs)
+
+    def _remember(self, key: tuple[str, int], reply_data: bytes) -> None:
+        self._replay[key] = reply_data
+        while len(self._replay) > self.replay_capacity:
+            self._replay.popitem(last=False)
+
+    def forget_caller(self, context_id: str) -> int:
+        """Drop replay entries for one caller (used when a caller context
+        is torn down); returns how many entries were evicted."""
+        stale = [key for key in self._replay if key[0] == context_id]
+        for key in stale:
+            del self._replay[key]
+        return len(stale)
+
+
+def ensure_dispatcher(context: Context, transport) -> Dispatcher:
+    """Get or create the dispatcher of a context."""
+    handler = context.handler
+    if handler is not None and hasattr(handler, "__self__") \
+            and isinstance(handler.__self__, Dispatcher):
+        return handler.__self__
+    return Dispatcher(context, transport)

@@ -1,0 +1,111 @@
+"""Promises: asynchronous invocation with deferred synchronisation.
+
+The synchronous call of :mod:`repro.rpc.protocol` wastes the network round
+trip: the client idles while the request travels.  Promises (cf. Liskov &
+Shrira's promises, 1988 — a direct descendant of the proxy lineage) let a
+client issue several invocations back-to-back and synchronise later::
+
+    p1 = call_async(kv, "get", "a")
+    p2 = call_async(kv, "get", "b")     # overlaps with p1's round trip
+    a, b = p1.wait(), p2.wait()
+
+Simulation model: the call executes eagerly (the simulated server processes
+it at its true arrival time, queueing behind earlier work), but the
+*client's* clock is rewound to the moment the request left, so client-side
+time overlaps outstanding calls exactly as a real asynchronous runtime
+would.  ``wait`` advances the client to the reply's arrival (no-op if it
+already passed).  Server-side effect ordering follows issue order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..kernel.context import Context
+from ..kernel.errors import ReproError
+from ..core.proxy import Proxy
+
+
+class Promise:
+    """A value (or error) that becomes available at a known virtual time."""
+
+    __slots__ = ("_context", "_value", "_error", "_ready_at", "_waited")
+
+    def __init__(self, context: Context, value: Any, error: ReproError | None,
+                 ready_at: float):
+        self._context = context
+        self._value = value
+        self._error = error
+        self._ready_at = ready_at
+        self._waited = False
+
+    @property
+    def ready_at(self) -> float:
+        """Virtual time at which the result is available."""
+        return self._ready_at
+
+    def is_ready(self) -> bool:
+        """Whether the result has arrived by the caller's current time."""
+        return self._context.clock.now >= self._ready_at
+
+    def wait(self) -> Any:
+        """Block (advance virtual time) until the result arrives, then
+        return it — or raise the call's error."""
+        self._context.clock.advance_to(self._ready_at)
+        self._waited = True
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "ready" if self.is_ready() else f"at {self._ready_at:.6f}"
+        return f"Promise({state})"
+
+
+def call_async(target: Proxy, verb: str, *args, **kwargs) -> Promise:
+    """Issue an invocation without waiting for the reply.
+
+    ``target`` must be a proxy (or stub-compatible object exposing
+    ``proxy_context``/``proxy_ref``).  The request is sent through the raw
+    binding — policy intelligence (caches, batches) is deliberately not
+    consulted: a promise is a handle on one real round trip.
+    """
+    context = target.proxy_context
+    ref = target.proxy_ref
+    protocol = target.proxy_protocol
+    issue_time = context.clock.now
+    error: ReproError | None = None
+    value: Any = None
+    try:
+        value = protocol.call(context, ref, verb, args, kwargs)
+    except ReproError as exc:
+        error = exc
+    ready_at = context.clock.now
+    # Rewind the client to the instant the request left; the reply's true
+    # arrival is stored on the promise.  (The server already processed the
+    # request on the un-rewound timeline, so its queueing is exact.)
+    sent_at = getattr(protocol, "last_sent_at", None)
+    if sent_at is None or sent_at < issue_time:
+        sent_at = issue_time
+    context.clock.reset(max(issue_time, min(sent_at, ready_at)))
+    return Promise(context, value, error, ready_at)
+
+
+def gather(promises: list[Promise]) -> list[Any]:
+    """Wait for every promise, in order; returns their values."""
+    return [promise.wait() for promise in promises]
+
+
+def pipeline_calls(target: Proxy, calls: list[tuple],
+                   window: int | None = None) -> list[Any]:
+    """Issue ``calls`` (``(verb, *args)`` tuples) with overlap and collect
+    all results.  ``window`` bounds the number outstanding at once."""
+    results: list[Any] = []
+    outstanding: list[Promise] = []
+    for call in calls:
+        verb, *args = call
+        outstanding.append(call_async(target, verb, *args))
+        if window is not None and len(outstanding) >= window:
+            results.append(outstanding.pop(0).wait())
+    results.extend(promise.wait() for promise in outstanding)
+    return results

@@ -1,0 +1,217 @@
+"""The client half of RPC: request/reply with retries and timeouts.
+
+Implements the Birrell–Nelson discipline over the unreliable transport:
+
+* a request is retransmitted on timeout, up to a retry budget;
+* together with the server's replay cache this yields **at-most-once**
+  execution with at-least-once delivery attempts;
+* remote exceptions are re-raised locally, mapped back to library types
+  where known;
+* a **lightweight fast path** (cf. Bershad et al. 1989) short-circuits calls
+  whose target lives in the calling context to a plain procedure call.
+
+This module is deliberately proxy-agnostic: both the dumb stubs of
+:mod:`repro.rpc.stubs` and the smart proxies of :mod:`repro.core.policies`
+bottom out in :meth:`RpcProtocol.call`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..kernel import errors as kernel_errors
+from ..kernel.context import Context
+from ..kernel.errors import (
+    DanglingReference,
+    DistributionError,
+    InterfaceError,
+    ObjectMoved,
+    ReproError,
+    RpcTimeout,
+)
+from ..wire.frames import EXCEPTION, ONEWAY, REPLY, REQUEST, Frame, MessageIdMinter
+from ..wire.refs import ObjectRef
+from .transport import Transport
+
+
+class RemoteError(DistributionError):
+    """An application exception raised by the remote object.
+
+    Attributes:
+        remote_type: class name of the original exception on the server.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+#: Exception classes that are reconstructed as themselves when they cross the
+#: wire (library errors plus common Python errors services raise).
+_RAISABLE: dict[str, type[BaseException]] = {
+    name: obj for name, obj in vars(kernel_errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+}
+_RAISABLE.update({
+    "KeyError": KeyError, "ValueError": ValueError, "TypeError": TypeError,
+    "IndexError": IndexError, "FileNotFoundError": FileNotFoundError,
+    "PermissionError": PermissionError, "RuntimeError": RuntimeError,
+    "LookupError": LookupError, "ZeroDivisionError": ZeroDivisionError,
+})
+
+
+class RpcProtocol:
+    """Synchronous request/reply over the simulated transport."""
+
+    def __init__(self, system, transport: Transport | None = None):
+        self.system = system
+        self.transport = transport or system.transport or Transport(system)
+        self.lrpc_enabled = True
+        #: Send time of the most recent call's first attempt (promise layer).
+        self.last_sent_at: float | None = None
+        self._minters: dict[str, MessageIdMinter] = {}
+        self.stats = {"calls": 0, "oneways": 0, "retries": 0, "timeouts": 0,
+                      "local_fast_path": 0, "remote_exceptions": 0}
+        system.rpc = self
+
+    # -- public API ---------------------------------------------------------
+
+    def call(self, src: Context, ref: ObjectRef, verb: str,
+             args: tuple = (), kwargs: dict | None = None) -> Any:
+        """Invoke ``verb`` on the object named by ``ref``, blocking for the reply.
+
+        Raises the remote exception locally; raises
+        :class:`~repro.kernel.errors.RpcTimeout` when the retry budget is
+        exhausted without a reply.
+        """
+        kwargs = kwargs or {}
+        self.stats["calls"] += 1
+        if self.lrpc_enabled and ref.context_id == src.context_id:
+            return self._local_call(src, ref, verb, args, kwargs)
+        frame = Frame(REQUEST, self._mint(src), src.context_id, ref.context_id,
+                      target=ref.oid, verb=verb, body=(tuple(args), kwargs))
+        data = self.transport.encode_frame(frame)
+        costs = self.system.costs
+        attempts = 1 + costs.rpc_max_retries
+        # The retransmission timer scales with the request size: a bulk
+        # argument legitimately takes longer than the base timeout to even
+        # reach the server (Birrell-Nelson RPC used per-packet acks for the
+        # same reason).
+        patience = costs.rpc_timeout + 2 * self.system.network.transit_time(
+            src.node.name, ref.node_name, len(data))
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.stats["retries"] += 1
+            sent_at = src.clock.now
+            if attempt == 0:
+                # Consumed by the promise layer to overlap round trips.
+                self.last_sent_at = sent_at
+            deadline = sent_at + patience
+            reply = self._attempt(src, frame, data, sent_at, deadline)
+            if reply is not None:
+                return self._accept(src, ref, reply)
+            src.clock.advance_to(deadline)
+        self.stats["timeouts"] += 1
+        raise RpcTimeout(
+            f"{verb!r} on {ref} failed after {attempts} attempts "
+            f"({patience * 1e3:.1f} ms timeout each)")
+
+    def send_oneway(self, src: Context, ref: ObjectRef, verb: str,
+                    args: tuple = (), kwargs: dict | None = None) -> None:
+        """Fire-and-forget invocation: no reply, no delivery guarantee."""
+        self.stats["oneways"] += 1
+        kwargs = kwargs or {}
+        if self.lrpc_enabled and ref.context_id == src.context_id:
+            try:
+                self._local_call(src, ref, verb, args, kwargs)
+            except ReproError:
+                pass
+            return
+        frame = Frame(ONEWAY, self._mint(src), src.context_id, ref.context_id,
+                      target=ref.oid, verb=verb, body=(tuple(args), kwargs))
+        data = self.transport.encode_frame(frame)
+        delivery = self.transport.transmit(frame, data, src.clock.now)
+        if delivery.delivered:
+            dst = self.system.context(ref.context_id)
+            if dst.handler is not None:
+                dst.handler(data, delivery.arrive_time)
+
+    # -- one attempt -----------------------------------------------------------
+
+    def _attempt(self, src: Context, frame: Frame, data: bytes,
+                 sent_at: float, deadline: float):
+        """One request transmission; returns the decoded reply frame or None."""
+        delivery = self.transport.transmit(frame, data, sent_at)
+        if not delivery.delivered:
+            return None
+        try:
+            dst = self.system.context(frame.dst)
+        except kernel_errors.ConfigurationError:
+            return None
+        if dst.handler is None or not dst.alive:
+            return None
+        outcome = dst.handler(data, delivery.arrive_time)
+        if outcome is None:
+            return None
+        reply_data, ready = outcome
+        pseudo = Frame(REPLY, frame.msg_id, frame.dst, frame.src)
+        back = self.transport.transmit(pseudo, reply_data, ready)
+        if not back.delivered:
+            return None
+        # Birrell-Nelson semantics: the retransmission timer exists to
+        # detect *loss*, not slow servers — a live server's retransmission
+        # acks keep the caller waiting as long as work is in progress.  In
+        # the simulation, "both legs delivered" is exactly that case, so
+        # the reply is accepted whenever it arrives; only a lost leg
+        # triggers the timeout path.  (``deadline`` still paces the waits
+        # between retransmissions on the loss path.)
+        src.clock.advance_to(back.arrive_time)
+        src.charge(self.transport.unmarshal_cost(len(reply_data)))
+        return self.transport.decode_frame(reply_data, src)
+
+    def _accept(self, src: Context, ref: ObjectRef, reply: Frame) -> Any:
+        """Turn a reply frame into a return value or a raised exception."""
+        if reply.kind == REPLY:
+            return reply.body
+        if reply.kind == EXCEPTION:
+            self.stats["remote_exceptions"] += 1
+            name, message, detail = reply.body
+            if name == "ObjectMoved":
+                forward = None
+                if detail is not None:
+                    ctx_id, oid, iface, epoch, policy = detail
+                    forward = ObjectRef(ctx_id, oid, iface, epoch, policy)
+                raise ObjectMoved(message, forward=forward)
+            klass = _RAISABLE.get(name)
+            if klass is not None:
+                raise klass(message)
+            raise RemoteError(name, message)
+        raise kernel_errors.ProtocolError(f"unexpected reply kind {reply.kind!r}")
+
+    # -- local fast path ---------------------------------------------------------
+
+    def _local_call(self, src: Context, ref: ObjectRef, verb: str,
+                    args: tuple, kwargs: dict) -> Any:
+        """Same-context invocation: plain procedure call, no marshalling."""
+        self.stats["local_fast_path"] += 1
+        entry = src.exports.get(ref.oid)
+        if entry is None or entry.revoked:
+            raise DanglingReference(
+                f"context {src.context_id!r} exports no object {ref.oid!r}")
+        if entry.moved_to is not None:
+            raise ObjectMoved(f"object {ref.oid!r} migrated", forward=entry.moved_to)
+        if verb not in entry.interface:
+            raise InterfaceError(
+                f"interface {entry.interface.name!r} declares no operation {verb!r}")
+        op = entry.interface.operation(verb)
+        src.charge(self.system.costs.local_call + op.compute)
+        self.system.trace.emit(src.clock.now, "invoke", src.context_id,
+                               src.context_id, f"{verb}")
+        return getattr(entry.obj, verb)(*args, **kwargs)
+
+    def _mint(self, src: Context) -> int:
+        minter = self._minters.get(src.context_id)
+        if minter is None:
+            minter = MessageIdMinter()
+            self._minters[src.context_id] = minter
+        return minter.mint()

@@ -1,0 +1,74 @@
+"""Dynamic client stubs — the pre-proxy baseline.
+
+A :class:`RemoteStub` is what 1984-style RPC gives you: a thin,
+client-instantiated forwarder with **no** service-supplied intelligence.
+Every attribute access resolves (via ``__getattr__``) to a bound remote
+invocation.  Contrast with :mod:`repro.core.proxy`, where the *service*
+chooses the representative's implementation.
+
+Stubs exist in this library for two reasons: they are the E1/E5 baseline the
+proxy principle is measured against, and they demonstrate that the proxy
+mechanism strictly generalises stubs (the ``stub`` policy in
+:mod:`repro.core.policies` behaves identically).
+"""
+
+from __future__ import annotations
+
+
+from typing import Any
+
+from ..iface.interface import Interface
+from ..kernel.context import Context
+from ..kernel.errors import InterfaceError
+from ..wire.refs import ObjectRef
+
+
+class RemoteStub:
+    """Client-side forwarder for one remote object.
+
+    Attributes prefixed ``stub_`` are local; everything else is treated as a
+    remote operation name.
+    """
+
+    def __init__(self, context: Context, ref: ObjectRef,
+                 interface: Interface | None = None, protocol=None):
+        self.stub_context = context
+        self.stub_ref = ref
+        self.stub_interface = interface
+        self.stub_protocol = protocol or context.system.rpc
+
+    def __getattr__(self, verb: str) -> Any:
+        if verb.startswith("stub_") or verb.startswith("_"):
+            raise AttributeError(verb)
+        iface = self.stub_interface
+        if iface is not None and verb not in iface:
+            raise InterfaceError(
+                f"interface {iface.name!r} declares no operation {verb!r}")
+        if iface is not None and iface.operation(verb).oneway:
+            return _BoundOperation(self, verb, oneway=True)
+        return _BoundOperation(self, verb)
+
+    def __repr__(self) -> str:
+        return f"RemoteStub({self.stub_ref})"
+
+
+class _BoundOperation:
+    """One callable remote operation, bound to a stub."""
+
+    __slots__ = ("_stub", "_verb", "_oneway")
+
+    def __init__(self, stub: RemoteStub, verb: str, oneway: bool = False):
+        self._stub = stub
+        self._verb = verb
+        self._oneway = oneway
+
+    def __call__(self, *args, **kwargs):
+        stub = self._stub
+        if self._oneway:
+            return stub.stub_protocol.send_oneway(
+                stub.stub_context, stub.stub_ref, self._verb, args, kwargs)
+        return stub.stub_protocol.call(stub.stub_context, stub.stub_ref,
+                                       self._verb, args, kwargs)
+
+    def __repr__(self) -> str:
+        return f"<remote operation {self._verb!r} on {self._stub.stub_ref}>"

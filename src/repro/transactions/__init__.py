@@ -1,0 +1,10 @@
+"""Transactions: optimistic concurrency control behind proxies (extension)."""
+
+from .client import Transaction, run_transaction
+from .coordinator import TransactionCoordinator
+from .participant import VersionedKVStore
+
+__all__ = [
+    "Transaction", "TransactionCoordinator", "VersionedKVStore",
+    "run_transaction",
+]

@@ -1,0 +1,91 @@
+"""The client side of optimistic transactions.
+
+A :class:`Transaction` wraps any number of versioned stores (their
+proxies).  Reads go to the stores immediately and record the versions seen;
+writes buffer locally.  ``commit`` ships the read set and write set to the
+coordinator in one request.  No locks, no blocking: conflicts surface as a
+``False`` commit, and :func:`run_transaction` retries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..kernel.errors import ProtocolError
+
+
+class Transaction:
+    """One optimistic transaction over any number of versioned stores."""
+
+    def __init__(self, coordinator):
+        self.coordinator = coordinator
+        self.txid = coordinator.begin()
+        self._reads: list[tuple[Any, str, int]] = []
+        self._writes: dict[tuple[int, str], tuple[Any, Any]] = {}
+        self._finished = False
+
+    def read(self, store, key: str) -> Any:
+        """Transactional read: buffered value if this transaction wrote the
+        key, else the store's current value (version recorded)."""
+        self._check_open()
+        buffered = self._writes.get((id(store), key))
+        if buffered is not None:
+            return buffered[1]
+        value, version = store.read(key)
+        self._reads.append((store, key, version))
+        return value
+
+    def write(self, store, key: str, value: Any) -> None:
+        """Transactional write: buffered until commit."""
+        self._check_open()
+        self._writes[(id(store), key)] = (store, value)
+
+    def commit(self) -> bool:
+        """Validate and apply through the coordinator; one round trip."""
+        self._check_open()
+        self._finished = True
+        if not self._writes:
+            # Read-only transactions still validate, for serialisability.
+            if not self._reads:
+                return True
+        reads = [[store, key, version]
+                 for store, key, version in self._reads]
+        writes = [[store, key, value]
+                  for (_, key), (store, value) in self._writes.items()]
+        return self.coordinator.commit(self.txid, reads, writes)
+
+    def abort(self) -> None:
+        """Drop the transaction (nothing was ever applied)."""
+        self._finished = True
+        self._reads.clear()
+        self._writes.clear()
+
+    @property
+    def read_set_size(self) -> int:
+        """Number of recorded reads."""
+        return len(self._reads)
+
+    @property
+    def write_set_size(self) -> int:
+        """Number of buffered writes."""
+        return len(self._writes)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise ProtocolError("transaction already committed or aborted")
+
+
+def run_transaction(coordinator, body: Callable[[Transaction], Any],
+                    max_attempts: int = 16) -> tuple[Any, int]:
+    """Run ``body`` under a transaction, retrying on conflict.
+
+    Returns ``(body_result, attempts)``.  Raises ``ProtocolError`` when the
+    retry budget is exhausted (persistent contention).
+    """
+    for attempt in range(1, max_attempts + 1):
+        txn = Transaction(coordinator)
+        result = body(txn)
+        if txn.commit():
+            return result, attempt
+    raise ProtocolError(
+        f"transaction aborted {max_attempts} times; giving up")

@@ -1,0 +1,73 @@
+"""Transaction participants: versioned stores.
+
+A participant is an ordinary service — reachable only through proxies, like
+everything else — whose state carries per-key versions, giving the
+coordinator something to validate against (backward-validation optimistic
+concurrency control, the style Argus-era systems explored).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.service import Service
+from ..iface.interface import operation
+
+
+class VersionedKVStore(Service):
+    """A key-value store whose every key carries a monotonic version."""
+
+    default_policy = "stub"
+
+    def __init__(self):
+        #: key -> (value, version); absent key has implicit version 0.
+        self.cells: dict[str, tuple[Any, int]] = {}
+
+    @operation(readonly=True, compute=5e-6)
+    def read(self, key: str) -> list:
+        """``[value, version]`` for ``key`` (``[None, 0]`` when absent)."""
+        value, version = self.cells.get(key, (None, 0))
+        return [value, version]
+
+    @operation(readonly=True, compute=5e-6)
+    def versions(self, keys: list) -> list:
+        """Current versions of several keys, in order."""
+        return [self.cells.get(key, (None, 0))[1] for key in keys]
+
+    @operation(invalidates=("key",), compute=8e-6)
+    def write(self, key: str, value: Any) -> int:
+        """Unconditional write; returns the new version.
+
+        Provided for non-transactional clients; transactional writes go
+        through :meth:`apply`.
+        """
+        version = self.cells.get(key, (None, 0))[1] + 1
+        self.cells[key] = (value, version)
+        return version
+
+    @operation(compute=1e-5)
+    def apply(self, writes: list) -> list:
+        """Apply a batch of ``[key, value]`` writes atomically (locally);
+        returns the new versions, in order."""
+        new_versions = []
+        for key, value in writes:
+            version = self.cells.get(key, (None, 0))[1] + 1
+            self.cells[key] = (value, version)
+            new_versions.append(version)
+        return new_versions
+
+    @operation(readonly=True, compute=3e-6)
+    def snapshot(self) -> dict:
+        """Plain ``key -> value`` view (diagnostics/tests)."""
+        return {key: value for key, (value, _) in self.cells.items()}
+
+    # The versioned store is also a valid persistence/migration capsule.
+    def migrate_state(self):
+        return {"cells": {key: list(cell) for key, cell in self.cells.items()}}
+
+    @classmethod
+    def from_migration_state(cls, state):
+        obj = cls()
+        obj.cells = {key: (value, version)
+                     for key, (value, version) in state["cells"].items()}
+        return obj

@@ -1,0 +1,98 @@
+"""Message frames: the unit the transport carries between contexts.
+
+A frame is a small header (kind, message id, source, destination, target
+object, operation verb) plus a body value.  Frames are encoded with a
+:class:`~repro.wire.marshal.Marshaller`, so the swizzle hooks apply to the
+body — this is the single choke point through which every argument and
+result crosses a context boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..kernel.errors import ProtocolError
+from .marshal import Marshaller
+
+#: Frame kinds.
+REQUEST = "req"      #: call expecting a reply
+REPLY = "rep"        #: successful result
+EXCEPTION = "exc"    #: error result (body: (error_class_name, message, detail))
+ONEWAY = "one"       #: fire-and-forget notification (no reply)
+
+_KINDS = {REQUEST, REPLY, EXCEPTION, ONEWAY}
+
+
+@dataclass
+class Frame:
+    """One message.
+
+    Attributes:
+        kind: one of :data:`REQUEST`, :data:`REPLY`, :data:`EXCEPTION`,
+            :data:`ONEWAY`.
+        msg_id: sender-unique id used for reply matching and dedup.
+        src: sending context id.
+        dst: destination context id.
+        target: oid of the object addressed (requests/oneways).
+        verb: operation name (requests/oneways) or ``""``.
+        body: payload value — ``(args, kwargs)`` for requests, the result for
+            replies, ``(class_name, message, detail)`` for exceptions.
+        headers: optional extra key/value pairs (protocol extensions).
+    """
+
+    kind: str
+    msg_id: int
+    src: str
+    dst: str
+    target: str = ""
+    verb: str = ""
+    body: Any = None
+    headers: dict = field(default_factory=dict)
+
+    def encode(self, marshaller: Marshaller) -> bytes:
+        """Encode the frame (hooks of ``marshaller`` apply to the body)."""
+        if self.kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {self.kind!r}")
+        return marshaller.encode([
+            self.kind, self.msg_id, self.src, self.dst,
+            self.target, self.verb, self.body, self.headers,
+        ])
+
+    @classmethod
+    def decode(cls, data: bytes, marshaller: Marshaller) -> "Frame":
+        """Decode wire bytes into a frame (hooks apply to the body)."""
+        fields = marshaller.decode(data)
+        if not isinstance(fields, list) or len(fields) != 8:
+            raise ProtocolError("malformed frame")
+        kind, msg_id, src, dst, target, verb, body, headers = fields
+        if kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {kind!r}")
+        return cls(kind, msg_id, src, dst, target, verb, body, headers)
+
+    def reply_to(self, body: Any) -> "Frame":
+        """Build the successful reply to this request."""
+        return Frame(REPLY, self.msg_id, self.dst, self.src, body=body)
+
+    def exception_to(self, error_class: str, message: str,
+                     detail: Any = None) -> "Frame":
+        """Build the error reply to this request."""
+        return Frame(EXCEPTION, self.msg_id, self.dst, self.src,
+                     body=(error_class, message, detail))
+
+    def __repr__(self) -> str:
+        return (f"Frame({self.kind}, #{self.msg_id}, {self.src}->{self.dst}, "
+                f"{self.target}.{self.verb})")
+
+
+class MessageIdMinter:
+    """Mints per-context message ids (unique within one sender)."""
+
+    def __init__(self):
+        self._next = 1
+
+    def mint(self) -> int:
+        """Return a fresh message id."""
+        msg_id = self._next
+        self._next += 1
+        return msg_id

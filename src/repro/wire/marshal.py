@@ -1,0 +1,240 @@
+"""The wire format: a self-describing tagged binary encoding.
+
+Hand-rolled (no ``pickle``) for three reasons: the byte count must be an
+honest input to the network cost model; unmarshalling must never execute
+arbitrary code; and the encoder needs *swizzle hooks* — the mechanism by
+which the proxy principle is enforced.  When an exported object is about to
+cross a context boundary, the encoder hook replaces it with an
+:class:`~repro.wire.refs.ObjectRef`; the decoder hook on the far side turns
+that ref into a proxy.  Application data passes by value.
+
+Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
+``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict``, ``set``,
+``frozenset``, :class:`ObjectRef`, plus anything the hooks translate.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from ..kernel.errors import MarshalError
+from .refs import ObjectRef
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_BIGINT = b"I"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+_TAG_SET = b"S"
+_TAG_FROZENSET = b"Z"
+_TAG_REF = b"R"
+
+#: Encoder hook: given a value the base encoder cannot handle (or any value,
+#: since hooks run first), return a replacement value or ``None`` to decline.
+EncoderHook = Callable[[Any], Any]
+
+#: Decoder hook: given a decoded :class:`ObjectRef`, return what application
+#: code should see (a proxy).  Returning the ref unchanged is allowed.
+DecoderHook = Callable[[ObjectRef], Any]
+
+
+class Marshaller:
+    """Encodes and decodes wire values, applying optional swizzle hooks."""
+
+    def __init__(self, encoder_hook: EncoderHook | None = None,
+                 decoder_hook: DecoderHook | None = None):
+        self.encoder_hook = encoder_hook
+        self.decoder_hook = decoder_hook
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, value: Any) -> bytes:
+        """Encode ``value`` to wire bytes."""
+        out = bytearray()
+        self._encode_into(value, out)
+        return bytes(out)
+
+    def _encode_into(self, value: Any, out: bytearray) -> None:
+        if self.encoder_hook is not None:
+            replacement = self.encoder_hook(value)
+            if replacement is not None and replacement is not value:
+                value = replacement
+        if value is None:
+            out += _TAG_NONE
+        elif value is True:
+            out += _TAG_TRUE
+        elif value is False:
+            out += _TAG_FALSE
+        elif isinstance(value, int):
+            if -(2**63) <= value < 2**63:
+                out += _TAG_INT
+                out += _I64.pack(value)
+            else:
+                raw = value.to_bytes((value.bit_length() + 8) // 8 + 1,
+                                     "big", signed=True)
+                out += _TAG_BIGINT
+                out += _U32.pack(len(raw))
+                out += raw
+        elif isinstance(value, float):
+            out += _TAG_FLOAT
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            out += _TAG_STR
+            out += _U32.pack(len(raw))
+            out += raw
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            raw = bytes(value)
+            out += _TAG_BYTES
+            out += _U32.pack(len(raw))
+            out += raw
+        elif isinstance(value, ObjectRef):
+            self._encode_ref(value, out)
+        elif isinstance(value, list):
+            out += _TAG_LIST
+            out += _U32.pack(len(value))
+            for item in value:
+                self._encode_into(item, out)
+        elif isinstance(value, tuple):
+            out += _TAG_TUPLE
+            out += _U32.pack(len(value))
+            for item in value:
+                self._encode_into(item, out)
+        elif isinstance(value, dict):
+            out += _TAG_DICT
+            out += _U32.pack(len(value))
+            for key, val in value.items():
+                self._encode_into(key, out)
+                self._encode_into(val, out)
+        elif isinstance(value, frozenset):
+            out += _TAG_FROZENSET
+            out += _U32.pack(len(value))
+            for item in sorted(value, key=repr):
+                self._encode_into(item, out)
+        elif isinstance(value, set):
+            out += _TAG_SET
+            out += _U32.pack(len(value))
+            for item in sorted(value, key=repr):
+                self._encode_into(item, out)
+        else:
+            raise MarshalError(
+                f"cannot marshal {type(value).__name__!r} value {value!r}; "
+                "pass plain data, or export the object so it travels by reference")
+
+    def _encode_ref(self, ref: ObjectRef, out: bytearray) -> None:
+        out += _TAG_REF
+        for field in (ref.context_id, ref.oid, ref.interface, ref.policy):
+            raw = field.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+        out += _I64.pack(ref.epoch)
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, data: bytes) -> Any:
+        """Decode wire bytes produced by :meth:`encode`."""
+        value, offset = self._decode_from(data, 0)
+        if offset != len(data):
+            raise MarshalError(f"trailing garbage: {len(data) - offset} bytes")
+        return value
+
+    def _decode_from(self, data: bytes, offset: int) -> tuple[Any, int]:
+        try:
+            tag = data[offset:offset + 1]
+            offset += 1
+            if tag == _TAG_NONE:
+                return None, offset
+            if tag == _TAG_TRUE:
+                return True, offset
+            if tag == _TAG_FALSE:
+                return False, offset
+            if tag == _TAG_INT:
+                (value,) = _I64.unpack_from(data, offset)
+                return value, offset + 8
+            if tag == _TAG_BIGINT:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                raw = data[offset:offset + length]
+                return int.from_bytes(raw, "big", signed=True), offset + length
+            if tag == _TAG_FLOAT:
+                (value,) = _F64.unpack_from(data, offset)
+                return value, offset + 8
+            if tag == _TAG_STR:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                raw = data[offset:offset + length]
+                if len(raw) != length:
+                    raise MarshalError("truncated string")
+                return raw.decode("utf-8"), offset + length
+            if tag == _TAG_BYTES:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                raw = data[offset:offset + length]
+                if len(raw) != length:
+                    raise MarshalError("truncated bytes")
+                return raw, offset + length
+            if tag == _TAG_REF:
+                return self._decode_ref(data, offset)
+            if tag in (_TAG_LIST, _TAG_TUPLE, _TAG_SET, _TAG_FROZENSET):
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                items = []
+                for _ in range(length):
+                    item, offset = self._decode_from(data, offset)
+                    items.append(item)
+                if tag == _TAG_LIST:
+                    return items, offset
+                if tag == _TAG_TUPLE:
+                    return tuple(items), offset
+                if tag == _TAG_SET:
+                    return set(items), offset
+                return frozenset(items), offset
+            if tag == _TAG_DICT:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                result = {}
+                for _ in range(length):
+                    key, offset = self._decode_from(data, offset)
+                    val, offset = self._decode_from(data, offset)
+                    result[key] = val
+                return result, offset
+        except (struct.error, IndexError) as exc:
+            raise MarshalError(f"truncated wire data at offset {offset}") from exc
+        raise MarshalError(f"unknown wire tag {tag!r} at offset {offset - 1}")
+
+    def _decode_ref(self, data: bytes, offset: int) -> tuple[Any, int]:
+        fields = []
+        for _ in range(4):
+            (length,) = _U32.unpack_from(data, offset)
+            offset += 4
+            raw = data[offset:offset + length]
+            if len(raw) != length:
+                raise MarshalError("truncated ref")
+            fields.append(raw.decode("utf-8"))
+            offset += length
+        (epoch,) = _I64.unpack_from(data, offset)
+        offset += 8
+        ref = ObjectRef(fields[0], fields[1], fields[2], epoch, fields[3])
+        if self.decoder_hook is not None:
+            return self.decoder_hook(ref), offset
+        return ref, offset
+
+
+#: A hook-free marshaller, for layers that must see raw refs (naming, GC).
+PLAIN = Marshaller()
+
+
+def wire_size(value: Any) -> int:
+    """Byte size of ``value`` on the wire (hook-free encoding)."""
+    return len(PLAIN.encode(value))

@@ -1,0 +1,24 @@
+"""Workload generation: key distributions, sessions, interleaving driver."""
+
+from .distributions import (
+    HotspotSampler,
+    SingleKeySampler,
+    UniformSampler,
+    ZipfSampler,
+    key_name,
+    payload,
+)
+from .sessions import (
+    OpMix,
+    RunResult,
+    Session,
+    dsm_session,
+    proxy_session,
+    run_interleaved,
+)
+
+__all__ = [
+    "HotspotSampler", "OpMix", "RunResult", "Session", "SingleKeySampler",
+    "UniformSampler", "ZipfSampler", "dsm_session", "key_name", "payload",
+    "proxy_session", "run_interleaved",
+]

@@ -1,0 +1,150 @@
+"""Tests for the example services, both direct and through proxies."""
+
+import pytest
+
+import repro
+from repro.apps.counter import Counter, StatsAccumulator
+from repro.apps.files import BlockFileService, FileService
+from repro.apps.kv import CachedKVStore, KVStore
+from repro.apps.mailbox import Mailbox
+
+
+class TestKVStore:
+    def test_basic_operations(self):
+        store = KVStore()
+        assert store.get("a") is None
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert store.contains("a")
+        assert store.size() == 1
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+
+    def test_prefix_listing(self):
+        store = KVStore()
+        for key in ("u/1", "u/2", "v/1"):
+            store.put(key, key)
+        assert store.keys_with_prefix("u/") == ["u/1", "u/2"]
+
+    def test_interface_metadata(self):
+        iface = KVStore.interface()
+        assert iface.operation("get").readonly
+        assert iface.operation("put").invalidates == ("key",)
+        assert not iface.operation("put").readonly
+
+    def test_cached_variant_differs_only_in_policy(self):
+        assert CachedKVStore.default_policy == "caching"
+        assert KVStore.interface().names() == \
+            [name for name in CachedKVStore.interface().names()]
+
+
+class TestFileService:
+    def test_write_read(self):
+        files = FileService()
+        assert files.write_file("/a.txt", b"hello") == 5
+        assert files.read_file("/a.txt") == b"hello"
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            FileService().read_file("/ghost")
+        with pytest.raises(FileNotFoundError):
+            FileService().stat("/ghost")
+
+    def test_stat_and_list(self):
+        files = FileService()
+        files.write_file("/d/a", b"xx")
+        files.write_file("/d/b", b"yyy")
+        assert files.stat("/d/b")["size"] == 3
+        assert files.list_files("/d/") == ["/d/a", "/d/b"]
+
+    def test_delete(self):
+        files = FileService()
+        files.write_file("/a", b"1")
+        assert files.delete_file("/a") is True
+        assert files.delete_file("/a") is False
+
+
+class TestBlockFileService:
+    def test_block_roundtrip(self):
+        files = BlockFileService(block_size=4)
+        files.write_block("/f", 0, b"abcd")
+        files.write_block("/f", 1, b"ef")
+        assert files.read_block("/f", 0) == b"abcd"
+        assert files.read_block("/f", 1) == b"ef"
+        assert files.file_length("/f") == 6
+
+    def test_oversized_block_truncated(self):
+        files = BlockFileService(block_size=4)
+        files.write_block("/f", 0, b"abcdefgh")
+        assert files.read_block("/f", 0) == b"abcd"
+
+    def test_hole_reads_empty(self):
+        files = BlockFileService()
+        files.write_block("/f", 2, b"z")
+        assert files.read_block("/f", 0) == b""
+
+    def test_truncate(self):
+        files = BlockFileService()
+        files.write_block("/f", 0, b"data")
+        assert files.truncate("/f") is True
+        with pytest.raises(FileNotFoundError):
+            files.file_length("/f")
+
+    def test_remote_block_file_via_proxy(self, pair):
+        system, server, client = pair
+        repro.register(server, "files", BlockFileService())
+        files = repro.bind(client, "files")
+        files.write_block("/big", 0, b"block0")
+        assert files.read_block("/big", 0) == b"block0"
+        # Cache hit on re-read: the caching policy is the class default.
+        before = client.now
+        files.read_block("/big", 0)
+        assert client.now - before < system.costs.remote_latency
+
+
+class TestMailbox:
+    def test_post_fetch(self):
+        box = Mailbox()
+        box.post("alice", "hi")
+        box.post("bob", "yo")
+        assert box.count() == 2
+        assert box.fetch(0, 10) == [["alice", "hi"], ["bob", "yo"]]
+        assert box.fetch(1, 1) == [["bob", "yo"]]
+
+    def test_capacity_drops_oldest(self):
+        box = Mailbox(capacity=2)
+        for index in range(4):
+            box.post("s", f"m{index}")
+        assert [body for _, body in box._messages] == ["m2", "m3"]
+
+    def test_drain(self):
+        box = Mailbox()
+        box.post("a", "x")
+        assert box.drain() == 1
+        assert box.count() == 0
+
+
+class TestCounters:
+    def test_counter_arithmetic(self):
+        counter = Counter(10)
+        assert counter.incr() == 11
+        assert counter.incr(5) == 16
+        assert counter.decr(6) == 10
+        assert counter.read() == 10
+        assert counter.reset() == 10
+        assert counter.read() == 0
+
+    def test_stats_accumulator(self):
+        acc = StatsAccumulator()
+        for value in (1.0, 2.0, 3.0):
+            acc.observe(value)
+        summary = acc.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty_accumulator_summary(self):
+        summary = StatsAccumulator().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0

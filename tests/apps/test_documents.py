@@ -1,0 +1,114 @@
+"""Tests for the collaborative document service."""
+
+import pytest
+
+import repro
+from repro.apps.documents import DocumentStore
+from repro.core.export import get_space
+from repro.metrics.counters import MessageWindow
+
+
+class TestDocumentStoreUnit:
+    @pytest.fixture
+    def docs(self):
+        store = DocumentStore()
+        store.create_document("spec")
+        return store
+
+    def test_create_and_list(self, docs):
+        assert docs.list_documents() == ["spec"]
+        assert docs.create_document("spec") is False
+        assert docs.create_document("notes") is True
+        assert docs.list_documents() == ["notes", "spec"]
+
+    def test_missing_document_raises(self, docs):
+        with pytest.raises(KeyError):
+            docs.outline("ghost")
+
+    def test_edit_and_read(self, docs):
+        version = docs.edit_section("spec", "intro", "Hello.", 0, "ada")
+        assert version == 1
+        assert docs.read_section("spec", "intro") == ["Hello.", 1, "ada"]
+        assert docs.outline("spec") == ["intro"]
+
+    def test_version_conflict_rejected(self, docs):
+        docs.edit_section("spec", "intro", "v1 text", 0, "ada")
+        with pytest.raises(ValueError):
+            docs.edit_section("spec", "intro", "clobber", 0, "bob")
+        assert docs.read_section("spec", "intro")[0] == "v1 text"
+
+    def test_sequential_edits_bump_versions(self, docs):
+        docs.edit_section("spec", "intro", "one", 0, "ada")
+        docs.edit_section("spec", "intro", "two", 1, "bob")
+        assert docs.read_section("spec", "intro") == ["two", 2, "bob"]
+
+    def test_delete_section(self, docs):
+        docs.edit_section("spec", "intro", "x", 0, "ada")
+        assert docs.delete_section("spec", "intro") is True
+        assert docs.delete_section("spec", "intro") is False
+        assert docs.read_section("spec", "intro") == ["", 0, ""]
+
+    def test_render_and_word_count(self, docs):
+        docs.edit_section("spec", "a-intro", "three small words", 0, "ada")
+        docs.edit_section("spec", "b-body", "two words", 0, "bob")
+        rendered = docs.render("spec")
+        assert rendered.index("a-intro") < rendered.index("b-body")
+        assert "(v1, ada)" in rendered
+        assert docs.word_count("spec") == 5
+
+    def test_migration_capsule(self, docs):
+        docs.edit_section("spec", "intro", "persist me", 0, "ada")
+        clone = DocumentStore.from_migration_state(docs.migrate_state())
+        assert clone.read_section("spec", "intro") == ["persist me", 1, "ada"]
+
+
+class TestCollaboration:
+    @pytest.fixture
+    def office(self, star):
+        system, server, clients = star
+        store = DocumentStore()
+        repro.register(server, "docs", store)
+        editors = [repro.bind(ctx, "docs") for ctx in clients]
+        editors[0].create_document("plan")
+        return system, store, editors
+
+    def test_concurrent_editors_cannot_clobber(self, office):
+        system, store, editors = office
+        ada, bob = editors[0], editors[1]
+        ada.edit_section("plan", "goals", "ship it", 0, "ada")
+        __, version, __ = bob.read_section("plan", "goals")
+        ada.edit_section("plan", "goals", "ship it twice", version, "ada")
+        with pytest.raises(ValueError):
+            bob.edit_section("plan", "goals", "stale edit", version, "bob")
+        assert store.read_section("plan", "goals")[0] == "ship it twice"
+
+    def test_reads_are_cached_and_invalidated(self, office):
+        system, store, editors = office
+        ada, bob = editors[0], editors[1]
+        ada.edit_section("plan", "goals", "v1", 0, "ada")
+        assert bob.read_section("plan", "goals")[0] == "v1"
+        with MessageWindow(system) as window:
+            bob.read_section("plan", "goals")
+        assert window.report.messages == 0, "second read from cache"
+        ada.edit_section("plan", "goals", "v2", 1, "ada")
+        assert bob.read_section("plan", "goals")[0] == "v2", \
+            "edit must invalidate bob's cached section"
+
+    def test_outline_cache_tracks_structure(self, office):
+        system, store, editors = office
+        ada, bob = editors[0], editors[1]
+        bob.outline("plan")
+        ada.edit_section("plan", "new-section", "text", 0, "ada")
+        assert "new-section" in bob.outline("plan")
+
+    def test_document_survives_crash_with_checkpoint(self, office):
+        from repro.persistence import (PersistenceManager, crash_node,
+                                       recover_context)
+        system, store, editors = office
+        server_ctx = system.context("server/main")
+        editors[0].edit_section("plan", "goals", "durable", 0, "ada")
+        PersistenceManager(get_space(server_ctx)).checkpoint(store)
+        crash_node(server_ctx.node)
+        server_ctx.node.restart()
+        recover_context(server_ctx)
+        assert editors[1].read_section("plan", "goals")[0] == "durable"

@@ -1,0 +1,120 @@
+"""Tests for the lock service and the work queue."""
+
+import pytest
+
+import repro
+from repro.apps.locks import LockService
+from repro.apps.queue import WorkQueue
+
+
+class TestLockService:
+    def test_acquire_release(self):
+        locks = LockService()
+        assert locks.try_acquire("m", "alice") is True
+        assert locks.holder("m") == "alice"
+        assert locks.release("m", "alice") == ""
+        assert locks.holder("m") == ""
+
+    def test_contention(self):
+        locks = LockService()
+        locks.try_acquire("m", "alice")
+        assert locks.try_acquire("m", "bob") is False
+
+    def test_reentrant_for_same_owner(self):
+        locks = LockService()
+        locks.try_acquire("m", "alice")
+        assert locks.try_acquire("m", "alice") is True
+
+    def test_fifo_handoff(self):
+        locks = LockService()
+        locks.try_acquire("m", "alice")
+        assert locks.enqueue("m", "bob") == 0
+        assert locks.enqueue("m", "carol") == 1
+        assert locks.release("m", "alice") == "bob"
+        assert locks.holder("m") == "bob"
+        assert locks.release("m", "bob") == "carol"
+
+    def test_release_without_holding_rejected(self):
+        locks = LockService()
+        with pytest.raises(PermissionError):
+            locks.release("m", "impostor")
+
+    def test_distributed_mutual_exclusion(self, star):
+        system, server, clients = star
+        repro.register(server, "locks", LockService())
+        proxies = [repro.bind(ctx, "locks") for ctx in clients]
+        grabbed = [proxy.try_acquire("resource", f"c{i}")
+                   for i, proxy in enumerate(proxies)]
+        assert grabbed == [True, False, False], "exactly one winner"
+        assert proxies[1].holder("resource") == "c0"
+
+    def test_remote_error_propagates(self, pair):
+        system, server, client = pair
+        repro.register(server, "locks", LockService())
+        proxy = repro.bind(client, "locks")
+        with pytest.raises(PermissionError):
+            proxy.release("m", "nobody")
+
+
+class TestWorkQueue:
+    def test_fifo_order(self):
+        queue = WorkQueue()
+        queue.submit("t1")
+        queue.submit("t2")
+        assert queue.take("w")[1] == "t1"
+        assert queue.take("w")[1] == "t2"
+        assert queue.take("w") is None
+
+    def test_ack_lifecycle(self):
+        queue = WorkQueue()
+        task_id = queue.submit("job")
+        taken_id, _ = queue.take("w")
+        assert taken_id == task_id
+        assert queue.ack(taken_id) is True
+        assert queue.ack(taken_id) is False
+        assert queue.stats() == {"pending": 0, "in_flight": 0, "done": 1}
+
+    def test_requeue_dead_worker(self):
+        queue = WorkQueue()
+        queue.submit("a")
+        queue.submit("b")
+        queue.take("w1")
+        queue.take("w1")
+        assert queue.requeue_worker("w1") == 2
+        assert queue.depth() == 2
+        # Requeued tasks keep their original ids and order.
+        assert queue.take("w2")[1] == "a"
+
+    def test_distributed_producers_consumers(self, star):
+        system, server, clients = star
+        repro.register(server, "work", WorkQueue())
+        producer = repro.bind(clients[0], "work")
+        consumer = repro.bind(clients[1], "work")
+        # The producer's proxy batches submissions (WorkQueue's default).
+        for index in range(10):
+            producer.submit(f"task{index}")
+        # A read flushes the batch; the consumer drains everything.
+        assert producer.depth() == 10
+        done = 0
+        while True:
+            item = consumer.take("worker-1")
+            if item is None:
+                break
+            consumer.ack(item[0])
+            done += 1
+        assert done == 10
+        assert consumer.stats()["done"] == 10
+
+    def test_crash_recovery_flow(self, star):
+        system, server, clients = star
+        repro.register(server, "work", WorkQueue())
+        boss = repro.bind(clients[0], "work")
+        worker = repro.bind(clients[1], "work")
+        boss.submit("critical")
+        boss.depth()                      # flush the batch
+        item = worker.take("w-dead")
+        assert item[1] == "critical"
+        # The worker dies; the boss requeues its in-flight work.
+        assert boss.requeue_worker("w-dead") == 1
+        survivor = repro.bind(clients[2], "work")
+        assert survivor.take("w-alive")[1] == "critical"

@@ -1,0 +1,191 @@
+"""Tests for the caching proxy: hits, TTL, invalidation, coherence."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.policies.caching import CachingProxy, invalidated_values
+from repro.iface.interface import Operation
+from repro.metrics.counters import MessageWindow
+
+
+def deploy(server, policy_config):
+    store = KVStore()
+    get_space(server).export(store, policy="caching", config=policy_config)
+    repro.register(server, "kv", store)
+    return store
+
+
+class TestReadCaching:
+    def test_repeat_reads_hit_cache(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": True})
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        with MessageWindow(system) as window:
+            first = proxy.get("k")
+            second = proxy.get("k")
+            third = proxy.get("k")
+        assert first == second == third == 1
+        assert window.report.messages == 2, "one round trip, two hits"
+        assert proxy.proxy_stats["hits"] == 2
+
+    def test_cache_hit_is_fast(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": True})
+        proxy = repro.bind(client, "kv")
+        proxy.get("k")
+        before = client.now
+        proxy.get("k")
+        assert client.now - before < system.costs.ipc_latency
+
+    def test_distinct_keys_cached_separately(self, pair):
+        system, server, client = pair
+        store = deploy(server, {"invalidation": True})
+        store.data.update(a=1, b=2)
+        proxy = repro.bind(client, "kv")
+        assert proxy.get("a") == 1
+        assert proxy.get("b") == 2
+        assert proxy.proxy_stats["misses"] == 2
+
+    def test_readonly_with_kwargs_bypasses_cache(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": True})
+        proxy = repro.bind(client, "kv")
+        proxy.get(key="k")
+        proxy.get(key="k")
+        assert proxy.proxy_stats["hits"] == 0
+
+
+class TestOwnWrites:
+    def test_own_write_invalidates_affected_key(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": False, "ttl": None})
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        assert proxy.get("k") == 1
+        proxy.put("k", 2)
+        assert proxy.get("k") == 2, "stale cache would return 1"
+
+    def test_own_write_keeps_unrelated_keys(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": False, "ttl": None})
+        proxy = repro.bind(client, "kv")
+        proxy.put("a", 1)
+        proxy.put("b", 2)
+        proxy.get("a")
+        proxy.get("b")
+        proxy.put("a", 3)
+        with MessageWindow(system) as window:
+            assert proxy.get("b") == 2
+        assert window.report.messages == 0, "b must still be cached"
+
+    def test_delete_invalidates(self, pair):
+        system, server, client = pair
+        deploy(server, {"invalidation": False, "ttl": None})
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        proxy.delete("k")
+        assert proxy.get("k") is None
+
+
+class TestTtl:
+    def test_entries_expire(self, pair):
+        system, server, client = pair
+        store = deploy(server, {"invalidation": False, "ttl": 0.01})
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        store.data["k"] = 99           # out-of-band server change
+        client.clock.advance(0.02)     # beyond the TTL
+        assert proxy.get("k") == 99
+
+    def test_entries_survive_within_ttl(self, pair):
+        system, server, client = pair
+        store = deploy(server, {"invalidation": False, "ttl": 10.0})
+        proxy = repro.bind(client, "kv")
+        proxy.get("k")
+        store.data["k"] = 99
+        assert proxy.get("k") is None, "within TTL the stale value stands"
+
+
+class TestServerInvalidation:
+    def test_other_clients_cache_is_invalidated(self, star):
+        system, server, clients = star
+        deploy(server, {"invalidation": True})
+        a = repro.bind(clients[0], "kv")
+        b = repro.bind(clients[1], "kv")
+        a.put("k", 1)
+        assert b.get("k") == 1
+        a.put("k", 2)
+        assert b.get("k") == 2, "b's cache entry must have been invalidated"
+
+    def test_uncached_writer_also_triggers_invalidation(self, star):
+        system, server, clients = star
+        store = deploy(server, {"invalidation": True})
+        reader = repro.bind(clients[0], "kv")
+        reader.put("k", 1)
+        assert reader.get("k") == 1
+        # A plain write arriving via a different client's caching proxy.
+        writer = repro.bind(clients[2], "kv")
+        writer.put("k", 7)
+        assert reader.get("k") == 7
+
+    def test_callback_registered_and_unregistered(self, pair):
+        system, server, client = pair
+        store = deploy(server, {"invalidation": True})
+        entry = get_space(server).entry(get_space(server).ref_of(store).oid)
+        control = entry.mutation_hooks[0]._control
+        proxy = repro.bind(client, "kv")
+        proxy.get("k")
+        assert control.subscribers == 1
+        get_space(client).discard(proxy)
+        assert control.subscribers == 0
+
+    def test_invalidation_messages_are_oneway(self, star):
+        system, server, clients = star
+        deploy(server, {"invalidation": True})
+        a = repro.bind(clients[0], "kv")
+        b = repro.bind(clients[1], "kv")
+        b.get("k")
+        mark = system.trace.mark()
+        a.put("k", 5)
+        labels = [ev.label for ev in system.trace.since(mark)
+                  if ev.kind == "send"]
+        assert any(label.startswith("one:") for label in labels)
+
+
+class TestInvalidatedValues:
+    def test_named_parameter(self):
+        op = Operation("put", ("key", "value"), invalidates=("key",))
+        assert invalidated_values(op, ("k1", 5), {}) == ["k1"]
+
+    def test_named_parameter_via_kwargs(self):
+        op = Operation("put", ("key", "value"), invalidates=("key",))
+        assert invalidated_values(op, (), {"key": "k2", "value": 5}) == ["k2"]
+
+    def test_no_metadata_means_flush_all(self):
+        op = Operation("mutate", ("a",))
+        assert invalidated_values(op, ("x",), {}) == ["*"]
+
+    def test_star_means_flush_all(self):
+        op = Operation("clear", (), invalidates=("*",))
+        assert invalidated_values(op, (), {}) == ["*"]
+
+
+class TestNoHandshakeFallback:
+    def test_ref_passed_by_value_degrades_to_ttl(self, pair):
+        """A caching ref arriving as an argument still works (TTL mode)."""
+        system, server, client = pair
+        store = deploy(server, {"invalidation": True})
+        holder = KVStore()
+        repro.register(server, "holder", holder)
+        holder_proxy = repro.bind(client, "holder")
+        # Server stores a reference to the cached store under "it":
+        holder.data["it"] = store
+        got = holder_proxy.get("it")
+        assert isinstance(got, CachingProxy)
+        got.put("z", 1)
+        assert got.get("z") == 1

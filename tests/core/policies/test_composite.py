@@ -1,0 +1,106 @@
+"""Tests for the composite policy: stacked proxy intelligences."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.errors import ConfigurationError
+from repro.metrics.counters import MessageWindow
+
+
+@pytest.fixture
+def cached_replicas(star):
+    """Caching stacked over a 3-way replica group, registered as 'kv'."""
+    system, server, clients = star
+    ref = repro.replicate([server, clients[1], clients[2]], KVStore,
+                          write_quorum=2, extra_layers=["caching"])
+    repro.register(server, "kv", ref)
+    return system, server, clients
+
+
+class TestCachingOverReplication:
+    def test_layers_instantiated_in_order(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        proxy.get("warm")
+        assert proxy.proxy_layers == ["CachingProxy", "ReplicatedProxy"]
+
+    def test_reads_hit_cache_after_first(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        assert proxy.get("k") == 1
+        with MessageWindow(system) as window:
+            assert proxy.get("k") == 1
+        assert window.report.messages == 0
+
+    def test_writes_fan_out_to_replicas(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        with MessageWindow(system) as window:
+            proxy.put("k", 1)
+        assert window.report.messages >= 6
+
+    def test_write_invalidates_outer_cache(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        proxy.put("k", 2)
+        assert proxy.get("k") == 2
+
+    def test_survives_replica_crash(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        server.node.crash()
+        assert proxy.get("k") == 1
+
+    def test_principle_holds(self, cached_replicas):
+        system, server, clients = cached_replicas
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        repro.assert_principle(system)
+
+
+class TestConfiguration:
+    def test_empty_layers_rejected(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        with pytest.raises(ConfigurationError):
+            get_space(server).export(store, policy="composite",
+                                     config={"layers": []})
+
+    def test_nested_composite_rejected(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        with pytest.raises(ConfigurationError):
+            get_space(server).export(
+                store, policy="composite",
+                config={"layers": ["composite", "stub"]})
+
+    def test_unknown_layer_rejected(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        with pytest.raises(ConfigurationError):
+            get_space(server).export(store, policy="composite",
+                                     config={"layers": ["martian"]})
+
+    def test_tracing_over_caching(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        get_space(server).export(
+            store, policy="composite",
+            config={"layers": ["tracing", "caching"],
+                    "layer_configs": {"tracing": {"report_every": 1000},
+                                      "caching": {"invalidation": True}}})
+        repro.register(server, "kv", store)
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        for _ in range(4):
+            assert proxy.get("k") == 1
+        assert proxy.proxy_layers == ["TracingProxy", "CachingProxy"]
+        tracer = proxy._build_stack()[0]
+        assert tracer.proxy_trace["get"]["count"] == 4

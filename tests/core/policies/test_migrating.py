@@ -1,0 +1,123 @@
+"""Tests for the migrating proxy: thresholds, locality, shared access."""
+
+import pytest
+
+import repro
+from repro.apps.counter import Counter, MigratingCounter, StatsAccumulator
+from repro.core.export import get_space
+from repro.metrics.counters import MessageWindow
+
+
+def deploy(server, migrate_after=3):
+    counter = Counter()
+    get_space(server).export(counter, policy="migrating",
+                             config={"migrate_after": migrate_after})
+    repro.register(server, "ctr", counter)
+    return counter
+
+
+class TestMigrationTrigger:
+    def test_object_migrates_after_threshold(self, pair):
+        system, server, client = pair
+        deploy(server, migrate_after=3)
+        proxy = repro.bind(client, "ctr")
+        proxy.incr()
+        proxy.incr()
+        assert not proxy.proxy_is_local
+        proxy.incr()  # threshold reached: migrates, then executes
+        assert proxy.proxy_is_local
+        assert proxy.proxy_stats["migrations"] == 1
+
+    def test_state_survives_migration(self, pair):
+        system, server, client = pair
+        deploy(server, migrate_after=3)
+        proxy = repro.bind(client, "ctr")
+        for expected in range(1, 11):
+            assert proxy.incr() == expected
+
+    def test_post_migration_calls_are_message_free(self, pair):
+        system, server, client = pair
+        deploy(server, migrate_after=2)
+        proxy = repro.bind(client, "ctr")
+        for _ in range(5):
+            proxy.incr()
+        with MessageWindow(system) as window:
+            proxy.incr()
+        assert window.report.messages == 0
+
+    def test_below_threshold_stays_remote(self, pair):
+        system, server, client = pair
+        deploy(server, migrate_after=100)
+        proxy = repro.bind(client, "ctr")
+        for _ in range(10):
+            proxy.incr()
+        assert not proxy.proxy_is_local
+
+    def test_rich_state_migrates(self, pair):
+        system, server, client = pair
+        acc = StatsAccumulator()
+        get_space(server).export(acc, policy="migrating",
+                                 config={"migrate_after": 2})
+        repro.register(server, "stats", acc)
+        proxy = repro.bind(client, "stats")
+        for value in (1.0, 5.0, 3.0, -2.0):
+            proxy.observe(value)
+        summary = proxy.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == -2.0
+        assert summary["max"] == 5.0
+        assert proxy.proxy_is_local
+
+
+class TestSharedAccess:
+    def test_second_client_follows_the_object(self, star):
+        system, server, clients = star
+        deploy(server, migrate_after=2)
+        first = repro.bind(clients[0], "ctr")
+        for _ in range(4):
+            first.incr()
+        assert first.proxy_is_local
+        second = repro.bind(clients[1], "ctr")
+        assert second.incr() == 5
+        assert second.proxy_ref.context_id == clients[0].context_id
+
+    def test_object_can_migrate_again(self, star):
+        system, server, clients = star
+        deploy(server, migrate_after=2)
+        first = repro.bind(clients[0], "ctr")
+        for _ in range(3):
+            first.incr()
+        second = repro.bind(clients[1], "ctr")
+        for _ in range(5):
+            second.incr()
+        assert second.proxy_is_local, "hot object should follow the new client"
+        assert second.incr() == 9
+
+    def test_principle_holds_throughout(self, star):
+        system, server, clients = star
+        deploy(server, migrate_after=2)
+        proxies = [repro.bind(ctx, "ctr") for ctx in clients]
+        for proxy in proxies:
+            for _ in range(3):
+                proxy.incr()
+        repro.assert_principle(system)
+
+
+class TestNonMigratable:
+    def test_object_without_state_protocol_stays_put(self, pair):
+        system, server, client = pair
+
+        class Opaque:
+            """No migrate_state: cannot move."""
+
+            @repro.operation
+            def touch(self):
+                return "touched"
+
+        ref = get_space(server).export(Opaque(), policy="migrating",
+                                       config={"migrate_after": 1})
+        proxy = get_space(client).bind_ref(ref)
+        for _ in range(3):
+            assert proxy.touch() == "touched"
+        assert not proxy.proxy_is_local
+        assert proxy.proxy_stats["migration_failures"] == 1

@@ -1,0 +1,122 @@
+"""Tests for the replicated proxy: routing, quorums, failover."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.policies.replicating import ReplicatedProxy, replicate
+from repro.kernel.errors import DistributionError
+from repro.metrics.counters import MessageWindow
+
+
+@pytest.fixture
+def group(star):
+    """3-replica KV group registered as 'kv'; returns (system, clients)."""
+    system, server, clients = star
+    ref = replicate([server, clients[1], clients[2]], KVStore, write_quorum=2)
+    repro.register(server, "kv", ref)
+    return system, server, clients
+
+
+class TestRouting:
+    def test_client_gets_replicated_proxy(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        assert isinstance(proxy, ReplicatedProxy)
+
+    def test_write_reaches_all_replicas(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        with MessageWindow(system) as window:
+            proxy.put("k", 1)
+        assert window.report.messages == 6, "3 replicas x 1 round trip"
+
+    def test_read_touches_one_replica(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        with MessageWindow(system) as window:
+            assert proxy.get("k") == 1
+        assert window.report.messages == 2
+
+    def test_read_your_writes_everywhere(self, group):
+        system, server, clients = group
+        writer = repro.bind(clients[0], "kv")
+        writer.put("k", "fresh")
+        # Force reads from each replica in turn via the roundrobin policy.
+        rr = repro.bind(clients[0], "kv")
+        rr.proxy_config["read_policy"] = "roundrobin"
+        assert [rr.get("k") for _ in range(3)] == ["fresh"] * 3
+
+    def test_co_located_replica_served_by_fast_path(self, group):
+        system, server, clients = group
+        # clients[1] hosts a replica: nearest read should be same-context.
+        proxy = repro.bind(clients[1], "kv")
+        proxy.put("k", 1)
+        with MessageWindow(system) as window:
+            proxy.get("k")
+        assert window.report.messages == 0
+
+
+class TestFailover:
+    def test_read_fails_over_on_crash(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        server.node.crash()
+        assert proxy.get("k") == 1
+        assert proxy.proxy_stats["read_failovers"] >= 0
+
+    def test_write_succeeds_with_quorum(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        server.node.crash()   # 2 of 3 replicas remain; quorum is 2
+        assert proxy.put("k", 2) is True
+
+    def test_write_fails_below_quorum(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        server.node.crash()
+        clients[1].node.crash()   # only 1 replica left < quorum 2
+        with pytest.raises(DistributionError):
+            proxy.put("k", 2)
+        assert proxy.proxy_stats["write_failures"] == 1
+
+    def test_recovery_after_restart(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        server.node.crash()
+        clients[1].node.crash()
+        with pytest.raises(DistributionError):
+            proxy.put("k", 2)
+        server.node.restart()
+        clients[1].node.restart()
+        assert proxy.put("k", 3) is True
+
+
+class TestDeployment:
+    def test_replicate_needs_contexts(self):
+        with pytest.raises(ValueError):
+            replicate([], KVStore)
+
+    def test_single_replica_group_works(self, star):
+        system, server, clients = star
+        ref = replicate([server], KVStore)
+        repro.register(server, "solo", ref)
+        proxy = repro.bind(clients[0], "solo")
+        proxy.put("k", 1)
+        assert proxy.get("k") == 1
+
+    def test_group_ref_carries_policy(self, star):
+        system, server, clients = star
+        ref = replicate([server, clients[1]], KVStore)
+        assert ref.policy == "replicated"
+
+    def test_principle_holds(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        repro.assert_principle(system)

@@ -1,0 +1,88 @@
+"""Tests for the tracing policy and its collector."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.policies.tracing import TraceCollector
+
+
+def deploy(server, report_every=4, collect=True):
+    store = KVStore()
+    get_space(server).export(store, policy="tracing",
+                             config={"report_every": report_every,
+                                     "collect": collect})
+    repro.register(server, "kv", store)
+    return store
+
+
+class TestClientSideTrace:
+    def test_per_verb_counts_and_latency(self, pair):
+        system, server, client = pair
+        deploy(server, report_every=1000)
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        proxy.get("k")
+        assert proxy.proxy_trace["put"]["count"] == 1
+        assert proxy.proxy_trace["get"]["count"] == 2
+        assert proxy.proxy_trace["get"]["total"] > 0
+        assert proxy.proxy_trace["get"]["max"] >= \
+            proxy.proxy_trace["get"]["total"] / 2
+
+    def test_failed_calls_are_recorded_too(self, pair):
+        system, server, client = pair
+        deploy(server, report_every=1000)
+        proxy = repro.bind(client, "kv")
+        server.node.crash()
+        from repro.kernel.errors import RpcTimeout
+        with pytest.raises(RpcTimeout):
+            proxy.get("k")
+        assert proxy.proxy_trace["get"]["count"] == 1
+        assert proxy.proxy_trace["get"]["max"] > system.costs.rpc_timeout
+
+
+class TestCollector:
+    def test_reports_ship_on_schedule(self, pair):
+        system, server, client = pair
+        deploy(server, report_every=3)
+        proxy = repro.bind(client, "kv")
+        for index in range(7):
+            proxy.put(f"k{index}", index)
+        assert proxy.proxy_stats["reports"] == 2
+
+    def test_aggregate_merges_clients(self, star):
+        system, server, clients = star
+        deploy(server, report_every=2)
+        proxies = [repro.bind(ctx, "kv") for ctx in clients[:2]]
+        for proxy in proxies:
+            for index in range(4):
+                proxy.get(f"k{index}")
+        collector = proxies[0].proxy_config["collector"]
+        aggregate = collector.aggregate()
+        assert aggregate["get"]["count"] == 8
+        assert len(collector.clients()) == 2
+
+    def test_no_collector_mode_stays_silent(self, pair):
+        system, server, client = pair
+        deploy(server, report_every=1, collect=False)
+        proxy = repro.bind(client, "kv")
+        proxy.get("k")
+        proxy.get("k")
+        assert proxy.proxy_stats["reports"] == 0
+
+    def test_collector_unit(self):
+        collector = TraceCollector()
+        collector.report("a/m", {"get": {"count": 2, "total": 1.0, "max": 0.7}})
+        collector.report("b/m", {"get": {"count": 1, "total": 0.5, "max": 0.5}})
+        aggregate = collector.aggregate()
+        assert aggregate["get"]["count"] == 3
+        assert aggregate["get"]["total"] == pytest.approx(1.5)
+        assert aggregate["get"]["max"] == 0.7
+
+    def test_re_report_replaces_previous(self):
+        collector = TraceCollector()
+        collector.report("a/m", {"get": {"count": 2, "total": 1.0, "max": 0.7}})
+        collector.report("a/m", {"get": {"count": 5, "total": 2.0, "max": 0.9}})
+        assert collector.aggregate()["get"]["count"] == 5

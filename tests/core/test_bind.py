@@ -1,0 +1,170 @@
+"""Unit tests for binding: proxy tables, handshakes, upgrades, GC."""
+
+import pytest
+
+from repro.apps.kv import CachedKVStore, KVStore
+from repro.core.export import get_space
+from repro.core.policies.caching import CachingProxy
+from repro.core.policies.stub import ForwardingProxy
+from repro.kernel.errors import BindError
+from repro.metrics.counters import MessageWindow
+
+
+class TestBindRef:
+    def test_bind_instantiates_exporter_chosen_policy(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(CachedKVStore())
+        proxy = get_space(client).bind_ref(ref)
+        assert isinstance(proxy, CachingProxy)
+
+    def test_bind_home_returns_object(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        assert get_space(server).bind_ref(ref) is store
+
+    def test_one_proxy_per_object_per_context(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        space = get_space(client)
+        assert space.bind_ref(ref) is space.bind_ref(ref)
+
+    def test_different_contexts_get_different_proxies(self, star):
+        system, server, clients = star
+        ref = get_space(server).export(KVStore())
+        a = get_space(clients[0]).bind_ref(ref)
+        b = get_space(clients[1]).bind_ref(ref)
+        assert a is not b
+        assert a.proxy_context is clients[0]
+        assert b.proxy_context is clients[1]
+
+    def test_handshake_fetches_exporter_config(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(
+            KVStore(), policy="caching",
+            config={"ttl": 0.123, "invalidation": False})
+        proxy = get_space(client).bind_ref(ref, handshake=True)
+        assert proxy.proxy_config["ttl"] == 0.123
+
+    def test_no_handshake_skips_config_rpc(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        with MessageWindow(system) as window:
+            get_space(client).bind_ref(ref, handshake=False)
+        assert window.report.messages == 0
+
+    def test_handshake_costs_one_round_trip(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        with MessageWindow(system) as window:
+            get_space(client).bind_ref(ref, handshake=True)
+        assert window.report.messages == 2
+
+    def test_unknown_interface_fails_bind(self, pair):
+        system, server, client = pair
+        from repro.wire.refs import ObjectRef
+        bogus = ObjectRef("server/main", "server/main:99", "Unregistered")
+        with pytest.raises(BindError):
+            get_space(client).bind_ref(bogus, handshake=False)
+
+    def test_unknown_policy_fails_bind(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        from dataclasses import replace
+        odd = replace(ref, policy="martian")
+        with pytest.raises(BindError):
+            get_space(client).bind_ref(odd, handshake=False)
+
+
+class TestUpgrade:
+    def test_upgrade_completes_late_handshake(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(
+            KVStore(), policy="caching", config={"ttl": 0.5,
+                                                 "invalidation": False})
+        space = get_space(client)
+        proxy = space.bind_ref(ref, handshake=False)
+        assert "ttl" not in proxy.proxy_config
+        space.upgrade(proxy)
+        assert proxy.proxy_config["ttl"] == 0.5
+
+    def test_upgrade_is_idempotent(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        space = get_space(client)
+        proxy = space.bind_ref(ref, handshake=True)
+        with MessageWindow(system) as window:
+            space.upgrade(proxy)
+        assert window.report.messages == 0
+
+    def test_local_config_wins_over_shipped(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(
+            KVStore(), policy="caching", config={"ttl": 0.5,
+                                                 "invalidation": False})
+        space = get_space(client)
+        proxy = space.bind_ref(ref, handshake=False, config={"ttl": 0.125})
+        space.upgrade(proxy)
+        assert proxy.proxy_config["ttl"] == 0.125
+
+
+class TestDiscardAndSweep:
+    def test_discard_removes_from_table(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        space = get_space(client)
+        proxy = space.bind_ref(ref)
+        space.discard(proxy)
+        assert ref.key not in client.proxies
+
+    def test_sweep_drops_idle_proxies(self, pair):
+        system, server, client = pair
+        space = get_space(client)
+        refs = [get_space(server).export(KVStore()) for _ in range(5)]
+        proxies = [space.bind_ref(ref, handshake=False) for ref in refs]
+        client.clock.advance(100.0)
+        proxies[0].get("x")  # keep one hot
+        dropped = space.sweep(unused_for=50.0)
+        assert dropped >= 4
+        assert refs[0].key in client.proxies
+
+    def test_sweep_keeps_recent(self, pair):
+        system, server, client = pair
+        space = get_space(client)
+        ref = get_space(server).export(KVStore())
+        space.bind_ref(ref)
+        assert space.sweep(unused_for=1000.0) == 0
+
+    def test_rebinding_after_sweep_works(self, pair):
+        system, server, client = pair
+        space = get_space(client)
+        ref = get_space(server).export(KVStore())
+        proxy = space.bind_ref(ref)
+        client.clock.advance(100.0)
+        space.sweep(unused_for=1.0)
+        fresh = space.bind_ref(ref)
+        assert fresh is not proxy
+        assert fresh.get("anything") is None
+
+
+class TestContextManagerService:
+    def test_ping(self, pair):
+        system, server, client = pair
+        get_space(server)
+        mgr = get_space(client).ctxmgr_proxy(server.context_id)
+        assert mgr.ping() == "pong"
+
+    def test_describe_unknown_oid_raises(self, pair):
+        system, server, client = pair
+        get_space(server)
+        mgr = get_space(client).ctxmgr_proxy(server.context_id)
+        with pytest.raises(KeyError):
+            mgr.describe("server/main:404")
+
+    def test_list_exports(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        mgr = get_space(client).ctxmgr_proxy(server.context_id)
+        assert ref.oid in mgr.list_exports()

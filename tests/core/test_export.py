@@ -1,0 +1,173 @@
+"""Unit tests for the object space: export, unexport, swizzle hooks."""
+
+import pytest
+
+import repro
+from repro.apps.kv import CachedKVStore, KVStore
+from repro.core.export import CTXMGR_OID, ObjectSpace, get_space
+from repro.core.proxy import Proxy, is_proxy
+from repro.kernel.errors import (
+    BindError,
+    ConfigurationError,
+    ConformanceError,
+    EncapsulationViolation,
+)
+from repro.iface.interface import Interface, Operation
+from repro.wire.refs import ObjectRef
+
+
+class TestExport:
+    def test_export_returns_ref_with_policy(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(CachedKVStore())
+        assert ref.policy == "caching"
+        assert ref.interface == "CachedKVStore"
+        assert ref.context_id == "server/main"
+
+    def test_explicit_policy_overrides_default(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(CachedKVStore(), policy="stub")
+        assert ref.policy == "stub"
+
+    def test_unknown_policy_rejected(self, pair):
+        system, server, client = pair
+        with pytest.raises(ConfigurationError):
+            get_space(server).export(KVStore(), policy="nonsense")
+
+    def test_export_registers_interface(self, pair):
+        system, server, client = pair
+        get_space(server).export(KVStore())
+        assert system.codebase.interface("KVStore") is not None
+
+    def test_nonconforming_interface_rejected(self, pair):
+        system, server, client = pair
+        other = Interface("Other", [Operation("zap", ("a", "b"))])
+        with pytest.raises(ConformanceError):
+            get_space(server).export(KVStore(), interface=other)
+
+    def test_export_proxy_rejected(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        proxy = get_space(client).bind_ref(ref)
+        with pytest.raises(EncapsulationViolation):
+            get_space(client).export(proxy)
+
+    def test_duplicate_wellknown_oid_rejected(self, pair):
+        system, server, client = pair
+        space = get_space(server)
+        with pytest.raises(ConfigurationError):
+            space.export(KVStore(), oid=CTXMGR_OID)
+
+    def test_ref_of_roundtrip(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        assert get_space(server).ref_of(store) == ref
+
+    def test_ref_of_unexported_rejected(self, pair):
+        system, server, client = pair
+        with pytest.raises(BindError):
+            get_space(server).ref_of(KVStore())
+
+    def test_unexport_makes_reference_dangle(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        space = get_space(server)
+        ref = space.export(store)
+        proxy = get_space(client).bind_ref(ref)
+        space.unexport(store)
+        from repro.kernel.errors import DanglingReference
+        with pytest.raises(DanglingReference):
+            proxy.get("k")
+
+    def test_space_created_once(self, pair):
+        system, server, client = pair
+        assert get_space(server) is get_space(server)
+        with pytest.raises(ConfigurationError):
+            ObjectSpace(server)
+
+    def test_ctxmgr_installed_automatically(self, pair):
+        system, server, client = pair
+        get_space(server)
+        assert CTXMGR_OID in server.exports
+
+
+class TestSwizzleOutbound:
+    def test_exported_object_travels_as_ref(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        space = get_space(server)
+        ref = space.export(store)
+        assert space.context.encoder_hook(store) == ref
+
+    def test_proxy_travels_as_target_ref(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        proxy = get_space(client).bind_ref(ref)
+        assert client.encoder_hook(proxy) == ref
+
+    def test_plain_values_untouched(self, pair):
+        system, server, client = pair
+        get_space(server)
+        assert server.encoder_hook(42) is None
+        assert server.encoder_hook("text") is None
+        assert server.encoder_hook([1, 2]) is None
+
+    def test_unexported_service_object_auto_exports(self, pair):
+        system, server, client = pair
+        space = get_space(server)
+        store = KVStore()
+        ref = space.context.encoder_hook(store)
+        assert isinstance(ref, ObjectRef)
+        assert space.ref_of(store) == ref
+
+    def test_strict_mode_rejects_auto_export(self, system):
+        server = system.add_node("s").create_context("m")
+        space = ObjectSpace(server, strict=True)
+        with pytest.raises(EncapsulationViolation):
+            server.encoder_hook(KVStore())
+
+    def test_migrated_alias_travels_as_forward_ref(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        space = get_space(server)
+        ref = space.export(store)
+        forward = ref.moved_to("client0/main")
+        space.mark_migrated(ref.oid, forward)
+        assert server.encoder_hook(store) == forward
+
+
+class TestSwizzleInbound:
+    def test_foreign_ref_becomes_proxy(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        get_space(client)
+        value = client.decoder_hook(ref)
+        assert is_proxy(value)
+        assert value.proxy_ref == ref
+
+    def test_home_ref_becomes_real_object(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        assert server.decoder_hook(ref) is store
+
+    def test_proxy_identity_is_stable(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        get_space(client)
+        assert client.decoder_hook(ref) is client.decoder_hook(ref)
+
+    def test_full_loop_proxy_comes_home_as_object(self, pair):
+        """A proxy passed back to the object's home arrives as the object."""
+        system, server, client = pair
+        store = KVStore()
+        holder = KVStore()
+        store_ref = get_space(server).export(store)
+        holder_ref = get_space(server).export(holder)
+        client_space = get_space(client)
+        store_proxy = client_space.bind_ref(store_ref)
+        holder_proxy = client_space.bind_ref(holder_ref)
+        # The client stores its *proxy*; at home it unswizzles to the object.
+        holder_proxy.put("stored", store_proxy)
+        assert holder.data["stored"] is store

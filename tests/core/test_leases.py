@@ -1,0 +1,135 @@
+"""Tests for lease-based export reclamation (distributed GC)."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.leases import (
+    DEFAULT_LEASE,
+    LEASES_OID,
+    ensure_lease_service,
+    expire_leases,
+)
+from repro.kernel.errors import DanglingReference
+
+
+def deploy(server, duration=1.0):
+    store = KVStore()
+    ref = get_space(server).export(store, policy="leased",
+                                   config={"lease_duration": duration})
+    return store, ref
+
+
+class TestLeaseLifecycle:
+    def test_bind_acquires_lease(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server)
+        proxy = get_space(client).bind_ref(ref)
+        assert proxy.proxy_lease_expiry is not None
+        service = server.exports[LEASES_OID].obj
+        assert service.holders_of(ref.oid) == [client.context_id]
+
+    def test_use_renews_past_half_life(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=1.0)
+        proxy = get_space(client).bind_ref(ref)
+        first_expiry = proxy.proxy_lease_expiry
+        client.clock.advance(0.7)
+        proxy.get("k")
+        assert proxy.proxy_lease_expiry > first_expiry
+        assert proxy.proxy_stats["lease_renewals"] == 1
+
+    def test_use_within_half_life_does_not_renew(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=10.0)
+        proxy = get_space(client).bind_ref(ref)
+        proxy.get("k")
+        assert proxy.proxy_stats["lease_renewals"] == 0
+
+    def test_discard_releases(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server)
+        space = get_space(client)
+        proxy = space.bind_ref(ref)
+        space.discard(proxy)
+        service = server.exports[LEASES_OID].obj
+        assert service.holders_of(ref.oid) == []
+
+
+class TestReclamation:
+    def test_lapsed_export_is_reclaimed(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=0.5)
+        proxy = get_space(client).bind_ref(ref)
+        client.clock.advance(2.0)
+        server.clock.advance(2.0)
+        assert expire_leases(get_space(server)) == 1
+        with pytest.raises(DanglingReference):
+            proxy.get("k")
+
+    def test_live_lease_blocks_reclamation(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=100.0)
+        proxy = get_space(client).bind_ref(ref)
+        server.clock.advance(1.0)
+        assert expire_leases(get_space(server)) == 0
+        assert proxy.get("k") is None
+
+    def test_one_live_holder_among_many_keeps_export(self, star):
+        system, server, clients = star
+        store, ref = deploy(server, duration=1.0)
+        proxies = [get_space(ctx).bind_ref(ref) for ctx in clients]
+        # Two clients idle past expiry; the third keeps renewing.
+        for _ in range(4):
+            for ctx in clients:
+                ctx.clock.advance(0.6)
+            server.clock.advance(0.6)
+            proxies[2].get("k")
+            expire_leases(get_space(server))
+        assert proxies[2].get("k") is None, "renewing holder must survive"
+
+    def test_unleased_exports_never_reclaimed(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)   # plain stub policy
+        ensure_lease_service(get_space(server))
+        server.clock.advance(1000.0)
+        assert expire_leases(get_space(server)) == 0
+        proxy = get_space(client).bind_ref(ref)
+        assert proxy.get("k") is None
+
+    def test_rebind_after_reclamation_via_fresh_export(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=0.2)
+        proxy = get_space(client).bind_ref(ref)
+        client.clock.advance(1.0)
+        server.clock.advance(1.0)
+        expire_leases(get_space(server))
+        # The service re-exports (new oid) and the client binds again.
+        store2, ref2 = deploy(server, duration=5.0)
+        fresh = get_space(client).bind_ref(ref2)
+        fresh.put("k", 1)
+        assert fresh.get("k") == 1
+
+
+class TestDegradation:
+    def test_unreachable_lease_service_degrades_to_stub(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server)
+        server.node.crash()
+        proxy = get_space(client).bind_ref(ref, handshake=False)
+        assert proxy.proxy_lease_expiry is None
+        server.node.restart()
+        assert proxy.get("k") is None, "proxy still works, just lease-less"
+
+    def test_expiry_stats(self, pair):
+        system, server, client = pair
+        store, ref = deploy(server, duration=0.1)
+        get_space(client).bind_ref(ref)
+        client.clock.advance(1.0)
+        server.clock.advance(1.0)
+        expire_leases(get_space(server))
+        service = server.exports[LEASES_OID].obj
+        assert service.stats["expired"] == 1
+        assert service.stats["reclaimed"] == 1

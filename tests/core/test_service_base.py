@@ -1,0 +1,62 @@
+"""Tests for the Service base class conveniences."""
+
+import repro
+from repro.core.service import Service
+from repro.iface.interface import Interface
+
+
+class Widget(Service):
+    default_policy = "caching"
+    default_config = {"ttl": 0.25, "invalidation": False}
+
+    def __init__(self, size=1):
+        self.size = size
+        self.tags = ["new"]
+
+    @repro.operation(readonly=True)
+    def describe(self):
+        return {"size": self.size, "tags": list(self.tags)}
+
+    @repro.operation
+    def grow(self, amount):
+        self.size += amount
+        return self.size
+
+
+class TestServiceBase:
+    def test_interface_classmethod(self):
+        iface = Widget.interface()
+        assert isinstance(iface, Interface)
+        assert iface.names() == ["describe", "grow"]
+        assert iface is Widget.interface(), "cached per class"
+
+    def test_default_migration_capsule(self):
+        widget = Widget(size=7)
+        widget.tags.append("hot")
+        clone = Widget.from_migration_state(widget.migrate_state())
+        assert clone.size == 7
+        assert clone.tags == ["new", "hot"]
+        assert clone is not widget
+
+    def test_capsule_is_shallow_plain_data(self):
+        state = Widget(size=2).migrate_state()
+        assert state == {"size": 2, "tags": ["new"]}
+
+    def test_default_policy_flows_through_export(self, pair):
+        system, server, client = pair
+        from repro.core.export import get_space
+        ref = get_space(server).export(Widget())
+        assert ref.policy == "caching"
+        entry = get_space(server).entry(ref.oid)
+        assert entry.policy_config["ttl"] == 0.25
+
+    def test_default_config_is_copied_not_shared(self, pair):
+        system, server, client = pair
+        from repro.core.export import get_space
+        ref_a = get_space(server).export(Widget())
+        ref_b = get_space(server).export(Widget())
+        entry_a = get_space(server).entry(ref_a.oid)
+        entry_b = get_space(server).entry(ref_b.oid)
+        entry_a.policy_config["ttl"] = 9.9
+        assert entry_b.policy_config["ttl"] == 0.25
+        assert Widget.default_config["ttl"] == 0.25

@@ -1,0 +1,165 @@
+"""Tests for the DSM substrate: pages, coherence protocol, heap, KV layer."""
+
+import pytest
+
+import repro
+from repro.dsm.coherence import CoherenceProtocol
+from repro.dsm.heap import DsmKV, SharedHeap, make_dsm_kv
+from repro.dsm.pages import Mode, SharedRegion
+from repro.kernel.errors import ConfigurationError
+
+
+@pytest.fixture
+def cluster():
+    system = repro.make_system(seed=77)
+    contexts = [system.add_node(f"n{i}").create_context("m") for i in range(3)]
+    region = SharedRegion("r", contexts[0], num_pages=4, slots_per_page=8)
+    for ctx in contexts[1:]:
+        region.attach(ctx)
+    protocol = CoherenceProtocol(region)
+    return system, contexts, region, protocol
+
+
+class TestRegion:
+    def test_manager_starts_owning_everything(self, cluster):
+        system, contexts, region, protocol = cluster
+        cache = region.cache_of(contexts[0])
+        assert all(cache.mode(page) is Mode.WRITE
+                   for page in range(region.num_pages))
+
+    def test_attach_is_idempotent(self, cluster):
+        system, contexts, region, protocol = cluster
+        assert region.attach(contexts[1]) is region.attach(contexts[1])
+
+    def test_unattached_context_rejected(self, cluster):
+        system, contexts, region, protocol = cluster
+        stranger = system.add_node("x").create_context("m")
+        with pytest.raises(ConfigurationError):
+            region.cache_of(stranger)
+
+    def test_zero_pages_rejected(self, cluster):
+        system, contexts, region, protocol = cluster
+        with pytest.raises(ConfigurationError):
+            SharedRegion("bad", contexts[0], num_pages=0)
+
+
+class TestCoherence:
+    def test_read_fault_then_hits(self, cluster):
+        system, contexts, region, protocol = cluster
+        reader = contexts[1]
+        protocol.read_access(reader, 0)
+        protocol.read_access(reader, 0)
+        cache = region.cache_of(reader)
+        assert cache.stats["read_faults"] == 1
+        assert cache.stats["read_hits"] == 1
+
+    def test_read_fault_costs_a_page_transfer(self, cluster):
+        system, contexts, region, protocol = cluster
+        mark = system.trace.mark()
+        protocol.read_access(contexts[1], 0)
+        labels = [ev.label for ev in system.trace.since(mark)]
+        assert "dsm-page" in labels
+
+    def test_multiple_readers_share(self, cluster):
+        system, contexts, region, protocol = cluster
+        protocol.read_access(contexts[1], 0)
+        protocol.read_access(contexts[2], 0)
+        state = region.directory[0]
+        assert contexts[1].context_id in state.copies
+        assert contexts[2].context_id in state.copies
+
+    def test_write_invalidates_readers(self, cluster):
+        system, contexts, region, protocol = cluster
+        protocol.read_access(contexts[1], 0)
+        protocol.write_access(contexts[2], 0)
+        assert region.cache_of(contexts[1]).mode(0) is Mode.NONE
+        assert region.cache_of(contexts[2]).mode(0) is Mode.WRITE
+
+    def test_single_writer_invariant(self, cluster):
+        system, contexts, region, protocol = cluster
+        for ctx in contexts:
+            protocol.write_access(ctx, 1)
+        writers = [c for c in region.caches.values()
+                   if c.mode(1) is Mode.WRITE]
+        assert len(writers) == 1
+
+    def test_ownership_transfers(self, cluster):
+        system, contexts, region, protocol = cluster
+        protocol.write_access(contexts[2], 0)
+        assert region.directory[0].owner == contexts[2].context_id
+        assert region.directory[0].version == 1
+
+    def test_write_hit_after_ownership(self, cluster):
+        system, contexts, region, protocol = cluster
+        protocol.write_access(contexts[1], 0)
+        protocol.write_access(contexts[1], 0)
+        assert region.cache_of(contexts[1]).stats["write_hits"] == 1
+
+    def test_faults_advance_virtual_time(self, cluster):
+        system, contexts, region, protocol = cluster
+        before = contexts[1].now
+        protocol.read_access(contexts[1], 0)
+        assert contexts[1].now > before
+
+    def test_ping_pong_costs_grow(self, cluster):
+        """Alternating writers pay full invalidation+transfer every time."""
+        system, contexts, region, protocol = cluster
+        a, b = contexts[1], contexts[2]
+        protocol.write_access(a, 0)
+        t0 = b.now
+        protocol.write_access(b, 0)
+        ping_pong_cost = b.now - t0
+        assert ping_pong_cost > system.costs.remote_latency
+
+
+class TestHeap:
+    def test_read_write_roundtrip(self, cluster):
+        system, contexts, region, protocol = cluster
+        heap = SharedHeap(region, protocol)
+        slot = heap.alloc()
+        heap.write(contexts[1], slot, "hello")
+        assert heap.read(contexts[2], slot) == "hello"
+
+    def test_alloc_exhaustion(self, cluster):
+        system, contexts, region, protocol = cluster
+        heap = SharedHeap(region, protocol)
+        heap.alloc(heap.capacity)
+        with pytest.raises(ConfigurationError):
+            heap.alloc()
+
+    def test_out_of_range_slot_rejected(self, cluster):
+        system, contexts, region, protocol = cluster
+        heap = SharedHeap(region, protocol)
+        with pytest.raises(ConfigurationError):
+            heap.read(contexts[0], heap.capacity + 1)
+
+    def test_unwritten_slot_reads_none(self, cluster):
+        system, contexts, region, protocol = cluster
+        heap = SharedHeap(region, protocol)
+        assert heap.read(contexts[1], heap.alloc()) is None
+
+
+class TestDsmKV:
+    def test_get_put(self):
+        system = repro.make_system(seed=5)
+        manager = system.add_node("m").create_context("c")
+        member = system.add_node("w").create_context("c")
+        kv = make_dsm_kv(manager, [member], num_pages=8)
+        kv.put(member, "k", 1)
+        assert kv.get(manager, "k") == 1
+        assert kv.get(member, "missing") is None
+
+    def test_slot_mapping_is_stable(self):
+        system = repro.make_system(seed=5)
+        manager = system.add_node("m").create_context("c")
+        kv = make_dsm_kv(manager, [], num_pages=8)
+        assert kv.slot_of("abc") == kv.slot_of("abc")
+
+    def test_collision_semantics_last_write_wins(self):
+        system = repro.make_system(seed=5)
+        manager = system.add_node("m").create_context("c")
+        kv = DsmKV(SharedHeap(SharedRegion("r", manager, 1, 1)), capacity=1)
+        kv.put(manager, "a", 1)
+        kv.put(manager, "b", 2)
+        assert kv.get(manager, "b") == 2
+        assert kv.get(manager, "a") is None, "slot was overwritten"

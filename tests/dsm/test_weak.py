@@ -1,0 +1,110 @@
+"""Tests for the weakly-consistent DSM protocol."""
+
+import pytest
+
+import repro
+from repro.dsm.coherence import CoherenceProtocol
+from repro.dsm.heap import SharedHeap
+from repro.dsm.pages import Mode, SharedRegion
+from repro.dsm.weak import WeakCoherence
+
+
+@pytest.fixture
+def weak_cluster():
+    system = repro.make_system(seed=88)
+    contexts = [system.add_node(f"n{i}").create_context("m") for i in range(3)]
+    region = SharedRegion("w", contexts[0], num_pages=2, slots_per_page=8)
+    for ctx in contexts[1:]:
+        region.attach(ctx)
+    protocol = WeakCoherence(region, staleness_bound=0.01)
+    heap = SharedHeap(region, protocol)
+    heap.alloc(16)
+    return system, contexts, region, protocol, heap
+
+
+class TestWeakReads:
+    def test_fresh_read_sees_current_value(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[0], 0, "v1")
+        assert heap.read(contexts[1], 0) == "v1"
+
+    def test_reads_within_bound_may_be_stale(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[0], 0, "old")
+        assert heap.read(contexts[1], 0) == "old"   # snapshot taken
+        heap.write(contexts[0], 0, "new")
+        # Within the bound: the stale snapshot serves.
+        assert heap.read(contexts[1], 0) == "old"
+        assert protocol.stats["stale_reads"] == 1
+
+    def test_staleness_bound_forces_refresh(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[0], 0, "old")
+        heap.read(contexts[1], 0)
+        heap.write(contexts[0], 0, "new")
+        contexts[1].clock.advance(0.02)   # beyond the 10 ms bound
+        assert heap.read(contexts[1], 0) == "new"
+
+    def test_sync_forces_fresh_view(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[0], 0, "old")
+        heap.read(contexts[1], 0)
+        heap.write(contexts[0], 0, "new")
+        dropped = protocol.sync(contexts[1])
+        assert dropped == 1
+        assert heap.read(contexts[1], 0) == "new"
+
+    def test_owner_always_reads_own_truth(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[1], 0, "mine")
+        assert heap.read(contexts[1], 0) == "mine"
+        heap.write(contexts[1], 0, "mine2")
+        assert heap.read(contexts[1], 0) == "mine2"
+        assert protocol.stats["stale_reads"] == 0
+
+    def test_writer_snapshot_tracks_own_writes(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.write(contexts[0], 0, "a")
+        heap.read(contexts[1], 0)
+        heap.write(contexts[1], 1, "b")    # same page, new owner
+        assert heap.read(contexts[1], 1) == "b"
+
+
+class TestWeakProtocolCosts:
+    def test_no_invalidations_ever(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        heap.read(contexts[1], 0)
+        heap.read(contexts[2], 0)
+        heap.write(contexts[0], 0, "x")
+        heap.write(contexts[1], 0, "y")
+        assert protocol.stats["invalidations_sent"] == 0
+
+    def test_cheaper_than_strong_under_sharing(self):
+        def total_messages(protocol_cls):
+            system = repro.make_system(seed=9)
+            contexts = [system.add_node(f"n{i}").create_context("m")
+                        for i in range(3)]
+            region = SharedRegion("r", contexts[0], 2, 8)
+            for ctx in contexts[1:]:
+                region.attach(ctx)
+            protocol = protocol_cls(region)
+            heap = SharedHeap(region, protocol)
+            heap.alloc(8)
+            mark = system.trace.mark()
+            for round_no in range(20):
+                heap.write(contexts[round_no % 3], 0, round_no)
+                heap.read(contexts[(round_no + 1) % 3], 0)
+                heap.read(contexts[(round_no + 2) % 3], 0)
+            return len([ev for ev in system.trace.since(mark)
+                        if ev.kind == "send"])
+
+        assert total_messages(WeakCoherence) < \
+            total_messages(CoherenceProtocol)
+
+    def test_single_writer_still_holds(self, weak_cluster):
+        system, contexts, region, protocol, heap = weak_cluster
+        for ctx in contexts:
+            heap.write(ctx, 0, ctx.context_id)
+        writers = [cache for cache in region.caches.values()
+                   if cache.mode(0) is Mode.WRITE]
+        assert len(writers) == 1

@@ -1,0 +1,144 @@
+"""Tests for event channels and reliable subscribers."""
+
+import pytest
+
+import repro
+from repro.events import EventChannel, EventSubscriber, topic_matches
+from repro.failures.injectors import message_loss
+
+
+@pytest.fixture
+def bus(star):
+    system, server, clients = star
+    repro.register(server, "bus", EventChannel())
+    return system, server, clients
+
+
+def channel_for(ctx):
+    return repro.bind(ctx, "bus")
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize("pattern,topic,expected", [
+        ("a", "a", True),
+        ("a", "b", False),
+        ("a/b", "a/b", True),
+        ("a/*", "a/b", True),
+        ("a/*", "a/b/c", True),
+        ("a/*", "a", True),
+        ("a/*", "ab", False),
+        ("*", "anything", False),
+    ])
+    def test_patterns(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+
+class TestFanout:
+    def test_event_reaches_matching_subscribers(self, bus):
+        system, server, clients = bus
+        subs = [EventSubscriber(ctx, channel_for(ctx), ["builds/*"])
+                for ctx in clients[:2]]
+        other = EventSubscriber(clients[2], channel_for(clients[2]),
+                                ["deploys/*"])
+        publisher = channel_for(clients[0])
+        publisher.publish("builds/linux", {"status": "green"})
+        for sub in subs:
+            assert len(sub.events) == 1
+            assert sub.events[0][1] == "builds/linux"
+        assert other.events == []
+
+    def test_sequence_numbers_are_global(self, bus):
+        system, server, clients = bus
+        sub = EventSubscriber(clients[0], channel_for(clients[0]), ["t"])
+        publisher = channel_for(clients[1])
+        seqs = [publisher.publish("t", index) for index in range(3)]
+        assert seqs == [1, 2, 3]
+        assert [seq for seq, _, _ in sub.ordered_events()] == [1, 2, 3]
+
+    def test_unsubscribe_stops_delivery(self, bus):
+        system, server, clients = bus
+        sub = EventSubscriber(clients[0], channel_for(clients[0]), ["t"])
+        publisher = channel_for(clients[1])
+        publisher.publish("t", 1)
+        sub.close()
+        publisher.publish("t", 2)
+        assert len(sub.events) == 1
+
+    def test_handler_callback_invoked(self, bus):
+        system, server, clients = bus
+        seen = []
+        EventSubscriber(clients[0], channel_for(clients[0]), ["t"],
+                        on_event=lambda seq, topic, payload:
+                        seen.append(payload))
+        channel_for(clients[1]).publish("t", "ping")
+        assert seen == ["ping"]
+
+    def test_subscriber_count(self, bus):
+        system, server, clients = bus
+        channel = channel_for(clients[0])
+        a = EventSubscriber(clients[0], channel, ["t"])
+        b = EventSubscriber(clients[1], channel_for(clients[1]), ["t"])
+        assert channel.subscriber_count() == 2
+        a.close()
+        assert channel.subscriber_count() == 1
+
+
+class TestReliability:
+    def test_loss_then_catch_up(self, bus):
+        from repro.kernel.errors import RpcTimeout
+        system, server, clients = bus
+        sub = EventSubscriber(clients[0], channel_for(clients[0]), ["t"])
+        publisher = channel_for(clients[1])
+        with message_loss(system, 0.5):
+            for index in range(20):
+                try:
+                    publisher.publish("t", index)
+                except RpcTimeout:
+                    pass  # the publish itself may still have executed
+        published = publisher.last_seq()
+        assert published > 0
+        # One-way fan-out under 50% loss: pushes went missing.
+        assert len(sub.events) < published
+        assert sub.gaps()
+        recovered = sub.catch_up()
+        assert recovered > 0
+        assert len(sub.events) == published
+        assert not sub.gaps()
+        seqs = [seq for seq, _, _ in sub.ordered_events()]
+        assert seqs == list(range(1, published + 1))
+
+    def test_late_subscriber_sees_nothing_before_baseline(self, bus):
+        system, server, clients = bus
+        publisher = channel_for(clients[1])
+        publisher.publish("t", "early")
+        sub = EventSubscriber(clients[0], channel_for(clients[0]), ["t"])
+        assert sub.catch_up() == 0
+        publisher.publish("t", "late")
+        assert [payload for _, _, payload in sub.ordered_events()] == ["late"]
+
+    def test_crashed_subscriber_does_not_break_publishing(self, bus):
+        system, server, clients = bus
+        sub = EventSubscriber(clients[0], channel_for(clients[0]), ["t"])
+        publisher = channel_for(clients[1])
+        clients[0].node.crash()
+        assert publisher.publish("t", 1) == 1
+        clients[0].node.restart()
+        sub.catch_up()
+        assert len(sub.events) == 1
+
+    def test_replay_log_capacity(self, star):
+        system, server, clients = star
+        repro.register(server, "bus", EventChannel(log_capacity=5))
+        publisher = channel_for(clients[0])
+        for index in range(10):
+            publisher.publish("t", index)
+        replayed = publisher.replay(["t"], 0)
+        assert len(replayed) == 5
+        assert replayed[0][2] == 5, "oldest events fell off the ring"
+
+    def test_principle_holds(self, bus):
+        system, server, clients = bus
+        subs = [EventSubscriber(ctx, channel_for(ctx), ["t"])
+                for ctx in clients]
+        channel_for(clients[0]).publish("t", 1)
+        repro.assert_principle(system)

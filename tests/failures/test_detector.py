@@ -1,0 +1,87 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.core.export import get_space
+from repro.failures.detector import ALIVE, SUSPECTED, FailureDetector
+from repro.failures.injectors import message_loss, partitioned
+
+
+@pytest.fixture
+def watched(star):
+    system, server, clients = star
+    for ctx in clients:
+        get_space(ctx)   # each peer needs a context manager to answer pings
+    detector = FailureDetector(server, suspicion_threshold=2)
+    for ctx in clients:
+        detector.watch(ctx.context_id)
+    return system, server, clients, detector
+
+
+class TestDetection:
+    def test_healthy_peers_alive(self, watched):
+        system, server, clients, detector = watched
+        statuses = detector.probe()
+        assert all(status == ALIVE for status in statuses.values())
+        assert detector.suspected() == []
+
+    def test_crash_is_suspected_after_threshold(self, watched):
+        system, server, clients, detector = watched
+        clients[0].node.crash()
+        detector.probe()
+        assert detector.status(clients[0].context_id) == ALIVE, \
+            "one miss is not enough"
+        detector.probe()
+        assert detector.status(clients[0].context_id) == SUSPECTED
+        assert clients[0].context_id in detector.suspected()
+
+    def test_recovery_clears_suspicion(self, watched):
+        system, server, clients, detector = watched
+        clients[0].node.crash()
+        detector.probe()
+        detector.probe()
+        clients[0].node.restart()
+        detector.probe()
+        assert detector.status(clients[0].context_id) == ALIVE
+        assert detector.stats["recoveries"] == 1
+
+    def test_partition_indistinguishable_from_crash(self, watched):
+        system, server, clients, detector = watched
+        with partitioned(system, [{server.node.name},
+                                  {ctx.node.name for ctx in clients}]):
+            detector.probe()
+            detector.probe()
+        assert len(detector.suspected()) == 3
+        detector.probe()   # healed
+        assert detector.suspected() == []
+
+    def test_transient_loss_usually_tolerated(self, watched):
+        """A single lossy probe round must not suspect anyone (threshold 2)."""
+        system, server, clients, detector = watched
+        with message_loss(system, 0.3):
+            detector.probe()
+        assert detector.suspected() == []
+
+    def test_detection_latency_is_real(self, watched):
+        """Probing a dead peer costs the full retry budget in virtual time."""
+        system, server, clients, detector = watched
+        clients[0].node.crash()
+        before = server.now
+        detector.probe()
+        assert server.now - before > system.costs.rpc_timeout * \
+            system.costs.rpc_max_retries * 0.9
+
+    def test_bookkeeping(self, watched):
+        system, server, clients, detector = watched
+        detector.probe()
+        state = detector.peer(clients[0].context_id)
+        assert state.probes == 1
+        assert state.last_seen >= 0
+        assert state.suspected_at is None
+
+    def test_unwatch(self, watched):
+        system, server, clients, detector = watched
+        assert detector.unwatch(clients[0].context_id) is True
+        assert detector.unwatch(clients[0].context_id) is False
+        with pytest.raises(KeyError):
+            detector.status(clients[0].context_id)

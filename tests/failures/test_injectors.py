@@ -1,0 +1,99 @@
+"""Tests for failure injection."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.failures.injectors import (
+    CrashPlan,
+    degraded_link,
+    message_loss,
+    partitioned,
+)
+from repro.kernel.errors import RpcTimeout
+
+
+@pytest.fixture
+def wired(pair):
+    system, server, client = pair
+    store = KVStore()
+    ref = get_space(server).export(store)
+    proxy = get_space(client).bind_ref(ref)
+    return system, server, client, proxy
+
+
+class TestMessageLoss:
+    def test_scoped_loss_restores(self, wired):
+        system, server, client, proxy = wired
+        with message_loss(system, 0.4):
+            proxy.put("k", 1)
+        # Outside the scope the network is reliable again.
+        retries_before = system.rpc.stats["retries"]
+        for index in range(20):
+            proxy.put(f"clean{index}", index)
+        assert system.rpc.stats["retries"] == retries_before
+
+    def test_total_loss_times_out(self, wired):
+        system, server, client, proxy = wired
+        with message_loss(system, 1.0):
+            with pytest.raises(RpcTimeout):
+                proxy.get("k")
+
+
+class TestDegradedLink:
+    def test_latency_override_applies_and_reverts(self, wired):
+        system, server, client, proxy = wired
+        proxy.get("k")
+        healthy = client.now
+        with degraded_link(system, client.node.name, server.node.name,
+                           latency=0.1):
+            t0 = client.now
+            proxy.get("k")
+            degraded = client.now - t0
+        assert degraded >= 0.2, "two slow one-way hops"
+        t0 = client.now
+        proxy.get("k")
+        assert client.now - t0 < 0.1
+
+
+class TestPartition:
+    def test_partition_blocks_and_heals(self, wired):
+        system, server, client, proxy = wired
+        with partitioned(system, [{server.node.name}, {client.node.name}]):
+            with pytest.raises(RpcTimeout):
+                proxy.get("k")
+        assert proxy.get("k") is None  # healed
+
+
+class TestCrashPlan:
+    def test_outage_window(self, wired):
+        system, server, client, proxy = wired
+        plan = CrashPlan(outages={2: (server.node.name, 3)})
+        alive = []
+        for _ in range(8):
+            plan.tick(system)
+            alive.append(server.node.alive)
+        assert alive == [True, True, False, False, False, True, True, True]
+
+    def test_periodic_plan_layout(self):
+        plan = CrashPlan.periodic(["a", "b"], every=10, duration=2,
+                                  total_ops=40)
+        assert set(plan.outages) == {10, 20, 30}
+        victims = [plan.outages[i][0] for i in sorted(plan.outages)]
+        assert victims == ["a", "b", "a"]
+
+    def test_plan_drives_real_failures(self, wired):
+        system, server, client, proxy = wired
+        plan = CrashPlan(outages={1: (server.node.name, 2)})
+        outcomes = []
+        for index in range(5):
+            plan.tick(system)
+            try:
+                proxy.put(f"k{index}", index)
+                outcomes.append("ok")
+            except RpcTimeout:
+                outcomes.append("fail")
+        assert outcomes[0] == "ok"
+        assert "fail" in outcomes[1:3]
+        assert outcomes[-1] == "ok"

@@ -1,0 +1,51 @@
+"""Unit tests for generated delegate classes."""
+
+from repro.iface.adapters import delegate_class, make_delegate
+from repro.iface.conformance import check_implements
+from repro.iface.interface import Interface, operation
+
+
+class Target:
+    @operation(readonly=True)
+    def get(self, key):
+        return f"value-of-{key}"
+
+    @operation(invalidates=("key",))
+    def put(self, key, value):
+        self.last = (key, value)
+        return True
+
+
+IFACE = Interface.of(Target)
+
+
+class TestDelegate:
+    def test_forwards_calls(self):
+        target = Target()
+        delegate = make_delegate(target, IFACE)
+        assert delegate.get("k") == "value-of-k"
+        delegate.put("k", 1)
+        assert target.last == ("k", 1)
+
+    def test_structurally_implements_interface(self):
+        check_implements(make_delegate(Target(), IFACE), IFACE)
+
+    def test_interface_derivation_matches(self):
+        cls = delegate_class(IFACE)
+        assert Interface.of(cls) is IFACE
+
+    def test_metadata_preserved(self):
+        derived = Interface.of(delegate_class(IFACE))
+        assert derived.operation("get").readonly
+        assert derived.operation("put").invalidates == ("key",)
+
+    def test_class_is_cached(self):
+        assert delegate_class(IFACE) is delegate_class(IFACE)
+
+    def test_distinct_instances_distinct_targets(self):
+        a, b = Target(), Target()
+        da, db = make_delegate(a, IFACE), make_delegate(b, IFACE)
+        da.put("x", 1)
+        assert hasattr(a, "last") and not hasattr(b, "last")
+        db.put("y", 2)
+        assert b.last == ("y", 2)

@@ -1,0 +1,107 @@
+"""Unit tests for structural conformance (subtyping)."""
+
+import pytest
+
+from repro.iface.conformance import (
+    check_conforms,
+    check_implements,
+    conformance_gaps,
+    conforms,
+    operation_compatible,
+)
+from repro.iface.interface import Interface, Operation, operation
+from repro.kernel.errors import ConformanceError
+
+READER = Interface("Reader", [Operation("get", ("key",), readonly=True)])
+STORE = Interface("Store", [
+    Operation("get", ("key",), readonly=True),
+    Operation("put", ("key", "value")),
+])
+
+
+class TestConforms:
+    def test_superset_conforms_to_subset(self):
+        # Store provides at least Reader's behaviour: Store <: Reader.
+        assert conforms(STORE, READER)
+
+    def test_subset_does_not_conform_to_superset(self):
+        assert not conforms(READER, STORE)
+
+    def test_conformance_is_reflexive(self):
+        assert conforms(STORE, STORE)
+        assert conforms(READER, READER)
+
+    def test_arity_mismatch_breaks_conformance(self):
+        other = Interface("Other", [Operation("get", ("key", "extra"),
+                                              readonly=True)])
+        assert not conforms(other, READER)
+
+    def test_readonly_requirement_enforced(self):
+        mutating = Interface("Mutating", [Operation("get", ("key",))])
+        assert not conforms(mutating, READER)
+
+    def test_gaps_are_descriptive(self):
+        gaps = conformance_gaps(READER, STORE)
+        assert any("put" in gap for gap in gaps)
+
+    def test_check_conforms_raises(self):
+        with pytest.raises(ConformanceError):
+            check_conforms(READER, STORE)
+
+
+class TestOperationCompatible:
+    def test_same_is_compatible(self):
+        op = Operation("f", ("a",))
+        assert operation_compatible(op, op)
+
+    def test_name_mismatch(self):
+        assert not operation_compatible(Operation("f"), Operation("g"))
+
+    def test_provided_readonly_satisfies_mutable_requirement(self):
+        provided = Operation("f", readonly=True)
+        required = Operation("f", readonly=False)
+        assert operation_compatible(provided, required)
+
+
+class TestCheckImplements:
+    def test_valid_implementation_passes(self):
+        class Impl:
+            @operation(readonly=True)
+            def get(self, key):
+                return key
+
+            @operation
+            def put(self, key, value):
+                return True
+        check_implements(Impl(), STORE)
+
+    def test_missing_method_rejected(self):
+        class Partial:
+            @operation(readonly=True)
+            def get(self, key):
+                return key
+        with pytest.raises(ConformanceError, match="put"):
+            check_implements(Partial(), STORE)
+
+    def test_wrong_arity_rejected(self):
+        class Wrong:
+            @operation(readonly=True)
+            def get(self, key, extra):
+                return key
+
+            @operation
+            def put(self, key, value):
+                return True
+        with pytest.raises(ConformanceError, match="parameters"):
+            check_implements(Wrong(), STORE)
+
+    def test_unmarked_method_rejected(self):
+        class Unmarked:
+            def get(self, key):
+                return key
+
+            @operation
+            def put(self, key, value):
+                return True
+        with pytest.raises(ConformanceError, match="not marked"):
+            check_implements(Unmarked(), STORE)

@@ -1,0 +1,103 @@
+"""End-to-end scenario: a small distributed office system, all policies live.
+
+One system hosting a file service (caching), a mailbox (batching), a shared
+counter (migrating), a replicated directory KV, and the name service —
+exercised together by several clients, with a crash in the middle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.apps.counter import MigratingCounter
+from repro.apps.files import FileService
+from repro.apps.kv import KVStore
+from repro.apps.mailbox import Mailbox
+from repro.core.policies.replicating import replicate
+from repro.naming.bootstrap import install_name_service
+
+
+@pytest.fixture
+def office():
+    system = repro.make_system(seed=2026)
+    hub = system.add_node("hub").create_context("services")
+    east = system.add_node("east").create_context("apps")
+    west = system.add_node("west").create_context("apps")
+    desk = system.add_node("desk").create_context("apps")
+    install_name_service(hub)
+    repro.register(hub, "files", FileService())
+    repro.register(hub, "mail", Mailbox())
+    repro.register(hub, "ticket", MigratingCounter())
+    directory_ref = replicate([hub, east, west], KVStore, write_quorum=2)
+    repro.register(hub, "directory", directory_ref)
+    return system, hub, east, west, desk
+
+
+class TestOfficeScenario:
+    def test_full_workday(self, office):
+        system, hub, east, west, desk = office
+
+        # Morning: east writes documents, west reads them through its cache.
+        files_east = repro.bind(east, "files")
+        files_west = repro.bind(west, "files")
+        for index in range(5):
+            files_east.write_file(f"/docs/report{index}", b"data" * 50)
+        assert files_west.read_file("/docs/report0") == b"data" * 50
+        before = west.now
+        files_west.read_file("/docs/report0")   # cached
+        assert west.now - before < system.costs.remote_latency
+
+        # Mail floods in, batched.
+        mail_desk = repro.bind(desk, "mail")
+        for index in range(20):
+            mail_desk.post("desk", f"memo {index}")
+        assert mail_desk.count() == 20
+
+        # The ticket counter migrates to its hottest user.
+        ticket = repro.bind(desk, "ticket")
+        numbers = [ticket.incr() for _ in range(8)]
+        assert numbers == list(range(1, 9))
+        assert ticket.proxy_is_local
+
+        # The replicated directory serves reads even when the hub dies.
+        directory = repro.bind(desk, "directory")
+        directory.put("east", "room 12")
+        hub_node = system.node("hub")
+        hub_node.crash()
+        assert directory.get("east") == "room 12"
+        hub_node.restart()
+
+        # After the crash the whole system still honours the principle.
+        repro.assert_principle(system)
+
+    def test_cross_service_reference_passing(self, office):
+        system, hub, east, west, desk = office
+        # East stores a *proxy to the mailbox* inside the directory; west
+        # pulls it out and posts — reference passing across three parties.
+        directory_east = repro.bind(east, "directory")
+        mail_east = repro.bind(east, "mail")
+        directory_east.put("mailbox", mail_east)
+        directory_west = repro.bind(west, "directory")
+        mailbox_via_directory = directory_west.get("mailbox")
+        mailbox_via_directory.post("west", "hello through the directory")
+        count = repro.bind(desk, "mail").count()
+        assert count == 1
+        repro.assert_principle(system)
+
+    def test_workload_driver_over_office(self, office):
+        from repro.workloads.distributions import ZipfSampler
+        from repro.workloads.sessions import (OpMix, proxy_session,
+                                              run_interleaved)
+        system, hub, east, west, desk = office
+        sessions = []
+        for index, ctx in enumerate((east, west, desk)):
+            proxy = repro.bind(ctx, "directory")
+            mix = OpMix(0.7, ZipfSampler(20, system.seeds.stream(f"k{index}")))
+            sessions.append(proxy_session(f"s{index}", ctx, proxy, mix,
+                                          system.seeds.stream(f"r{index}")))
+        result = run_interleaved(sessions, ops_per_session=30)
+        assert result.operations == 90
+        assert result.failures == 0
+        assert result.mean_latency() > 0
+        repro.assert_principle(system)

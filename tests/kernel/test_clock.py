@@ -1,0 +1,89 @@
+"""Unit tests for virtual time: Clock and BusyLine."""
+
+import pytest
+
+from repro.kernel.clock import BusyLine, Clock
+from repro.kernel.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.5).now == 5.5
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+        assert clock.now == 2.0
+
+    def test_advance_zero_is_allowed(self):
+        clock = Clock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = Clock()
+        with pytest.raises(SimulationError):
+            clock.advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = Clock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = Clock(5.0)
+        clock.advance_to(2.0)
+        assert clock.now == 5.0
+
+    def test_reset(self):
+        clock = Clock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestBusyLine:
+    def test_idle_line_starts_immediately(self):
+        line = BusyLine()
+        start, end = line.occupy(2.0, 1.0)
+        assert start == 2.0
+        assert end == 3.0
+
+    def test_busy_line_queues(self):
+        line = BusyLine()
+        line.occupy(0.0, 5.0)
+        start, end = line.occupy(1.0, 2.0)
+        assert start == 5.0
+        assert end == 7.0
+
+    def test_arrival_after_busy_period(self):
+        line = BusyLine()
+        line.occupy(0.0, 1.0)
+        start, end = line.occupy(10.0, 1.0)
+        assert start == 10.0
+
+    def test_accounting(self):
+        line = BusyLine()
+        line.occupy(0.0, 1.0)
+        line.occupy(0.0, 2.0)
+        assert line.jobs == 2
+        assert line.total_busy == 3.0
+        assert line.busy_until == 3.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            BusyLine().occupy(0.0, -1.0)
+
+    def test_reset(self):
+        line = BusyLine()
+        line.occupy(0.0, 4.0)
+        line.reset()
+        assert line.busy_until == 0.0
+        assert line.jobs == 0
+
+    def test_fifo_under_contention(self):
+        line = BusyLine()
+        ends = [line.occupy(0.0, 1.0)[1] for _ in range(5)]
+        assert ends == [1.0, 2.0, 3.0, 4.0, 5.0]

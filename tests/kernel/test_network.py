@@ -1,0 +1,121 @@
+"""Unit tests for the network model: latency, loss, partitions, crashes."""
+
+import pytest
+
+import repro
+from repro.kernel.errors import ConfigurationError
+from repro.kernel.network import LinkSpec
+
+
+@pytest.fixture
+def net():
+    system = repro.make_system(seed=5)
+    system.add_node("a")
+    system.add_node("b")
+    system.add_node("c")
+    return system
+
+
+class TestTransit:
+    def test_remote_latency_plus_bytes(self, net):
+        costs = net.costs
+        t = net.network.transit_time("a", "b", 1000)
+        assert t == pytest.approx(costs.remote_latency + 1000 * costs.byte_cost)
+
+    def test_same_node_uses_ipc_costs(self, net):
+        costs = net.costs
+        t = net.network.transit_time("a", "a", 1000)
+        assert t == pytest.approx(costs.ipc_latency + 1000 * costs.ipc_byte_cost)
+
+    def test_ipc_is_cheaper_than_remote(self, net):
+        assert net.network.transit_time("a", "a", 100) < \
+            net.network.transit_time("a", "b", 100)
+
+    def test_link_override(self, net):
+        net.network.set_link("a", "b", LinkSpec(latency=0.5, byte_cost=0.0))
+        assert net.network.transit_time("a", "b", 10_000) == 0.5
+        # symmetric by default
+        assert net.network.transit_time("b", "a", 10_000) == 0.5
+        # other links unaffected
+        assert net.network.transit_time("a", "c", 0) == net.costs.remote_latency
+
+    def test_asymmetric_link_override(self, net):
+        net.network.set_link("a", "b", LinkSpec(latency=0.2, byte_cost=0.0),
+                             symmetric=False)
+        assert net.network.transit_time("a", "b", 0) == 0.2
+        assert net.network.transit_time("b", "a", 0) == net.costs.remote_latency
+
+
+class TestDelivery:
+    def test_reliable_by_default(self, net):
+        for _ in range(50):
+            assert net.network.transmit("a", "b", 100, 0.0).delivered
+
+    def test_arrival_time(self, net):
+        delivery = net.network.transmit("a", "b", 0, 1.0)
+        assert delivery.arrive_time == pytest.approx(1.0 + net.costs.remote_latency)
+
+    def test_loss_is_probabilistic_and_seeded(self):
+        def drops(seed):
+            system = repro.make_system(seed=seed)
+            system.add_node("a")
+            system.add_node("b")
+            system.network.set_default_loss(0.5)
+            return [system.network.transmit("a", "b", 10, 0.0).delivered
+                    for _ in range(100)]
+        run1 = drops(42)
+        run2 = drops(42)
+        assert run1 == run2, "same seed must reproduce the same drops"
+        assert 20 < sum(run1) < 80, "loss should be roughly the set rate"
+        assert drops(43) != run1, "different seeds should differ"
+
+    def test_invalid_loss_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.network.set_default_loss(1.5)
+
+    def test_crashed_destination_drops(self, net):
+        net.node("b").crash()
+        delivery = net.network.transmit("a", "b", 10, 0.0)
+        assert not delivery.delivered
+        assert delivery.reason == "crash"
+
+    def test_restart_restores_delivery(self, net):
+        net.node("b").crash()
+        net.node("b").restart()
+        assert net.network.transmit("a", "b", 10, 0.0).delivered
+
+    def test_drops_are_traced(self, net):
+        net.node("b").crash()
+        net.network.transmit("a", "b", 10, 0.0)
+        assert net.trace.count("drop") == 1
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_island(self, net):
+        net.network.partition([{"a"}, {"b", "c"}])
+        assert not net.network.transmit("a", "b", 10, 0.0).delivered
+        assert net.network.transmit("b", "c", 10, 0.0).delivered
+
+    def test_heal_restores(self, net):
+        net.network.partition([{"a"}, {"b"}])
+        net.network.heal()
+        assert net.network.transmit("a", "b", 10, 0.0).delivered
+
+    def test_partitioned_predicate(self, net):
+        net.network.partition([{"a"}, {"b"}])
+        assert net.network.partitioned("a", "b")
+        assert not net.network.partitioned("b", "b")
+
+    def test_unknown_node_in_partition_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.network.partition([{"nope"}])
+
+
+class TestTopology:
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.add_node("a")
+
+    def test_unknown_node_lookup_rejected(self, net):
+        with pytest.raises(ConfigurationError):
+            net.network.node("zzz")

@@ -1,0 +1,95 @@
+"""Unit tests for nodes and contexts."""
+
+import pytest
+
+import repro
+from repro.kernel.errors import ConfigurationError
+
+
+@pytest.fixture
+def node(system):
+    return system.add_node("host")
+
+
+class TestNode:
+    def test_create_context(self, node):
+        ctx = node.create_context("svc")
+        assert ctx.context_id == "host/svc"
+        assert node.context("svc") is ctx
+
+    def test_duplicate_context_rejected(self, node):
+        node.create_context("svc")
+        with pytest.raises(ConfigurationError):
+            node.create_context("svc")
+
+    def test_unknown_context_rejected(self, node):
+        with pytest.raises(ConfigurationError):
+            node.context("missing")
+
+    def test_crash_and_restart(self, node):
+        assert node.alive
+        node.crash()
+        assert not node.alive
+        assert node.crash_count == 1
+        node.restart()
+        assert node.alive
+
+    def test_contexts_reflect_liveness(self, node):
+        ctx = node.create_context("svc")
+        node.crash()
+        assert not ctx.alive
+        node.restart()
+        assert ctx.alive
+
+
+class TestContext:
+    def test_identity(self, node):
+        ctx = node.create_context("main")
+        assert ctx.node is node
+        assert ctx.system is node.system
+        assert ctx.context_id == "host/main"
+
+    def test_charge_advances_clock(self, node):
+        ctx = node.create_context("main")
+        ctx.charge(0.5)
+        assert ctx.now == 0.5
+
+    def test_registered_in_system(self, node):
+        ctx = node.create_context("main")
+        assert node.system.context("host/main") is ctx
+
+    def test_unknown_context_id_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.context("no/where")
+
+    def test_fresh_context_has_no_space(self, node):
+        ctx = node.create_context("main")
+        assert ctx.space is None
+        assert ctx.handler is None
+        assert ctx.exports == {}
+        assert ctx.proxies == {}
+
+
+class TestSystem:
+    def test_max_time_over_contexts(self, system):
+        a = system.add_node("a").create_context("m")
+        b = system.add_node("b").create_context("m")
+        a.charge(1.0)
+        b.charge(3.0)
+        assert system.max_time() == 3.0
+
+    def test_max_time_empty(self, system):
+        assert system.max_time() == 0.0
+
+    def test_synchronize_clocks(self, system):
+        a = system.add_node("a").create_context("m")
+        b = system.add_node("b").create_context("m")
+        a.charge(2.0)
+        now = system.synchronize_clocks()
+        assert now == 2.0
+        assert b.now == 2.0
+
+    def test_contexts_listing(self, system):
+        system.add_node("a").create_context("m")
+        system.add_node("b").create_context("m")
+        assert len(system.contexts()) == 2

@@ -1,0 +1,86 @@
+"""Tests for topology builders."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.topology import build_ring, build_sites, build_star
+from repro.naming.bootstrap import install_name_service
+
+
+class TestStar:
+    def test_shapes(self, system):
+        hub, leaves = build_star(system, "hub", ["a", "b", "c"])
+        assert hub.context_id == "hub/main"
+        assert len(leaves) == 3
+        assert {ctx.node.name for ctx in leaves} == {"a", "b", "c"}
+
+
+class TestRing:
+    def test_neighbours_are_fast(self, system):
+        contexts = build_ring(system, 5)
+        network = system.network
+        near = network.transit_time("ring0", "ring1", 0)
+        far = network.transit_time("ring0", "ring2", 0)
+        assert near < far
+
+    def test_ring_wraps(self, system):
+        build_ring(system, 4)
+        network = system.network
+        assert network.transit_time("ring3", "ring0", 0) < \
+            network.transit_time("ring3", "ring1", 0)
+
+
+class TestSites:
+    def test_lan_vs_wan_latency(self, system):
+        sites = build_sites(system, ["eu", "us"], nodes_per_site=2,
+                            wan_factor=10.0)
+        network = system.network
+        lan = network.transit_time("eu-0", "eu-1", 0)
+        wan = network.transit_time("eu-0", "us-0", 0)
+        assert wan == pytest.approx(lan * 10.0)
+
+    def test_wan_is_symmetric(self, system):
+        build_sites(system, ["eu", "us"], nodes_per_site=1)
+        network = system.network
+        assert network.transit_time("eu-0", "us-0", 0) == \
+            network.transit_time("us-0", "eu-0", 0)
+
+    def test_three_sites_all_pairs_slow(self, system):
+        sites = build_sites(system, ["a", "b", "c"], nodes_per_site=1,
+                            wan_factor=5.0)
+        network = system.network
+        base = system.costs.remote_latency
+        for src, dst in (("a-0", "b-0"), ("b-0", "c-0"), ("a-0", "c-0")):
+            assert network.transit_time(src, dst, 0) == pytest.approx(base * 5)
+
+    def test_wan_affects_real_calls(self, system):
+        sites = build_sites(system, ["eu", "us"], nodes_per_site=1,
+                            wan_factor=10.0)
+        eu, us = sites[0].contexts[0], sites[1].contexts[0]
+        install_name_service(eu)
+        repro.register(eu, "kv", KVStore())
+        proxy = repro.bind(us, "kv")
+        proxy.get("warm")
+        before = us.now
+        proxy.get("warm")
+        elapsed = us.now - before
+        assert elapsed >= 2 * system.costs.remote_latency * 10
+
+    def test_replica_placement_pays_off_across_sites(self, system):
+        """A replica in the client's site beats the WAN round trip."""
+        sites = build_sites(system, ["eu", "us"], nodes_per_site=2,
+                            wan_factor=10.0)
+        eu0, eu1 = sites[0].contexts
+        us0, us1 = sites[1].contexts
+        install_name_service(eu0)
+        ref = repro.replicate([eu1, us1], KVStore, write_quorum=1)
+        repro.register(eu0, "kv", ref)
+        proxy = repro.bind(us0, "kv")
+        proxy.put("k", 1)
+        before = us0.now
+        proxy.get("k")
+        elapsed = us0.now - before
+        # The nearest replica is us-1: a LAN round trip, not a WAN one.
+        assert elapsed < system.costs.remote_latency * 10

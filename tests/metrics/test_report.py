@@ -1,0 +1,74 @@
+"""Tests for the system report module."""
+
+import repro
+from repro.apps.kv import CachedKVStore, KVStore
+from repro.metrics.report import render, report, snapshot
+
+
+class TestSnapshot:
+    def test_contexts_enumerated(self, star):
+        system, server, clients = star
+        view = snapshot(system)
+        ids = {row["context"] for row in view.contexts}
+        assert server.context_id in ids
+        assert len(ids) == 4
+
+    def test_activity_reflected(self, star):
+        system, server, clients = star
+        repro.register(server, "kv", KVStore())
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        view = snapshot(system)
+        server_row = next(row for row in view.contexts
+                          if row["context"] == server.context_id)
+        assert server_row["exports"] >= 2   # ctxmgr + nameservice + kv
+        assert server_row["requests"] >= 2  # lookup + describe + put
+        client_row = next(row for row in view.contexts
+                          if row["context"] == clients[0].context_id)
+        assert client_row["proxies"] >= 1
+        assert view.traffic["messages"] > 0
+        assert view.protocol["calls"] > 0
+
+    def test_policies_counted(self, star):
+        system, server, clients = star
+        repro.register(server, "kv", CachedKVStore())
+        repro.bind(clients[0], "kv")
+        view = snapshot(system)
+        assert view.policies.get("CachingProxy", 0) >= 1
+
+    def test_crash_visible(self, star):
+        system, server, clients = star
+        clients[0].node.crash()
+        view = snapshot(system)
+        row = next(row for row in view.contexts
+                   if row["context"] == clients[0].context_id)
+        assert row["alive"] is False
+
+    def test_migrated_counted(self, star):
+        from repro.apps.counter import MigratingCounter
+        system, server, clients = star
+        repro.register(server, "ctr", MigratingCounter())
+        proxy = repro.bind(clients[0], "ctr")
+        for _ in range(6):
+            proxy.incr()
+        view = snapshot(system)
+        server_row = next(row for row in view.contexts
+                          if row["context"] == server.context_id)
+        assert server_row["migrated_away"] == 1
+
+
+class TestRender:
+    def test_render_contains_sections(self, star):
+        system, server, clients = star
+        repro.register(server, "kv", KVStore())
+        repro.bind(clients[0], "kv").get("k")
+        text = report(system)
+        assert "contexts" in text
+        assert "rpc protocol" in text
+        assert "traffic" in text
+        assert server.context_id in text
+
+    def test_render_of_fresh_system(self):
+        system = repro.make_system(seed=1)
+        text = render(snapshot(system))
+        assert "virtual" in text

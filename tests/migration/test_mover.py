@@ -1,0 +1,163 @@
+"""Tests for the migration substrate: movers, forwarding, compaction."""
+
+import pytest
+
+import repro
+from repro.apps.counter import Counter
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.errors import DanglingReference
+from repro.migration.forwarding import (
+    compact,
+    final_location,
+    forwarding_chain,
+    scrub,
+)
+from repro.migration.mover import ensure_mover, migrate, mover_proxy
+
+
+@pytest.fixture
+def movable(star):
+    system, server, clients = star
+    counter = Counter()
+    space = get_space(server)
+    ref = space.export(counter, policy="migrating")
+    for ctx in clients:
+        ensure_mover(get_space(ctx))
+    return system, server, clients, counter, ref
+
+
+class TestMigrate:
+    def test_basic_migration(self, movable):
+        system, server, clients, counter, ref = movable
+        new_ref = migrate(clients[0], ref)
+        assert new_ref.context_id == clients[0].context_id
+        assert new_ref.oid == ref.oid
+        assert new_ref.epoch == ref.epoch + 1
+        assert new_ref.policy == ref.policy
+
+    def test_state_travels(self, movable):
+        system, server, clients, counter, ref = movable
+        counter.incr(41)
+        new_ref = migrate(clients[0], ref)
+        moved = clients[0].exports[ref.oid].obj
+        assert moved.value == 41
+        assert moved is not counter
+
+    def test_source_keeps_forwarding_pointer(self, movable):
+        system, server, clients, counter, ref = movable
+        new_ref = migrate(clients[0], ref)
+        assert server.exports[ref.oid].moved_to == new_ref
+
+    def test_migration_is_idempotent(self, movable):
+        system, server, clients, counter, ref = movable
+        first = migrate(clients[0], ref)
+        again = migrate(clients[0], ref)
+        assert again == first
+
+    def test_migrate_to_current_home_is_noop(self, movable):
+        system, server, clients, counter, ref = movable
+        same = migrate(server, ref, server.context_id)
+        assert same == ref
+
+    def test_unmigratable_object_returns_none(self, star):
+        system, server, clients = star
+
+        class Opaque:
+            @repro.operation
+            def touch(self):
+                return 1
+
+        space = get_space(server)
+        ref = space.export(Opaque())
+        ensure_mover(space)
+        ensure_mover(get_space(clients[0]))
+        assert migrate(clients[0], ref) is None
+
+    def test_unreachable_source_returns_none(self, movable):
+        system, server, clients, counter, ref = movable
+        server.node.crash()
+        assert migrate(clients[0], ref) is None
+
+    def test_policy_config_travels(self, star):
+        system, server, clients = star
+        store = KVStore()
+        space = get_space(server)
+        ref = space.export(store, policy="migrating",
+                           config={"migrate_after": 17})
+        ensure_mover(get_space(clients[0]))
+        migrate(clients[0], ref)
+        entry = clients[0].exports[ref.oid]
+        assert entry.policy_config["migrate_after"] == 17
+
+    def test_migration_charges_state_transfer(self, movable):
+        system, server, clients, counter, ref = movable
+        mark = system.trace.mark()
+        migrate(clients[0], ref)
+        moves = [ev for ev in system.trace.since(mark) if ev.kind == "migrate"]
+        assert len(moves) == 1
+
+
+class TestForwardingChains:
+    def _chain(self, system, contexts, hops=3):
+        origin = contexts[0]
+        counter = Counter()
+        ref = get_space(origin).export(counter, policy="migrating")
+        for ctx in contexts:
+            ensure_mover(get_space(ctx))
+        current = ref
+        for hop in range(1, hops + 1):
+            current = migrate(contexts[hop], current,
+                              contexts[hop].context_id)
+        return ref, current
+
+    def test_chain_length(self, star):
+        system, server, clients = star
+        ref, final = self._chain(system, [server] + clients, hops=3)
+        chain = forwarding_chain(system, ref)
+        assert len(chain) == 4
+        assert chain[-1] == final
+
+    def test_final_location(self, star):
+        system, server, clients = star
+        ref, final = self._chain(system, [server] + clients, hops=3)
+        assert final_location(system, ref) == final
+
+    def test_stale_proxy_chases_whole_chain(self, star):
+        system, server, clients = star
+        ref, final = self._chain(system, [server] + clients, hops=2)
+        # A proxy bound to the original location follows redirects to the end.
+        extra = system.add_node("late").create_context("m")
+        proxy = get_space(extra).bind_ref(ref, handshake=False)
+        proxy.incr()
+        assert proxy.proxy_ref.context_id == final.context_id
+
+    def test_compact_shortens_chain(self, star):
+        system, server, clients = star
+        ref, final = self._chain(system, [server] + clients, hops=3)
+        for ctx in [server] + clients:
+            compact(ctx.space)
+        assert len(forwarding_chain(system, ref)) == 2
+
+    def test_scrub_dangles_stale_references(self, star):
+        system, server, clients = star
+        ref, final = self._chain(system, [server] + clients, hops=1)
+        assert scrub(get_space(server)) == 1
+        extra = system.add_node("late").create_context("m")
+        proxy = get_space(extra).bind_ref(ref, handshake=False)
+        with pytest.raises(DanglingReference):
+            proxy.incr()
+
+
+class TestMoverService:
+    def test_ensure_mover_idempotent(self, star):
+        system, server, clients = star
+        space = get_space(server)
+        assert ensure_mover(space) == ensure_mover(space)
+
+    def test_mover_proxy_reaches_remote_mover(self, star):
+        system, server, clients = star
+        ensure_mover(get_space(server))
+        proxy = mover_proxy(clients[0], server.context_id)
+        with pytest.raises(Exception):
+            proxy.migrate_to("nothing", clients[0].context_id)

@@ -1,0 +1,200 @@
+"""Tests for the name service, bootstrap, and hierarchical resolution."""
+
+import pytest
+
+import repro
+from repro.apps.kv import CachedKVStore, KVStore
+from repro.core.export import get_space
+from repro.core.policies.caching import CachingProxy
+from repro.core.proxy import is_proxy
+from repro.kernel.errors import BindError, ConfigurationError
+from repro.metrics.counters import MessageWindow
+from repro.naming.bootstrap import (
+    install_name_service,
+    make_directory_tree,
+    name_service_proxy,
+    resolve,
+    unregister,
+)
+from repro.naming.service import DirectoryService, NameService
+
+
+class TestNameServiceUnit:
+    def test_register_lookup(self):
+        ns = NameService()
+        ns.register("a", "target-a")
+        assert ns.lookup("a") == "target-a"
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            NameService().lookup("ghost")
+
+    def test_reregister_replaces(self):
+        ns = NameService()
+        ns.register("a", 1)
+        ns.register("a", 2)
+        assert ns.lookup("a") == 2
+
+    def test_unregister(self):
+        ns = NameService()
+        ns.register("a", 1)
+        assert ns.unregister("a") is True
+        assert ns.unregister("a") is False
+
+    def test_list_names_prefix(self):
+        ns = NameService()
+        for name in ("svc/a", "svc/b", "other"):
+            ns.register(name, 1)
+        assert ns.list_names("svc/") == ["svc/a", "svc/b"]
+
+    def test_contains(self):
+        ns = NameService()
+        ns.register("x", 1)
+        assert ns.contains("x")
+        assert not ns.contains("y")
+
+
+class TestBootstrap:
+    def test_single_name_service_per_system(self, star):
+        system, server, clients = star
+        with pytest.raises(ConfigurationError):
+            install_name_service(clients[0])
+
+    def test_bind_without_name_service_fails(self):
+        system = repro.make_system(seed=3)
+        ctx = system.add_node("n").create_context("m")
+        with pytest.raises(BindError):
+            name_service_proxy(ctx)
+
+    def test_primordial_proxy_needs_no_messages(self, star):
+        system, server, clients = star
+        with MessageWindow(system) as window:
+            name_service_proxy(clients[0])
+        assert window.report.messages == 0
+
+    def test_home_context_gets_real_name_service(self, star):
+        system, server, clients = star
+        assert isinstance(name_service_proxy(server), NameService)
+
+    def test_remote_context_gets_proxy(self, star):
+        system, server, clients = star
+        assert is_proxy(name_service_proxy(clients[0]))
+
+    def test_bind_returns_service_chosen_policy(self, star):
+        system, server, clients = star
+        repro.register(server, "kv", CachedKVStore())
+        proxy = repro.bind(clients[0], "kv")
+        assert isinstance(proxy, CachingProxy)
+
+    def test_bind_unknown_name_raises_keyerror(self, star):
+        system, server, clients = star
+        with pytest.raises(KeyError):
+            repro.bind(clients[0], "nothing-here")
+
+    def test_register_from_remote_context(self, star):
+        """A client can register its own service with the remote registry."""
+        system, server, clients = star
+        local_store = KVStore()
+        repro.register(clients[0], "client-kv", local_store)
+        proxy = repro.bind(clients[1], "client-kv")
+        proxy.put("k", "v")
+        assert local_store.data["k"] == "v"
+        assert proxy.proxy_ref.context_id == clients[0].context_id
+
+    def test_unregister_via_facade(self, star):
+        system, server, clients = star
+        repro.register(server, "kv", KVStore())
+        assert unregister(clients[0], "kv") is True
+        with pytest.raises(KeyError):
+            repro.bind(clients[0], "kv")
+
+    def test_lookup_after_migration_finds_object(self, star):
+        """The registry stays valid when the registered object migrates."""
+        from repro.apps.counter import MigratingCounter
+        system, server, clients = star
+        repro.register(server, "ctr", MigratingCounter())
+        mover = repro.bind(clients[0], "ctr")
+        for _ in range(6):
+            mover.incr()
+        assert mover.proxy_is_local
+        late = repro.bind(clients[1], "ctr")
+        assert late.incr() == 7
+
+    def test_proxies_can_be_registered(self, star):
+        system, server, clients = star
+        store = KVStore()
+        repro.register(server, "kv", store)
+        proxy = repro.bind(clients[0], "kv")
+        repro.register(clients[0], "kv-alias", proxy)
+        alias = repro.bind(clients[1], "kv-alias")
+        alias.put("via-alias", 1)
+        assert store.data["via-alias"] == 1
+
+
+class TestDirectories:
+    def test_directory_bind_and_lookup(self):
+        directory = DirectoryService("/")
+        directory.bind_entry("a", "target")
+        assert directory.lookup_entry("a") == "target"
+        assert directory.list_entries() == ["a"]
+
+    def test_invalid_component_rejected(self):
+        directory = DirectoryService("/")
+        with pytest.raises(ValueError):
+            directory.bind_entry("a/b", "x")
+        with pytest.raises(ValueError):
+            directory.bind_entry("", "x")
+
+    def test_unbind(self):
+        directory = DirectoryService("/")
+        directory.bind_entry("a", 1)
+        assert directory.unbind_entry("a") is True
+        assert directory.unbind_entry("a") is False
+
+    def test_cross_context_resolution(self, star):
+        system, server, clients = star
+        target = KVStore()
+        get_space(server).export(target)
+        root = make_directory_tree(clients[0], depth=3, leaf_target=target,
+                                   contexts=[server, clients[1], clients[2]])
+        leaf = resolve(clients[0], root, "d1/d2/leaf")
+        leaf.put("deep", "found")
+        assert target.data["deep"] == "found"
+
+    def test_name_service_is_itself_replicable(self, star):
+        """Uniformity, taken seriously: the registry is just a service, so
+        it can be deployed under the replicated policy like any other."""
+        from repro.core.policies.replicating import replicate
+        from repro.naming.service import NameService
+        system, server, clients = star
+        group_ref = replicate([server, clients[1]], NameService,
+                              write_quorum=2)
+        registry = get_space(clients[0]).bind_ref(group_ref)
+        store = KVStore()
+        get_space(clients[2]).export(store)
+        target = get_space(clients[0]).bind_ref(
+            get_space(clients[2]).ref_of(store), handshake=False)
+        registry.register("replicated-entry", target)
+        # The primary registry host dies; lookups keep answering.
+        server.node.crash()
+        found = registry.lookup("replicated-entry")
+        found.put("via-replica", 1)
+        assert store.data == {"via-replica": 1}
+        server.node.restart()
+
+    def test_resolution_cost_grows_with_depth(self, star):
+        system, server, clients = star
+        shallow_target = KVStore()
+        get_space(server).export(shallow_target)
+        root1 = make_directory_tree(clients[0], 1, leaf_target=shallow_target,
+                                    contexts=[server])
+        with MessageWindow(system) as window:
+            resolve(clients[0], root1, "leaf")
+        shallow = window.report.messages
+        deep_target = KVStore()
+        get_space(server).export(deep_target)
+        root4 = make_directory_tree(clients[0], 4, leaf_target=deep_target,
+                                    contexts=[server, clients[1], clients[2]])
+        with MessageWindow(system) as window:
+            resolve(clients[0], root4, "d1/d2/d3/leaf")
+        assert window.report.messages > shallow

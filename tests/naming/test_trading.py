@@ -1,0 +1,112 @@
+"""Tests for the trader: attribute-based service selection."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.proxy import is_proxy
+from repro.naming.trading import TraderService
+
+
+class TestTraderUnit:
+    @pytest.fixture
+    def trader(self):
+        trader = TraderService()
+        trader.export_offer("printer", {"dpi": 300, "floor": 1}, "p300")
+        trader.export_offer("printer", {"dpi": 600, "floor": 2}, "p600")
+        trader.export_offer("scanner", {"dpi": 600}, "s600")
+        return trader
+
+    def test_query_by_type(self, trader):
+        assert sorted(trader.query("printer", {})) == ["p300", "p600"]
+
+    def test_exact_constraint(self, trader):
+        assert trader.query("printer", {"floor": 2}) == ["p600"]
+
+    def test_comparison_constraints(self, trader):
+        assert trader.query("printer", {"dpi": (">=", 400)}) == ["p600"]
+        assert trader.query("printer", {"dpi": ("<", 400)}) == ["p300"]
+
+    def test_missing_property_fails_constraint(self, trader):
+        assert trader.query("scanner", {"floor": 1}) == []
+
+    def test_prefer_orders_results(self, trader):
+        assert trader.query("printer", {}, prefer=("max", "dpi")) == \
+            ["p600", "p300"]
+        assert trader.query("printer", {}, prefer=("min", "dpi")) == \
+            ["p300", "p600"]
+
+    def test_limit(self, trader):
+        assert len(trader.query("printer", {}, limit=1)) == 1
+
+    def test_select_best(self, trader):
+        assert trader.select("printer", {}, prefer=("max", "dpi")) == "p600"
+
+    def test_select_no_match_raises(self, trader):
+        with pytest.raises(KeyError):
+            trader.select("plotter", {})
+
+    def test_withdraw(self, trader):
+        offer_id = trader.export_offer("printer", {"dpi": 1200}, "p1200")
+        assert trader.withdraw(offer_id) is True
+        assert trader.withdraw(offer_id) is False
+        assert "p1200" not in trader.query("printer", {})
+
+    def test_update_properties(self, trader):
+        offer_id = trader.export_offer("kv", {"load": 9}, "kv1")
+        assert trader.update_properties(offer_id, {"load": 1}) is True
+        assert trader.query("kv", {"load": ("<=", 2)}) == ["kv1"]
+
+    def test_offer_count(self, trader):
+        assert trader.offer_count("printer") == 2
+        assert trader.offer_count("plotter") == 0
+
+    def test_incomparable_constraint_fails_closed(self, trader):
+        assert trader.query("printer", {"dpi": ("<=", "not-a-number")}) == []
+
+
+class TestTraderDistributed:
+    def test_offers_resolve_to_live_proxies(self, star):
+        """The trader stores access paths; importers get working proxies."""
+        system, server, clients = star
+        trader = TraderService()
+        repro.register(server, "trader", trader)
+
+        # Two providers advertise their stores with a load property.
+        stores = []
+        for index, ctx in enumerate(clients[:2]):
+            store = KVStore()
+            stores.append(store)
+            get_space(ctx).export(store)
+            provider_trader = repro.bind(ctx, "trader")
+            provider_trader.export_offer("kv", {"load": index * 10}, store)
+
+        importer = repro.bind(clients[2], "trader")
+        best = importer.select("kv", {"load": ("<=", 50)},
+                               prefer=("min", "load"))
+        assert is_proxy(best)
+        best.put("routed", True)
+        assert stores[0].data == {"routed": True}
+        assert stores[1].data == {}
+        repro.assert_principle(system)
+
+    def test_load_update_redirects_future_imports(self, star):
+        system, server, clients = star
+        trader = TraderService()
+        repro.register(server, "trader", trader)
+        stores = [KVStore(), KVStore()]
+        offer_ids = []
+        for index, store in enumerate(stores):
+            get_space(server).export(store)
+            offer_ids.append(trader.export_offer(
+                "kv", {"load": index}, store))
+        importer = repro.bind(clients[0], "trader")
+        first = importer.select("kv", {}, prefer=("min", "load"))
+        first.put("a", 1)
+        # Provider 0 reports heavy load; the next import goes to provider 1.
+        trader.update_properties(offer_ids[0], {"load": 99})
+        second = importer.select("kv", {}, prefer=("min", "load"))
+        second.put("b", 2)
+        assert stores[0].data == {"a": 1}
+        assert stores[1].data == {"b": 2}

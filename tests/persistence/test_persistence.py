@@ -1,0 +1,209 @@
+"""Tests for the persistence substrate: stores, checkpoints, recovery."""
+
+import pytest
+
+import repro
+from repro.apps.counter import Counter
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.errors import ConfigurationError, DanglingReference
+from repro.persistence import (
+    PersistenceManager,
+    crash_node,
+    recover_context,
+    stable_store,
+)
+
+
+class TestStableStore:
+    def test_write_read_roundtrip(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        store.write(server, "blob", {"a": [1, 2], "b": "text"})
+        assert store.read(server, "blob") == {"a": [1, 2], "b": "text"}
+
+    def test_missing_key_raises(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        with pytest.raises(KeyError):
+            store.read(server, "ghost")
+
+    def test_disk_costs_charged(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        before = server.now
+        store.write(server, "k", "x" * 10_000)
+        elapsed = server.now - before
+        assert elapsed >= system.costs.disk_latency
+
+    def test_survives_crash(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        store.write(server, "k", 42)
+        server.node.crash()
+        server.node.restart()
+        assert store.read(server, "k") == 42
+
+    def test_remote_context_rejected(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        with pytest.raises(ConfigurationError):
+            store.write(client, "k", 1)
+
+    def test_one_store_per_node(self, pair):
+        system, server, client = pair
+        assert stable_store(server.node) is stable_store(server.node)
+
+    def test_keys_and_delete(self, pair):
+        system, server, client = pair
+        store = stable_store(server.node)
+        store.write(server, "export:a", 1)
+        store.write(server, "export:b", 2)
+        store.write(server, "other", 3)
+        assert store.keys("export:") == ["export:a", "export:b"]
+        assert store.delete(server, "export:a") is True
+        assert "export:a" not in store
+
+
+class TestCrashSemantics:
+    def test_crash_node_wipes_exports(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        repro.register(server, "kv", store)
+        proxy = repro.bind(client, "kv")
+        crash_node(server.node)
+        server.node.restart()
+        with pytest.raises(DanglingReference):
+            proxy.get("k")
+
+    def test_plain_crash_keeps_state(self, pair):
+        """Node.crash() without the persistence module stays non-volatile
+        (the original simulation default, used by most experiments)."""
+        system, server, client = pair
+        store = KVStore()
+        repro.register(server, "kv", store)
+        proxy = repro.bind(client, "kv")
+        proxy.put("k", 1)
+        server.node.crash()
+        server.node.restart()
+        assert proxy.get("k") == 1
+
+
+class TestCheckpointRecover:
+    @pytest.fixture
+    def persisted(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        repro.register(server, "kv", store)
+        manager = PersistenceManager(get_space(server))
+        proxy = repro.bind(client, "kv")
+        return system, server, client, store, manager, proxy
+
+    def test_manual_checkpoint_recover(self, persisted):
+        system, server, client, store, manager, proxy = persisted
+        proxy.put("k", "saved")
+        manager.checkpoint(store)
+        crash_node(server.node)
+        server.node.restart()
+        assert recover_context(server) == 1
+        assert proxy.get("k") == "saved"
+
+    def test_changes_after_checkpoint_are_lost(self, persisted):
+        system, server, client, store, manager, proxy = persisted
+        proxy.put("k", "saved")
+        manager.checkpoint(store)
+        proxy.put("k", "lost")
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        assert proxy.get("k") == "saved"
+
+    def test_auto_checkpoint_interval(self, persisted):
+        system, server, client, store, manager, proxy = persisted
+        manager.auto_checkpoint(store, every=4)
+        for index in range(6):
+            proxy.put(f"k{index}", index)
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        assert proxy.get("k3") == 3      # inside the 4-mutation checkpoint
+        assert proxy.get("k5") is None   # after the last checkpoint
+
+    def test_recovered_object_keeps_identity(self, persisted):
+        """The old reference (and even the old proxy) stays valid."""
+        system, server, client, store, manager, proxy = persisted
+        old_ref = proxy.proxy_ref
+        proxy.put("k", 1)
+        manager.checkpoint(store)
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        assert proxy.proxy_ref == old_ref
+        assert proxy.put("k2", 2) is True
+
+    def test_recovery_is_idempotent(self, persisted):
+        system, server, client, store, manager, proxy = persisted
+        manager.checkpoint(store)
+        crash_node(server.node)
+        server.node.restart()
+        assert recover_context(server) == 1
+        assert recover_context(server) == 0
+
+    def test_checkpoint_all(self, pair):
+        system, server, client = pair
+        space = get_space(server)
+        stores = [KVStore() for _ in range(3)]
+        for index, kv in enumerate(stores):
+            kv.put("id", index)
+            space.export(kv)
+        manager = PersistenceManager(space)
+        assert manager.checkpoint_all() == 3
+
+    def test_uncheckpointable_object_rejected(self, pair):
+        system, server, client = pair
+
+        class Opaque:
+            @repro.operation
+            def touch(self):
+                return 1
+
+        space = get_space(server)
+        ref = space.export(Opaque())
+        manager = PersistenceManager(space)
+        with pytest.raises(ConfigurationError):
+            manager.checkpoint(ref)
+
+    def test_stats(self, persisted):
+        system, server, client, store, manager, proxy = persisted
+        manager.checkpoint(store)
+        manager.checkpoint(store)
+        assert manager.stats["checkpoints"] == 2
+
+
+class TestRecoveryInteractions:
+    def test_counter_state_capsule(self, pair):
+        system, server, client = pair
+        counter = Counter()
+        repro.register(server, "ctr", counter)
+        manager = PersistenceManager(get_space(server))
+        proxy = repro.bind(client, "ctr")
+        for _ in range(5):
+            proxy.incr()
+        manager.checkpoint(counter)
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        assert proxy.incr() == 6
+
+    def test_wellknown_services_resurrect(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        repro.register(server, "kv", store)
+        manager = PersistenceManager(get_space(server))
+        manager.checkpoint(store)
+        crash_node(server.node)
+        server.node.restart()
+        recover_context(server)
+        # The context manager answers again: a fresh handshake bind works.
+        mgr = get_space(client).ctxmgr_proxy(server.context_id)
+        assert mgr.ping() == "pong"

@@ -1,0 +1,106 @@
+"""Property tests for DSM coherence: any access pattern matches an oracle.
+
+Single-writer/multiple-reader invalidation must make the shared heap behave
+exactly like one flat array, no matter which context touches which slot in
+which order — plus structural invariants on the directory itself.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.dsm.coherence import CoherenceProtocol
+from repro.dsm.heap import SharedHeap
+from repro.dsm.pages import Mode, SharedRegion
+
+NUM_CONTEXTS = 3
+NUM_SLOTS = 24
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(0, NUM_CONTEXTS - 1),             # which context
+        st.sampled_from(["read", "write"]),
+        st.integers(0, NUM_SLOTS - 1),                 # which slot
+        st.integers(-50, 50),                          # value (writes)
+    ),
+    max_size=60,
+)
+
+
+def build():
+    system = repro.make_system(seed=21)
+    contexts = [system.add_node(f"n{i}").create_context("m")
+                for i in range(NUM_CONTEXTS)]
+    region = SharedRegion("r", contexts[0], num_pages=4, slots_per_page=8)
+    for ctx in contexts[1:]:
+        region.attach(ctx)
+    protocol = CoherenceProtocol(region)
+    heap = SharedHeap(region, protocol)
+    heap.alloc(NUM_SLOTS)
+    return system, contexts, region, protocol, heap
+
+
+def check_directory_invariants(region):
+    """Single-writer, consistent copies, owner always has a copy."""
+    for page, state in region.directory.items():
+        writers = [cid for cid, cache in region.caches.items()
+                   if cache.mode(page) is Mode.WRITE]
+        assert len(writers) <= 1, f"page {page}: multiple writers {writers}"
+        if writers:
+            assert writers[0] == state.owner
+            assert not state.copies, \
+                f"page {page}: write copy coexists with read copies"
+        owner_cache = region.caches.get(state.owner)
+        assert owner_cache is not None
+        assert owner_cache.mode(page) is not Mode.NONE, \
+            f"page {page}: owner holds no copy"
+        for holder in state.copies:
+            assert region.caches[holder].mode(page) is Mode.READ
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=accesses)
+def test_dsm_matches_flat_array(script):
+    system, contexts, region, protocol, heap = build()
+    oracle = [None] * NUM_SLOTS
+    for who, kind, slot, value in script:
+        ctx = contexts[who]
+        if kind == "write":
+            heap.write(ctx, slot, value)
+            oracle[slot] = value
+        else:
+            assert heap.read(ctx, slot) == oracle[slot]
+    check_directory_invariants(region)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=accesses)
+def test_directory_invariants_hold_at_every_step(script):
+    system, contexts, region, protocol, heap = build()
+    for who, kind, slot, value in script:
+        ctx = contexts[who]
+        if kind == "write":
+            heap.write(ctx, slot, value)
+        else:
+            heap.read(ctx, slot)
+        check_directory_invariants(region)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=accesses)
+def test_virtual_time_is_monotonic_per_context(script):
+    system, contexts, region, protocol, heap = build()
+    last = {ctx.context_id: ctx.now for ctx in contexts}
+    for who, kind, slot, value in script:
+        ctx = contexts[who]
+        if kind == "write":
+            heap.write(ctx, slot, value)
+        else:
+            heap.read(ctx, slot)
+        assert ctx.now >= last[ctx.context_id]
+        last[ctx.context_id] = ctx.now

@@ -1,0 +1,71 @@
+"""Property tests for event channels: delivery, ordering, recovery."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.events import EventChannel, EventSubscriber, topic_matches
+from repro.failures.injectors import message_loss
+from repro.kernel.errors import RpcTimeout
+from repro.naming.bootstrap import install_name_service
+
+TOPICS = ["a", "a/x", "a/y", "b", "b/z"]
+
+publishes = st.lists(
+    st.tuples(st.sampled_from(TOPICS), st.integers(0, 99)),
+    max_size=30,
+)
+
+
+def build(patterns):
+    system = repro.make_system(seed=17)
+    hub = system.add_node("hub").create_context("m")
+    sub_ctx = system.add_node("sub").create_context("m")
+    pub_ctx = system.add_node("pub").create_context("m")
+    install_name_service(hub)
+    repro.register(hub, "bus", EventChannel())
+    subscriber = EventSubscriber(sub_ctx, repro.bind(sub_ctx, "bus"),
+                                 patterns)
+    publisher = repro.bind(pub_ctx, "bus")
+    return system, subscriber, publisher
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=publishes)
+def test_reliable_network_delivers_exactly_matching_events(script):
+    system, subscriber, publisher = build(["a/*"])
+    expected = []
+    for topic, payload in script:
+        seq = publisher.publish(topic, payload)
+        if topic_matches("a/*", topic):
+            expected.append((seq, topic, payload))
+    assert subscriber.ordered_events() == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=publishes, loss=st.sampled_from([0.2, 0.4, 0.6]))
+def test_catch_up_always_converges(script, loss):
+    """Whatever is lost on the push path, replay completes the view."""
+    system, subscriber, publisher = build(["a/*", "b/*", "a", "b"])
+    with message_loss(system, loss):
+        for topic, payload in script:
+            try:
+                publisher.publish(topic, payload)
+            except RpcTimeout:
+                pass
+    subscriber.catch_up()
+    published = publisher.replay(["a/*", "b/*", "a", "b"], 0)
+    assert [list(event) for event in subscriber.ordered_events()] == published
+    assert not subscriber.gaps()
+
+
+@settings(max_examples=40, deadline=None)
+@given(script=publishes)
+def test_sequence_numbers_strictly_increase(script):
+    system, subscriber, publisher = build(["a/*"])
+    seqs = [publisher.publish(topic, payload) for topic, payload in script]
+    assert seqs == sorted(set(seqs))

@@ -1,0 +1,116 @@
+"""Property tests: every proxy policy is observably a plain dictionary.
+
+The strongest form of the encapsulation claim: for ANY sequence of
+put/get/delete operations, a client talking through ANY policy observes
+exactly what an in-memory dict oracle predicts.  Caching, batching,
+migration, and replication may only change the *cost*, never the answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.policies.replicating import replicate
+from repro.naming.bootstrap import install_name_service
+
+KEYS = [f"key{i}" for i in range(6)]
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS),
+                  st.integers(-100, 100)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS)),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS)),
+    ),
+    max_size=40,
+)
+
+
+def build(policy: str):
+    system = repro.make_system(seed=7)
+    contexts = [system.add_node(f"n{i}").create_context("m") for i in range(3)]
+    install_name_service(contexts[0])
+    if policy == "replicated":
+        ref = replicate(contexts[:2], KVStore, write_quorum=2)
+    else:
+        store = KVStore()
+        ref = get_space(contexts[0]).export(store, policy=policy)
+    proxy = get_space(contexts[2]).bind_ref(ref)
+    return system, proxy
+
+
+def run_script(proxy, script) -> list:
+    """Apply a script through the proxy, with a dict oracle alongside."""
+    oracle: dict = {}
+    observations = []
+    for step in script:
+        if step[0] == "put":
+            _, key, value = step
+            proxy.put(key, value)
+            oracle[key] = value
+        elif step[0] == "delete":
+            _, key = step
+            proxy.delete(key)
+            oracle.pop(key, None)
+        else:
+            _, key = step
+            observations.append((proxy.get(key), oracle.get(key)))
+    return observations
+
+
+@pytest.mark.parametrize("policy",
+                         ["stub", "caching", "batching", "migrating",
+                          "replicated"])
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=ops)
+def test_policy_matches_oracle(policy, script):
+    system, proxy = build(policy)
+    for observed, expected in run_script(proxy, script):
+        assert observed == expected
+    repro.assert_principle(system)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=ops, loss=st.sampled_from([0.05, 0.15, 0.25]))
+def test_oracle_holds_under_message_loss(script, loss):
+    """Retries + at-most-once keep the oracle exact even on a lossy net."""
+    from repro.failures.injectors import message_loss
+    system, proxy = build("stub")
+    with message_loss(system, loss):
+        for observed, expected in run_script(proxy, script):
+            assert observed == expected
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(script=ops)
+def test_two_clients_one_oracle_sequential(script):
+    """Two clients alternating operations still match a single oracle
+    (sequential consistency for non-overlapping, interleaved turns)."""
+    system = repro.make_system(seed=11)
+    contexts = [system.add_node(f"n{i}").create_context("m") for i in range(3)]
+    install_name_service(contexts[0])
+    store = KVStore()
+    ref = get_space(contexts[0]).export(store, policy="caching")
+    proxies = [get_space(ctx).bind_ref(ref) for ctx in contexts[1:]]
+    oracle: dict = {}
+    for index, step in enumerate(script):
+        proxy = proxies[index % 2]
+        if step[0] == "put":
+            _, key, value = step
+            proxy.put(key, value)
+            oracle[key] = value
+        elif step[0] == "delete":
+            _, key = step
+            proxy.delete(key)
+            oracle.pop(key, None)
+        else:
+            _, key = step
+            assert proxy.get(key) == oracle.get(key)

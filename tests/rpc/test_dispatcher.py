@@ -1,0 +1,117 @@
+"""Unit tests for the server-side dispatcher: dedup, redirects, accounting."""
+
+import pytest
+
+from repro.apps.counter import Counter
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.errors import ObjectMoved
+from repro.wire.frames import REQUEST, Frame
+from repro.wire.refs import ObjectRef
+
+
+@pytest.fixture
+def served(pair):
+    system, server, client = pair
+    counter = Counter()
+    ref = get_space(server).export(counter)
+    dispatcher = server.handler.__self__
+    return system, server, client, counter, ref, dispatcher
+
+
+def send_raw(system, client, ref, verb, args=(), msg_id=1):
+    """Hand-deliver a raw request frame to the target dispatcher."""
+    frame = Frame(REQUEST, msg_id, client.context_id, ref.context_id,
+                  target=ref.oid, verb=verb, body=(args, {}))
+    data = frame.encode(system.transport.encoder_for(client))
+    dst = system.context(ref.context_id)
+    return dst.handler(data, client.now)
+
+
+class TestAtMostOnce:
+    def test_duplicate_request_not_reexecuted(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        send_raw(system, client, ref, "incr", msg_id=42)
+        send_raw(system, client, ref, "incr", msg_id=42)
+        assert counter.value == 1
+        assert dispatcher.stats["duplicates"] == 1
+
+    def test_duplicate_returns_identical_reply(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        first, _ = send_raw(system, client, ref, "incr", msg_id=9)
+        second, _ = send_raw(system, client, ref, "incr", msg_id=9)
+        assert first == second
+
+    def test_distinct_ids_execute_separately(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        send_raw(system, client, ref, "incr", msg_id=1)
+        send_raw(system, client, ref, "incr", msg_id=2)
+        assert counter.value == 2
+
+    def test_same_id_different_callers_do_not_collide(self, star):
+        system, server, clients = star
+        counter = Counter()
+        ref = get_space(server).export(counter)
+        send_raw(system, clients[0], ref, "incr", msg_id=5)
+        send_raw(system, clients[1], ref, "incr", msg_id=5)
+        assert counter.value == 2
+
+    def test_at_most_once_off_reexecutes(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        dispatcher.at_most_once = False
+        send_raw(system, client, ref, "incr", msg_id=7)
+        send_raw(system, client, ref, "incr", msg_id=7)
+        assert counter.value == 2
+
+    def test_replay_cache_capacity_evicts(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        dispatcher.replay_capacity = 3
+        for msg_id in range(1, 6):
+            send_raw(system, client, ref, "incr", msg_id=msg_id)
+        assert len(dispatcher._replay) == 3
+
+    def test_forget_caller(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        send_raw(system, client, ref, "incr", msg_id=1)
+        send_raw(system, client, ref, "incr", msg_id=2)
+        evicted = dispatcher.forget_caller(client.context_id)
+        assert evicted == 2
+
+
+class TestRedirects:
+    def test_moved_object_answers_redirect(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        space = get_space(server)
+        forward = ref.moved_to("elsewhere/main")
+        space.mark_migrated(ref.oid, forward)
+        with pytest.raises(ObjectMoved) as excinfo:
+            system.rpc.call(client, ref, "incr", ())
+        assert excinfo.value.forward == forward
+        assert dispatcher.stats["redirects"] == 1
+
+
+class TestQueueing:
+    def test_requests_serialise_on_server_clock(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        # Two back-to-back arrivals: the second starts after the first ends.
+        send_raw(system, client, ref, "incr", msg_id=1)
+        first_done = server.now
+        send_raw(system, client, ref, "incr", msg_id=2)
+        assert server.now > first_done
+
+
+class TestStats:
+    def test_requests_counted(self, served):
+        system, server, client, counter, ref, dispatcher = served
+        send_raw(system, client, ref, "incr", msg_id=1)
+        send_raw(system, client, ref, "read", msg_id=2)
+        assert dispatcher.stats["requests"] == 2
+
+    def test_exceptions_counted(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        dispatcher = server.handler.__self__
+        with pytest.raises(Exception):
+            system.rpc.call(client, ref, "no_such_verb", ())
+        assert dispatcher.stats["requests"] == 1

@@ -1,0 +1,54 @@
+"""Tests for the LRPC predicates and toggles."""
+
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.rpc.lightweight import (
+    fast_path_available,
+    lrpc_disabled,
+    lrpc_enabled,
+    same_context,
+    same_node,
+)
+
+
+class TestPredicates:
+    def test_same_context(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        assert same_context(server, ref)
+        assert not same_context(client, ref)
+
+    def test_same_node_across_contexts(self, pair):
+        system, server, client = pair
+        sibling = server.node.create_context("second")
+        ref = get_space(server).export(KVStore())
+        assert same_node(sibling, ref)
+        assert not same_node(client, ref)
+
+    def test_fast_path_availability_tracks_toggle(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(KVStore())
+        assert fast_path_available(system.rpc, server, ref)
+        assert not fast_path_available(system.rpc, client, ref)
+        with lrpc_disabled(system.rpc):
+            assert not fast_path_available(system.rpc, server, ref)
+        assert fast_path_available(system.rpc, server, ref)
+
+
+class TestToggles:
+    def test_disabled_restores_on_exception(self, pair):
+        system, server, client = pair
+        try:
+            with lrpc_disabled(system.rpc):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert system.rpc.lrpc_enabled
+
+    def test_nested_toggles(self, pair):
+        system, server, client = pair
+        with lrpc_disabled(system.rpc):
+            with lrpc_enabled(system.rpc):
+                assert system.rpc.lrpc_enabled
+            assert not system.rpc.lrpc_enabled
+        assert system.rpc.lrpc_enabled

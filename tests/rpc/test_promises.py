@@ -1,0 +1,103 @@
+"""Tests for asynchronous promises and pipelining."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.kernel.errors import RpcTimeout
+from repro.rpc.promises import call_async, gather, pipeline_calls
+
+
+@pytest.fixture
+def kv(pair):
+    system, server, client = pair
+    store = KVStore()
+    repro.register(server, "kv", store)
+    proxy = repro.bind(client, "kv")
+    for key in "abcd":
+        proxy.put(key, key.upper())
+    return system, server, client, store, proxy
+
+
+class TestPromise:
+    def test_wait_returns_value(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.wait() == "A"
+
+    def test_wait_is_idempotent(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.wait() == promise.wait()
+
+    def test_issue_does_not_block(self, kv):
+        system, server, client, store, proxy = kv
+        before = client.now
+        promise = call_async(proxy, "get", "a")
+        issued = client.now - before
+        assert issued < system.costs.remote_latency, \
+            "issuing must cost far less than a round trip"
+        assert not promise.is_ready()
+        promise.wait()
+        assert promise.is_ready()
+
+    def test_overlap_beats_sequential(self, kv):
+        system, server, client, store, proxy = kv
+        keys = ["a", "b", "c", "d"] * 2
+        t0 = client.now
+        for key in keys:
+            proxy.get(key)
+        sequential = client.now - t0
+        t0 = client.now
+        gather([call_async(proxy, "get", key) for key in keys])
+        pipelined = client.now - t0
+        assert pipelined < sequential / 2
+
+    def test_errors_raise_at_wait_not_issue(self, kv):
+        system, server, client, store, proxy = kv
+        server.node.crash()
+        promise = call_async(proxy, "get", "a")   # no raise here
+        with pytest.raises(RpcTimeout):
+            promise.wait()
+
+    def test_results_match_synchronous(self, kv):
+        system, server, client, store, proxy = kv
+        promises = [call_async(proxy, "get", key) for key in "abcd"]
+        assert gather(promises) == ["A", "B", "C", "D"]
+
+    def test_server_processes_in_issue_order(self, kv):
+        system, server, client, store, proxy = kv
+        first = call_async(proxy, "put", "seq", 1)
+        second = call_async(proxy, "put", "seq", 2)
+        gather([first, second])
+        assert store.data["seq"] == 2
+
+    def test_ready_at_is_in_the_future(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.ready_at > client.now
+
+
+class TestPipelineCalls:
+    def test_collects_all_results(self, kv):
+        system, server, client, store, proxy = kv
+        calls = [("get", key) for key in "abcd"]
+        assert pipeline_calls(proxy, calls) == ["A", "B", "C", "D"]
+
+    def test_window_bounds_outstanding(self, kv):
+        system, server, client, store, proxy = kv
+        calls = [("get", "a")] * 10
+        results = pipeline_calls(proxy, calls, window=2)
+        assert results == ["A"] * 10
+
+    def test_windowed_slower_than_unbounded(self, kv):
+        system, server, client, store, proxy = kv
+        calls = [("get", "a")] * 8
+        t0 = client.now
+        pipeline_calls(proxy, calls)
+        unbounded = client.now - t0
+        t0 = client.now
+        pipeline_calls(proxy, calls, window=1)
+        serial = client.now - t0
+        assert unbounded < serial

@@ -1,0 +1,227 @@
+"""Unit tests for the RPC protocol: retries, timeouts, semantics, fast path."""
+
+import pytest
+
+import repro
+from repro.apps.counter import Counter
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.failures.injectors import message_loss
+from repro.kernel.errors import DanglingReference, InterfaceError, RpcTimeout
+from repro.rpc.protocol import RemoteError
+from repro.iface.interface import operation
+from repro.core.service import Service
+
+
+class Grumpy(Service):
+    """A service whose operations raise various exceptions."""
+
+    @operation
+    def key_error(self):
+        raise KeyError("missing thing")
+
+    @operation
+    def value_error(self):
+        raise ValueError("bad value")
+
+    @operation
+    def custom_error(self):
+        class Oddball(Exception):
+            pass
+        raise Oddball("weird")
+
+    @operation(readonly=True)
+    def fine(self):
+        return "ok"
+
+
+@pytest.fixture
+def rpc_pair(pair):
+    system, server, client = pair
+    store = KVStore()
+    ref = get_space(server).export(store)
+    return system, server, client, store, ref
+
+
+def call(system, client, ref, verb, *args):
+    return system.rpc.call(client, ref, verb, args)
+
+
+class TestBasicCalls:
+    def test_remote_call_returns_value(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        assert call(system, client, ref, "put", "k", 42) is True
+        assert call(system, client, ref, "get", "k") == 42
+
+    def test_call_advances_client_clock(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        before = client.now
+        call(system, client, ref, "get", "k")
+        # At least two one-way remote latencies.
+        assert client.now - before >= 2 * system.costs.remote_latency
+
+    def test_server_clock_advances_too(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        call(system, client, ref, "get", "k")
+        assert server.now > 0
+
+    def test_calls_are_traced(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        mark = system.trace.mark()
+        call(system, client, ref, "get", "k")
+        events = system.trace.since(mark)
+        kinds = [ev.kind for ev in events]
+        assert kinds.count("send") == 2  # request + reply
+        assert "invoke" in kinds
+
+    def test_unknown_target_raises_dangling(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        from dataclasses import replace
+        bogus = replace(ref, oid="nonexistent")
+        with pytest.raises(DanglingReference):
+            call(system, client, bogus, "get", "k")
+
+    def test_undeclared_verb_rejected_server_side(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        with pytest.raises(InterfaceError):
+            call(system, client, ref, "no_such_op")
+
+
+class TestExceptionMapping:
+    @pytest.fixture
+    def grumpy(self, pair):
+        system, server, client = pair
+        ref = get_space(server).export(Grumpy())
+        return system, client, ref
+
+    def test_key_error_reraised(self, grumpy):
+        system, client, ref = grumpy
+        with pytest.raises(KeyError):
+            call(system, client, ref, "key_error")
+
+    def test_value_error_reraised(self, grumpy):
+        system, client, ref = grumpy
+        with pytest.raises(ValueError):
+            call(system, client, ref, "value_error")
+
+    def test_unknown_exception_becomes_remote_error(self, grumpy):
+        system, client, ref = grumpy
+        with pytest.raises(RemoteError) as excinfo:
+            call(system, client, ref, "custom_error")
+        assert excinfo.value.remote_type == "Oddball"
+
+    def test_server_survives_exceptions(self, grumpy):
+        system, client, ref = grumpy
+        for _ in range(3):
+            with pytest.raises(KeyError):
+                call(system, client, ref, "key_error")
+        assert call(system, client, ref, "fine") == "ok"
+
+
+class TestRetriesAndTimeouts:
+    def test_loss_is_masked_by_retries(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        with message_loss(system, 0.3):
+            for index in range(30):
+                assert call(system, client, ref, "put", f"k{index}", index)
+        assert system.rpc.stats["retries"] > 0
+        assert system.rpc.stats["timeouts"] == 0
+
+    def test_crashed_server_times_out(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        server.node.crash()
+        before = client.now
+        with pytest.raises(RpcTimeout):
+            call(system, client, ref, "get", "k")
+        budget = (1 + system.costs.rpc_max_retries)
+        assert client.now - before >= budget * system.costs.rpc_timeout * 0.9
+
+    def test_recovery_after_restart(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        server.node.crash()
+        with pytest.raises(RpcTimeout):
+            call(system, client, ref, "put", "k", 1)
+        server.node.restart()
+        assert call(system, client, ref, "put", "k", 2) is True
+        assert call(system, client, ref, "get", "k") == 2
+
+    def test_at_most_once_under_loss(self, pair):
+        system, server, client = pair
+        counter = Counter()
+        ref = get_space(server).export(counter)
+        attempts = 40
+        with message_loss(system, 0.25):
+            done = 0
+            for _ in range(attempts):
+                try:
+                    call(system, client, ref, "incr")
+                    done += 1
+                except RpcTimeout:
+                    pass
+        # Each logical increment executed at most once.
+        assert counter.value <= attempts
+        assert counter.value >= done
+
+    def test_large_payload_still_completes(self, rpc_pair):
+        system, server, client, store, ref = rpc_pair
+        big = "x" * 200_000  # transit ≫ base timeout
+        assert call(system, client, ref, "put", "big", big) is True
+        assert call(system, client, ref, "get", "big") == big
+
+
+class TestLocalFastPath:
+    def test_same_context_call_is_cheap(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        before = server.now
+        assert system.rpc.call(server, ref, "put", ("k", 1)) is True
+        elapsed = server.now - before
+        assert elapsed < system.costs.ipc_latency
+        assert system.rpc.stats["local_fast_path"] == 1
+
+    def test_fast_path_sends_no_messages(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        mark = system.trace.mark()
+        system.rpc.call(server, ref, "get", ("k",))
+        assert all(ev.kind != "send" for ev in system.trace.since(mark))
+
+    def test_disabled_fast_path_marshals(self, pair):
+        from repro.rpc.lightweight import lrpc_disabled
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        mark = system.trace.mark()
+        with lrpc_disabled(system.rpc):
+            system.rpc.call(server, ref, "get", ("k",))
+        sends = [ev for ev in system.trace.since(mark) if ev.kind == "send"]
+        assert len(sends) == 2
+
+
+class TestOneway:
+    def test_oneway_returns_immediately(self, pair):
+        system, server, client = pair
+        mailbox_log = []
+
+        class Sink(Service):
+            @operation(oneway=True)
+            def fire(self, value):
+                mailbox_log.append(value)
+
+        ref = get_space(server).export(Sink())
+        system.rpc.send_oneway(client, ref, "fire", ("hello",))
+        assert mailbox_log == ["hello"]
+
+    def test_oneway_loss_is_silent(self, pair):
+        system, server, client = pair
+
+        class Sink(Service):
+            @operation(oneway=True)
+            def fire(self, value):
+                pass
+
+        ref = get_space(server).export(Sink())
+        system.network.set_default_loss(1.0)
+        system.rpc.send_oneway(client, ref, "fire", ("gone",))  # no raise

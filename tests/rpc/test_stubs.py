@@ -1,0 +1,78 @@
+"""Unit tests for dynamic client stubs."""
+
+import pytest
+
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.iface.interface import operation
+from repro.core.service import Service
+from repro.kernel.errors import InterfaceError
+from repro.rpc.stubs import RemoteStub
+
+
+@pytest.fixture
+def stubbed(pair):
+    system, server, client = pair
+    store = KVStore()
+    ref = get_space(server).export(store)
+    stub = RemoteStub(client, ref, interface=KVStore.interface())
+    return system, client, store, stub
+
+
+class TestRemoteStub:
+    def test_getattr_yields_callable(self, stubbed):
+        system, client, store, stub = stubbed
+        assert callable(stub.get)
+
+    def test_calls_forward(self, stubbed):
+        system, client, store, stub = stubbed
+        stub.put("k", "v")
+        assert store.data == {"k": "v"}
+        assert stub.get("k") == "v"
+
+    def test_kwargs_supported(self, stubbed):
+        system, client, store, stub = stubbed
+        assert stub.put(key="a", value=1) is True
+        assert store.data["a"] == 1
+
+    def test_undeclared_verb_rejected_client_side(self, stubbed):
+        system, client, store, stub = stubbed
+        mark = system.trace.mark()
+        with pytest.raises(InterfaceError):
+            stub.frobnicate
+        assert not system.trace.since(mark), "no message should be sent"
+
+    def test_underscore_attributes_are_local(self, stubbed):
+        system, client, store, stub = stubbed
+        with pytest.raises(AttributeError):
+            stub._private
+
+    def test_stub_prefixed_attributes_are_local(self, stubbed):
+        system, client, store, stub = stubbed
+        assert stub.stub_ref.oid
+        with pytest.raises(AttributeError):
+            stub.stub_nonexistent
+
+    def test_uninterfaced_stub_forwards_anything(self, pair):
+        system, server, client = pair
+        store = KVStore()
+        ref = get_space(server).export(store)
+        loose = RemoteStub(client, ref)  # no interface: server still checks
+        assert loose.put("k", 1) is True
+        with pytest.raises(InterfaceError):
+            loose.frobnicate()
+
+    def test_oneway_op_uses_oneway_path(self, pair):
+        system, server, client = pair
+        hits = []
+
+        class Bell(Service):
+            @operation(oneway=True)
+            def ring(self, tone):
+                hits.append(tone)
+
+        ref = get_space(server).export(Bell())
+        stub = RemoteStub(client, ref, interface=Bell.interface())
+        assert stub.ring("ding") is None
+        assert hits == ["ding"]
+        assert system.rpc.stats["oneways"] == 1

@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for short in ("e1", "e5", "e12"):
+            assert f"{short} " in out or f"{short}  " in out
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "e6"]) == 0
+        out = capsys.readouterr().out
+        assert "bind via name service" in out
+
+    def test_run_with_seed_and_ops(self, capsys):
+        assert main(["run", "e12", "--seed", "3", "--ops", "8"]) == 0
+        assert "unbounded" in capsys.readouterr().out
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_ops_ignored_when_unsupported(self, capsys):
+        assert main(["run", "e3", "--ops", "5"]) == 0
+        assert "ignored" in capsys.readouterr().err
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "principle audit: clean" in capsys.readouterr().out
+
+    def test_run_is_deterministic(self, capsys):
+        main(["run", "e6"])
+        first = capsys.readouterr().out
+        main(["run", "e6"])
+        assert capsys.readouterr().out == first

@@ -1,0 +1,233 @@
+"""Tests for the transactions substrate: OCC over proxies."""
+
+import pytest
+
+import repro
+from repro.kernel.errors import ProtocolError
+from repro.transactions import (
+    Transaction,
+    TransactionCoordinator,
+    VersionedKVStore,
+    run_transaction,
+)
+
+
+@pytest.fixture
+def bank(star):
+    """Coordinator + one store, two clients; accounts seeded."""
+    system, server, clients = star
+    repro.register(server, "txn", TransactionCoordinator())
+    store = VersionedKVStore()
+    repro.register(server, "bank", store)
+    seed_coord = repro.bind(clients[0], "txn")
+    seed_bank = repro.bind(clients[0], "bank")
+    txn = Transaction(seed_coord)
+    txn.write(seed_bank, "alice", 100)
+    txn.write(seed_bank, "bob", 50)
+    assert txn.commit()
+    handles = []
+    for ctx in clients[:2]:
+        handles.append((repro.bind(ctx, "txn"), repro.bind(ctx, "bank")))
+    return system, store, handles
+
+
+class TestVersionedStore:
+    def test_versions_start_at_zero(self):
+        store = VersionedKVStore()
+        assert store.read("x") == [None, 0]
+        assert store.versions(["x", "y"]) == [0, 0]
+
+    def test_writes_bump_versions(self):
+        store = VersionedKVStore()
+        assert store.write("x", "a") == 1
+        assert store.write("x", "b") == 2
+        assert store.read("x") == ["b", 2]
+
+    def test_apply_batch(self):
+        store = VersionedKVStore()
+        assert store.apply([["x", 1], ["y", 2]]) == [1, 1]
+        assert store.snapshot() == {"x": 1, "y": 2}
+
+    def test_migration_capsule_roundtrip(self):
+        store = VersionedKVStore()
+        store.write("x", "v")
+        clone = VersionedKVStore.from_migration_state(store.migrate_state())
+        assert clone.read("x") == ["v", 1]
+
+
+class TestCommitAbort:
+    def test_simple_commit(self, bank):
+        system, store, handles = bank
+        coord, bank_proxy = handles[0]
+        txn = Transaction(coord)
+        balance = txn.read(bank_proxy, "alice")
+        txn.write(bank_proxy, "alice", balance + 1)
+        assert txn.commit() is True
+        assert store.snapshot()["alice"] == 101
+
+    def test_conflicting_writer_aborts(self, bank):
+        system, store, handles = bank
+        (coord_a, bank_a), (coord_b, bank_b) = handles
+        txn_a = Transaction(coord_a)
+        txn_b = Transaction(coord_b)
+        a = txn_a.read(bank_a, "alice")
+        b = txn_b.read(bank_b, "alice")
+        txn_a.write(bank_a, "alice", a - 10)
+        txn_b.write(bank_b, "alice", b - 20)
+        assert txn_a.commit() is True
+        assert txn_b.commit() is False
+        assert store.snapshot()["alice"] == 90, "no lost update"
+
+    def test_disjoint_transactions_both_commit(self, bank):
+        system, store, handles = bank
+        (coord_a, bank_a), (coord_b, bank_b) = handles
+        txn_a = Transaction(coord_a)
+        txn_b = Transaction(coord_b)
+        txn_a.write(bank_a, "alice", txn_a.read(bank_a, "alice") - 1)
+        txn_b.write(bank_b, "bob", txn_b.read(bank_b, "bob") - 1)
+        assert txn_a.commit()
+        assert txn_b.commit()
+
+    def test_atomicity_across_keys(self, bank):
+        """A doomed transaction applies none of its writes."""
+        system, store, handles = bank
+        (coord_a, bank_a), (coord_b, bank_b) = handles
+        txn_b = Transaction(coord_b)
+        alice = txn_b.read(bank_b, "alice")
+        bob = txn_b.read(bank_b, "bob")
+        # An interloper invalidates one of the two reads.
+        txn_a = Transaction(coord_a)
+        txn_a.write(bank_a, "alice", 0)
+        assert txn_a.commit()
+        txn_b.write(bank_b, "alice", alice - 5)
+        txn_b.write(bank_b, "bob", bob + 5)
+        assert txn_b.commit() is False
+        snapshot = store.snapshot()
+        assert snapshot["alice"] == 0 and snapshot["bob"] == 50
+
+    def test_read_your_own_writes(self, bank):
+        system, store, handles = bank
+        coord, bank_proxy = handles[0]
+        txn = Transaction(coord)
+        txn.write(bank_proxy, "alice", 7)
+        assert txn.read(bank_proxy, "alice") == 7
+        assert txn.commit()
+
+    def test_write_only_transactions_always_commit(self, bank):
+        system, store, handles = bank
+        (coord_a, bank_a), (coord_b, bank_b) = handles
+        txn_a = Transaction(coord_a)
+        txn_b = Transaction(coord_b)
+        txn_a.write(bank_a, "alice", 1)
+        txn_b.write(bank_b, "alice", 2)
+        assert txn_a.commit() and txn_b.commit()
+
+    def test_empty_transaction_commits(self, bank):
+        system, store, handles = bank
+        coord, _ = handles[0]
+        assert Transaction(coord).commit() is True
+
+    def test_finished_transaction_refuses_reuse(self, bank):
+        system, store, handles = bank
+        coord, bank_proxy = handles[0]
+        txn = Transaction(coord)
+        txn.commit()
+        with pytest.raises(ProtocolError):
+            txn.read(bank_proxy, "alice")
+        with pytest.raises(ProtocolError):
+            txn.commit()
+
+    def test_abort_applies_nothing(self, bank):
+        system, store, handles = bank
+        coord, bank_proxy = handles[0]
+        txn = Transaction(coord)
+        txn.write(bank_proxy, "alice", -999)
+        txn.abort()
+        assert store.snapshot()["alice"] == 100
+
+
+class TestRunTransaction:
+    def test_retry_until_commit(self, bank):
+        system, store, handles = bank
+        (coord_a, bank_a), (coord_b, bank_b) = handles
+
+        def transfer(txn):
+            a = txn.read(bank_b, "alice")
+            b = txn.read(bank_b, "bob")
+            txn.write(bank_b, "alice", a - 5)
+            txn.write(bank_b, "bob", b + 5)
+
+        __, attempts = run_transaction(coord_b, transfer)
+        assert attempts == 1
+        snapshot = store.snapshot()
+        assert snapshot["alice"] + snapshot["bob"] == 150
+
+    def test_interleaved_increments_never_lose_updates(self, bank):
+        """Two clients interleave 10 increments each; total is exact."""
+        system, store, handles = bank
+
+        def make_increment(bank_proxy):
+            def increment(txn):
+                txn.write(bank_proxy, "counter",
+                          (txn.read(bank_proxy, "counter") or 0) + 1)
+            return increment
+
+        total_attempts = 0
+        for round_no in range(10):
+            for coord, bank_proxy in handles:
+                __, attempts = run_transaction(coord,
+                                               make_increment(bank_proxy))
+                total_attempts += attempts
+        assert store.snapshot()["counter"] == 20
+        assert total_attempts >= 20
+
+    def test_budget_exhaustion_raises(self, bank):
+        system, store, handles = bank
+        coord, bank_proxy = handles[0]
+
+        def doomed(txn):
+            txn.read(bank_proxy, "alice")
+            # Sabotage: another committed writer on every attempt.
+            saboteur = Transaction(coord)
+            saboteur.write(bank_proxy, "alice", 0)
+            saboteur.commit()
+            txn.write(bank_proxy, "alice", 1)
+
+        with pytest.raises(ProtocolError):
+            run_transaction(coord, doomed, max_attempts=3)
+
+
+class TestMultiStore:
+    def test_transaction_spans_stores(self, star):
+        system, server, clients = star
+        repro.register(server, "txn", TransactionCoordinator())
+        east_store = VersionedKVStore()
+        west_store = VersionedKVStore()
+        repro.register(clients[1], "east", east_store)
+        repro.register(clients[2], "west", west_store)
+        coord = repro.bind(clients[0], "txn")
+        east = repro.bind(clients[0], "east")
+        west = repro.bind(clients[0], "west")
+        txn = Transaction(coord)
+        txn.write(east, "k", "east-value")
+        txn.write(west, "k", "west-value")
+        assert txn.commit()
+        assert east_store.snapshot() == {"k": "east-value"}
+        assert west_store.snapshot() == {"k": "west-value"}
+        repro.assert_principle(system)
+
+    def test_cross_store_conflict_detected(self, star):
+        system, server, clients = star
+        repro.register(server, "txn", TransactionCoordinator())
+        repro.register(clients[1], "east", VersionedKVStore())
+        coord_a = repro.bind(clients[0], "txn")
+        coord_b = repro.bind(clients[2], "txn")
+        east_a = repro.bind(clients[0], "east")
+        east_b = repro.bind(clients[2], "east")
+        txn_b = Transaction(coord_b)
+        value = txn_b.read(east_b, "k")
+        txn_a = Transaction(coord_a)
+        txn_a.write(east_a, "k", "sniped")
+        assert txn_a.commit()
+        txn_b.write(east_b, "k", "stale-based")
+        assert txn_b.commit() is False

@@ -1,0 +1,59 @@
+"""Unit tests for object references and oid minting."""
+
+from repro.wire.refs import ObjectRef, OidMinter
+
+
+class TestObjectRef:
+    def test_node_name(self):
+        ref = ObjectRef("nodeA/ctx1", "nodeA/ctx1:0", "I")
+        assert ref.node_name == "nodeA"
+
+    def test_key_ignores_location_for_minted_oids(self):
+        before = ObjectRef("a/m", "a/m:7", "I", 0)
+        after = before.moved_to("b/m")
+        assert before.key == after.key
+
+    def test_key_includes_location_for_wellknown_oids(self):
+        here = ObjectRef("a/m", "_mover", "MoverService")
+        there = ObjectRef("b/m", "_mover", "MoverService")
+        assert here.key != there.key
+
+    def test_moved_to_bumps_epoch_and_keeps_policy(self):
+        ref = ObjectRef("a/m", "a/m:0", "I", 2, "caching")
+        moved = ref.moved_to("b/m")
+        assert moved.context_id == "b/m"
+        assert moved.epoch == 3
+        assert moved.policy == "caching"
+        assert moved.oid == ref.oid
+
+    def test_default_policy_is_stub(self):
+        assert ObjectRef("a/m", "a/m:0", "I").policy == "stub"
+
+    def test_refs_are_hashable_and_comparable(self):
+        a = ObjectRef("a/m", "a/m:0", "I")
+        b = ObjectRef("a/m", "a/m:0", "I")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_mentions_all_parts(self):
+        text = str(ObjectRef("a/m", "a/m:0", "KV", 1, "caching"))
+        assert "a/m:0" in text
+        assert "KV" in text
+        assert "caching" in text
+
+
+class TestOidMinter:
+    def test_oids_unique(self):
+        minter = OidMinter("a/m")
+        oids = {minter.mint() for _ in range(100)}
+        assert len(oids) == 100
+
+    def test_oids_embed_context(self):
+        assert OidMinter("nodeX/main").mint().startswith("nodeX/main:")
+
+    def test_minters_in_different_contexts_never_collide(self):
+        a = OidMinter("a/m")
+        b = OidMinter("b/m")
+        assert {a.mint() for _ in range(10)}.isdisjoint(
+            {b.mint() for _ in range(10)})
