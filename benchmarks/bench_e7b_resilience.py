@@ -1,0 +1,20 @@
+"""E7b bench: resilience on/off under loss + crashes (figure E7b)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e7b_resilience
+
+
+def test_e7b_resilience(benchmark):
+    rows = run_experiment(benchmark, e7b_resilience, ops=160)
+    assert all(row["res_ok"] > row["base_ok"] for row in rows
+               if row["loss"] >= 0.1), \
+        "the resilience layer must strictly improve availability under " \
+        ">=10% loss with a periodically crashing primary"
+    assert all(row["res_p99_ms"] < row["base_p99_ms"] for row in rows), \
+        "the per-call deadline must cap the failure tail below the " \
+        "fixed-retry timeout"
+    assert all(row["open_fail_ms"] * 10 <= row["timeout_fail_ms"]
+               for row in rows), \
+        "a breaker fast-fail must be >=10x cheaper than an exhausted " \
+        "retry budget"

@@ -70,8 +70,8 @@ __all__ = [
     "ensure_lease_service", "ensure_mover", "expire_leases", "export",
     "export_view", "gather", "get_space", "install_name_service", "is_proxy",
     "make_system", "migrate", "operation", "pipeline_calls", "readonly_view",
-    "recover_context", "register", "register_policy", "replicate", "restrict",
-    "stable_store", "unregister",
+    "recover_context", "register", "register_policy", "replicate",
+    "resolve", "restrict", "stable_store", "unregister",
 ]
 
 

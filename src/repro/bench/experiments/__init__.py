@@ -8,6 +8,7 @@ from . import (
     e5_encapsulation,
     e6_bootstrap,
     e7_failures,
+    e7b_resilience,
     e8_lrpc,
     e9_replication,
     e10_marshalling,
@@ -23,9 +24,10 @@ from . import (
 #: Every experiment module, in presentation order.
 ALL = [
     e1_invocation_matrix, e2_caching, e3_migration, e4_sharing,
-    e5_encapsulation, e6_bootstrap, e7_failures, e8_lrpc, e9_replication,
-    e10_marshalling, e11_ablation, e12_pipelining, e13_persistence,
-    e14_transactions, e15_weak_dsm, e16_events, e17_wan_placement,
+    e5_encapsulation, e6_bootstrap, e7_failures, e7b_resilience, e8_lrpc,
+    e9_replication, e10_marshalling, e11_ablation, e12_pipelining,
+    e13_persistence, e14_transactions, e15_weak_dsm, e16_events,
+    e17_wan_placement,
 ]
 
 __all__ = ["ALL"] + [module.__name__.rsplit(".", 1)[-1] for module in ALL]

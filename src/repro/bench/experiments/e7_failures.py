@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from ...apps.counter import Counter
 from ...apps.kv import KVStore
-from ...core.export import get_space
 from ...failures.injectors import message_loss
 from ...kernel.errors import RpcTimeout
 from ...naming.bootstrap import bind, register

@@ -27,10 +27,16 @@ def _registry() -> dict:
     return table
 
 
+def _order(short: str) -> tuple[int, str]:
+    """Numeric-then-suffix sort key: e1 < e2 < … < e7 < e7b < e8."""
+    digits = "".join(ch for ch in short[1:] if ch.isdigit())
+    return (int(digits) if digits else 0, short)
+
+
 def cmd_list(_args) -> int:
     """Print every experiment id and title."""
     for short, module in sorted(_registry().items(),
-                                key=lambda item: int(item[0][1:])):
+                                key=lambda item: _order(item[0])):
         print(f"{short:>4}  {module.TITLE}")
     return 0
 
@@ -41,7 +47,7 @@ def cmd_run(args) -> int:
     module = registry.get(args.experiment)
     if module is None:
         print(f"unknown experiment {args.experiment!r}; "
-              f"known: {sorted(registry)}", file=sys.stderr)
+              f"known: {sorted(registry, key=_order)}", file=sys.stderr)
         return 2
     import inspect
     accepted = inspect.signature(module.run).parameters
@@ -62,7 +68,7 @@ def cmd_run(args) -> int:
 def cmd_all(args) -> int:
     """Run the full evaluation suite."""
     for short, module in sorted(_registry().items(),
-                                key=lambda item: int(item[0][1:])):
+                                key=lambda item: _order(item[0])):
         rows = module.run()
         print(render_table(rows, module.TITLE))
         print()
@@ -85,7 +91,7 @@ def cmd_demo(_args) -> int:
     east_kv = repro.bind(east, "kv")
     west_kv = repro.bind(west, "kv")
     print(f"east bound a {type(east_kv).__name__} "
-          f"(the service chose the policy)")
+          "(the service chose the policy)")
 
     east_kv.put("motd", "proxies are the only access path")
     print(f"west reads: {west_kv.get('motd')!r}")
@@ -95,7 +101,7 @@ def cmd_demo(_args) -> int:
 
     east_kv.put("motd", "and the service can change its protocol")
     print(f"west after east's write: {west_kv.get('motd')!r} "
-          f"(cache invalidated by the server)")
+          "(cache invalidated by the server)")
 
     repro.assert_principle(system)
     print("principle audit: clean — try `python -m repro run e5` next")

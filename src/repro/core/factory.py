@@ -19,7 +19,7 @@ leaking across systems.
 
 from __future__ import annotations
 
-from typing import Callable, Type
+from typing import Type
 
 from ..iface.interface import Interface
 from ..kernel.context import Context

@@ -12,6 +12,7 @@ codebase:
 ``tracing``     client-side latency metering, reported to a collector
 ``leased``      maintains a GC lease on the target (repro.core.leases)
 ``composite``   stacks several of the above behind one proxy face
+``resilient``   backoff + deadlines + breakers + failover (repro.resilience)
 ========== ===============================================================
 
 Custom policies subclass :class:`repro.core.proxy.Proxy`, set
@@ -35,11 +36,12 @@ from .replicating import ReplicatedProxy, replicate
 from .stub import ForwardingProxy
 from .tracing import TraceCollector, TracingProxy
 from ..leases import LeasedProxy
+from ...resilience.policy import ResilientProxy, resilient_group
 
 __all__ = [
     "BatchControl", "BatchingProxy", "CacheCallback", "CacheCoherence",
     "CacheControl", "CachingProxy", "CompositeProxy", "DEFAULT_BATCH_SIZE",
     "DEFAULT_MIGRATE_AFTER", "DEFAULT_TTL", "ForwardingProxy", "LeasedProxy",
-    "MigratingProxy", "ReplicatedProxy", "TraceCollector", "TracingProxy",
-    "invalidated_values", "replicate",
+    "MigratingProxy", "ReplicatedProxy", "ResilientProxy", "TraceCollector",
+    "TracingProxy", "invalidated_values", "replicate", "resilient_group",
 ]

@@ -107,11 +107,17 @@ class Proxy:
         self.proxy_stats["invocations"] += 1
         return self.proxy_remote(verb, args, kwargs)
 
-    def proxy_remote(self, verb: str, args: tuple, kwargs: dict) -> Any:
+    def proxy_remote(self, verb: str, args: tuple, kwargs: dict,
+                     retry=None, deadline=None) -> Any:
         """Forward to the current binding, rebinding on ``ObjectMoved``.
 
         When this proxy is stacked on another layer (``proxy_next``), the
         call flows down the stack instead of hitting the protocol directly.
+
+        ``retry`` and ``deadline`` (:mod:`repro.resilience`) override the
+        protocol's retransmission schedule and cap the call's total wait;
+        both pass straight through to :meth:`RpcProtocol.call` (they do not
+        apply to one-way sends or stacked layers, which pace themselves).
         """
         if self.proxy_next is not None:
             self.proxy_stats["remote_calls"] += 1
@@ -126,7 +132,8 @@ class Proxy:
                         self.proxy_context, self.proxy_ref, verb, args, kwargs)
                     return None
                 return self.proxy_protocol.call(
-                    self.proxy_context, self.proxy_ref, verb, args, kwargs)
+                    self.proxy_context, self.proxy_ref, verb, args, kwargs,
+                    retry=retry, deadline=deadline)
             except ObjectMoved as moved:
                 if moved.forward is None:
                     raise

@@ -12,7 +12,7 @@ a live system would call it from a timer loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.export import get_space
 from ..kernel.context import Context
@@ -45,12 +45,22 @@ class PeerState:
 
 
 class FailureDetector:
-    """Ping-based suspicion tracking over a set of peers."""
+    """Ping-based suspicion tracking over a set of peers.
+
+    When a :class:`~repro.resilience.breaker.BreakerRegistry` is attached
+    (``breakers``), suspicion flows both ways: starting to suspect a peer
+    force-opens every breaker toward it (other callers fail fast without
+    paying their own detection latency), a successful probe of a suspected
+    peer force-closes them, and :meth:`consult_breakers` folds already-open
+    breakers back into suspicion without spending a probe.
+    """
 
     def __init__(self, context: Context,
-                 suspicion_threshold: int = DEFAULT_SUSPICION_THRESHOLD):
+                 suspicion_threshold: int = DEFAULT_SUSPICION_THRESHOLD,
+                 breakers=None):
         self.context = context
         self.suspicion_threshold = max(1, suspicion_threshold)
+        self.breakers = breakers
         self._peers: dict[str, PeerState] = {}
         self.stats = {"probes": 0, "hits": 0, "misses": 0,
                       "suspicions": 0, "recoveries": 0}
@@ -87,15 +97,43 @@ class FailureDetector:
                 if state.misses == self.suspicion_threshold:
                     state.suspected_at = self.context.clock.now
                     self.stats["suspicions"] += 1
+                    if self.breakers is not None:
+                        self.breakers.trip_target(state.context_id,
+                                                  self.context.clock.now)
             else:
                 self.stats["hits"] += 1
                 if state.suspected_at is not None:
                     self.stats["recoveries"] += 1
+                    if self.breakers is not None:
+                        self.breakers.reset_target(state.context_id,
+                                                   self.context.clock.now)
                 state.misses = 0
                 state.suspected_at = None
                 state.last_seen = self.context.clock.now
             statuses[state.context_id] = self.status(state.context_id)
         return statuses
+
+    def consult_breakers(self) -> list[str]:
+        """Fold open circuits into suspicion without spending probes.
+
+        Any watched peer some caller's breaker is currently OPEN toward is
+        suspected immediately — the breaker has already paid the detection
+        latency this detector would otherwise have to pay in missed pings.
+        Returns the peers newly suspected.  No-op without a registry.
+        """
+        if self.breakers is None:
+            return []
+        now = self.context.clock.now
+        newly = []
+        for state in self._peers.values():
+            if state.misses >= self.suspicion_threshold:
+                continue
+            if self.breakers.open_toward(state.context_id, now):
+                state.misses = self.suspicion_threshold
+                state.suspected_at = now
+                self.stats["suspicions"] += 1
+                newly.append(state.context_id)
+        return newly
 
     def status(self, context_id: str) -> str:
         """Current classification of one peer."""

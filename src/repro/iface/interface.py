@@ -20,7 +20,7 @@ Operation metadata matters to smart proxies:
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..kernel.errors import InterfaceError

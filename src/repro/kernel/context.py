@@ -47,6 +47,10 @@ class Context:
         self.encoder_hook: Callable[[Any], Any] | None = None
         self.decoder_hook: Callable[[Any], Any] | None = None
         self.space: Any = None  # ObjectSpace, attached by repro.core.export
+        #: Deadline of the request this context is currently serving, set by
+        #: the dispatcher so nested outbound calls inherit the root caller's
+        #: budget (repro.resilience.deadline).
+        self.current_deadline: Any = None
 
     @property
     def context_id(self) -> str:

@@ -52,6 +52,24 @@ class RpcTimeout(DistributionError):
     """No reply arrived within the protocol's retry budget."""
 
 
+class DeadlineExceeded(DistributionError):
+    """The call's deadline budget was spent before a reply arrived.
+
+    Deadlines propagate in frame headers, so a nested proxy→server→proxy
+    chain stops retrying — and servers skip dispatch — once the *root*
+    caller's budget is gone (see :mod:`repro.resilience.deadline`).
+    """
+
+
+class CircuitOpen(DistributionError):
+    """A circuit breaker to the destination is open; the call failed fast.
+
+    Raised by resilience-aware proxies instead of burning a full retry
+    budget against a destination that recent calls have shown to be down
+    (see :mod:`repro.resilience.breaker`).
+    """
+
+
 class BindError(DistributionError):
     """Binding to a service failed (unknown name, no exporter, bad handshake)."""
 

@@ -38,6 +38,10 @@ class System:
         self.rpc = None
         self.codebase = None
         self.name_service = None
+        #: Circuit-breaker registry (repro.resilience.breaker); None until
+        #: a resilience-aware component installs one — the RPC protocol
+        #: feeds call outcomes into it only once it exists.
+        self.breakers = None
 
     # -- topology ------------------------------------------------------------
 

@@ -114,7 +114,7 @@ def migrate(context: Context, ref: ObjectRef,
     (:func:`ensure_mover` — done automatically for objects exported under
     the ``migrating`` policy).
     """
-    space = get_space(context)
+    get_space(context)
     destination = dst_context_id or context.context_id
     ensure_mover(get_space(context.system.context(destination)))
     try:

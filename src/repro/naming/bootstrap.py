@@ -18,7 +18,6 @@ from ..core.export import get_space
 from ..core.proxy import Proxy
 from ..kernel.context import Context
 from ..kernel.errors import BindError, ConfigurationError
-from ..kernel.system import System
 from ..wire.refs import ObjectRef
 from .service import DirectoryService, NameService
 

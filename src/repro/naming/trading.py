@@ -10,7 +10,6 @@ service's chosen factory.
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..iface.interface import operation
 

@@ -1,0 +1,254 @@
+"""The ``resilient`` policy: backoff, deadlines, breakers, and failover.
+
+This proxy composes the resilience primitives into one client-side
+representative — which is the proxy principle's point: the *service* ships
+the distribution policy, and the client gets availability engineering it
+never wrote.  Per operation the proxy
+
+1. consults the circuit breaker for the destination and **fails fast**
+   (:class:`~repro.kernel.errors.CircuitOpen`, one local check's worth of
+   virtual time) instead of burning a retry budget against a dead context;
+2. calls through with an **exponential-backoff** retry schedule and a
+   per-call **deadline** (both from ``proxy_config``), so a struggling
+   destination is neither hammered in lockstep nor waited on forever;
+3. on failure **fails over reads** to the configured replicas, nearest
+   breaker-admitted candidate first;
+4. when every candidate is down, **degrades gracefully**: a read is served
+   from the proxy's stale-value cache (last successfully read value), and
+   any operation can fall back to a user-installed ``proxy_fallback`` hook
+   before the error finally propagates.
+
+Configuration (all marshallable, shipped by the exporter):
+
+* ``retry`` — dict for :meth:`RetryPolicy.from_config` (default:
+  exponential, 4 attempts, multiplier 2.0, jitter 0.1);
+* ``call_budget`` — per-call deadline budget in virtual seconds (optional);
+* ``replicas`` — list of :class:`~repro.wire.refs.ObjectRef` read-failover
+  candidates (optional);
+* ``breaker`` — dict of :class:`~repro.resilience.breaker.BreakerRegistry`
+  defaults (``failure_threshold``/``reset_timeout``/``half_open_probes``);
+* ``stale_reads`` — serve cached reads when all candidates fail
+  (default true).
+
+Deployment helper: :func:`resilient_group` deploys a primary plus read
+replicas and returns the client-facing reference, mirroring
+:func:`repro.core.policies.replicating.replicate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.factory import register_policy
+from ..core.proxy import Proxy
+from ..kernel.errors import CircuitOpen, DistributionError
+from ..wire.refs import ObjectRef
+from .breaker import ensure_breakers
+from .deadline import Deadline
+from .retry import RetryPolicy
+
+
+@register_policy
+class ResilientProxy(Proxy):
+    """Breaker-gated, deadline-bounded, backoff-paced forwarding proxy."""
+
+    policy_name = "resilient"
+
+    def __init__(self, context, ref, interface, config=None):
+        super().__init__(context, ref, interface, config)
+        self._replicas: list | None = None
+        self._retry: RetryPolicy | None = None
+        self._stale: dict = {}
+        #: Last-resort hook: ``fallback(verb, args, kwargs) -> value``,
+        #: consulted after every candidate and the stale cache failed.
+        self.proxy_fallback: Callable | None = None
+        self.proxy_stats.update(reads=0, writes=0, fast_fails=0,
+                                failovers=0, stale_serves=0, fallbacks=0)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def proxy_install(self) -> None:
+        self._retry = RetryPolicy.from_config(self.proxy_config.get("retry"))
+        ensure_breakers(self.proxy_context.system,
+                        **self.proxy_config.get("breaker", {}))
+
+    # -- knobs --------------------------------------------------------------
+
+    @property
+    def proxy_retry(self) -> RetryPolicy:
+        """The retry schedule this proxy paces calls with."""
+        if self._retry is None:
+            self.proxy_install()
+        return self._retry
+
+    def _breakers(self):
+        registry = self.proxy_context.system.breakers
+        if registry is None:
+            registry = ensure_breakers(self.proxy_context.system,
+                                       **self.proxy_config.get("breaker", {}))
+        return registry
+
+    def _deadline(self) -> Deadline | None:
+        budget = self.proxy_config.get("call_budget")
+        if budget is None:
+            return None
+        return Deadline.after(self.proxy_context.clock.now, float(budget))
+
+    def _resolve_replicas(self) -> list:
+        """Sub-proxies for the read-failover candidates, fetched lazily."""
+        if self._replicas is not None:
+            return self._replicas
+        raw = self.proxy_config.get("replicas")
+        if raw is None and not self.proxy_handshaken:
+            self.proxy_context.space.upgrade(self)
+            raw = self.proxy_config.get("replicas")
+        space = self.proxy_context.space
+        replicas = []
+        for item in raw or []:
+            if isinstance(item, ObjectRef):
+                item = space.bind_ref(item, handshake=False)
+            replicas.append(item)
+        self._replicas = replicas
+        return replicas
+
+    # -- invocation ---------------------------------------------------------
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["invocations"] += 1
+        op = self.proxy_interface.operation(verb)
+        if op.oneway or self.proxy_is_local:
+            return self.proxy_remote(verb, args, kwargs)
+        readonly = op.readonly
+        self.proxy_stats["reads" if readonly else "writes"] += 1
+        deadline = self._deadline()
+        candidates: list = [None]  # None = the primary binding
+        if readonly:
+            candidates += self._resolve_replicas()
+        registry = self._breakers()
+        ctx = self.proxy_context
+        knobs = self.proxy_config.get("breaker", {})
+        last_error: DistributionError | None = None
+        admitted = 0
+        for index, candidate in enumerate(candidates):
+            if deadline is not None and deadline.expired(ctx.clock.now):
+                break
+            target_id = self._target_id(candidate)
+            if target_id is not None:
+                # configure(), not between(): the pair's breaker usually
+                # predates this proxy (handshake traffic created it with
+                # registry defaults), and the policy's knobs must win.
+                breaker = registry.configure(ctx.context_id, target_id,
+                                             **knobs)
+                if not breaker.allow(ctx.clock.now):
+                    # Fast fail: the refusal costs one local check, not a
+                    # retry budget — that asymmetry is the breaker's value.
+                    ctx.charge(ctx.system.costs.local_call)
+                    self.proxy_stats["fast_fails"] += 1
+                    continue
+            admitted += 1
+            if index > 0:
+                self.proxy_stats["failovers"] += 1
+            try:
+                result = self._call(candidate, verb, args, kwargs, deadline)
+            except DistributionError as exc:
+                last_error = exc
+                continue
+            if readonly:
+                self._remember(verb, args, kwargs, result)
+            return result
+        return self._degrade(verb, args, kwargs, readonly,
+                             last_error, admitted)
+
+    # -- internals ----------------------------------------------------------
+
+    def _target_id(self, candidate) -> str | None:
+        """Destination context of one candidate (None = no breaker gate)."""
+        if candidate is None:
+            return self.proxy_ref.context_id
+        if isinstance(candidate, Proxy):
+            return candidate.proxy_ref.context_id
+        return None  # a co-located raw replica cannot be "down"
+
+    def _call(self, candidate, verb: str, args: tuple, kwargs: dict,
+              deadline: Deadline | None) -> Any:
+        if candidate is None:
+            return self.proxy_remote(verb, args, kwargs,
+                                     retry=self.proxy_retry, deadline=deadline)
+        if isinstance(candidate, Proxy):
+            return candidate.proxy_remote(verb, args, kwargs,
+                                          retry=self.proxy_retry,
+                                          deadline=deadline)
+        self.proxy_context.charge(self.proxy_context.system.costs.local_call)
+        return getattr(candidate, verb)(*args, **kwargs)
+
+    def _degrade(self, verb: str, args: tuple, kwargs: dict, readonly: bool,
+                 last_error: DistributionError | None, admitted: int) -> Any:
+        """Every candidate failed or was refused: serve stale, fall back,
+        or finally raise."""
+        if readonly and self.proxy_config.get("stale_reads", True):
+            key = self._cache_key(verb, args, kwargs)
+            if key is not None and key in self._stale:
+                self.proxy_stats["stale_serves"] += 1
+                return self._stale[key]
+        if self.proxy_fallback is not None:
+            self.proxy_stats["fallbacks"] += 1
+            return self.proxy_fallback(verb, args, kwargs)
+        if last_error is not None:
+            raise last_error
+        if admitted == 0:
+            raise CircuitOpen(
+                f"{verb!r} on {self.proxy_ref}: every candidate refused "
+                "by an open breaker")
+        raise CircuitOpen(f"{verb!r} on {self.proxy_ref}: no candidate answered")
+
+    def _remember(self, verb: str, args: tuple, kwargs: dict,
+                  value: Any) -> None:
+        key = self._cache_key(verb, args, kwargs)
+        if key is not None:
+            self._stale[key] = value
+
+    @staticmethod
+    def _cache_key(verb: str, args: tuple, kwargs: dict):
+        try:
+            return (verb, args, tuple(sorted(kwargs.items())))
+        except TypeError:
+            return None  # unhashable arguments: this read is uncacheable
+
+
+def resilient_group(contexts: list, factory: Callable[[], object],
+                    interface=None, retry: dict | None = None,
+                    call_budget: float | None = None,
+                    breaker: dict | None = None,
+                    stale_reads: bool = True) -> ObjectRef:
+    """Deploy a primary plus read replicas under the ``resilient`` policy.
+
+    One instance from ``factory`` runs in each of ``contexts``; the first is
+    the primary (all writes land there), the rest are read-failover
+    candidates.  Replicas receive no writes after deployment — reads served
+    from them (or from the proxy's stale cache) may lag the primary, which
+    is the availability-over-freshness trade the policy makes explicit.
+
+    Returns the client-facing reference; clients that bind it receive a
+    :class:`ResilientProxy`.
+    """
+    from ..core.export import get_space
+    from ..iface.adapters import make_delegate
+    from ..iface.interface import Interface
+    if not contexts:
+        raise ValueError("resilient_group() needs at least one context")
+    primary = factory()
+    if interface is None:
+        interface = Interface.of(type(primary))
+    replica_refs = [get_space(ctx).export(factory(), interface=interface,
+                                          policy="stub")
+                    for ctx in contexts[1:]]
+    config: dict = {"replicas": replica_refs, "stale_reads": stale_reads}
+    if retry is not None:
+        config["retry"] = retry
+    if call_budget is not None:
+        config["call_budget"] = call_budget
+    if breaker is not None:
+        config["breaker"] = breaker
+    coordinator = make_delegate(primary, interface)
+    return get_space(contexts[0]).export(coordinator, interface=interface,
+                                         policy="resilient", config=config)

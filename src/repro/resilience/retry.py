@@ -1,0 +1,117 @@
+"""Retry policies: the pluggable engine behind the RPC retransmission loop.
+
+The Birrell–Nelson client retransmits on timeout.  *When* it retransmits is
+distribution policy, and per the proxy principle that belongs to the layer
+the service controls — so the schedule is a value, not code baked into the
+protocol: :class:`RetryPolicy` maps an attempt number to that attempt's
+retransmission-timer interval.
+
+Two standard shapes:
+
+* :meth:`RetryPolicy.fixed` — every attempt waits the same base patience;
+  this is the classic 1984 discipline and the protocol-wide default (it
+  keeps a lightly loaded system maximally responsive).
+* :meth:`RetryPolicy.exponential` — intervals grow by ``multiplier`` per
+  attempt with proportional jitter, the modern discipline that stops a
+  lossy or overloaded destination from being hammered in lockstep by every
+  client at once.
+
+Jitter is drawn from a **seeded** stream (:mod:`repro.kernel.randomness`),
+so a retry schedule is exactly reproducible: same seed, same backoff, same
+trace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A retransmission schedule.
+
+    Attributes:
+        attempts: total send attempts (first try + retries); ``None`` defers
+            to the cost model (``1 + costs.rpc_max_retries``).
+        multiplier: growth factor of the interval per attempt (1.0 = fixed).
+        jitter: proportional jitter amplitude in [0, 1): each interval is
+            scaled by a factor drawn uniformly from ``[1 - jitter,
+            1 + jitter]``.  0 disables the draw entirely.
+        max_interval: cap on any single interval (seconds; ``None`` = no cap).
+    """
+
+    attempts: int | None = None
+    multiplier: float = 1.0
+    jitter: float = 0.0
+    max_interval: float | None = None
+
+    def __post_init__(self):
+        if self.attempts is not None and self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1.0, got {self.multiplier!r}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+
+    # -- the engine interface (consumed by RpcProtocol.call) -----------------
+
+    def budget(self, costs) -> int:
+        """Total attempts for one call under the given cost model."""
+        if self.attempts is not None:
+            return self.attempts
+        return 1 + costs.rpc_max_retries
+
+    def interval(self, attempt: int, patience: float,
+                 rng: random.Random | None = None) -> float:
+        """Retransmission-timer interval for ``attempt`` (0-based).
+
+        ``patience`` is the base timeout the protocol computed for this call
+        (cost-model timeout plus size-scaled transit); the policy shapes it.
+        """
+        wait = patience * (self.multiplier ** attempt)
+        if self.max_interval is not None:
+            wait = min(wait, self.max_interval)
+        if self.jitter > 0.0 and rng is not None:
+            wait *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return wait
+
+    def total_wait(self, patience: float) -> float:
+        """Sum of all intervals, jitter-free (the worst-case wall budget)."""
+        return sum(self.interval(attempt, patience)
+                   for attempt in range(self.attempts or 1))
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def fixed(cls, attempts: int | None = None) -> "RetryPolicy":
+        """The legacy schedule: identical patience-paced attempts."""
+        return cls(attempts=attempts)
+
+    @classmethod
+    def exponential(cls, attempts: int = 4, multiplier: float = 2.0,
+                    jitter: float = 0.1,
+                    max_interval: float | None = None) -> "RetryPolicy":
+        """Exponential backoff with proportional jitter."""
+        return cls(attempts=attempts, multiplier=multiplier, jitter=jitter,
+                   max_interval=max_interval)
+
+    @classmethod
+    def from_config(cls, config: dict | None,
+                    default: "RetryPolicy | None" = None) -> "RetryPolicy":
+        """Build a policy from a marshallable config dict.
+
+        ``None`` yields ``default`` (or the exponential policy when no
+        default is given) so resilience-aware proxies back off out of the
+        box; an explicit dict overrides field by field.
+        """
+        if config is None:
+            return default if default is not None else cls.exponential()
+        return cls(attempts=config.get("attempts", 4),
+                   multiplier=config.get("multiplier", 2.0),
+                   jitter=config.get("jitter", 0.1),
+                   max_interval=config.get("max_interval"))
+
+
+#: The protocol-wide default: the classic fixed-interval discipline.
+DEFAULT_RETRY = RetryPolicy.fixed()

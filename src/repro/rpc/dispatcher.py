@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from ..iface.interface import Interface
 from ..kernel.context import Context
 from ..kernel.errors import ReproError
-from ..wire.frames import EXCEPTION, ONEWAY, REQUEST, Frame
+from ..resilience.deadline import Deadline
+from ..wire.frames import ONEWAY, REQUEST, Frame
 from ..wire.refs import ObjectRef
 
 
@@ -70,7 +71,7 @@ class Dispatcher:
         self.replay_capacity = replay_capacity
         self._replay: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self.stats = {"requests": 0, "duplicates": 0, "exceptions": 0,
-                      "oneways": 0, "redirects": 0}
+                      "oneways": 0, "redirects": 0, "deadline_rejects": 0}
         context.handler = self.handle
 
     # -- entry point -----------------------------------------------------------
@@ -123,7 +124,24 @@ class Dispatcher:
             ctx.charge(costs.dispatch_cost)
             return self._replay[dedup_key], ctx.clock.now
         ctx.charge(costs.dispatch_cost)
-        reply = self._dispatch(frame)
+        deadline = Deadline.from_headers(frame.headers)
+        if deadline is not None and deadline.expired(ctx.clock.now):
+            # The caller's budget is already spent: executing the operation
+            # can no longer help anyone, so skip dispatch entirely and tell
+            # the (possibly still waiting) caller why.
+            self.stats["deadline_rejects"] += 1
+            reply = frame.exception_to(
+                "DeadlineExceeded",
+                f"budget spent before dispatch of {frame.verb!r}")
+            return self.transport.encode_frame(reply), ctx.clock.now
+        # Park the deadline on the serving context so nested outbound calls
+        # the handler makes inherit the root caller's budget.
+        enclosing = ctx.current_deadline
+        ctx.current_deadline = Deadline.merge(deadline, enclosing)
+        try:
+            reply = self._dispatch(frame)
+        finally:
+            ctx.current_deadline = enclosing
         system.trace.emit(ctx.clock.now, "invoke", frame.src, ctx.context_id,
                           f"{frame.verb}")
         reply_data = self.transport.encode_frame(reply)

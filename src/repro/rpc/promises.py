@@ -19,7 +19,7 @@ already passed).  Server-side effect ordering follows issue order.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from ..kernel.context import Context
 from ..kernel.errors import ReproError

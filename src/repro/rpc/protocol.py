@@ -23,12 +23,15 @@ from ..kernel import errors as kernel_errors
 from ..kernel.context import Context
 from ..kernel.errors import (
     DanglingReference,
+    DeadlineExceeded,
     DistributionError,
     InterfaceError,
     ObjectMoved,
     ReproError,
     RpcTimeout,
 )
+from ..resilience.deadline import Deadline
+from ..resilience.retry import DEFAULT_RETRY, RetryPolicy
 from ..wire.frames import EXCEPTION, ONEWAY, REPLY, REQUEST, Frame, MessageIdMinter
 from ..wire.refs import ObjectRef
 from .transport import Transport
@@ -69,30 +72,50 @@ class RpcProtocol:
         self.lrpc_enabled = True
         #: Send time of the most recent call's first attempt (promise layer).
         self.last_sent_at: float | None = None
+        #: Retry engine used when a call names no policy of its own.
+        self.retry_policy: RetryPolicy = DEFAULT_RETRY
         self._minters: dict[str, MessageIdMinter] = {}
+        self._retry_rng = system.seeds.stream("rpc.retry.jitter")
         self.stats = {"calls": 0, "oneways": 0, "retries": 0, "timeouts": 0,
-                      "local_fast_path": 0, "remote_exceptions": 0}
+                      "local_fast_path": 0, "remote_exceptions": 0,
+                      "deadline_exceeded": 0}
         system.rpc = self
 
     # -- public API ---------------------------------------------------------
 
     def call(self, src: Context, ref: ObjectRef, verb: str,
-             args: tuple = (), kwargs: dict | None = None) -> Any:
+             args: tuple = (), kwargs: dict | None = None, *,
+             retry: RetryPolicy | None = None,
+             deadline: Deadline | None = None) -> Any:
         """Invoke ``verb`` on the object named by ``ref``, blocking for the reply.
+
+        ``retry`` overrides the protocol's retransmission schedule for this
+        call; ``deadline`` caps the call's total wait and travels in the
+        request headers (merged with any deadline the serving context is
+        itself under, so nested chains inherit the root caller's budget).
 
         Raises the remote exception locally; raises
         :class:`~repro.kernel.errors.RpcTimeout` when the retry budget is
-        exhausted without a reply.
+        exhausted without a reply, or :class:`~repro.kernel.errors.
+        DeadlineExceeded` when the deadline expires first.
         """
         kwargs = kwargs or {}
         self.stats["calls"] += 1
+        deadline = Deadline.merge(deadline, src.current_deadline)
         if self.lrpc_enabled and ref.context_id == src.context_id:
             return self._local_call(src, ref, verb, args, kwargs)
+        if deadline is not None and deadline.expired(src.clock.now):
+            self.stats["deadline_exceeded"] += 1
+            raise DeadlineExceeded(
+                f"{verb!r} on {ref}: budget spent before the first attempt")
+        policy = retry or self.retry_policy
         frame = Frame(REQUEST, self._mint(src), src.context_id, ref.context_id,
                       target=ref.oid, verb=verb, body=(tuple(args), kwargs))
+        if deadline is not None:
+            deadline.to_headers(frame.headers)
         data = self.transport.encode_frame(frame)
         costs = self.system.costs
-        attempts = 1 + costs.rpc_max_retries
+        attempts = policy.budget(costs)
         # The retransmission timer scales with the request size: a bulk
         # argument legitimately takes longer than the base timeout to even
         # reach the server (Birrell-Nelson RPC used per-packet acks for the
@@ -106,15 +129,29 @@ class RpcProtocol:
             if attempt == 0:
                 # Consumed by the promise layer to overlap round trips.
                 self.last_sent_at = sent_at
-            deadline = sent_at + patience
-            reply = self._attempt(src, frame, data, sent_at, deadline)
+            wait_until = sent_at + policy.interval(attempt, patience,
+                                                   self._retry_rng)
+            if deadline is not None:
+                # A wait must never outlive the call's budget: the final
+                # attempt's timer is cut at the deadline instead of charging
+                # the full interval after the budget is already spent.
+                wait_until = deadline.clamp(wait_until)
+            reply = self._attempt(src, frame, data, sent_at, wait_until)
             if reply is not None:
+                self._feed_breaker(src, ref, success=True)
                 return self._accept(src, ref, reply)
-            src.clock.advance_to(deadline)
+            src.clock.advance_to(wait_until)
+            if deadline is not None and deadline.expired(src.clock.now):
+                self.stats["deadline_exceeded"] += 1
+                self._feed_breaker(src, ref, success=False)
+                raise DeadlineExceeded(
+                    f"{verb!r} on {ref}: deadline spent after "
+                    f"{attempt + 1} attempts")
         self.stats["timeouts"] += 1
+        self._feed_breaker(src, ref, success=False)
         raise RpcTimeout(
             f"{verb!r} on {ref} failed after {attempts} attempts "
-            f"({patience * 1e3:.1f} ms timeout each)")
+            f"({patience * 1e3:.1f} ms base timeout)")
 
     def send_oneway(self, src: Context, ref: ObjectRef, verb: str,
                     args: tuple = (), kwargs: dict | None = None) -> None:
@@ -132,9 +169,28 @@ class RpcProtocol:
         data = self.transport.encode_frame(frame)
         delivery = self.transport.transmit(frame, data, src.clock.now)
         if delivery.delivered:
-            dst = self.system.context(ref.context_id)
-            if dst.handler is not None:
+            try:
+                dst = self.system.context(ref.context_id)
+            except kernel_errors.ConfigurationError:
+                return
+            # Same liveness discipline as _attempt: a context whose node is
+            # down must not execute, even if the message was already in
+            # flight when the crash hit.
+            if dst.handler is not None and dst.alive:
                 dst.handler(data, delivery.arrive_time)
+
+    def _feed_breaker(self, src: Context, ref: ObjectRef,
+                      success: bool) -> None:
+        """Report one call outcome to the breaker registry, when installed."""
+        registry = self.system.breakers
+        if registry is None:
+            return
+        if success:
+            registry.record_success(src.context_id, ref.context_id,
+                                    src.clock.now)
+        else:
+            registry.record_failure(src.context_id, ref.context_id,
+                                    src.clock.now)
 
     # -- one attempt -----------------------------------------------------------
 

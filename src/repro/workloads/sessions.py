@@ -14,7 +14,7 @@ and E9.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..failures.injectors import CrashPlan

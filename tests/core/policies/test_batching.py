@@ -63,14 +63,14 @@ class TestBuffering:
 class TestReadYourWrites:
     def test_read_flushes_pending_writes(self, pair):
         system, server, client = pair
-        box = deploy(server)
+        deploy(server)
         proxy = repro.bind(client, "mail")
         proxy.post("alice", "hello")
         assert proxy.count() == 1, "the read must observe the buffered post"
 
     def test_non_batched_mutator_flushes_first(self, pair):
         system, server, client = pair
-        box = deploy(server)
+        deploy(server)
         proxy = repro.bind(client, "mail")
         proxy.post("alice", "hello")
         dropped = proxy.drain()

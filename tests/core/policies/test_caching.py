@@ -1,6 +1,5 @@
 """Tests for the caching proxy: hits, TTL, invalidation, coherence."""
 
-import pytest
 
 import repro
 from repro.apps.kv import KVStore
@@ -124,7 +123,7 @@ class TestServerInvalidation:
 
     def test_uncached_writer_also_triggers_invalidation(self, star):
         system, server, clients = star
-        store = deploy(server, {"invalidation": True})
+        deploy(server, {"invalidation": True})
         reader = repro.bind(clients[0], "kv")
         reader.put("k", 1)
         assert reader.get("k") == 1

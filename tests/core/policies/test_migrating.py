@@ -1,9 +1,8 @@
 """Tests for the migrating proxy: thresholds, locality, shared access."""
 
-import pytest
 
 import repro
-from repro.apps.counter import Counter, MigratingCounter, StatsAccumulator
+from repro.apps.counter import Counter, StatsAccumulator
 from repro.core.export import get_space
 from repro.metrics.counters import MessageWindow
 

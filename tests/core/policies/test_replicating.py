@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
-from repro.core.export import get_space
 from repro.core.policies.replicating import ReplicatedProxy, replicate
 from repro.kernel.errors import DistributionError
 from repro.metrics.counters import MessageWindow

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.kv import CachedKVStore, KVStore
 from repro.core.export import get_space
 from repro.core.policies.caching import CachingProxy
-from repro.core.policies.stub import ForwardingProxy
 from repro.kernel.errors import BindError
 from repro.metrics.counters import MessageWindow
 

@@ -2,10 +2,9 @@
 
 import pytest
 
-import repro
 from repro.apps.kv import CachedKVStore, KVStore
 from repro.core.export import CTXMGR_OID, ObjectSpace, get_space
-from repro.core.proxy import Proxy, is_proxy
+from repro.core.proxy import is_proxy
 from repro.kernel.errors import (
     BindError,
     ConfigurationError,
@@ -123,7 +122,7 @@ class TestSwizzleOutbound:
 
     def test_strict_mode_rejects_auto_export(self, system):
         server = system.add_node("s").create_context("m")
-        space = ObjectSpace(server, strict=True)
+        ObjectSpace(server, strict=True)
         with pytest.raises(EncapsulationViolation):
             server.encoder_hook(KVStore())
 

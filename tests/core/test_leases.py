@@ -2,11 +2,9 @@
 
 import pytest
 
-import repro
 from repro.apps.kv import KVStore
 from repro.core.export import get_space
 from repro.core.leases import (
-    DEFAULT_LEASE,
     LEASES_OID,
     ensure_lease_service,
     expire_leases,
@@ -102,7 +100,7 @@ class TestReclamation:
     def test_rebind_after_reclamation_via_fresh_export(self, pair):
         system, server, client = pair
         store, ref = deploy(server, duration=0.2)
-        proxy = get_space(client).bind_ref(ref)
+        get_space(client).bind_ref(ref)
         client.clock.advance(1.0)
         server.clock.advance(1.0)
         expire_leases(get_space(server))

@@ -5,7 +5,6 @@ import pytest
 from repro.apps.kv import KVStore
 from repro.core.export import get_space
 from repro.kernel.errors import InterfaceError, ObjectMoved, RpcTimeout
-from repro.wire.refs import ObjectRef
 
 
 @pytest.fixture
@@ -88,14 +87,13 @@ class TestRebinding:
         # A forwarding pointer that points back at itself (corrupt state).
         space = get_space(server)
         space.mark_migrated(ref.oid, ref.moved_to(server.context_id))
-        entry = server.exports[ref.oid]
+        server.exports[ref.oid]
         with pytest.raises((RpcTimeout, ObjectMoved)):
             proxy.get("k")
 
 
 class TestLifecycleHooks:
     def test_install_called_once_per_bind(self, pair):
-        from repro.core.factory import register_policy
         from repro.core.proxy import Proxy
 
         installs = []

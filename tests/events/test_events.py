@@ -77,7 +77,7 @@ class TestFanout:
         system, server, clients = bus
         channel = channel_for(clients[0])
         a = EventSubscriber(clients[0], channel, ["t"])
-        b = EventSubscriber(clients[1], channel_for(clients[1]), ["t"])
+        EventSubscriber(clients[1], channel_for(clients[1]), ["t"])
         assert channel.subscriber_count() == 2
         a.close()
         assert channel.subscriber_count() == 1
@@ -138,7 +138,7 @@ class TestReliability:
 
     def test_principle_holds(self, bus):
         system, server, clients = bus
-        subs = [EventSubscriber(ctx, channel_for(ctx), ["t"])
+        [EventSubscriber(ctx, channel_for(ctx), ["t"])
                 for ctx in clients]
         channel_for(clients[0]).publish("t", 1)
         repro.assert_principle(system)

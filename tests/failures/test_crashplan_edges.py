@@ -1,0 +1,144 @@
+"""CrashPlan edge cases and detector/breaker flapping behaviour."""
+
+from repro.core.export import get_space
+from repro.failures.detector import ALIVE, SUSPECTED, FailureDetector
+from repro.failures.injectors import CrashPlan
+from repro.resilience.breaker import CLOSED, OPEN, BreakerRegistry
+
+
+class TestCrashPlanEdges:
+    def test_outage_at_op_zero(self, system):
+        node = system.add_node("server")
+        plan = CrashPlan({0: ("server", 2)})
+        plan.tick(system)
+        assert not node.alive, "the very first tick can crash a node"
+        plan.tick(system)
+        assert not node.alive
+        plan.tick(system)
+        assert node.alive, "restart lands 2 ops after the crash"
+
+    def test_overlapping_outages_on_the_same_node(self, system):
+        """A second outage scheduled while the node is already down must not
+        crash a dead node twice; the earlier restart still applies."""
+        node = system.add_node("server")
+        plan = CrashPlan({0: ("server", 5), 2: ("server", 5)})
+        alive = []
+        for _ in range(8):
+            plan.tick(system)
+            alive.append(node.alive)
+        # Down from op 0; the first outage's restart at op 5 revives it; the
+        # second outage's restart at op 7 finds it already alive (no-op).
+        assert alive == [False, False, False, False, False, True, True, True]
+
+    def test_restart_tick_coinciding_with_another_crash_tick(self, system):
+        """When a restart and a crash land on the same tick, the restart is
+        processed first and the crash wins the tick."""
+        node = system.add_node("server")
+        plan = CrashPlan({0: ("server", 3), 3: ("server", 2)})
+        states = []
+        for _ in range(6):
+            plan.tick(system)
+            states.append(node.alive)
+        assert states[:3] == [False, False, False]
+        assert states[3] is False, "restarted and immediately re-crashed"
+        assert states[5] is True, "the second outage's restart applies"
+
+    def test_periodic_round_robins_the_victims(self, system):
+        for name in ("a", "b"):
+            system.add_node(name)
+        plan = CrashPlan.periodic(["a", "b"], every=2, duration=1,
+                                  total_ops=8)
+        assert plan.outages == {2: ("a", 1), 4: ("b", 1), 6: ("a", 1)}
+
+
+class TestDetectorFlapping:
+    def _watched(self, star):
+        system, server, clients = star
+        peer = clients[0]
+        get_space(peer)   # the peer needs a context manager to answer pings
+        detector = FailureDetector(server, suspicion_threshold=2)
+        detector.watch(peer.context_id)
+        return system, server, peer, detector
+
+    def test_alternating_hit_miss_never_suspects(self, star):
+        """A flapping peer (alternating up/down between probe rounds) never
+        reaches two *consecutive* misses, so suspicion must not oscillate."""
+        system, server, peer, detector = self._watched(star)
+        for _ in range(4):
+            peer.node.crash()
+            detector.probe()
+            assert detector.status(peer.context_id) == ALIVE
+            peer.node.restart()
+            detector.probe()
+            assert detector.status(peer.context_id) == ALIVE
+        assert detector.stats["suspicions"] == 0
+        assert detector.stats["recoveries"] == 0, \
+            "never suspected, so nothing to recover from"
+
+    def test_flapping_does_not_oscillate_breakers(self, star):
+        system, server, peer, detector = self._watched(star)
+        registry = BreakerRegistry(system)
+        detector.breakers = registry
+        registry.between(server.context_id, peer.context_id)
+        for _ in range(3):
+            peer.node.crash()
+            detector.probe()
+            peer.node.restart()
+            detector.probe()
+        breaker = registry.between(server.context_id, peer.context_id)
+        assert breaker.state(server.clock.now) == CLOSED
+        assert breaker.stats["trips"] == 0, \
+            "sub-threshold flapping must not force breakers open"
+
+
+class TestDetectorBreakerExchange:
+    def _watched_with_breakers(self, star):
+        system, server, clients = star
+        peer = clients[0]
+        get_space(peer)
+        registry = BreakerRegistry(system)
+        detector = FailureDetector(server, suspicion_threshold=2,
+                                   breakers=registry)
+        detector.watch(peer.context_id)
+        return system, server, peer, detector, registry
+
+    def test_suspicion_trips_every_breaker_toward_the_peer(self, star):
+        system, server, peer, detector, registry = \
+            self._watched_with_breakers(star)
+        registry.between("other/main", peer.context_id)
+        peer.node.crash()
+        detector.probe()
+        detector.probe()
+        assert detector.status(peer.context_id) == SUSPECTED
+        breaker = registry.between("other/main", peer.context_id)
+        assert breaker.state(server.clock.now) == OPEN, \
+            "the detector's verdict fans out to every caller's breaker"
+
+    def test_recovery_resets_the_breakers(self, star):
+        system, server, peer, detector, registry = \
+            self._watched_with_breakers(star)
+        registry.between("other/main", peer.context_id)
+        peer.node.crash()
+        detector.probe()
+        detector.probe()
+        peer.node.restart()
+        detector.probe()
+        assert detector.status(peer.context_id) == ALIVE
+        breaker = registry.between("other/main", peer.context_id)
+        assert breaker.state(server.clock.now) == CLOSED
+
+    def test_consult_breakers_folds_open_circuits_into_suspicion(self, star):
+        system, server, peer, detector, registry = \
+            self._watched_with_breakers(star)
+        breaker = registry.between("other/main", peer.context_id)
+        breaker.trip(server.clock.now)
+        newly = detector.consult_breakers()
+        assert newly == [peer.context_id]
+        assert detector.status(peer.context_id) == SUSPECTED
+        assert detector.consult_breakers() == [], "already suspected"
+
+    def test_consult_breakers_without_a_registry_is_a_noop(self, star):
+        system, server, clients = star
+        detector = FailureDetector(server)
+        detector.watch(clients[0].context_id)
+        assert detector.consult_breakers() == []

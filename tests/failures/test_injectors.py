@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.apps.kv import KVStore
 from repro.core.export import get_space
 from repro.failures.injectors import (
@@ -45,7 +44,7 @@ class TestDegradedLink:
     def test_latency_override_applies_and_reverts(self, wired):
         system, server, client, proxy = wired
         proxy.get("k")
-        healthy = client.now
+        client.now
         with degraded_link(system, client.node.name, server.node.name,
                            latency=0.1):
             t0 = client.now

@@ -28,7 +28,7 @@ from repro.bench.experiments import (
     e16_events,
     e17_wan_placement,
 )
-from repro.bench.render import crossover_x, who_wins
+from repro.bench.render import who_wins
 
 
 def by(rows, **filters):

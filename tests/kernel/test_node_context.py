@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.kernel.errors import ConfigurationError
 
 

@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
-from repro.core.export import get_space
 from repro.kernel.topology import build_ring, build_sites, build_star
 from repro.naming.bootstrap import install_name_service
 
@@ -19,7 +18,7 @@ class TestStar:
 
 class TestRing:
     def test_neighbours_are_fast(self, system):
-        contexts = build_ring(system, 5)
+        build_ring(system, 5)
         network = system.network
         near = network.transit_time("ring0", "ring1", 0)
         far = network.transit_time("ring0", "ring2", 0)
@@ -34,7 +33,7 @@ class TestRing:
 
 class TestSites:
     def test_lan_vs_wan_latency(self, system):
-        sites = build_sites(system, ["eu", "us"], nodes_per_site=2,
+        build_sites(system, ["eu", "us"], nodes_per_site=2,
                             wan_factor=10.0)
         network = system.network
         lan = network.transit_time("eu-0", "eu-1", 0)
@@ -48,7 +47,7 @@ class TestSites:
             network.transit_time("us-0", "eu-0", 0)
 
     def test_three_sites_all_pairs_slow(self, system):
-        sites = build_sites(system, ["a", "b", "c"], nodes_per_site=1,
+        build_sites(system, ["a", "b", "c"], nodes_per_site=1,
                             wan_factor=5.0)
         network = system.network
         base = system.costs.remote_latency

@@ -1,6 +1,6 @@
 """Unit tests for the trace log and its query helpers."""
 
-from repro.kernel.trace import Trace, TraceEvent, TraceSummary
+from repro.kernel.trace import Trace, TraceSummary
 
 
 def _fill(trace):

@@ -2,7 +2,6 @@
 
 import pytest
 
-import repro
 from repro.apps.kv import KVStore
 from repro.core.export import get_space
 from repro.metrics.counters import CounterSet, MessageWindow

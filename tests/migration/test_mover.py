@@ -39,7 +39,7 @@ class TestMigrate:
     def test_state_travels(self, movable):
         system, server, clients, counter, ref = movable
         counter.incr(41)
-        new_ref = migrate(clients[0], ref)
+        migrate(clients[0], ref)
         moved = clients[0].exports[ref.oid].obj
         assert moved.value == 41
         assert moved is not counter

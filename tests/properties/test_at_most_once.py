@@ -1,0 +1,53 @@
+"""Property: at-most-once execution survives lossy links and backoff retries.
+
+Birrell–Nelson retransmission plus the server-side replay cache must keep
+every increment from executing twice, no matter how aggressively the retry
+engine resends under message loss.  The counter's final value is therefore
+bracketed: at least one execution per call the client saw succeed, at most
+one per call attempted.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.apps.counter import Counter
+from repro.failures.injectors import message_loss
+from repro.kernel.errors import DistributionError
+from repro.naming.bootstrap import bind, install_name_service, register
+from repro.resilience.retry import RetryPolicy
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**16),
+       loss=st.sampled_from([0.1, 0.3, 0.5]),
+       attempts=st.integers(2, 6))
+def test_counter_never_double_executes(seed, loss, attempts):
+    system = repro.make_system(seed=seed)
+    server = system.add_node("server").create_context("main")
+    client = system.add_node("client").create_context("main")
+    install_name_service(server)
+    counter = Counter()
+    register(server, "ctr", counter)
+    proxy = bind(client, "ctr")
+    system.rpc.retry_policy = RetryPolicy.exponential(
+        attempts=attempts, multiplier=2.0, jitter=0.1)
+
+    calls, successes = 12, 0
+    with message_loss(system, loss):
+        for _ in range(calls):
+            try:
+                proxy.incr()
+            except DistributionError:
+                continue
+            successes += 1
+
+    # Every acknowledged call executed exactly once; an unacknowledged call
+    # may still have executed (the reply was lost), but never more than once.
+    assert successes <= counter.value <= calls
+    dispatcher = server.handler.__self__
+    retransmissions = system.rpc.stats["retries"]
+    duplicates = dispatcher.stats["duplicates"]
+    assert duplicates <= retransmissions, \
+        "only a retransmitted request can hit the replay cache"

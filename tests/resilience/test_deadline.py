@@ -1,0 +1,64 @@
+"""Tests for per-call deadlines (repro.resilience.deadline)."""
+
+import pytest
+
+from repro.kernel.errors import DeadlineExceeded
+from repro.resilience.deadline import DEADLINE_HEADER, Deadline
+
+
+class TestBasics:
+    def test_after_builds_an_absolute_expiry(self):
+        deadline = Deadline.after(1.5, 0.25)
+        assert deadline.expires_at == pytest.approx(1.75)
+
+    def test_remaining_counts_down_and_goes_negative(self):
+        deadline = Deadline(2.0)
+        assert deadline.remaining(1.5) == pytest.approx(0.5)
+        assert deadline.remaining(2.5) == pytest.approx(-0.5)
+
+    def test_expiry_boundary_is_inclusive(self):
+        deadline = Deadline(2.0)
+        assert not deadline.expired(1.999)
+        assert deadline.expired(2.0)
+        assert deadline.expired(2.001)
+
+    def test_clamp_cuts_waits_at_the_expiry(self):
+        deadline = Deadline(2.0)
+        assert deadline.clamp(1.5) == 1.5
+        assert deadline.clamp(3.0) == 2.0
+
+    def test_check_raises_once_spent(self):
+        deadline = Deadline(2.0)
+        deadline.check(1.0)
+        with pytest.raises(DeadlineExceeded):
+            deadline.check(2.0, "probe")
+
+
+class TestMerge:
+    def test_tightest_wins(self):
+        tight = Deadline(1.0)
+        loose = Deadline(5.0)
+        assert Deadline.merge(loose, tight) is tight
+        assert Deadline.merge(tight, loose) is tight
+
+    def test_none_entries_are_ignored(self):
+        only = Deadline(1.0)
+        assert Deadline.merge(None, only, None) is only
+
+    def test_all_none_is_none(self):
+        assert Deadline.merge(None, None) is None
+        assert Deadline.merge() is None
+
+
+class TestWireFormat:
+    def test_roundtrip_through_headers(self):
+        headers: dict = {}
+        Deadline(3.25).to_headers(headers)
+        assert headers[DEADLINE_HEADER] == 3.25
+        recovered = Deadline.from_headers(headers)
+        assert recovered == Deadline(3.25)
+
+    def test_absent_header_means_no_deadline(self):
+        assert Deadline.from_headers({}) is None
+        assert Deadline.from_headers(None) is None
+        assert Deadline.from_headers({"other": 1}) is None

@@ -1,0 +1,146 @@
+"""Tests for the resilient proxy policy (repro.resilience.policy)."""
+
+import pytest
+
+from repro.apps.kv import KVStore
+from repro.kernel.errors import CircuitOpen, DistributionError
+from repro.naming.bootstrap import bind, register
+from repro.resilience.policy import ResilientProxy, resilient_group
+
+BREAKER = {"failure_threshold": 2, "reset_timeout": 5.0}
+
+
+def seeded_store():
+    store = KVStore()
+    store.put("k", "seeded")
+    return store
+
+
+@pytest.fixture
+def deployed(star):
+    """A resilient group on (server, client0, client1), bound from client2."""
+    system, server, clients = star
+    group = [server, clients[0], clients[1]]
+    ref = resilient_group(group, seeded_store,
+                          retry={"attempts": 2, "multiplier": 2.0,
+                                 "jitter": 0.0},
+                          call_budget=0.5, breaker=BREAKER)
+    register(server, "kv", ref)
+    proxy = bind(clients[2], "kv")
+    return system, group, clients[2], proxy
+
+
+class TestDeployment:
+    def test_clients_receive_the_resilient_proxy(self, deployed):
+        system, group, client, proxy = deployed
+        assert isinstance(proxy, ResilientProxy)
+
+    def test_binding_installs_the_breaker_registry(self, deployed):
+        system, group, client, proxy = deployed
+        assert system.breakers is not None
+
+    def test_happy_path_reads_and_writes(self, deployed):
+        system, group, client, proxy = deployed
+        assert proxy.get("k") == "seeded"
+        proxy.put("k2", 42)
+        assert proxy.get("k2") == 42
+
+
+class TestFailover:
+    def test_reads_fail_over_to_a_replica(self, deployed):
+        system, group, client, proxy = deployed
+        group[0].node.crash()
+        assert proxy.get("k") == "seeded", \
+            "the replica serves the read while the primary is down"
+        assert proxy.proxy_stats["failovers"] >= 1
+
+    def test_writes_do_not_fail_over(self, deployed):
+        system, group, client, proxy = deployed
+        group[0].node.crash()
+        with pytest.raises(DistributionError):
+            proxy.put("k", "update")
+        assert proxy.proxy_stats["failovers"] == 0
+
+    def test_stale_read_when_every_candidate_is_down(self, deployed):
+        system, group, client, proxy = deployed
+        assert proxy.get("k") == "seeded"   # populates the stale cache
+        for ctx in group:
+            ctx.node.crash()
+        assert proxy.get("k") == "seeded"
+        assert proxy.proxy_stats["stale_serves"] == 1
+
+    def test_stale_reads_can_be_disabled(self, deployed):
+        system, group, client, proxy = deployed
+        proxy.proxy_config["stale_reads"] = False
+        assert proxy.get("k") == "seeded"
+        for ctx in group:
+            ctx.node.crash()
+        with pytest.raises(DistributionError):
+            proxy.get("k")
+
+
+class TestBreakerGate:
+    def _trip_all(self, system, group, client):
+        now = client.clock.now
+        for ctx in group:
+            system.breakers.configure(client.context_id, ctx.context_id,
+                                      **BREAKER).trip(now)
+
+    def test_fully_open_breakers_fail_fast_with_circuit_open(self, deployed):
+        system, group, client, proxy = deployed
+        self._trip_all(system, group, client)
+        before = client.clock.now
+        with pytest.raises(CircuitOpen):
+            proxy.get("never-read")
+        elapsed = client.clock.now - before
+        assert elapsed < system.costs.rpc_timeout, \
+            "a fast fail must cost local checks, not a retry budget"
+        assert proxy.proxy_stats["fast_fails"] == len(group)
+
+    def test_repeated_failures_trip_the_breaker(self, deployed):
+        system, group, client, proxy = deployed
+        group[0].node.crash()
+        for _ in range(BREAKER["failure_threshold"]):
+            with pytest.raises(DistributionError):
+                proxy.put("k", "x")
+        before = client.clock.now
+        with pytest.raises(CircuitOpen):
+            proxy.put("k", "x")
+        assert client.clock.now - before < system.costs.rpc_timeout
+
+    def test_stale_cache_beats_circuit_open_for_reads(self, deployed):
+        system, group, client, proxy = deployed
+        assert proxy.get("k") == "seeded"
+        self._trip_all(system, group, client)
+        assert proxy.get("k") == "seeded"
+        assert proxy.proxy_stats["stale_serves"] == 1
+
+
+class TestFallback:
+    def test_fallback_hook_is_the_last_resort(self, deployed):
+        system, group, client, proxy = deployed
+        proxy.proxy_fallback = lambda verb, args, kwargs: f"fallback:{verb}"
+        for ctx in group:
+            ctx.node.crash()
+        assert proxy.get("never-read") == "fallback:get"
+        assert proxy.put("k", "x") == "fallback:put"
+        assert proxy.proxy_stats["fallbacks"] == 2
+
+
+class TestDeadlineBudget:
+    def test_failures_are_capped_at_the_call_budget(self, deployed):
+        system, group, client, proxy = deployed
+        for ctx in group:
+            ctx.node.crash()
+        before = client.clock.now
+        with pytest.raises(DistributionError):
+            proxy.put("k", "x")
+        # A write only tries the primary; its whole failure must fit in the
+        # 0.5 s call budget (plus marshalling epsilon), not the unbounded
+        # fixed-retry schedule.
+        assert client.clock.now - before <= 0.5 + 0.01
+
+    def test_retry_schedule_comes_from_the_config(self, deployed):
+        system, group, client, proxy = deployed
+        assert proxy.proxy_retry.attempts == 2
+        assert proxy.proxy_retry.multiplier == 2.0

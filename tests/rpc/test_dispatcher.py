@@ -7,7 +7,6 @@ from repro.apps.kv import KVStore
 from repro.core.export import get_space
 from repro.kernel.errors import ObjectMoved
 from repro.wire.frames import REQUEST, Frame
-from repro.wire.refs import ObjectRef
 
 
 @pytest.fixture

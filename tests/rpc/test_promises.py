@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
-from repro.core.export import get_space
 from repro.kernel.errors import RpcTimeout
 from repro.rpc.promises import call_async, gather, pipeline_calls
 

@@ -1,6 +1,5 @@
 """Tests for the transport layer: hook application, costs, tracing."""
 
-import pytest
 
 from repro.apps.kv import KVStore
 from repro.core.export import get_space

@@ -225,7 +225,7 @@ class TestMultiStore:
         east_a = repro.bind(clients[0], "east")
         east_b = repro.bind(clients[2], "east")
         txn_b = Transaction(coord_b)
-        value = txn_b.read(east_b, "k")
+        txn_b.read(east_b, "k")
         txn_a = Transaction(coord_a)
         txn_a.write(east_a, "k", "sniped")
         assert txn_a.commit()

@@ -6,7 +6,6 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
-from repro.core.export import get_space
 from repro.kernel.errors import ConfigurationError
 from repro.workloads.distributions import (
     HotspotSampler,
