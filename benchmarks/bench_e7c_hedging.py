@@ -1,0 +1,21 @@
+"""E7c bench: hedged reads + adaptive timeouts vs serial retry (figure E7c)."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e7c_hedging
+
+
+def test_e7c_hedging(benchmark):
+    rows = run_experiment(benchmark, e7c_hedging, ops=160)
+    assert all(row["hedged_p99_ms"] < row["serial_p99_ms"] for row in rows
+               if row["loss"] >= 0.1), \
+        "hedging must cut the read tail below serial retry under >=10% loss"
+    assert all(row["hedged_ok"] >= row["serial_ok"] for row in rows), \
+        "a lost hedge falls back to the serial walk, so hedging must " \
+        "never cost availability"
+    assert all(row["hedges"] > 0 and row["hedge_wins"] > 0 for row in rows), \
+        "under loss the backup request must fire and win at least once"
+    assert all(row["link_patience_ms"] < row["global_patience_ms"]
+               for row in rows), \
+        "the fast link's Jacobson RTO must undercut the global " \
+        "rpc_timeout-derived patience once the estimator is warm"

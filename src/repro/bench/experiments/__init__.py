@@ -9,6 +9,7 @@ from . import (
     e6_bootstrap,
     e7_failures,
     e7b_resilience,
+    e7c_hedging,
     e8_lrpc,
     e9_replication,
     e10_marshalling,
@@ -24,7 +25,8 @@ from . import (
 #: Every experiment module, in presentation order.
 ALL = [
     e1_invocation_matrix, e2_caching, e3_migration, e4_sharing,
-    e5_encapsulation, e6_bootstrap, e7_failures, e7b_resilience, e8_lrpc,
+    e5_encapsulation, e6_bootstrap, e7_failures, e7b_resilience,
+    e7c_hedging, e8_lrpc,
     e9_replication, e10_marshalling, e11_ablation, e12_pipelining,
     e13_persistence, e14_transactions, e15_weak_dsm, e16_events,
     e17_wan_placement,

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .bench import experiments
@@ -61,7 +62,12 @@ def cmd_run(args) -> int:
         else:
             kwargs["ops"] = args.ops
     rows = module.run(**kwargs)
-    print(render_table(rows, module.TITLE))
+    if args.json:
+        # Stable, machine-diffable form: the determinism CI gate runs an
+        # experiment twice with one seed and fails on any byte difference.
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(render_table(rows, module.TITLE))
     return 0
 
 
@@ -121,6 +127,8 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("experiment", help="experiment id, e.g. e2")
     run_parser.add_argument("--seed", type=int, default=None)
     run_parser.add_argument("--ops", type=int, default=None)
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit rows as sorted JSON instead of a table")
     run_parser.set_defaults(func=cmd_run)
     commands.add_parser("all", help="run every experiment").set_defaults(
         func=cmd_all)

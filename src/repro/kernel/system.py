@@ -42,6 +42,11 @@ class System:
         #: a resilience-aware component installs one — the RPC protocol
         #: feeds call outcomes into it only once it exists.
         self.breakers = None
+        #: Per-link RTT tracker (repro.resilience.latency); None until a
+        #: resilience-aware component installs one — the RPC protocol feeds
+        #: round-trip samples into it only once it exists, and adaptive
+        #: retry policies consult it for per-link patience.
+        self.latency = None
 
     # -- topology ------------------------------------------------------------
 

@@ -12,6 +12,11 @@ packaged so services can ship them inside the proxies they choose:
   patience;
 * :class:`CircuitBreaker` / :class:`BreakerRegistry` — per caller→target
   fail-fast gates fed by RPC outcomes, exchanged with the failure detector;
+* :class:`LinkEstimator` / :class:`LatencyTracker` — Jacobson RTT EWMAs per
+  caller→target link, fed by RPC outcomes, behind adaptive retry patience,
+  hedge delays, and derived deadline budgets;
+* :class:`HedgePolicy` — the hedged-request schedule consumed by the
+  ``resilient`` policy's read path;
 * :class:`ResilientProxy` / :func:`resilient_group` — the policy that
   composes all of the above with read failover and graceful degradation.
 
@@ -35,9 +40,13 @@ _EXPORTS = {
     "ensure_breakers": "breaker",
     "DEADLINE_HEADER": "deadline",
     "Deadline": "deadline",
+    "LatencyTracker": "latency",
+    "LinkEstimator": "latency",
+    "ensure_latency": "latency",
     "ResilientProxy": "policy",
     "resilient_group": "policy",
     "DEFAULT_RETRY": "retry",
+    "HedgePolicy": "retry",
     "RetryPolicy": "retry",
 }
 

@@ -84,6 +84,22 @@ class CircuitBreaker:
         """Failures since the last success (while CLOSED)."""
         return self._failures
 
+    def would_allow(self, now: float) -> bool:
+        """Whether :meth:`allow` would admit a call at ``now``, without
+        consuming a half-open probe or counting a fast fail.
+
+        Candidate-ranking code (e.g. the hedging proxy picking the nearest
+        healthy replica) uses this to survey breakers non-destructively,
+        then calls :meth:`allow` on the one it actually dials.
+        """
+        state = self.state(now)
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN:
+            probes = 0 if self._state == OPEN else self._probes_in_flight
+            return probes < self.half_open_probes
+        return False
+
     # -- the gate ----------------------------------------------------------
 
     def allow(self, now: float) -> bool:

@@ -13,7 +13,14 @@ never wrote.  Per operation the proxy
    destination is neither hammered in lockstep nor waited on forever;
 3. on failure **fails over reads** to the configured replicas, nearest
    breaker-admitted candidate first;
-4. when every candidate is down, **degrades gracefully**: a read is served
+4. optionally **hedges reads**: the primary request is issued as a
+   single-attempt promise, and after a per-link p95-ish delay
+   (``system.latency``) a backup request races it to the nearest
+   breaker-admitted replica — first answer wins, the loser is
+   :meth:`~repro.rpc.promises.Promise.discard`-ed, both outcomes land in
+   the breaker registry, and if both legs lose the serial walk of step 3
+   takes over with the full retry budget;
+5. when every candidate is down, **degrades gracefully**: a read is served
    from the proxy's stale-value cache (last successfully read value), and
    any operation can fall back to a user-installed ``proxy_fallback`` hook
    before the error finally propagates.
@@ -21,8 +28,16 @@ never wrote.  Per operation the proxy
 Configuration (all marshallable, shipped by the exporter):
 
 * ``retry`` — dict for :meth:`RetryPolicy.from_config` (default:
-  exponential, 4 attempts, multiplier 2.0, jitter 0.1);
-* ``call_budget`` — per-call deadline budget in virtual seconds (optional);
+  exponential, 4 attempts, multiplier 2.0, jitter 0.1); add
+  ``"adaptive": true`` to pace retransmissions by the link's observed RTT
+  instead of the global ``costs.rpc_timeout``;
+* ``call_budget`` — per-call deadline budget in virtual seconds (optional;
+  when omitted and a latency tracker is installed, a default budget is
+  derived from the link's RTO once it is warm — disable with
+  ``"adaptive_budget": false``);
+* ``hedge`` — ``true`` or a dict for :meth:`HedgePolicy.from_config`
+  (default off): hedge read-only operations after the per-link delay (or
+  an explicit ``{"delay": seconds}``);
 * ``replicas`` — list of :class:`~repro.wire.refs.ObjectRef` read-failover
   candidates (optional);
 * ``breaker`` — dict of :class:`~repro.resilience.breaker.BreakerRegistry`
@@ -41,11 +56,12 @@ from typing import Any, Callable
 
 from ..core.factory import register_policy
 from ..core.proxy import Proxy
-from ..kernel.errors import CircuitOpen, DistributionError
+from ..kernel.errors import CircuitOpen, DistributionError, ObjectMoved
 from ..wire.refs import ObjectRef
 from .breaker import ensure_breakers
 from .deadline import Deadline
-from .retry import RetryPolicy
+from .latency import ensure_latency
+from .retry import HedgePolicy, RetryPolicy
 
 
 @register_policy
@@ -58,19 +74,26 @@ class ResilientProxy(Proxy):
         super().__init__(context, ref, interface, config)
         self._replicas: list | None = None
         self._retry: RetryPolicy | None = None
+        self._hedge: HedgePolicy | None = None
         self._stale: dict = {}
         #: Last-resort hook: ``fallback(verb, args, kwargs) -> value``,
         #: consulted after every candidate and the stale cache failed.
         self.proxy_fallback: Callable | None = None
         self.proxy_stats.update(reads=0, writes=0, fast_fails=0,
-                                failovers=0, stale_serves=0, fallbacks=0)
+                                failovers=0, stale_serves=0, fallbacks=0,
+                                hedges=0, hedge_wins=0)
 
     # -- lifecycle ----------------------------------------------------------
 
     def proxy_install(self) -> None:
         self._retry = RetryPolicy.from_config(self.proxy_config.get("retry"))
+        self._hedge = HedgePolicy.from_config(self.proxy_config.get("hedge"))
         ensure_breakers(self.proxy_context.system,
                         **self.proxy_config.get("breaker", {}))
+        if self._retry.adaptive or self._hedge is not None:
+            # Both knobs need per-link RTT state; installing the tracker
+            # here means every call this system makes from now on feeds it.
+            ensure_latency(self.proxy_context.system)
 
     # -- knobs --------------------------------------------------------------
 
@@ -89,10 +112,22 @@ class ResilientProxy(Proxy):
         return registry
 
     def _deadline(self) -> Deadline | None:
+        ctx = self.proxy_context
         budget = self.proxy_config.get("call_budget")
+        if budget is not None:
+            return Deadline.after(ctx.clock.now, float(budget))
+        # No explicit budget: derive one from the link's observed RTT once
+        # a tracker is installed and the link is warm — the worst-case wall
+        # time of the whole retry schedule paced by the Jacobson RTO.
+        tracker = ctx.system.latency
+        if tracker is None or not self.proxy_config.get("adaptive_budget",
+                                                        True):
+            return None
+        budget = tracker.budget(ctx.context_id, self.proxy_ref.context_id,
+                                self.proxy_retry)
         if budget is None:
             return None
-        return Deadline.after(self.proxy_context.clock.now, float(budget))
+        return Deadline.after(ctx.clock.now, budget)
 
     def _resolve_replicas(self) -> list:
         """Sub-proxies for the read-failover candidates, fetched lazily."""
@@ -127,6 +162,14 @@ class ResilientProxy(Proxy):
         registry = self._breakers()
         ctx = self.proxy_context
         knobs = self.proxy_config.get("breaker", {})
+        if readonly and self._hedge is not None:
+            hedged = self._try_hedged(verb, args, kwargs, deadline,
+                                      candidates[1:], registry, knobs)
+            if hedged is not None:
+                self._remember(verb, args, kwargs, hedged[0])
+                return hedged[0]
+            # Not applicable or both legs lost: the serial walk below is
+            # the slow path (and redoes the primary with the full budget).
         last_error: DistributionError | None = None
         admitted = 0
         for index, candidate in enumerate(candidates):
@@ -181,6 +224,117 @@ class ResilientProxy(Proxy):
         self.proxy_context.charge(self.proxy_context.system.costs.local_call)
         return getattr(candidate, verb)(*args, **kwargs)
 
+    # -- hedged reads --------------------------------------------------------
+
+    def _try_hedged(self, verb: str, args: tuple, kwargs: dict,
+                    deadline: Deadline | None, replicas: list,
+                    registry, knobs: dict):
+        """Race the primary against one delayed backup replica.
+
+        Each leg is a **single attempt**: hedging spreads redundancy across
+        replicas instead of across time, so a lost request is covered by the
+        other leg rather than by its own retransmissions (gRPC draws the
+        same line — a call hedges or retries, never both).  The discipline
+        also keeps the promise model honest: a multi-attempt leg abandoned
+        by the race would still have walked the simulated server's queue
+        through its whole retry schedule, and the queueing delay it left
+        behind would poison every later RTT sample on the link.
+
+        Returns ``(value,)`` when either leg won.  Returns ``None`` when
+        hedging is not applicable right now — no breaker-admitted remote
+        replica, primary breaker open, no deadline room for the backup —
+        *or* when both single-shot legs lost; either way the caller falls
+        through to the serial failover walk, which retries with the full
+        budget on a consistent timeline.
+        """
+        from ..rpc.promises import call_async
+        ctx = self.proxy_context
+        now = ctx.clock.now
+        backup = self._hedge_candidate(replicas, registry, knobs, now)
+        if backup is None:
+            return None
+        primary_breaker = registry.configure(ctx.context_id,
+                                             self.proxy_ref.context_id,
+                                             **knobs)
+        if not primary_breaker.would_allow(now):
+            return None
+        delay = self._hedge_delay()
+        fire_at = now + delay
+        if deadline is not None and deadline.expired(fire_at):
+            return None
+        leg_retry = RetryPolicy(attempts=1,
+                                adaptive=self.proxy_retry.adaptive)
+        primary_breaker.allow(now)
+        primary = call_async(self, verb, *args, retry=leg_retry,
+                             deadline=deadline, **kwargs)
+        if primary.succeeded and primary.ready_at <= fire_at:
+            return (primary.wait(),)    # answered inside the hedge window
+        # The primary is late (or already known lost): launch the backup.
+        # Both legs' outcomes reach the breaker registry through the
+        # protocol's feed, so a hedged loss still counts against its link.
+        self.proxy_stats["hedges"] += 1
+        registry.configure(ctx.context_id, backup.proxy_ref.context_id,
+                           **knobs).allow(fire_at)
+        ctx.clock.advance_to(fire_at)
+        contender = call_async(backup, verb, *args, retry=leg_retry,
+                               deadline=deadline, **kwargs)
+        moved = primary.error
+        if isinstance(moved, ObjectMoved) and moved.forward is not None:
+            # Keep migration transparency: the next call dials the new home
+            # instead of paying a doomed primary leg every time.
+            self.proxy_rebind(moved.forward)
+        racers = [p for p in (primary, contender) if p.succeeded]
+        if not racers:
+            primary.discard()
+            contender.discard()
+            return None
+        winner = min(racers, key=lambda promise: promise.ready_at)
+        if winner is contender:
+            self.proxy_stats["hedge_wins"] += 1
+        for promise in (primary, contender):
+            if promise is not winner:
+                promise.discard()
+        return (winner.wait(),)
+
+    def _hedge_candidate(self, replicas: list, registry, knobs: dict,
+                         now: float):
+        """The nearest breaker-admitted remote replica, or ``None``.
+
+        Survey uses :meth:`CircuitBreaker.would_allow` so ranking consumes
+        no half-open probes; the chosen backup's probe is consumed by the
+        caller when it actually dials.
+        """
+        ctx = self.proxy_context
+        network = ctx.system.network
+        best = None
+        best_distance = None
+        for candidate in replicas:
+            if not isinstance(candidate, Proxy):
+                continue    # a co-located raw replica has no async binding
+            target_id = candidate.proxy_ref.context_id
+            if target_id == self.proxy_ref.context_id:
+                continue    # a backup to the same context hedges nothing
+            breaker = registry.configure(ctx.context_id, target_id, **knobs)
+            if not breaker.would_allow(now):
+                continue
+            distance = network.transit_time(
+                ctx.node.name, candidate.proxy_ref.node_name, 0)
+            if best_distance is None or distance < best_distance:
+                best, best_distance = candidate, distance
+        return best
+
+    def _hedge_delay(self) -> float:
+        """The backup-launch delay: explicit, else per-link p95-ish."""
+        ctx = self.proxy_context
+        if self._hedge.delay is not None:
+            return self._hedge.delay
+        fallback = ctx.system.costs.rpc_timeout / 2.0
+        tracker = ctx.system.latency
+        if tracker is None:
+            return fallback
+        return tracker.hedge_delay(ctx.context_id, self.proxy_ref.context_id,
+                                   fallback)
+
     def _degrade(self, verb: str, args: tuple, kwargs: dict, readonly: bool,
                  last_error: DistributionError | None, admitted: int) -> Any:
         """Every candidate failed or was refused: serve stale, fall back,
@@ -219,7 +373,8 @@ def resilient_group(contexts: list, factory: Callable[[], object],
                     interface=None, retry: dict | None = None,
                     call_budget: float | None = None,
                     breaker: dict | None = None,
-                    stale_reads: bool = True) -> ObjectRef:
+                    stale_reads: bool = True,
+                    hedge: bool | dict | None = None) -> ObjectRef:
     """Deploy a primary plus read replicas under the ``resilient`` policy.
 
     One instance from ``factory`` runs in each of ``contexts``; the first is
@@ -249,6 +404,8 @@ def resilient_group(contexts: list, factory: Callable[[], object],
         config["call_budget"] = call_budget
     if breaker is not None:
         config["breaker"] = breaker
+    if hedge is not None:
+        config["hedge"] = hedge
     coordinator = make_delegate(primary, interface)
     return get_space(contexts[0]).export(coordinator, interface=interface,
                                          policy="resilient", config=config)

@@ -39,12 +39,18 @@ class RetryPolicy:
             scaled by a factor drawn uniformly from ``[1 - jitter,
             1 + jitter]``.  0 disables the draw entirely.
         max_interval: cap on any single interval (seconds; ``None`` = no cap).
+        adaptive: derive the base patience from the link's observed RTT
+            (Jacobson RTO via ``system.latency``) instead of the global
+            ``costs.rpc_timeout``; a no-op until a
+            :class:`~repro.resilience.latency.LatencyTracker` is installed
+            and the link is warm.
     """
 
     attempts: int | None = None
     multiplier: float = 1.0
     jitter: float = 0.0
     max_interval: float | None = None
+    adaptive: bool = False
 
     def __post_init__(self):
         if self.attempts is not None and self.attempts < 1:
@@ -91,10 +97,11 @@ class RetryPolicy:
     @classmethod
     def exponential(cls, attempts: int = 4, multiplier: float = 2.0,
                     jitter: float = 0.1,
-                    max_interval: float | None = None) -> "RetryPolicy":
+                    max_interval: float | None = None,
+                    adaptive: bool = False) -> "RetryPolicy":
         """Exponential backoff with proportional jitter."""
         return cls(attempts=attempts, multiplier=multiplier, jitter=jitter,
-                   max_interval=max_interval)
+                   max_interval=max_interval, adaptive=adaptive)
 
     @classmethod
     def from_config(cls, config: dict | None,
@@ -110,8 +117,50 @@ class RetryPolicy:
         return cls(attempts=config.get("attempts", 4),
                    multiplier=config.get("multiplier", 2.0),
                    jitter=config.get("jitter", 0.1),
-                   max_interval=config.get("max_interval"))
+                   max_interval=config.get("max_interval"),
+                   adaptive=config.get("adaptive", False))
 
 
 #: The protocol-wide default: the classic fixed-interval discipline.
 DEFAULT_RETRY = RetryPolicy.fixed()
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """A hedged-request schedule: when to launch the backup.
+
+    A hedged read issues the primary request, waits ``delay`` (or the
+    per-link p95-ish delay from ``system.latency`` when ``delay`` is
+    ``None``), and — if no answer has arrived — launches one backup request
+    to the nearest breaker-admitted replica, taking whichever answer lands
+    first.  Only read-only operations hedge: the backup goes to a
+    *different* object (a replica), so the replay cache's at-most-once
+    guarantee covers retransmissions of each leg but not cross-replica
+    writes.
+
+    Attributes:
+        delay: explicit backup delay in virtual seconds; ``None`` derives
+            a p95-ish delay from the link's observed RTT (falling back to
+            half the global ``rpc_timeout`` while the link is cold).
+    """
+
+    delay: float | None = None
+
+    def __post_init__(self):
+        if self.delay is not None and self.delay < 0.0:
+            raise ValueError(f"hedge delay must be >= 0, got {self.delay!r}")
+
+    @classmethod
+    def from_config(cls, config) -> "HedgePolicy | None":
+        """Build a hedge policy from a marshallable config value.
+
+        ``None``/``False`` disables hedging; ``True`` enables it with the
+        adaptive per-link delay; a dict overrides field by field.
+        """
+        if config is None or config is False:
+            return None
+        if config is True:
+            return cls()
+        if isinstance(config, HedgePolicy):
+            return config
+        return cls(delay=config.get("delay"))

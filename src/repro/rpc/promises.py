@@ -15,6 +15,13 @@ it at its true arrival time, queueing behind earlier work), but the
 time overlaps outstanding calls exactly as a real asynchronous runtime
 would.  ``wait`` advances the client to the reply's arrival (no-op if it
 already passed).  Server-side effect ordering follows issue order.
+
+Promises are also the concurrency primitive under hedged requests
+(:mod:`repro.resilience.policy`): the hedging proxy issues the primary and
+a delayed backup as promises, waits the winner, and :meth:`Promise.discard`
+s the loser — a discarded result is recorded in the trace (kind
+``"promise"``, label ``"dropped-unwaited"``) so dropped work stays visible
+to debugging.
 """
 
 from __future__ import annotations
@@ -44,6 +51,17 @@ class Promise:
         """Virtual time at which the result is available."""
         return self._ready_at
 
+    @property
+    def succeeded(self) -> bool:
+        """Whether the call completed without an error (pre-synchronisation
+        peek — consumers still :meth:`wait` or :meth:`discard`)."""
+        return self._error is None
+
+    @property
+    def error(self) -> ReproError | None:
+        """The call's error, if any, without raising it."""
+        return self._error
+
     def is_ready(self) -> bool:
         """Whether the result has arrived by the caller's current time."""
         return self._context.clock.now >= self._ready_at
@@ -57,18 +75,41 @@ class Promise:
             raise self._error
         return self._value
 
+    def discard(self) -> bool:
+        """Abandon the result without synchronising on it.
+
+        Used for hedged losers: the race is settled, the slower answer is
+        garbage.  Returns ``True`` when an unconsumed result was actually
+        dropped (and records a ``"promise"``/``"dropped-unwaited"`` trace
+        event so silently discarded work is debuggable); ``False`` when the
+        promise had already been waited on or discarded.
+        """
+        if self._waited:
+            return False
+        self._waited = True
+        self._context.system.trace.emit(
+            self._context.clock.now, "promise", self._context.context_id,
+            "", "dropped-unwaited")
+        return True
+
     def __repr__(self) -> str:
         state = "ready" if self.is_ready() else f"at {self._ready_at:.6f}"
         return f"Promise({state})"
 
 
-def call_async(target: Proxy, verb: str, *args, **kwargs) -> Promise:
+def call_async(target: Proxy, verb: str, *args, retry=None, deadline=None,
+               **kwargs) -> Promise:
     """Issue an invocation without waiting for the reply.
 
     ``target`` must be a proxy (or stub-compatible object exposing
     ``proxy_context``/``proxy_ref``).  The request is sent through the raw
     binding — policy intelligence (caches, batches) is deliberately not
     consulted: a promise is a handle on one real round trip.
+
+    ``retry`` and ``deadline`` (:mod:`repro.resilience`) pass straight
+    through to :meth:`~repro.rpc.protocol.RpcProtocol.call`; remote
+    operations taking keyword arguments of those names must be invoked
+    synchronously instead.
     """
     context = target.proxy_context
     ref = target.proxy_ref
@@ -77,7 +118,8 @@ def call_async(target: Proxy, verb: str, *args, **kwargs) -> Promise:
     error: ReproError | None = None
     value: Any = None
     try:
-        value = protocol.call(context, ref, verb, args, kwargs)
+        value = protocol.call(context, ref, verb, args, kwargs,
+                              retry=retry, deadline=deadline)
     except ReproError as exc:
         error = exc
     ready_at = context.clock.now

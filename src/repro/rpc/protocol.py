@@ -122,6 +122,12 @@ class RpcProtocol:
         # same reason).
         patience = costs.rpc_timeout + 2 * self.system.network.transit_time(
             src.node.name, ref.node_name, len(data))
+        tracker = self.system.latency
+        if tracker is not None and getattr(policy, "adaptive", False):
+            # Per-link patience: the Jacobson RTO from observed RTTs, with
+            # the global constant as the cold-link fallback.
+            patience = tracker.patience(src.context_id, ref.context_id,
+                                        patience)
         for attempt in range(attempts):
             if attempt > 0:
                 self.stats["retries"] += 1
@@ -138,6 +144,11 @@ class RpcProtocol:
                 wait_until = deadline.clamp(wait_until)
             reply = self._attempt(src, frame, data, sent_at, wait_until)
             if reply is not None:
+                if tracker is not None:
+                    # Karn's rule analogue: only successful attempts are
+                    # sampled, each against its own send time.
+                    tracker.observe(src.context_id, ref.context_id,
+                                    src.clock.now - sent_at)
                 self._feed_breaker(src, ref, success=True)
                 return self._accept(src, ref, reply)
             src.clock.advance_to(wait_until)

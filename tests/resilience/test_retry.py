@@ -92,3 +92,11 @@ class TestFromConfig:
         assert (policy.attempts, policy.multiplier) == (6, 3.0)
         assert policy.jitter == 0.0
         assert policy.max_interval == 0.5
+
+    def test_adaptive_defaults_off(self):
+        assert RetryPolicy.from_config(None).adaptive is False
+        assert RetryPolicy.exponential().adaptive is False
+
+    def test_adaptive_from_config_and_constructor(self):
+        assert RetryPolicy.from_config({"adaptive": True}).adaptive is True
+        assert RetryPolicy.exponential(adaptive=True).adaptive is True

@@ -4,6 +4,7 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
+from repro.failures.injectors import message_loss
 from repro.kernel.errors import RpcTimeout
 from repro.rpc.promises import call_async, gather, pipeline_calls
 
@@ -76,6 +77,78 @@ class TestPromise:
         system, server, client, store, proxy = kv
         promise = call_async(proxy, "get", "a")
         assert promise.ready_at > client.now
+
+
+class TestFailurePaths:
+    def test_succeeded_and_error_peek_without_raising(self, kv):
+        system, server, client, store, proxy = kv
+        good = call_async(proxy, "get", "a")
+        assert good.succeeded and good.error is None
+        server.node.crash()
+        bad = call_async(proxy, "get", "a")
+        assert not bad.succeeded
+        assert isinstance(bad.error, RpcTimeout)
+
+    def test_waiting_an_error_promise_twice_raises_twice(self, kv):
+        system, server, client, store, proxy = kv
+        server.node.crash()
+        promise = call_async(proxy, "get", "a")
+        with pytest.raises(RpcTimeout):
+            promise.wait()
+        with pytest.raises(RpcTimeout):
+            promise.wait()
+
+    def test_is_ready_flips_as_the_clock_passes_ready_at(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert not promise.is_ready()
+        client.clock.advance_to(promise.ready_at)
+        assert promise.is_ready()
+        assert promise.wait() == "A"
+
+    def test_promise_survives_message_loss_via_retransmission(self, kv):
+        system, server, client, store, proxy = kv
+        with message_loss(system, 0.3):
+            promises = [call_async(proxy, "get", "a") for _ in range(10)]
+            assert gather(promises) == ["A"] * 10
+
+    def test_retry_and_deadline_pass_through(self, kv):
+        system, server, client, store, proxy = kv
+        from repro.resilience.retry import RetryPolicy
+        server.node.crash()
+        before = client.now
+        promise = call_async(proxy, "get", "a",
+                             retry=RetryPolicy(attempts=1))
+        with pytest.raises(RpcTimeout):
+            promise.wait()
+        # One attempt's patience, not the protocol's full default budget.
+        assert client.now - before < 2 * system.costs.rpc_timeout
+
+
+class TestDiscard:
+    def test_discard_drops_an_unwaited_result(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.discard() is True
+        events = system.trace.select(
+            kind="promise",
+            predicate=lambda ev: ev.label == "dropped-unwaited")
+        assert len(events) == 1
+
+    def test_discard_after_wait_is_a_noop(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        promise.wait()
+        assert promise.discard() is False
+        assert not system.trace.select(
+            kind="promise",
+            predicate=lambda ev: ev.label == "dropped-unwaited")
+
+    def test_double_discard_drops_once(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.discard() is True
+        assert promise.discard() is False
 
 
 class TestPipelineCalls:

@@ -37,3 +37,17 @@ class TestCli:
         first = capsys.readouterr().out
         main(["run", "e6"])
         assert capsys.readouterr().out == first
+
+    def test_run_json_emits_sorted_machine_readable_rows(self, capsys):
+        import json
+        assert main(["run", "e6", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        assert all(isinstance(row, dict) for row in rows)
+
+    def test_run_json_is_deterministic_under_one_seed(self, capsys):
+        main(["run", "e6", "--seed", "5", "--json"])
+        first = capsys.readouterr().out
+        main(["run", "e6", "--seed", "5", "--json"])
+        assert capsys.readouterr().out == first, \
+            "the determinism CI gate diffs exactly this output"
