@@ -81,6 +81,77 @@ def cmd_all(args) -> int:
     return 0
 
 
+def cmd_simtest(args) -> int:
+    """Deterministic sim-chaos with a linearizability verdict.
+
+    Three modes: ``--replay FILE`` re-runs a recorded case verbatim,
+    ``--seeds N`` sweeps a seed battery across policies, and the default
+    runs one ``--seed``.  Exit status 1 on any violation (or an unmet
+    replay expectation), so CI can gate on it directly.
+    """
+    from .simtest import build_case, run_battery, run_case
+    from .simtest.runner import replay, report_json
+    from .simtest.workload import FAULT_MENUS, SHIPPED_POLICIES
+
+    minimize = not args.no_minimize
+    if args.replay is not None:
+        with open(args.replay, encoding="utf-8") as handle:
+            data = json.load(handle)
+        report = replay(data, minimize=minimize)
+        expect = data.get("expect")
+        if args.json:
+            print(report_json(report))
+        else:
+            print(f"replay {args.replay}: verdict={report.verdict}"
+                  + (f" expect={expect}" if expect else ""))
+        if expect is not None:
+            return 0 if report.verdict == expect else 1
+        return 0 if report.verdict == "ok" else 1
+
+    policies = (list(SHIPPED_POLICIES) if args.policy == "all"
+                else [args.policy])
+    unknown = [p for p in policies if p not in FAULT_MENUS]
+    if unknown:
+        print(f"unknown policy {unknown[0]!r}; known: "
+              f"{sorted(FAULT_MENUS)}", file=sys.stderr)
+        return 2
+
+    if args.seeds is not None:
+        summary = run_battery(range(args.seeds), policies=policies,
+                              service=args.service, ops=args.ops,
+                              clients=args.clients, minimize=minimize)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            for policy, counts in sorted(summary["per_policy"].items()):
+                print(f"{policy:>12}: {counts['ok']}/{counts['cases']} ok")
+            if summary["violations"]:
+                print(f"{len(summary['violations'])} violation(s):")
+                for entry in summary["violations"]:
+                    print(f"  {json.dumps(entry['case'], sort_keys=True)}")
+        return 1 if summary["violations"] or summary["unknown"] else 0
+
+    failed = 0
+    for policy in policies:
+        case = build_case(args.seed, policy, service=args.service,
+                          ops=args.ops, clients=args.clients)
+        report = run_case(case, minimize=minimize)
+        if args.json:
+            print(report_json(report))
+        else:
+            line = (f"seed={case.seed} policy={case.policy} "
+                    f"service={case.service} ops={case.ops} "
+                    f"faults={len(case.faults)}: {report.verdict}")
+            if report.minimized is not None:
+                line += (f" (minimized to {report.minimized.ops} ops / "
+                         f"{len(report.minimized.faults)} faults, "
+                         f"confirmed={report.confirmed})")
+            print(line)
+        if report.verdict != "ok":
+            failed += 1
+    return 1 if failed else 0
+
+
 def cmd_demo(_args) -> int:
     """A self-contained tour of the library."""
     import repro
@@ -132,6 +203,25 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.set_defaults(func=cmd_run)
     commands.add_parser("all", help="run every experiment").set_defaults(
         func=cmd_all)
+    sim_parser = commands.add_parser(
+        "simtest", help="deterministic sim-chaos + linearizability check")
+    sim_parser.add_argument("--seed", type=int, default=0,
+                            help="single-case seed (default 0)")
+    sim_parser.add_argument("--seeds", type=int, default=None,
+                            help="battery mode: sweep seeds 0..N-1")
+    sim_parser.add_argument("--ops", type=int, default=30)
+    sim_parser.add_argument("--clients", type=int, default=3)
+    sim_parser.add_argument("--policy", default="all",
+                            help='policy name or "all" (the shipped five)')
+    sim_parser.add_argument("--service", default=None,
+                            help="kv|counter|lock|queue (default: by seed)")
+    sim_parser.add_argument("--json", action="store_true",
+                            help="emit the full report as sorted JSON")
+    sim_parser.add_argument("--replay", default=None, metavar="FILE",
+                            help="re-run a recorded case JSON verbatim")
+    sim_parser.add_argument("--no-minimize", action="store_true",
+                            help="skip shrinking violating cases")
+    sim_parser.set_defaults(func=cmd_simtest)
     commands.add_parser("demo", help="30-second tour").set_defaults(
         func=cmd_demo)
 

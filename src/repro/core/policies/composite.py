@@ -41,7 +41,9 @@ def _layer_config(config: dict, name: str) -> dict:
     # Layer-relevant shared keys (shipped by on_export hooks) pass through.
     for key in ("control", "batch_control", "replicas", "collector",
                 "read_policy", "write_quorum", "ttl", "invalidation",
-                "migrate_after", "batch_size", "batch_ops", "report_every"):
+                "migrate_after", "batch_size", "batch_ops", "report_every",
+                "retry", "call_budget", "breaker", "stale_reads", "hedge",
+                "adaptive_budget"):
         if key in config and key not in specific:
             specific[key] = config[key]
     return specific

@@ -184,5 +184,17 @@ def replicate(contexts: list, factory: Callable[[], object],
     # that call the group entry directly (e.g. before resolving replicas).
     coordinator = make_delegate(first_obj, interface)
     primary_space = get_space(contexts[0])
-    return primary_space.export(coordinator, interface=interface,
-                                policy=policy, config=config)
+    group_ref = primary_space.export(coordinator, interface=interface,
+                                     policy=policy, config=config)
+    # Server-side layer components (e.g. the caching layer's invalidation
+    # hook) install on the *group* entry, but writes are dispatched to the
+    # replica stub entries directly — mirror the hook list onto every
+    # replica so mutations observed at any copy fire the same machinery.
+    # The list object is shared, so later installs propagate too; hooks are
+    # idempotent per write, so the per-replica duplication is harmless.
+    group_entry = primary_space.entry(group_ref.oid)
+    if group_entry.mutation_hooks:
+        for ctx, ref in zip(contexts, replica_refs):
+            get_space(ctx).entry(ref.oid).mutation_hooks = \
+                group_entry.mutation_hooks
+    return group_ref

@@ -1,4 +1,4 @@
-"""Failure injection: message loss, degraded links, partitions, crash plans."""
+"""Failure injection: loss, degraded links, partitions, crash/chaos plans."""
 
 from .detector import (
     ALIVE,
@@ -7,9 +7,23 @@ from .detector import (
     PeerState,
     SUSPECTED,
 )
-from .injectors import CrashPlan, degraded_link, message_loss, partitioned
+from .injectors import (
+    CrashPlan,
+    begin_crash,
+    begin_latency_spike,
+    begin_message_loss,
+    begin_partition,
+    degraded_link,
+    latency_spike,
+    message_loss,
+    partitioned,
+)
+from .schedule import FAULT_KINDS, ChaosSchedule, Fault
 
 __all__ = [
-    "ALIVE", "CrashPlan", "DEFAULT_SUSPICION_THRESHOLD", "FailureDetector",
-    "PeerState", "SUSPECTED", "degraded_link", "message_loss", "partitioned",
+    "ALIVE", "ChaosSchedule", "CrashPlan", "DEFAULT_SUSPICION_THRESHOLD",
+    "FAULT_KINDS", "FailureDetector", "Fault", "PeerState", "SUSPECTED",
+    "begin_crash", "begin_latency_spike", "begin_message_loss",
+    "begin_partition", "degraded_link", "latency_spike", "message_loss",
+    "partitioned",
 ]

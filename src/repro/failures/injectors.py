@@ -1,29 +1,99 @@
-"""Failure injection: deterministic faults for the E7/E9 experiments.
+"""Failure injection: deterministic faults for experiments and sim-chaos.
 
 Everything here is seeded through the system's
 :class:`~repro.kernel.randomness.SeedSequence`, so a failure experiment is
 exactly reproducible: same seed, same drops, same crashes.
+
+Two shapes of the same primitives are exported:
+
+* **scoped** context managers (:func:`message_loss`, :func:`degraded_link`,
+  :func:`partitioned`, :func:`latency_spike`) for experiments that wrap one
+  workload phase in one fault, and
+* **paired begin/restore** functions (:func:`begin_message_loss`,
+  :func:`begin_latency_spike`, :func:`begin_partition`,
+  :func:`begin_crash`), each returning a zero-argument undo closure, for
+  schedulers that must start and stop overlapping faults out of LIFO order
+  — the :class:`~repro.failures.schedule.ChaosSchedule` of the simulation
+  harness is composed from exactly these.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..kernel.network import LinkSpec
 from ..kernel.system import System
 
 
-@contextmanager
-def message_loss(system: System, probability: float):
-    """Scoped uniform message loss on every inter-node link."""
+# -- begin/restore primitives ------------------------------------------------
+
+
+def begin_message_loss(system: System, probability: float) -> Callable[[], None]:
+    """Start uniform message loss on every link; returns the undo closure."""
     network = system.network
     previous = network._default_loss
     network.set_default_loss(probability)
+
+    def restore() -> None:
+        network.set_default_loss(previous)
+
+    return restore
+
+
+def begin_latency_spike(system: System, factor: float) -> Callable[[], None]:
+    """Scale all inter-node latency by ``factor``; returns the undo closure."""
+    network = system.network
+    previous = network.set_latency_factor(factor)
+
+    def restore() -> None:
+        network.latency_factor = previous
+
+    return restore
+
+
+def begin_partition(system: System,
+                    islands: list[set[str]]) -> Callable[[], None]:
+    """Split the network into islands; returns the undo (heal) closure."""
+    system.network.partition(islands)
+    return system.network.heal
+
+
+def begin_crash(system: System, node_name: str) -> Callable[[], None]:
+    """Crash a node (no-op if already down); returns the restart closure."""
+    node = system.node(node_name)
+    if node.alive:
+        node.crash()
+
+    def restore() -> None:
+        if not node.alive:
+            node.restart()
+
+    return restore
+
+
+# -- scoped fault injection --------------------------------------------------
+
+
+@contextmanager
+def message_loss(system: System, probability: float):
+    """Scoped uniform message loss on every inter-node link."""
+    restore = begin_message_loss(system, probability)
     try:
         yield system
     finally:
-        network.set_default_loss(previous)
+        restore()
+
+
+@contextmanager
+def latency_spike(system: System, factor: float):
+    """Scoped multiplier on every inter-node link's propagation latency."""
+    restore = begin_latency_spike(system, factor)
+    try:
+        yield system
+    finally:
+        restore()
 
 
 @contextmanager
@@ -49,11 +119,11 @@ def degraded_link(system: System, src: str, dst: str,
 @contextmanager
 def partitioned(system: System, islands: list[set[str]]):
     """Scoped network partition into the given islands."""
-    system.network.partition(islands)
+    restore = begin_partition(system, islands)
     try:
         yield system
     finally:
-        system.network.heal()
+        restore()
 
 
 @dataclass

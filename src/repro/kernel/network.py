@@ -61,6 +61,9 @@ class Network:
         self._links: dict[tuple[str, str], LinkSpec] = {}
         self._default_loss = 0.0
         self._groups: dict[str, int] = {}
+        #: Multiplier on inter-node propagation latency (latency-spike
+        #: injection; see repro.failures.injectors.latency_spike).
+        self.latency_factor = 1.0
 
     # -- topology -----------------------------------------------------------
 
@@ -90,6 +93,14 @@ class Network:
         if not 0.0 <= probability <= 1.0:
             raise ConfigurationError(f"loss probability {probability!r} not in [0,1]")
         self._default_loss = probability
+
+    def set_latency_factor(self, factor: float) -> float:
+        """Scale inter-node propagation latency; returns the previous factor."""
+        if factor <= 0.0:
+            raise ConfigurationError(f"latency factor {factor!r} must be > 0")
+        previous = self.latency_factor
+        self.latency_factor = factor
+        return previous
 
     # -- partitions ----------------------------------------------------------
 
@@ -134,7 +145,7 @@ class Network:
         if src == dst:
             return self.costs.ipc_latency + nbytes * self.costs.ipc_byte_cost
         spec = self.link_spec(src, dst)
-        return spec.latency + nbytes * spec.byte_cost
+        return spec.latency * self.latency_factor + nbytes * spec.byte_cost
 
     def transmit(self, src: str, dst: str, nbytes: int, at: float) -> Delivery:
         """Attempt delivery of one message; never raises for network faults.

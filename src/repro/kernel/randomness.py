@@ -41,5 +41,14 @@ class SeedSequence:
         """Derive a child sequence, for subsystems that mint their own streams."""
         return SeedSequence(self.derive_seed(name))
 
+    def streams_used(self) -> tuple[str, ...]:
+        """Names of every stream drawn so far, sorted (determinism audit).
+
+        Two runs of the same seeded scenario must consume the same set of
+        named streams; a new name appearing in only one run is a smoking gun
+        for order-dependent randomness.
+        """
+        return tuple(sorted(self._streams))
+
     def __repr__(self) -> str:
         return f"SeedSequence(master_seed={self.master_seed})"

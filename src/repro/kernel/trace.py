@@ -9,6 +9,7 @@ aggregates the same events into counts and byte totals.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -105,6 +106,24 @@ class Trace:
         """Drop all recorded events and marks."""
         self.events.clear()
         self._marks.clear()
+
+    # -- determinism audit --------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable digest of the entire event log.
+
+        Two runs of the same seeded scenario must produce byte-identical
+        traces; comparing fingerprints is how the simulation-test harness
+        audits determinism far more deeply than comparing final results —
+        every message, drop, crash, and invocation (with its exact virtual
+        time) feeds the digest.
+        """
+        digest = hashlib.sha256()
+        for ev in self.events:
+            digest.update(
+                f"{ev.time!r}|{ev.kind}|{ev.src}|{ev.dst}|{ev.label}|{ev.size}\n"
+                .encode())
+        return digest.hexdigest()
 
     def __len__(self) -> int:
         return len(self.events)

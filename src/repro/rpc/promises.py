@@ -29,14 +29,15 @@ from __future__ import annotations
 from typing import Any
 
 from ..kernel.context import Context
-from ..kernel.errors import ReproError
+from ..kernel.errors import ReproError, SimulationError
 from ..core.proxy import Proxy
 
 
 class Promise:
     """A value (or error) that becomes available at a known virtual time."""
 
-    __slots__ = ("_context", "_value", "_error", "_ready_at", "_waited")
+    __slots__ = ("_context", "_value", "_error", "_ready_at", "_waited",
+                 "_discarded")
 
     def __init__(self, context: Context, value: Any, error: ReproError | None,
                  ready_at: float):
@@ -45,6 +46,7 @@ class Promise:
         self._error = error
         self._ready_at = ready_at
         self._waited = False
+        self._discarded = False
 
     @property
     def ready_at(self) -> float:
@@ -66,9 +68,23 @@ class Promise:
         """Whether the result has arrived by the caller's current time."""
         return self._context.clock.now >= self._ready_at
 
+    @property
+    def discarded(self) -> bool:
+        """Whether the result was abandoned via :meth:`discard`."""
+        return self._discarded
+
     def wait(self) -> Any:
         """Block (advance virtual time) until the result arrives, then
-        return it — or raise the call's error."""
+        return it — or raise the call's error.
+
+        A discarded promise cannot be waited on: its result was abandoned
+        (and traced as dropped), so consuming it afterwards is a logic
+        error and raises :class:`~repro.kernel.errors.SimulationError`.
+        """
+        if self._discarded:
+            raise SimulationError(
+                "cannot wait on a discarded promise; its result was "
+                "abandoned")
         self._context.clock.advance_to(self._ready_at)
         self._waited = True
         if self._error is not None:
@@ -76,17 +92,19 @@ class Promise:
         return self._value
 
     def discard(self) -> bool:
-        """Abandon the result without synchronising on it.
+        """Abandon the result without synchronising on it.  Idempotent.
 
         Used for hedged losers: the race is settled, the slower answer is
         garbage.  Returns ``True`` when an unconsumed result was actually
-        dropped (and records a ``"promise"``/``"dropped-unwaited"`` trace
-        event so silently discarded work is debuggable); ``False`` when the
-        promise had already been waited on or discarded.
+        dropped (and records exactly one ``"promise"``/``"dropped-unwaited"``
+        trace event so silently discarded work is debuggable); ``False``
+        when the promise had already been waited on or discarded — a
+        repeated discard, or a discard after :meth:`wait`, is a no-op that
+        emits nothing.
         """
-        if self._waited:
+        if self._waited or self._discarded:
             return False
-        self._waited = True
+        self._discarded = True
         self._context.system.trace.emit(
             self._context.clock.now, "promise", self._context.context_id,
             "", "dropped-unwaited")

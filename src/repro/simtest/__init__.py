@@ -1,0 +1,35 @@
+"""Deterministic simulation testing: sim-chaos with a linearizability oracle.
+
+FoundationDB-style deterministic simulation meets a Jepsen-style checker:
+
+* :mod:`repro.simtest.history` — operation histories (invoke/complete
+  intervals in virtual time, ok/maybe/fail status, canonical results);
+* :mod:`repro.simtest.models` — sequential oracles for the
+  :mod:`repro.apps` services (KV, counter, lock, work queue);
+* :mod:`repro.simtest.checker` — a Wing–Gong linearizability checker with
+  per-key partitioning, memoized state search, and "maybe happened"
+  timeout semantics;
+* :mod:`repro.simtest.workload` — seeded multi-client workloads driven
+  against services deployed under every shipped proxy policy (plus the
+  deliberately broken ``dirtycache`` policy the harness must catch);
+* :mod:`repro.simtest.minimize` — greedy shrinking of a violating case
+  (drop faults, truncate ops) to a minimal replayable reproduction;
+* :mod:`repro.simtest.runner` — the case runner and battery: seed in,
+  verdict out, JSON all the way down.
+
+Everything is a pure function of the seed: same seed, byte-identical
+history JSON — which is what makes a violating seed a *regression test*
+(see ``tests/simtest/regressions/``).
+"""
+
+from .checker import CheckResult, check_history
+from .history import History, Op, canonical
+from .models import MODELS, Model
+from .minimize import minimize_case
+from .runner import SimCase, SimReport, build_case, run_battery, run_case
+
+__all__ = [
+    "CheckResult", "History", "MODELS", "Model", "Op", "SimCase",
+    "SimReport", "build_case", "canonical", "check_history",
+    "minimize_case", "run_battery", "run_case",
+]

@@ -1,0 +1,172 @@
+"""A Wing–Gong linearizability checker with "maybe happened" semantics.
+
+Given a recorded :class:`~repro.simtest.history.History` and a sequential
+:class:`~repro.simtest.models.Model`, decide whether some total order of
+the operations (a) respects real time — an operation that completed before
+another was invoked must precede it — and (b) yields each ``ok``
+operation's recorded result when replayed through the model.
+
+Algorithm (Wing & Gong 1993, with the standard refinements):
+
+* **Per-key partitioning**: operations on disjoint ``partition_key``\\ s
+  commute, so each key is checked independently.
+* **Minimal-op candidates**: at each step only operations whose invoke
+  time does not follow another pending operation's completion may be
+  linearized next.
+* **Memoization**: the search state is ``(remaining ops, model state)``;
+  a configuration seen once is never re-explored (this is what keeps the
+  search sub-exponential on realistic histories).
+* **Maybe ops**: a mutator that failed with a distribution error has an
+  open completion time (it constrains nobody) and is *optional* — the
+  search may apply it at any point after its invoke, or never.  Its
+  result is unconstrained.
+
+The search is budgeted: pathological histories return verdict
+``"unknown"`` rather than hanging CI (``capped=True`` on the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .history import History, Op, canonical
+from .models import Model
+
+#: Default cap on memoized configurations explored per partition.
+DEFAULT_MAX_NODES = 200_000
+
+
+@dataclass
+class Violation:
+    """Evidence that one partition's sub-history is not linearizable."""
+
+    partition: str
+    ops: list[dict]
+    longest_prefix: int
+
+    def to_json(self) -> dict:
+        """Marshal with stable keys."""
+        return {"partition": self.partition, "ops": self.ops,
+                "longest_prefix": self.longest_prefix}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Violation":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(partition=data["partition"], ops=list(data["ops"]),
+                   longest_prefix=int(data["longest_prefix"]))
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one full history check."""
+
+    ok: bool
+    violation: Violation | None = None
+    explored: int = 0
+    capped: bool = False
+    partitions: int = 0
+
+    @property
+    def verdict(self) -> str:
+        """``"ok"``, ``"violation"``, or ``"unknown"`` (budget exceeded)."""
+        if self.capped and self.ok:
+            return "unknown"
+        return "ok" if self.ok else "violation"
+
+
+def check_history(history: History, model: Model,
+                  max_nodes: int = DEFAULT_MAX_NODES) -> CheckResult:
+    """Check a history against a model; returns a :class:`CheckResult`."""
+    groups: dict[str, list[Op]] = {}
+    for op in history.checkable():
+        key = model.partition_key(op.verb, tuple(op.args))
+        groups.setdefault(repr(key), []).append(op)
+    total_explored = 0
+    capped = False
+    for key in sorted(groups):
+        ops = sorted(groups[key], key=lambda op: (op.invoke, op.index))
+        linearizable, explored, prefix = _search(ops, model, max_nodes)
+        total_explored += explored
+        if explored >= max_nodes:
+            capped = True
+        if not linearizable:
+            return CheckResult(
+                ok=False,
+                violation=Violation(partition=key,
+                                    ops=[op.to_json() for op in ops],
+                                    longest_prefix=prefix),
+                explored=total_explored, capped=capped,
+                partitions=len(groups))
+    return CheckResult(ok=True, explored=total_explored, capped=capped,
+                       partitions=len(groups))
+
+
+def _search(ops: list[Op], model: Model,
+            max_nodes: int) -> tuple[bool, int, int]:
+    """DFS over linearization orders of one partition's operations.
+
+    Returns ``(linearizable, configurations explored, longest prefix of
+    required ops ever applied)``.  When the budget is exhausted the history
+    is *presumed* linearizable (the caller reports ``capped``).
+    """
+    required = frozenset(i for i, op in enumerate(ops)
+                         if op.status == "ok")
+    infinity = float("inf")
+    completes = [op.complete if op.complete is not None else infinity
+                 for op in ops]
+    expected = [canonical(op.result) if op.status == "ok" else None
+                for op in ops]
+    initial = model.initial()
+    if not required and all(op.status != "ok" for op in ops):
+        # Nothing is required to have happened: trivially linearizable.
+        return True, 0, 0
+
+    seen: set[tuple[frozenset, object]] = set()
+    explored = 0
+    best_applied = 0
+    # Each stack frame: (remaining index set, state, candidate iterator).
+    remaining = frozenset(range(len(ops)))
+    stack = [(remaining, initial, iter(_candidates(ops, completes,
+                                                   remaining)))]
+    seen.add((remaining, initial))
+    while stack:
+        remaining, state, candidates = stack[-1]
+        if not (remaining & required):
+            return True, explored, best_applied
+        advanced = False
+        for index in candidates:
+            op = ops[index]
+            try:
+                result, new_state = model.step(state, op.verb,
+                                               tuple(op.args))
+            except Exception:
+                continue    # the model rejects this order outright
+            if op.status == "ok" and canonical(result) != expected[index]:
+                continue
+            new_remaining = remaining - {index}
+            key = (new_remaining, new_state)
+            if key in seen:
+                continue
+            seen.add(key)
+            explored += 1
+            applied = len(required) - len(new_remaining & required)
+            best_applied = max(best_applied, applied)
+            if explored >= max_nodes:
+                return True, explored, best_applied    # presumed; capped
+            stack.append((new_remaining, new_state,
+                          iter(_candidates(ops, completes, new_remaining))))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+    return False, explored, best_applied
+
+
+def _candidates(ops: list[Op], completes: list[float],
+                remaining: frozenset) -> list[int]:
+    """Indices that may linearize next: nothing pending completed before
+    their invoke."""
+    if not remaining:
+        return []
+    horizon = min(completes[i] for i in remaining)
+    return sorted(i for i in remaining if ops[i].invoke <= horizon)

@@ -1,0 +1,134 @@
+"""Operation histories: what each client saw, on the virtual timeline.
+
+A :class:`History` is the harness's ground truth — one :class:`Op` per
+client invocation, carrying the invoke/complete virtual-time interval and
+the observed outcome.  Three statuses partition the outcomes:
+
+``ok``
+    The call returned (an application-level exception such as the lock
+    service's ``PermissionError`` still counts: the server *executed* the
+    operation; the result is recorded as an ``"!ExceptionName"`` marker).
+``maybe``
+    A mutating call failed with a distribution error after at least one
+    transmission attempt — the request or its reply may have been lost, so
+    the operation *may or may not* have taken effect.  The checker treats
+    these as optional, with an open-ended completion time.
+``fail``
+    The call definitely did not execute: a breaker fast-fail
+    (:class:`~repro.kernel.errors.CircuitOpen`), or a failed *read-only*
+    call (which cannot affect state either way).  Excluded from checking.
+
+Histories marshal to JSON losslessly (:meth:`History.to_json` /
+:meth:`History.from_json`) with canonicalised values, so a history file is
+diffable byte-for-byte between runs of the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Op statuses, in the order defined above.
+STATUSES = ("ok", "maybe", "fail")
+
+
+def canonical(value: Any) -> Any:
+    """Normalise a value into JSON-shaped Python (the comparison domain).
+
+    Tuples become lists, dict keys become strings (sorted), sets become
+    sorted lists — so a model's native result and the service's
+    over-the-wire result compare equal whenever they denote the same value.
+    """
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical(item) for item in value), key=repr)
+    return value
+
+
+@dataclass
+class Op:
+    """One client invocation on the virtual timeline.
+
+    Attributes:
+        index: global issue order (ties in invoke time break on this).
+        client: issuing client's name.
+        verb: operation name.
+        args: positional arguments, canonicalised.
+        invoke: virtual time the call was issued.
+        complete: virtual time the call returned; ``None`` for ``maybe``
+            ops, whose effect could land any time after ``invoke``.
+        status: ``"ok"`` | ``"maybe"`` | ``"fail"``.
+        result: canonical return value (``ok`` only; application
+            exceptions appear as ``"!ExceptionName"`` markers).
+        error: error type name (``maybe``/``fail`` only).
+    """
+
+    index: int
+    client: str
+    verb: str
+    args: list
+    invoke: float
+    complete: float | None
+    status: str
+    result: Any = None
+    error: str = ""
+
+    def to_json(self) -> dict:
+        """Marshal to a plain dict with stable keys."""
+        out: dict = {"index": self.index, "client": self.client,
+                     "verb": self.verb, "args": canonical(self.args),
+                     "invoke": self.invoke, "complete": self.complete,
+                     "status": self.status}
+        if self.status == "ok":
+            out["result"] = canonical(self.result)
+        if self.error:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Op":
+        """Rebuild an op from :meth:`to_json` output."""
+        return cls(index=int(data["index"]), client=data["client"],
+                   verb=data["verb"], args=list(data["args"]),
+                   invoke=float(data["invoke"]),
+                   complete=(None if data.get("complete") is None
+                             else float(data["complete"])),
+                   status=data["status"], result=data.get("result"),
+                   error=data.get("error", ""))
+
+
+@dataclass
+class History:
+    """The full recorded history of one simulation run."""
+
+    ops: list[Op] = field(default_factory=list)
+
+    def record(self, **kwargs) -> Op:
+        """Append one op (keyword form of the :class:`Op` fields)."""
+        op = Op(index=len(self.ops), **kwargs)
+        self.ops.append(op)
+        return op
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def checkable(self) -> list[Op]:
+        """The ops the checker consumes: definite-fails dropped, and failed
+        reads (which cannot move state) dropped with them."""
+        return [op for op in self.ops if op.status != "fail"]
+
+    def to_json(self) -> list[dict]:
+        """Marshal every op, in issue order."""
+        return [op.to_json() for op in self.ops]
+
+    @classmethod
+    def from_json(cls, data: list[dict]) -> "History":
+        """Rebuild a history from :meth:`to_json` output."""
+        return cls(ops=[Op.from_json(item) for item in data])

@@ -1,0 +1,71 @@
+"""Greedy shrinking of a violating simulation case.
+
+Once a seed produces a linearizability violation, the raw case is noisy:
+faults that played no part, operations issued after the damage was done.
+:func:`minimize_case` shrinks it on two axes, both preserving the prefix
+property of the deterministic driver (removing a fault or truncating the
+op count never changes what the surviving prefix of operations does):
+
+1. **fault removal** — drop one fault at a time, keep the drop whenever
+   the violation survives, iterate to a fixpoint;
+2. **op truncation** — repeatedly halve the operation count while the
+   violation survives, then walk back up in quarter-steps to the shortest
+   still-violating count the budget allows.
+
+The procedure is deterministic (fixed iteration order, no randomness) and
+budgeted: at most ``max_runs`` re-executions, so minimization cost is
+bounded even for stubborn cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def minimize_case(case, violates: Callable[[object], bool],
+                  max_runs: int = 64):
+    """Shrink ``case`` while ``violates(candidate)`` stays true.
+
+    ``violates`` re-runs a candidate case end-to-end and reports whether
+    the linearizability violation is still present.  Returns the smallest
+    still-violating case found (possibly ``case`` itself).
+    """
+    runs = 0
+
+    def attempt(candidate) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return violates(candidate)
+
+    # Phase 1: drop faults, one at a time, to a fixpoint.
+    faults = list(case.faults)
+    changed = True
+    while changed and faults:
+        changed = False
+        for index in range(len(faults)):
+            candidate_faults = faults[:index] + faults[index + 1:]
+            candidate = case.with_faults(tuple(candidate_faults))
+            if attempt(candidate):
+                faults = candidate_faults
+                case = candidate
+                changed = True
+                break
+
+    # Phase 2: halve the op count while the violation survives.
+    ops = case.ops
+    while ops > 4:
+        candidate = case.with_ops(ops // 2)
+        if not attempt(candidate):
+            break
+        ops //= 2
+        case = candidate
+
+    # Phase 3: one quarter-step refinement between the last two halvings.
+    if ops > 6:
+        candidate = case.with_ops((ops * 3) // 4)
+        if attempt(candidate):
+            case = candidate
+
+    return case

@@ -1,0 +1,183 @@
+"""Sequential oracles for the :mod:`repro.apps` services.
+
+A :class:`Model` is the specification the linearizability checker searches
+against: pure functions over hashable state.  ``step`` mirrors the service
+method's semantics exactly — including application-level exceptions, which
+are modelled as ``"!ExceptionName"`` result markers (the convention of
+:mod:`repro.simtest.history`) with whatever state change the real service
+makes before raising (none, for the services here).
+
+``partition_key`` enables the checker's big win: operations touching
+disjoint keys commute, so a history over K keys decomposes into K
+independent, exponentially smaller sub-histories.  Models whose operations
+all share state (counter, queue) return ``None`` — one partition.
+
+State must be **hashable** (tuples, not lists): the checker memoizes on
+``(remaining ops, state)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+#: State marker for an absent KV key (distinct from a stored ``None``).
+_ABSENT = ("__absent__",)
+
+
+class Model:
+    """A sequential specification: initial state plus a step function."""
+
+    #: Registry name, matching the workload's service names.
+    name = ""
+
+    def initial(self) -> Hashable:
+        """The state every partition starts from."""
+        raise NotImplementedError
+
+    def partition_key(self, verb: str, args: tuple) -> Hashable | None:
+        """The key an operation touches (``None`` = touches everything)."""
+        return None
+
+    def step(self, state: Hashable, verb: str,
+             args: tuple) -> tuple[Any, Hashable]:
+        """Apply one operation: returns ``(result, new_state)``."""
+        raise NotImplementedError
+
+
+class KVModel(Model):
+    """Oracle for :class:`repro.apps.kv.KVStore` (per-key partitioned)."""
+
+    name = "kv"
+
+    def initial(self) -> Hashable:
+        return _ABSENT
+
+    def partition_key(self, verb: str, args: tuple) -> Hashable | None:
+        return args[0]
+
+    def step(self, state, verb, args):
+        if verb == "get":
+            return (None if state is _ABSENT or state == list(_ABSENT)
+                    else state), state
+        if verb == "contains":
+            return state is not _ABSENT and state != list(_ABSENT), state
+        if verb == "put":
+            value = args[1]
+            if isinstance(value, list):
+                value = tuple(value)    # state must stay hashable
+            return True, value
+        if verb == "delete":
+            existed = state is not _ABSENT and state != list(_ABSENT)
+            return existed, _ABSENT
+        raise ValueError(f"KVModel cannot step {verb!r}")
+
+
+class CounterModel(Model):
+    """Oracle for :class:`repro.apps.counter.Counter` (single partition)."""
+
+    name = "counter"
+
+    def initial(self) -> Hashable:
+        return 0
+
+    def step(self, state, verb, args):
+        if verb == "incr":
+            value = state + (args[0] if args else 1)
+            return value, value
+        if verb == "decr":
+            value = state - (args[0] if args else 1)
+            return value, value
+        if verb == "read":
+            return state, state
+        if verb == "reset":
+            return state, 0
+        raise ValueError(f"CounterModel cannot step {verb!r}")
+
+
+class LockModel(Model):
+    """Oracle for :class:`repro.apps.locks.LockService` (per-lock-name).
+
+    State: ``(holder, waiters)`` — ``""`` means free, ``waiters`` is the
+    FIFO queue as a tuple.  ``release`` by a non-holder is the modelled
+    application exception (``"!PermissionError"``).
+    """
+
+    name = "lock"
+
+    def initial(self) -> Hashable:
+        return ("", ())
+
+    def partition_key(self, verb: str, args: tuple) -> Hashable | None:
+        return args[0]
+
+    def step(self, state, verb, args):
+        holder, waiters = state
+        if verb == "try_acquire":
+            owner = args[1]
+            if holder == "":
+                return True, (owner, waiters)
+            return holder == owner, state
+        if verb == "enqueue":
+            owner = args[1]
+            if owner not in waiters:
+                waiters = waiters + (owner,)
+            return waiters.index(owner), (holder, waiters)
+        if verb == "release":
+            owner = args[1]
+            if holder != owner:
+                return "!PermissionError", state
+            if waiters:
+                return waiters[0], (waiters[0], waiters[1:])
+            return "", ("", waiters)
+        if verb == "holder":
+            return holder, state
+        if verb == "queue_length":
+            return len(waiters), state
+        raise ValueError(f"LockModel cannot step {verb!r}")
+
+
+class QueueModel(Model):
+    """Oracle for :class:`repro.apps.queue.WorkQueue` (single partition).
+
+    State: ``(pending, in_flight, done, next_id)`` with ``pending`` a FIFO
+    tuple of ``(id, task)``, ``in_flight`` a sorted tuple of
+    ``(id, worker, task)``, and ``done`` a sorted tuple of ids.
+    """
+
+    name = "queue"
+
+    def initial(self) -> Hashable:
+        return ((), (), (), 1)
+
+    def step(self, state, verb, args):
+        pending, in_flight, done, next_id = state
+        if verb == "submit":
+            return next_id, (pending + ((next_id, args[0]),), in_flight,
+                             done, next_id + 1)
+        if verb == "take":
+            if not pending:
+                return None, state
+            (task_id, task), rest = pending[0], pending[1:]
+            flight = tuple(sorted(in_flight + ((task_id, args[0], task),)))
+            return [task_id, task], (rest, flight, done, next_id)
+        if verb == "ack":
+            task_id = args[0]
+            hit = [item for item in in_flight if item[0] == task_id]
+            if not hit:
+                return False, state
+            flight = tuple(item for item in in_flight if item[0] != task_id)
+            return True, (pending, flight, tuple(sorted(done + (task_id,))),
+                          next_id)
+        if verb == "depth":
+            return len(pending), state
+        if verb == "stats":
+            return {"pending": len(pending), "in_flight": len(in_flight),
+                    "done": len(done)}, state
+        raise ValueError(f"QueueModel cannot step {verb!r}")
+
+
+#: Service name → model factory (the workload and checker share this).
+MODELS: dict[str, type[Model]] = {
+    model.name: model for model in (KVModel, CounterModel, LockModel,
+                                    QueueModel)
+}

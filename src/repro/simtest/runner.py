@@ -1,0 +1,236 @@
+"""The simulation-test runner: seed in, verdict out, JSON all the way.
+
+A :class:`SimCase` is the complete, serialisable description of one run:
+seed, policy, service, op/client counts, and the chaos fault list.  The
+same case always produces byte-identical history JSON (the determinism
+tests and the CI double-run gate hold the harness to that).
+
+:func:`run_case` executes one case, checks the history against the
+service's model, and — on a violation — minimizes the case and re-runs
+the minimized form to confirm it.  :func:`run_battery` sweeps seeds ×
+policies (the smoke gate).  :func:`replay` re-runs a case parsed from
+JSON (the regression corpus format, see ``tests/simtest/regressions/``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+from ..failures.schedule import ChaosSchedule, Fault
+from .checker import CheckResult, Violation, check_history
+from .history import History
+from .minimize import minimize_case
+from .models import MODELS
+from .workload import (
+    FAULT_MENUS,
+    SERVICE_CYCLE,
+    SHIPPED_POLICIES,
+    deploy,
+    drive,
+    topology,
+)
+
+#: Default operation count per case (small: the checker is exponential in
+#: concurrent overlap, and violations show up early under contention).
+DEFAULT_OPS = 30
+
+#: Default client (driver concurrency) count per case.
+DEFAULT_CLIENTS = 3
+
+
+@dataclass(frozen=True)
+class SimCase:
+    """One fully-specified simulation run (serialisable, replayable)."""
+
+    seed: int
+    policy: str
+    service: str
+    ops: int = DEFAULT_OPS
+    clients: int = DEFAULT_CLIENTS
+    faults: tuple[Fault, ...] = ()
+
+    def with_faults(self, faults: tuple[Fault, ...]) -> "SimCase":
+        """The same case with a different fault list (minimizer hook)."""
+        return replace(self, faults=tuple(faults))
+
+    def with_ops(self, ops: int) -> "SimCase":
+        """The same case truncated to ``ops`` operations."""
+        return replace(self, ops=int(ops))
+
+    def schedule(self) -> ChaosSchedule | None:
+        """The case's chaos schedule over its topology (None = fault-free)."""
+        if not self.faults:
+            return None
+        servers, clients = topology(self.policy, self.clients)
+        return ChaosSchedule(faults=self.faults,
+                             node_names=tuple(servers + clients))
+
+    def to_json(self) -> dict:
+        """Marshal to a plain dict (stable keys)."""
+        return {"seed": self.seed, "policy": self.policy,
+                "service": self.service, "ops": self.ops,
+                "clients": self.clients,
+                "faults": [fault.to_json() for fault in self.faults]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SimCase":
+        """Rebuild a case from :meth:`to_json` output."""
+        return cls(seed=int(data["seed"]), policy=data["policy"],
+                   service=data["service"], ops=int(data["ops"]),
+                   clients=int(data["clients"]),
+                   faults=tuple(Fault.from_json(item)
+                                for item in data.get("faults", [])))
+
+
+def build_case(seed: int, policy: str, service: str | None = None,
+               ops: int = DEFAULT_OPS, clients: int = DEFAULT_CLIENTS,
+               chaos: bool = True) -> SimCase:
+    """Derive a case from a seed: service rotation plus a sampled schedule.
+
+    The chaos schedule is drawn from the policy's fault menu
+    (:data:`~repro.simtest.workload.FAULT_MENUS`) with a generator seeded
+    from ``(seed, policy, service)`` alone — no global state, so the same
+    arguments always yield the same case.
+    """
+    if service is None:
+        service = SERVICE_CYCLE[seed % len(SERVICE_CYCLE)]
+    faults: tuple[Fault, ...] = ()
+    if chaos:
+        servers, client_names = topology(policy, clients)
+        rng = random.Random(f"repro.simtest:{seed}:{policy}:{service}")
+        faults = ChaosSchedule.generate(
+            rng, total_ops=ops, victims=servers,
+            all_nodes=servers + client_names,
+            kinds=FAULT_MENUS[policy]).faults
+    return SimCase(seed=seed, policy=policy, service=service, ops=ops,
+                   clients=clients, faults=faults)
+
+
+@dataclass
+class SimReport:
+    """Everything one case run produced, JSON-ready."""
+
+    case: SimCase
+    verdict: str
+    history: History
+    fingerprint: str
+    streams: tuple[str, ...]
+    check: CheckResult
+    violation: Violation | None = None
+    minimized: SimCase | None = None
+    confirmed: bool = False
+    stats: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Marshal with stable keys (dump with ``sort_keys=True``)."""
+        return {
+            "case": self.case.to_json(),
+            "verdict": self.verdict,
+            "history": self.history.to_json(),
+            "fingerprint": self.fingerprint,
+            "streams": list(self.streams),
+            "explored": self.check.explored,
+            "capped": self.check.capped,
+            "partitions": self.check.partitions,
+            "violation": (None if self.violation is None
+                          else self.violation.to_json()),
+            "minimized": (None if self.minimized is None
+                          else self.minimized.to_json()),
+            "confirmed": self.confirmed,
+            "stats": self.stats,
+        }
+
+
+def execute(case: SimCase) -> tuple[History, object]:
+    """Deploy and drive one case; returns ``(history, system)``."""
+    deployment = deploy(case)
+    history = drive(deployment, case, case.schedule())
+    return history, deployment.system
+
+
+def _violates(case: SimCase, max_nodes: int) -> bool:
+    history, _ = execute(case)
+    model = MODELS[case.service]()
+    return check_history(history, model, max_nodes).verdict == "violation"
+
+
+def run_case(case: SimCase, minimize: bool = True,
+             max_nodes: int | None = None) -> SimReport:
+    """Run one case end-to-end: execute, check, minimize, confirm."""
+    from .checker import DEFAULT_MAX_NODES
+    budget = max_nodes if max_nodes is not None else DEFAULT_MAX_NODES
+    history, system = execute(case)
+    model = MODELS[case.service]()
+    check = check_history(history, model, budget)
+    rpc = system.rpc.stats if system.rpc is not None else {}
+    report = SimReport(
+        case=case, verdict=check.verdict, history=history,
+        fingerprint=system.trace.fingerprint(),
+        streams=system.seeds.streams_used(), check=check,
+        violation=check.violation,
+        stats={"ops": len(history),
+               "ok": sum(1 for op in history if op.status == "ok"),
+               "maybe": sum(1 for op in history if op.status == "maybe"),
+               "fail": sum(1 for op in history if op.status == "fail"),
+               "rpc_calls": rpc.get("calls", 0),
+               "rpc_retries": rpc.get("retries", 0),
+               "rpc_timeouts": rpc.get("timeouts", 0)})
+    if check.verdict == "violation" and minimize:
+        minimized = minimize_case(case, lambda c: _violates(c, budget))
+        report.minimized = minimized
+        report.confirmed = _violates(minimized, budget)
+    return report
+
+
+def run_battery(seeds, policies=SHIPPED_POLICIES, service: str | None = None,
+                ops: int = DEFAULT_OPS, clients: int = DEFAULT_CLIENTS,
+                minimize: bool = False,
+                max_nodes: int | None = None) -> dict:
+    """Sweep seeds × policies; returns a JSON-ready summary.
+
+    ``violations`` carries one entry per convicted case (with the
+    minimized reproduction when ``minimize`` is set); ``unknown`` lists
+    cases whose checker search hit its budget — both empty on a clean run.
+    """
+    summary: dict = {"cases": 0, "violations": [], "unknown": [],
+                     "per_policy": {}}
+    for policy in policies:
+        counts = {"cases": 0, "ok": 0}
+        for seed in seeds:
+            case = build_case(seed, policy, service=service, ops=ops,
+                              clients=clients)
+            report = run_case(case, minimize=minimize, max_nodes=max_nodes)
+            summary["cases"] += 1
+            counts["cases"] += 1
+            if report.verdict == "ok":
+                counts["ok"] += 1
+            elif report.verdict == "violation":
+                entry = {"case": case.to_json(),
+                         "violation": report.violation.to_json()}
+                if report.minimized is not None:
+                    entry["minimized"] = report.minimized.to_json()
+                    entry["confirmed"] = report.confirmed
+                summary["violations"].append(entry)
+            else:
+                summary["unknown"].append(case.to_json())
+        summary["per_policy"][policy] = counts
+    return summary
+
+
+def replay(data: dict, minimize: bool = False,
+           max_nodes: int | None = None) -> SimReport:
+    """Re-run a case parsed from JSON (the regression-corpus entry point).
+
+    ``data`` is either a bare case (:meth:`SimCase.to_json`) or a corpus
+    record ``{"case": {...}, "expect": "ok" | "violation", ...}``; the
+    caller compares ``report.verdict`` against its expectation.
+    """
+    case = SimCase.from_json(data.get("case", data))
+    return run_case(case, minimize=minimize, max_nodes=max_nodes)
+
+
+def report_json(report: SimReport) -> str:
+    """The byte-stable JSON form of a report (the CLI's ``--json``)."""
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

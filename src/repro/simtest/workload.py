@@ -1,0 +1,302 @@
+"""Seeded multi-client workloads against policy-proxied services.
+
+This module owns everything between "a :class:`~repro.simtest.runner.
+SimCase` exists" and "a :class:`~repro.simtest.history.History` exists":
+
+* **topology** — one or three server nodes (``s0``…) depending on the
+  policy, plus N client nodes (``c0``…), one context each;
+* **deployment** — the case's service exported under the case's policy,
+  one bound proxy per client;
+* **fault menus** — the fault kinds each policy's *consistency contract*
+  tolerates (see :data:`FAULT_MENUS`);
+* **the driver** — a min-clock scheduler: every step runs the client whose
+  virtual clock is furthest behind, which makes the Python execution order
+  a real-time-respecting linearization witness (if op X completed before
+  op Y was invoked in virtual time, X was necessarily driven first);
+* **classification** — each outcome lands in the history as ``ok``,
+  ``maybe``, or ``fail`` per the rules of :mod:`repro.simtest.history`;
+* **the ``dirtycache`` policy** — a deliberately broken caching proxy
+  (no invalidation, no TTL) that the harness must catch.  It is the
+  end-to-end self-test: if the checker ever stops flagging it, the
+  harness — not the library — has the bug.
+
+Fault menus as consistency contracts
+------------------------------------
+
+Not every shipped policy is linearizable under arbitrary faults, *by
+design*, and the menu documents each contract:
+
+* ``stub`` and ``resilient`` (no replicas, ``stale_reads`` off) forward
+  every call and tolerate the full menu — crash, partition, loss burst,
+  latency spike.
+* ``caching`` tolerates ``(crash, latency)``: its invalidations are
+  one-way messages, so a loss burst or partition can silently drop one and
+  leave a cache permanently stale (invalidation-mode TTL is ∞) — a
+  documented freshness trade, not a bug.
+* ``replicated`` tolerates ``(latency,)``: write-all raises after partial
+  application when a replica is unreachable, so crash/partition/loss can
+  diverge the copies — the 1986-era contract says "don't run it there".
+* ``composite`` (caching over replicated) gets the intersection of its
+  layers' menus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import make_system
+from ..core.export import get_space
+from ..core.factory import register_policy
+from ..core.policies.caching import CachingProxy
+from ..core.policies.replicating import replicate
+from ..apps.counter import Counter
+from ..apps.kv import KVStore
+from ..apps.locks import LockService
+from ..apps.queue import WorkQueue
+from ..failures.schedule import FAULT_KINDS, ChaosSchedule
+from ..iface.interface import Interface
+from ..kernel.errors import CircuitOpen, DistributionError, ReproError
+from ..rpc.protocol import RemoteError
+from .history import History, canonical
+from .models import MODELS, Model
+
+#: The shipped policies the battery must prove clean.
+SHIPPED_POLICIES = ("stub", "caching", "replicated", "resilient",
+                    "composite")
+
+#: Per-policy fault menus (the consistency contracts — module docstring).
+FAULT_MENUS: dict[str, tuple[str, ...]] = {
+    "stub": FAULT_KINDS,
+    "resilient": FAULT_KINDS,
+    "caching": ("crash", "latency"),
+    "dirtycache": ("crash", "latency"),
+    "replicated": ("latency",),
+    "composite": ("latency",),
+}
+
+#: Policies deployed as a three-replica group (everything else: one server).
+_REPLICA_POLICIES = ("replicated", "composite")
+
+#: Service rotation for cases that don't pin one (seed-indexed).
+SERVICE_CYCLE = ("kv", "counter", "lock", "queue")
+
+_SERVICE_CLASSES = {"kv": KVStore, "counter": Counter, "lock": LockService,
+                    "queue": WorkQueue}
+
+#: Keys / lock names the generators draw from (small on purpose: contention
+#: is where linearizability violations live).
+_KV_KEYS = ("k0", "k1", "k2", "k3")
+_LOCK_NAMES = ("l0", "l1")
+
+
+@register_policy
+class DirtyCachingProxy(CachingProxy):
+    """A caching proxy with the coherence machinery *removed*.
+
+    No server-side invalidation control is installed, no callback is
+    registered, and entries never expire — so any write by one client
+    leaves every other client's cache permanently stale.  This is the
+    harness's canary: the linearizability checker must convict it.
+    """
+
+    policy_name = "dirtycache"
+
+    def proxy_install(self) -> None:
+        pass    # never register for invalidations
+
+    def _effective_ttl(self) -> float | None:
+        return None    # cache forever
+
+    @classmethod
+    def on_export(cls, space, entry) -> None:
+        pass    # no server-side coherence either
+
+
+def topology(policy: str, clients: int) -> tuple[list[str], list[str]]:
+    """Node names for a case: ``(server_names, client_names)``."""
+    servers = 3 if policy in _REPLICA_POLICIES else 1
+    return ([f"s{i}" for i in range(servers)],
+            [f"c{i}" for i in range(clients)])
+
+
+@dataclass
+class Deployment:
+    """A built system, ready to drive: one bound proxy per client."""
+
+    system: object
+    interface: Interface
+    model: Model
+    clients: list    # (name, context, proxy) triples, driver order
+
+
+def deploy(case) -> Deployment:
+    """Build the case's system and deployment (no faults active yet)."""
+    if case.policy not in FAULT_MENUS:
+        raise ValueError(f"unknown policy {case.policy!r}")
+    service_cls = _SERVICE_CLASSES.get(case.service)
+    if service_cls is None:
+        raise ValueError(f"unknown service {case.service!r}")
+    system = make_system(seed=case.seed)
+    server_names, client_names = topology(case.policy, case.clients)
+    server_ctxs = [system.add_node(name).create_context("main")
+                   for name in server_names]
+    client_ctxs = [system.add_node(name).create_context("main")
+                   for name in client_names]
+    interface = Interface.of(service_cls)
+    ref = _export(case.policy, server_ctxs, service_cls, interface)
+    clients = [(name, ctx, get_space(ctx).bind_ref(ref, handshake=True))
+               for name, ctx in zip(client_names, client_ctxs)]
+    return Deployment(system=system, interface=interface,
+                      model=MODELS[case.service](), clients=clients)
+
+
+def _export(policy: str, server_ctxs: list, service_cls, interface):
+    primary = server_ctxs[0]
+    if policy in _REPLICA_POLICIES:
+        extra = ["caching"] if policy == "composite" else None
+        return replicate(server_ctxs, service_cls, interface=interface,
+                         read_policy="nearest", extra_layers=extra)
+    obj = service_cls()
+    if policy == "stub":
+        return get_space(primary).export(obj, interface=interface,
+                                         policy="stub")
+    if policy == "caching":
+        return get_space(primary).export(obj, interface=interface,
+                                         policy="caching",
+                                         config={"invalidation": True})
+    if policy == "dirtycache":
+        return get_space(primary).export(obj, interface=interface,
+                                         policy="dirtycache", config={})
+    if policy == "resilient":
+        return get_space(primary).export(
+            obj, interface=interface, policy="resilient",
+            config={"replicas": [], "stale_reads": False,
+                    "retry": {"attempts": 3}})
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+# -- op generation -------------------------------------------------------------
+
+
+def _kv_op(rng, client: str, index: int) -> tuple[str, tuple]:
+    key = _KV_KEYS[rng.randrange(len(_KV_KEYS))]
+    r = rng.random()
+    if r < 0.40:
+        return "get", (key,)
+    if r < 0.75:
+        return "put", (key, index)    # op index: globally unique values
+    if r < 0.85:
+        return "delete", (key,)
+    return "contains", (key,)
+
+
+def _counter_op(rng, client: str, index: int) -> tuple[str, tuple]:
+    r = rng.random()
+    if r < 0.40:
+        return "incr", (1 + rng.randrange(3),)
+    if r < 0.60:
+        return "decr", (1 + rng.randrange(2),)
+    if r < 0.90:
+        return "read", ()
+    return "reset", ()
+
+
+def _lock_op(rng, client: str, index: int) -> tuple[str, tuple]:
+    name = _LOCK_NAMES[rng.randrange(len(_LOCK_NAMES))]
+    r = rng.random()
+    if r < 0.35:
+        return "try_acquire", (name, client)
+    if r < 0.60:
+        return "release", (name, client)
+    if r < 0.85:
+        return "holder", (name,)
+    if r < 0.95:
+        return "enqueue", (name, client)
+    return "queue_length", (name,)
+
+
+def _queue_op(rng, client: str, index: int) -> tuple[str, tuple]:
+    r = rng.random()
+    if r < 0.40:
+        return "submit", (f"task-{index}",)
+    if r < 0.70:
+        return "take", (client,)
+    if r < 0.85:
+        return "ack", (1 + rng.randrange(max(2, index + 1)),)
+    if r < 0.95:
+        return "depth", ()
+    return "stats", ()
+
+
+_OPGENS = {"kv": _kv_op, "counter": _counter_op, "lock": _lock_op,
+           "queue": _queue_op}
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def drive(deployment: Deployment, case,
+          schedule: ChaosSchedule | None) -> History:
+    """Run the case's workload; returns the recorded history.
+
+    Min-clock scheduling: each step drives the client whose virtual clock
+    is furthest behind (ties break on client order).  One operation runs
+    to completion per step — the simulation applies effects eagerly — so
+    the Python execution order is a valid linearization of the history
+    whenever the policy under test is actually linearizable.
+    """
+    history = History()
+    rng = deployment.system.seeds.stream("simtest.ops")
+    opgen = _OPGENS[case.service]
+    if schedule is not None:
+        schedule.reset()
+    try:
+        for index in range(case.ops):
+            if schedule is not None:
+                schedule.tick(deployment.system)
+            name, ctx, proxy = min(deployment.clients,
+                                   key=lambda c: c[1].clock.now)
+            verb, args = opgen(rng, name, index)
+            readonly = deployment.interface.operation(verb).readonly
+            invoke = ctx.clock.now
+            try:
+                result = proxy.invoke(verb, tuple(args), {})
+            except CircuitOpen as exc:
+                # The breaker refused before any transmission: the op
+                # definitely did not execute.
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke, complete=ctx.clock.now,
+                               status="fail", error=type(exc).__name__)
+            except RemoteError as exc:
+                # An application exception of a type the protocol cannot
+                # reconstruct: the server executed the op.
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke, complete=ctx.clock.now,
+                               status="ok",
+                               result=f"!{exc.remote_type}")
+            except DistributionError as exc:
+                # Lost request or lost reply — indistinguishable.  A
+                # failed read cannot move state either way; a failed
+                # mutator is a "maybe" with an open completion time.
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke,
+                               complete=ctx.clock.now if readonly else None,
+                               status="fail" if readonly else "maybe",
+                               error=type(exc).__name__)
+            except ReproError:
+                raise    # a harness or kernel bug, not an outcome
+            except Exception as exc:
+                # A reconstructed application exception (PermissionError
+                # and friends): the server executed the op and raised.
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke, complete=ctx.clock.now,
+                               status="ok",
+                               result=f"!{type(exc).__name__}")
+            else:
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke, complete=ctx.clock.now,
+                               status="ok", result=canonical(result))
+    finally:
+        if schedule is not None:
+            schedule.finish()
+    return history

@@ -5,7 +5,7 @@ import pytest
 import repro
 from repro.apps.kv import KVStore
 from repro.core.export import get_space
-from repro.kernel.errors import ConfigurationError
+from repro.kernel.errors import BindError, ConfigurationError
 from repro.metrics.counters import MessageWindow
 
 
@@ -63,6 +63,116 @@ class TestCachingOverReplication:
         proxy.put("k", 1)
         proxy.get("k")
         repro.assert_principle(system)
+
+
+class TestCrossClientCoherence:
+    """A write through one client's stack must invalidate every other
+    client's cache — including when the write lands on a replica stub
+    entry rather than the group entry (the mirrored mutation hooks)."""
+
+    @pytest.fixture
+    def shared_group(self, star):
+        system, server, clients = star
+        ref = repro.replicate([server, clients[2]], KVStore,
+                              extra_layers=["caching"])
+        repro.register(server, "kv", ref)
+        return system, server, clients, ref
+
+    def test_remote_write_invalidates_other_clients_cache(self,
+                                                          shared_group):
+        system, server, clients, ref = shared_group
+        reader = repro.bind(clients[0], "kv")
+        writer = repro.bind(clients[1], "kv")
+        reader.put("k", 1)
+        assert reader.get("k") == 1    # now cached at the reader
+        writer.put("k", 2)
+        assert reader.get("k") == 2, \
+            "reader served a stale cache entry after a remote write"
+        assert writer.get("k") == 2
+
+    def test_writes_in_both_directions_stay_coherent(self, shared_group):
+        system, server, clients, ref = shared_group
+        a = repro.bind(clients[0], "kv")
+        b = repro.bind(clients[1], "kv")
+        for round_no in range(3):
+            a.put("k", ("a", round_no))
+            assert b.get("k") == ("a", round_no)
+            b.put("k", ("b", round_no))
+            assert a.get("k") == ("b", round_no)
+
+    def test_replica_entries_share_the_group_hooks(self, shared_group):
+        system, server, clients, ref = shared_group
+        group_entry = get_space(server).entry(ref.oid)
+        assert group_entry.mutation_hooks, \
+            "the caching layer should install a coherence hook on export"
+        mirrored = 0
+        for replica_ref in group_entry.policy_config["replicas"]:
+            for ctx in (server, clients[2]):
+                try:
+                    entry = get_space(ctx).entry(replica_ref.oid)
+                except BindError:
+                    continue
+                assert entry.mutation_hooks is group_entry.mutation_hooks
+                mirrored += 1
+        assert mirrored == 2
+
+
+class TestResilientOverCaching:
+    """Resilience stacked outside a cache: config must thread through the
+    composite to the right layer, and cache hits must bypass the wire."""
+
+    @pytest.fixture
+    def guarded_cache(self, star):
+        system, server, clients = star
+        store = KVStore()
+        get_space(server).export(
+            store, policy="composite",
+            config={"layers": ["resilient", "caching"],
+                    "invalidation": True,
+                    "retry": {"attempts": 2},
+                    "stale_reads": False})
+        repro.register(server, "kv", store)
+        return system, server, clients
+
+    def test_layers_instantiated_in_order(self, guarded_cache):
+        system, server, clients = guarded_cache
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        assert proxy.proxy_layers == ["ResilientProxy", "CachingProxy"]
+
+    def test_shared_config_reaches_the_resilient_layer(self, guarded_cache):
+        system, server, clients = guarded_cache
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        resilient = proxy._build_stack()[0]
+        assert resilient.proxy_retry.attempts == 2
+        assert resilient.proxy_config["stale_reads"] is False
+
+    def test_cache_hits_bypass_the_resilient_layer_wire(self, guarded_cache):
+        system, server, clients = guarded_cache
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        assert proxy.get("k") == 1
+        with MessageWindow(system) as window:
+            assert proxy.get("k") == 1
+        assert window.report.messages == 0
+
+    def test_cached_read_survives_server_crash(self, guarded_cache):
+        system, server, clients = guarded_cache
+        proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        assert proxy.get("k") == 1
+        server.node.crash()
+        assert proxy.get("k") == 1
+
+    def test_invalidation_still_works_through_the_stack(self, guarded_cache):
+        system, server, clients = guarded_cache
+        a = repro.bind(clients[0], "kv")
+        b = repro.bind(clients[1], "kv")
+        a.put("k", 1)
+        assert b.get("k") == 1
+        a.put("k", 2)
+        assert b.get("k") == 2
 
 
 class TestConfiguration:

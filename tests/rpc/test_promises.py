@@ -5,7 +5,7 @@ import pytest
 import repro
 from repro.apps.kv import KVStore
 from repro.failures.injectors import message_loss
-from repro.kernel.errors import RpcTimeout
+from repro.kernel.errors import RpcTimeout, SimulationError
 from repro.rpc.promises import call_async, gather, pipeline_calls
 
 
@@ -149,6 +149,35 @@ class TestDiscard:
         promise = call_async(proxy, "get", "a")
         assert promise.discard() is True
         assert promise.discard() is False
+        events = system.trace.select(
+            kind="promise",
+            predicate=lambda ev: ev.label == "dropped-unwaited")
+        assert len(events) == 1, \
+            "a repeated discard must not emit a second trace event"
+
+    def test_wait_after_discard_raises(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        promise.discard()
+        with pytest.raises(SimulationError):
+            promise.wait()
+
+    def test_discarded_property_tracks_state(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        assert promise.discarded is False
+        promise.discard()
+        assert promise.discarded is True
+        promise.discard()    # idempotent: still just discarded
+        assert promise.discarded is True
+
+    def test_waited_promise_never_reports_discarded(self, kv):
+        system, server, client, store, proxy = kv
+        promise = call_async(proxy, "get", "a")
+        promise.wait()
+        promise.discard()
+        assert promise.discarded is False
+        assert promise.wait() == "A"    # still consumable after the no-op
 
 
 class TestPipelineCalls:

@@ -1,0 +1,195 @@
+"""Unit tests for the Wing–Gong linearizability checker."""
+
+from repro.simtest.checker import check_history
+from repro.simtest.history import History, Op
+from repro.simtest.models import KVModel, LockModel
+
+
+def op(index, client, verb, args, invoke, complete, status="ok",
+       result=None, error=""):
+    return Op(index=index, client=client, verb=verb, args=list(args),
+              invoke=invoke, complete=complete, status=status,
+              result=result, error=error)
+
+
+def history(*ops):
+    return History(ops=list(ops))
+
+
+class TestLinearizable:
+    def test_sequential_history_passes(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "a", "get", ("k",), 2.0, 3.0, result=1),
+            op(2, "a", "delete", ("k",), 4.0, 5.0, result=True),
+            op(3, "a", "get", ("k",), 6.0, 7.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_concurrent_read_linearizes_inside_slow_write(self):
+        # The get was *recorded* after the put began but completed first;
+        # only the order put-then-get explains result 1.
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 10.0, result=True),
+            op(1, "b", "get", ("k",), 4.0, 6.0, result=1),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_concurrent_read_may_also_precede_write(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 10.0, result=True),
+            op(1, "b", "get", ("k",), 4.0, 6.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_per_key_partitioning(self):
+        h = history(
+            op(0, "a", "put", ("k0", 1), 0.0, 1.0, result=True),
+            op(1, "b", "put", ("k1", 2), 0.5, 1.5, result=True),
+            op(2, "a", "get", ("k1",), 2.0, 3.0, result=2),
+            op(3, "b", "get", ("k0",), 2.0, 3.0, result=1),
+        )
+        result = check_history(h, KVModel())
+        assert result.verdict == "ok"
+        assert result.partitions == 2
+
+    def test_app_exception_marker_matches_model(self):
+        h = history(
+            op(0, "a", "release", ("l", "a"), 0.0, 1.0,
+               result="!PermissionError"),
+            op(1, "a", "try_acquire", ("l", "a"), 2.0, 3.0, result=True),
+            op(2, "b", "release", ("l", "b"), 4.0, 5.0,
+               result="!PermissionError"),
+        )
+        assert check_history(h, LockModel()).verdict == "ok"
+
+
+class TestViolations:
+    def test_stale_read_is_convicted(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "b", "put", ("k", 2), 2.0, 3.0, result=True),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=1),
+        )
+        result = check_history(h, KVModel())
+        assert result.verdict == "violation"
+        assert result.violation.partition == repr("k")
+        assert len(result.violation.ops) == 3
+        assert result.violation.longest_prefix < 3
+
+    def test_lost_update_is_convicted(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "a", "get", ("k",), 2.0, 3.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "violation"
+
+    def test_wrong_result_on_real_time_edge(self):
+        # get completes strictly before put is invoked: no reordering.
+        h = history(
+            op(0, "b", "get", ("k",), 0.0, 1.0, result=7),
+            op(1, "a", "put", ("k", 7), 2.0, 3.0, result=True),
+        )
+        assert check_history(h, KVModel()).verdict == "violation"
+
+
+class TestMaybeSemantics:
+    def test_maybe_write_may_have_applied(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, None, status="maybe",
+               error="RpcTimeout"),
+            op(1, "b", "get", ("k",), 5.0, 6.0, result=1),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_maybe_write_may_have_been_lost(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, None, status="maybe",
+               error="RpcTimeout"),
+            op(1, "b", "get", ("k",), 5.0, 6.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_maybe_write_cannot_unapply(self):
+        # Once a read observed the maybe-put's value, a later read cannot
+        # revert to the old state.
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, None, status="maybe",
+               error="RpcTimeout"),
+            op(1, "b", "get", ("k",), 5.0, 6.0, result=1),
+            op(2, "b", "get", ("k",), 7.0, 8.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "violation"
+
+    def test_maybe_has_open_completion(self):
+        # The maybe op's effect may land after ops invoked much later.
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, None, status="maybe",
+               error="RpcTimeout"),
+            op(1, "b", "get", ("k",), 100.0, 101.0, result=None),
+            op(2, "b", "get", ("k",), 102.0, 103.0, result=1),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+
+class TestExclusions:
+    def test_definite_fail_is_excluded(self):
+        # A breaker fast-fail carries no constraint, however absurd the
+        # surrounding history would be with it included.
+        h = history(
+            op(0, "a", "put", ("k", 9), 0.0, 1.0, status="fail",
+               error="CircuitOpen"),
+            op(1, "b", "get", ("k",), 2.0, 3.0, result=None),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_failed_read_is_excluded(self):
+        h = history(
+            op(0, "a", "get", ("k",), 0.0, 1.0, status="fail",
+               error="RpcTimeout"),
+            op(1, "b", "put", ("k", 1), 2.0, 3.0, result=True),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+    def test_all_failed_history_is_trivially_ok(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, status="fail",
+               error="CircuitOpen"),
+        )
+        assert check_history(h, KVModel()).verdict == "ok"
+
+
+class TestBudget:
+    def test_budget_exhaustion_reports_unknown(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 5.0, result=True),
+            op(1, "b", "put", ("k", 2), 0.0, 5.0, result=True),
+            op(2, "c", "get", ("k",), 6.0, 7.0, result=2),
+        )
+        result = check_history(h, KVModel(), max_nodes=1)
+        assert result.capped
+        assert result.verdict == "unknown"
+
+    def test_generous_budget_settles_the_same_history(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 5.0, result=True),
+            op(1, "b", "put", ("k", 2), 0.0, 5.0, result=True),
+            op(2, "c", "get", ("k",), 6.0, 7.0, result=2),
+        )
+        result = check_history(h, KVModel())
+        assert result.verdict == "ok"
+        assert not result.capped
+
+
+class TestHistoryMarshalling:
+    def test_json_round_trip_preserves_verdict(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "b", "put", ("k", 2), 2.0, None, status="maybe",
+               error="RpcTimeout"),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=2),
+        )
+        rebuilt = History.from_json(h.to_json())
+        assert rebuilt.to_json() == h.to_json()
+        assert check_history(rebuilt, KVModel()).verdict == \
+            check_history(h, KVModel()).verdict

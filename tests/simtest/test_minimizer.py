@@ -1,0 +1,49 @@
+"""Minimizer convergence: shrink a convicted case, keep the conviction."""
+
+from repro.simtest import build_case, minimize_case
+from repro.simtest.checker import DEFAULT_MAX_NODES
+from repro.simtest.runner import _violates
+
+
+def _dirty_case():
+    # Fault-free dirty-cache run: every put is an "ok" the checker must
+    # honour, so the stale reads have no escape hatch.  Known-violating.
+    return build_case(0, "dirtycache", service="kv", ops=30, chaos=False)
+
+
+def test_minimizer_converges_and_preserves_the_violation():
+    case = _dirty_case()
+    assert _violates(case, DEFAULT_MAX_NODES)
+    minimized = minimize_case(
+        case, lambda c: _violates(c, DEFAULT_MAX_NODES))
+    assert minimized.ops < case.ops
+    assert minimized.faults == ()
+    assert _violates(minimized, DEFAULT_MAX_NODES)
+
+
+def test_minimizer_is_deterministic():
+    shrink = lambda: minimize_case(        # noqa: E731
+        _dirty_case(), lambda c: _violates(c, DEFAULT_MAX_NODES))
+    assert shrink().to_json() == shrink().to_json()
+
+
+def test_minimizer_drops_irrelevant_faults():
+    # Chaos faults on a dirty cache are noise: the fault-free prefix
+    # already violates, so phase 1 should strip every droppable fault.
+    case = build_case(7, "dirtycache", service="kv", ops=30)
+    assert case.faults, "seed 7 is expected to carry chaos"
+    assert _violates(case, DEFAULT_MAX_NODES)
+    minimized = minimize_case(
+        case, lambda c: _violates(c, DEFAULT_MAX_NODES))
+    assert len(minimized.faults) < len(case.faults)
+    assert _violates(minimized, DEFAULT_MAX_NODES)
+
+
+def test_minimizer_budget_is_respected():
+    case = _dirty_case()
+    assert minimize_case(case, lambda c: True, max_runs=0) == case
+
+
+def test_minimizer_returns_original_when_nothing_shrinks():
+    case = _dirty_case()
+    assert minimize_case(case, lambda c: False) == case

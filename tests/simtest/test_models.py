@@ -1,0 +1,151 @@
+"""Model-oracle tests: unit semantics plus cross-validation.
+
+The cross-validation tests are the load-bearing ones: each model is driven
+through a long random sequence *alongside the real service object*, and
+every result must match.  A model that drifts from its service makes the
+checker convict innocent policies (or worse, acquit guilty ones).
+"""
+
+import random
+
+import pytest
+
+from repro.apps.counter import Counter
+from repro.apps.kv import KVStore
+from repro.apps.locks import LockService
+from repro.apps.queue import WorkQueue
+from repro.simtest.history import canonical
+from repro.simtest.models import (
+    MODELS,
+    CounterModel,
+    KVModel,
+    LockModel,
+    QueueModel,
+)
+from repro.simtest.workload import _OPGENS, SERVICE_CYCLE
+
+
+class TestKVModel:
+    def test_absent_key_reads_none(self):
+        model = KVModel()
+        state = model.initial()
+        assert model.step(state, "get", ("k",))[0] is None
+        assert model.step(state, "contains", ("k",))[0] is False
+        assert model.step(state, "delete", ("k",))[0] is False
+
+    def test_put_get_delete_cycle(self):
+        model = KVModel()
+        state = model.initial()
+        result, state = model.step(state, "put", ("k", 7))
+        assert result is True
+        assert model.step(state, "get", ("k",))[0] == 7
+        result, state = model.step(state, "delete", ("k",))
+        assert result is True
+        assert model.step(state, "get", ("k",))[0] is None
+
+    def test_stored_none_is_distinct_from_absent(self):
+        model = KVModel()
+        _, state = model.step(model.initial(), "put", ("k", None))
+        assert model.step(state, "contains", ("k",))[0] is True
+
+    def test_list_values_stay_hashable(self):
+        model = KVModel()
+        _, state = model.step(model.initial(), "put", ("k", [1, 2]))
+        hash(state)    # checker memoizes on state
+        assert canonical(model.step(state, "get", ("k",))[0]) == [1, 2]
+
+    def test_partitions_by_key(self):
+        model = KVModel()
+        assert model.partition_key("get", ("a",)) == "a"
+        assert model.partition_key("put", ("b", 1)) == "b"
+
+    def test_unknown_verb_raises(self):
+        with pytest.raises(ValueError):
+            KVModel().step(KVModel().initial(), "size", ())
+
+
+class TestLockModel:
+    def test_release_by_non_holder_is_the_exception_marker(self):
+        model = LockModel()
+        result, state = model.step(model.initial(), "release", ("l", "a"))
+        assert result == "!PermissionError"
+        assert state == model.initial()
+
+    def test_fifo_handoff(self):
+        model = LockModel()
+        state = model.initial()
+        _, state = model.step(state, "try_acquire", ("l", "a"))
+        _, state = model.step(state, "enqueue", ("l", "b"))
+        _, state = model.step(state, "enqueue", ("l", "c"))
+        result, state = model.step(state, "release", ("l", "a"))
+        assert result == "b"
+        assert model.step(state, "holder", ("l",))[0] == "b"
+        assert model.step(state, "queue_length", ("l",))[0] == 1
+
+    def test_reentrant_acquire(self):
+        model = LockModel()
+        _, state = model.step(model.initial(), "try_acquire", ("l", "a"))
+        assert model.step(state, "try_acquire", ("l", "a"))[0] is True
+        assert model.step(state, "try_acquire", ("l", "b"))[0] is False
+
+
+class TestQueueModel:
+    def test_submit_take_ack(self):
+        model = QueueModel()
+        state = model.initial()
+        task_id, state = model.step(state, "submit", ("job",))
+        assert task_id == 1
+        result, state = model.step(state, "take", ("w",))
+        assert result == [1, "job"]
+        assert model.step(state, "ack", (1,))[0] is True
+        assert model.step(state, "ack", (1,))[1][2] == (1,)
+
+    def test_take_empty_and_stale_ack(self):
+        model = QueueModel()
+        state = model.initial()
+        assert model.step(state, "take", ("w",))[0] is None
+        assert model.step(state, "ack", (9,))[0] is False
+
+
+class TestCounterModel:
+    def test_arithmetic(self):
+        model = CounterModel()
+        state = model.initial()
+        result, state = model.step(state, "incr", (3,))
+        assert result == 3
+        result, state = model.step(state, "decr", (1,))
+        assert result == 2
+        result, state = model.step(state, "reset", ())
+        assert (result, state) == (2, 0)
+
+
+_SERVICES = {"kv": KVStore, "counter": Counter, "lock": LockService,
+             "queue": WorkQueue}
+
+
+@pytest.mark.parametrize("service", SERVICE_CYCLE)
+def test_model_matches_service_sequentially(service):
+    """Drive model and real service through 400 random ops in lockstep.
+
+    Uses the workload's own op generators, so the verbs and argument
+    distributions are exactly what the harness exercises.  The model keeps
+    per-partition state the way the checker does.
+    """
+    model = MODELS[service]()
+    real = _SERVICES[service]()
+    opgen = _OPGENS[service]
+    rng = random.Random(f"model-xval:{service}")
+    states: dict = {}
+    for index in range(400):
+        client = f"c{index % 3}"
+        verb, args = opgen(rng, client, index)
+        key = model.partition_key(verb, args)
+        state = states.get(key, model.initial())
+        expected, states[key] = model.step(state, verb, args)
+        try:
+            actual = canonical(getattr(real, verb)(*args))
+        except Exception as exc:
+            actual = f"!{type(exc).__name__}"
+        assert canonical(expected) == actual, \
+            f"{service} op {index}: {verb}{args} model={expected!r} " \
+            f"service={actual!r}"

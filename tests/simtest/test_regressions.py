@@ -1,0 +1,51 @@
+"""Seed-replay regression corpus: every recorded case, verbatim, forever.
+
+Each ``regressions/*.json`` file is a :class:`SimCase` plus the verdict it
+must keep producing.  Cases land here when a seed once exposed (or once
+certified) behaviour worth pinning; replaying them verbatim turns every
+past incident into a permanent CI gate.  To add one::
+
+    python -m repro simtest --seed N --policy P --json > case.json
+    # trim to {"case": ..., "expect": ..., "note": ...} and drop it in
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.simtest.runner import replay
+
+CORPUS = pathlib.Path(__file__).parent / "regressions"
+CASES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 5
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_recorded_case_keeps_its_verdict(path):
+    data = json.loads(path.read_text(encoding="utf-8"))
+    assert data["expect"] in ("ok", "violation"), path.name
+    report = replay(data, minimize=False)
+    assert report.verdict == data["expect"], (
+        f"{path.name}: expected {data['expect']!r}, got {report.verdict!r}"
+        f" — a behaviour this corpus pinned has changed")
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_recorded_fingerprint_still_matches(path):
+    """The stronger gate: the *trace* must replay byte-for-byte.
+
+    If a deliberate change to simulation timing breaks this, re-record the
+    fingerprint (the verdict test above is the part that must never be
+    weakened).
+    """
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if "fingerprint" not in data:
+        pytest.skip("case recorded without a fingerprint")
+    report = replay(data, minimize=False)
+    assert report.fingerprint == data["fingerprint"], (
+        f"{path.name}: simulation timing drifted; if intentional, "
+        "re-record with python -m repro simtest --replay")

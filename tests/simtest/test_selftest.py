@@ -1,0 +1,81 @@
+"""The harness's own acceptance test.
+
+Two halves, and both matter: the deliberately broken ``dirtycache`` policy
+must be convicted (the harness can still detect bugs), and every shipped
+policy must pass a seed battery clean (the harness does not cry wolf).
+"""
+
+import pytest
+
+from repro.simtest import build_case, run_battery, run_case
+from repro.simtest.runner import SimCase
+from repro.simtest.workload import FAULT_MENUS, SHIPPED_POLICIES
+from repro.failures.schedule import FAULT_KINDS
+
+
+class TestDirtyCacheIsConvicted:
+    def test_violation_is_found_minimized_and_confirmed(self):
+        case = build_case(0, "dirtycache", service="kv", ops=30,
+                          chaos=False)
+        report = run_case(case)
+        assert report.verdict == "violation"
+        assert report.violation is not None
+        assert report.violation.ops, "conviction must cite the ops"
+        assert report.minimized is not None
+        assert report.minimized.ops < case.ops
+        assert report.confirmed, \
+            "the minimized case must reproduce the violation"
+
+    def test_minimized_case_replays_from_json(self):
+        case = build_case(0, "dirtycache", service="kv", ops=30,
+                          chaos=False)
+        report = run_case(case)
+        rebuilt = SimCase.from_json(report.minimized.to_json())
+        assert run_case(rebuilt, minimize=False).verdict == "violation"
+
+    def test_dirty_cache_fails_across_many_seeds(self):
+        # One seed could be a fluke; the canary must trip repeatedly.
+        violations = sum(
+            run_case(build_case(seed, "dirtycache", service="kv", ops=30,
+                                chaos=False),
+                     minimize=False).verdict == "violation"
+            for seed in range(12))
+        assert violations >= 4
+
+
+class TestShippedPoliciesAreClean:
+    @pytest.mark.slow
+    def test_battery_of_200_chaos_cases_is_clean(self):
+        summary = run_battery(range(40), ops=24)
+        assert summary["cases"] == 40 * len(SHIPPED_POLICIES)
+        assert summary["violations"] == []
+        assert summary["unknown"] == []
+        for policy in SHIPPED_POLICIES:
+            counts = summary["per_policy"][policy]
+            assert counts["ok"] == counts["cases"] == 40
+
+    def test_quick_battery_is_clean(self):
+        # The fast in-every-run version of the gate above.
+        summary = run_battery(range(8), ops=20)
+        assert summary["violations"] == []
+        assert summary["unknown"] == []
+
+
+class TestFaultMenus:
+    def test_every_shipped_policy_has_a_menu(self):
+        for policy in SHIPPED_POLICIES:
+            assert policy in FAULT_MENUS
+            assert set(FAULT_MENUS[policy]) <= set(FAULT_KINDS)
+
+    def test_stub_and_resilient_take_the_full_menu(self):
+        assert FAULT_MENUS["stub"] == FAULT_KINDS
+        assert FAULT_MENUS["resilient"] == FAULT_KINDS
+
+    def test_composite_menu_is_the_intersection_of_its_layers(self):
+        assert set(FAULT_MENUS["composite"]) == \
+            set(FAULT_MENUS["caching"]) & set(FAULT_MENUS["replicated"])
+
+    def test_dirtycache_shares_the_caching_contract(self):
+        # Same menu as the honest caching policy: the conviction comes
+        # from broken coherence, not from unfair faults.
+        assert FAULT_MENUS["dirtycache"] == FAULT_MENUS["caching"]

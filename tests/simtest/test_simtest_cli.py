@@ -1,0 +1,61 @@
+"""CLI contract for ``python -m repro simtest``: exit codes and --json."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+CORPUS = pathlib.Path(__file__).parent / "regressions"
+
+
+def test_clean_single_seed_exits_zero(capsys):
+    code = main(["simtest", "--seed", "1", "--policy", "stub",
+                 "--ops", "16"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "policy=stub" in out and "ok" in out
+
+
+def test_dirty_cache_exits_one_with_minimized_repro(capsys):
+    code = main(["simtest", "--seed", "0", "--policy", "dirtycache",
+                 "--service", "kv", "--ops", "30"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "violation" in out
+    assert "minimized" in out and "confirmed=True" in out
+
+
+def test_json_output_is_byte_identical_across_runs(capsys):
+    argv = ["simtest", "--seed", "2", "--policy", "caching",
+            "--ops", "16", "--json", "--no-minimize"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    parsed = json.loads(first)
+    assert parsed["verdict"] == "ok"
+    assert parsed["case"]["policy"] == "caching"
+
+
+def test_battery_mode_sweeps_all_policies(capsys):
+    code = main(["simtest", "--seeds", "3", "--ops", "14", "--json"])
+    summary = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert summary["cases"] == 3 * 5
+    assert summary["violations"] == [] and summary["unknown"] == []
+
+
+def test_replay_honours_the_expectation(capsys):
+    # A corpus file expecting "violation" replays with exit 0 — the
+    # expectation is met — and a clean one likewise.
+    for name in ("dirtycache-kv-seed0-minimized.json",
+                 "stub-kv-seed5-full-menu.json"):
+        code = main(["simtest", "--replay", str(CORPUS / name)])
+        assert code == 0, capsys.readouterr().out
+        capsys.readouterr()
+
+
+def test_unknown_policy_exits_two(capsys):
+    assert main(["simtest", "--policy", "nosuch"]) == 2
+    assert "unknown policy" in capsys.readouterr().err
