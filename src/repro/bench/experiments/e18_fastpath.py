@@ -1,0 +1,145 @@
+"""E18 — end-to-end invocation throughput (the fast-path engine).
+
+Every other experiment reports *virtual* time: what the 1986 cost model says
+the distributed system would do.  E18 reports how fast the simulator itself
+pushes invocations through the full pipeline — ``proxy.verb`` → policy →
+``RpcProtocol.call`` → marshal → ``Network.transmit`` → dispatcher → reply —
+in host CPU terms.  It exists to keep the hot path honest: the profile-driven
+optimisations in the wire, transport, network, and proxy layers (see the
+"performance model" section of DESIGN.md) are proven here, and the CI perf
+gate (``tools/perf_gate.py``) fails the build if they regress.
+
+Two kinds of numbers per policy:
+
+* **deterministic** — virtual µs/op and message count.  These must be
+  identical run to run (same seed ⇒ same trace); the bench harness asserts
+  it by running every workload twice.
+* **wall** — ops/sec of the host, plus a calibration-normalised variant
+  (ops per million calibration iterations) that factors out machine speed
+  so the perf gate can compare laptops against CI runners.
+
+The operation mix is a seeded 80/20 get/put stream over four hot keys —
+small payloads, so the measurement stresses per-invocation overhead rather
+than bulk copying.
+"""
+
+from __future__ import annotations
+
+from ...simtest.runner import SimCase
+from ...simtest.workload import deploy
+from ..timing import calibration_rate, wall_clock
+
+TITLE = "E18: invocation fast path — end-to-end throughput by policy"
+COLUMNS = ["policy", "kops_per_sec", "wall_us_per_op", "norm_ops",
+           "sim_us_per_op", "messages"]
+
+#: Policies swept, in presentation order.
+POLICIES = ("stub", "caching", "replicated", "resilient", "composite")
+
+OPS = 3000
+SEED = 18
+_KEYS = ("k0", "k1", "k2", "k3")
+_PUT_FRACTION = 0.2
+
+
+def _run_workload(case: SimCase) -> dict:
+    """Deploy ``case`` fresh and drive the op mix once; returns raw metrics.
+
+    Wall-clock readings stay strictly outside the simulation: the RNG
+    stream, the proxies, and the trace never see them, so the deterministic
+    fields of two runs of the same case are identical.
+    """
+    deployment = deploy(case)
+    system = deployment.system
+    _, ctx, proxy = deployment.clients[0]
+    rng = system.seeds.stream("e18.ops")
+    # Warm the connection so one-time setup (handshake, memo priming) is
+    # not billed to the steady-state measurement.
+    proxy.put(_KEYS[0], 0)
+    proxy.get(_KEYS[0])
+    mark = system.trace.mark()
+    sim_start = ctx.clock.now
+    started = wall_clock()
+    for index in range(case.ops):
+        key = _KEYS[rng.randrange(4)]
+        if rng.random() < _PUT_FRACTION:
+            proxy.put(key, index)
+        else:
+            proxy.get(key)
+    wall = wall_clock() - started
+    sim = ctx.clock.now - sim_start
+    messages = sum(1 for ev in system.trace.since(mark) if ev.kind == "send")
+    return {
+        "wall_seconds": wall,
+        "sim_us_per_op": round(sim / case.ops * 1e6, 2),
+        "messages": messages,
+        "fingerprint": system.trace.fingerprint(),
+    }
+
+
+def measure_policy(policy: str, ops: int = OPS, seed: int = SEED,
+                   repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall timing for one policy, with a determinism
+    self-check: every repeat must agree on the deterministic fields."""
+    case = SimCase(seed=seed, policy=policy, service="kv", ops=ops,
+                   clients=1, faults=())
+    runs = [_run_workload(case) for _ in range(repeats)]
+    first = runs[0]
+    for run_ in runs[1:]:
+        for key in ("sim_us_per_op", "messages", "fingerprint"):
+            if run_[key] != first[key]:
+                raise AssertionError(
+                    f"E18 determinism violated: {policy!r} {key} drifted "
+                    f"between identical runs ({first[key]!r} vs {run_[key]!r})")
+    best_wall = min(run_["wall_seconds"] for run_ in runs)
+    return {
+        "policy": policy,
+        "ops": ops,
+        "wall_us_per_op": round(best_wall / ops * 1e6, 2),
+        "ops_per_sec": round(ops / best_wall, 1),
+        "sim_us_per_op": first["sim_us_per_op"],
+        "messages": first["messages"],
+        "fingerprint": first["fingerprint"],
+    }
+
+
+def bench_payload(ops: int = OPS, seed: int = SEED) -> dict:
+    """The machine-readable benchmark record (``BENCH_e18.json``).
+
+    Carries everything the CI perf gate needs: the host calibration rate,
+    per-policy wall numbers plus their calibration-normalised form, and the
+    deterministic fields (virtual µs/op, message count, trace fingerprint)
+    which must match the committed baseline *exactly* on any machine.
+    """
+    calibration = calibration_rate()
+    rows = []
+    for policy in POLICIES:
+        measured = measure_policy(policy, ops=ops, seed=seed)
+        measured["norm_ops"] = round(
+            measured["ops_per_sec"] / calibration * 1e6, 1)
+        rows.append(measured)
+    return {
+        "experiment": "e18",
+        "ops": ops,
+        "seed": seed,
+        "calibration_rate": round(calibration, 1),
+        "policies": rows,
+    }
+
+
+def run(ops: int = OPS, seed: int = SEED) -> list[dict]:
+    """Sweep all shipped policies; one row per policy.
+
+    ``norm_ops`` is ops/sec divided by the host calibration rate, scaled to
+    "ops per million calibration iterations" — the machine-portable number
+    the CI perf gate compares.
+    """
+    payload = bench_payload(ops=ops, seed=seed)
+    return [{
+        "policy": measured["policy"],
+        "kops_per_sec": round(measured["ops_per_sec"] / 1e3, 1),
+        "wall_us_per_op": measured["wall_us_per_op"],
+        "norm_ops": measured["norm_ops"],
+        "sim_us_per_op": measured["sim_us_per_op"],
+        "messages": measured["messages"],
+    } for measured in payload["policies"]]

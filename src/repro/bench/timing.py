@@ -1,0 +1,55 @@
+"""Sanctioned wall-clock access for host-side benchmarking.
+
+Everything inside the simulation runs on virtual time (see
+``tools/determinism_lint.py``); the one legitimate consumer of the *real*
+clock is the bench layer, which measures how much host CPU the simulator
+itself burns.  This module is the single place that touches
+``time.perf_counter`` — it is on the lint's ALLOWED list, and nothing under
+``src/repro`` outside the bench layer may import the ``time`` module
+directly.
+
+Wall-clock readings are, by nature, not deterministic: experiment code must
+keep them strictly out of anything that feeds the trace, the RNG streams,
+or the cost model.  E18 enforces this by running its simulated workload
+twice and asserting that the deterministic outputs (virtual time, message
+counts, trace fingerprint) are identical while only the wall readings
+differ.
+
+Because benchmark hosts differ wildly in speed (and CI machines in
+*consistency*), this module also provides a calibration loop: a fixed
+pure-Python workload whose measured rate estimates the host's interpreter
+speed.  Dividing a benchmark's ops/sec by the calibration rate yields a
+dimensionless, machine-portable number that a CI gate can compare across
+runs (see ``tools/perf_gate.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Iterations of the calibration loop (fixed: the loop must be the same
+#: workload everywhere or the normalisation is meaningless).
+CALIBRATION_ITERATIONS = 200_000
+
+
+def wall_clock() -> float:
+    """A monotonic wall-clock reading in seconds (host time, not sim time)."""
+    return time.perf_counter()
+
+
+def calibration_rate(repeats: int = 3) -> float:
+    """Iterations/second of a fixed pure-Python loop on this host.
+
+    Best-of-``repeats``: transient noise (scheduler preemption, turbo
+    ramp-up) only ever makes the loop *slower*, so the fastest observation
+    is the closest to the host's true speed.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        acc = 0
+        start = time.perf_counter()
+        for i in range(CALIBRATION_ITERATIONS):
+            acc = (acc + i * 3) % 1000003
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return CALIBRATION_ITERATIONS / best

@@ -6,6 +6,7 @@
     python -m repro run e2               # one experiment, table on stdout
     python -m repro run e3 --seed 9      # reseeded
     python -m repro all                  # the whole evaluation
+    python -m repro bench e18 --json     # host throughput (perf-gate record)
     python -m repro demo                 # 30-second tour
 """
 
@@ -78,6 +79,40 @@ def cmd_all(args) -> int:
         rows = module.run()
         print(render_table(rows, module.TITLE))
         print()
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Host-side throughput benchmark (wall clock, not virtual time).
+
+    ``python -m repro bench e18 --json > BENCH_e18.json`` produces the
+    machine-readable record the CI perf gate compares against the committed
+    baseline.  Determinism discipline matches ``simtest --json``: every
+    workload runs multiple times and the harness asserts the deterministic
+    fields (virtual µs/op, message counts, trace fingerprints) agree before
+    reporting; only the wall readings may differ.
+    """
+    if args.benchmark != "e18":
+        print(f"unknown benchmark {args.benchmark!r}; known: ['e18']",
+              file=sys.stderr)
+        return 2
+    from .bench.experiments import e18_fastpath
+    kwargs = {}
+    if args.ops is not None:
+        kwargs["ops"] = args.ops
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    payload = e18_fastpath.bench_payload(**kwargs)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [{key: measured[key]
+                 for key in ("policy", "ops_per_sec", "wall_us_per_op",
+                             "norm_ops", "sim_us_per_op", "messages")}
+                for measured in payload["policies"]]
+        print(render_table(rows, e18_fastpath.TITLE))
+        print(f"calibration: {payload['calibration_rate']:.0f} it/s "
+              f"(norm_ops = ops/sec per million calibration iterations)")
     return 0
 
 
@@ -203,6 +238,14 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.set_defaults(func=cmd_run)
     commands.add_parser("all", help="run every experiment").set_defaults(
         func=cmd_all)
+    bench_parser = commands.add_parser(
+        "bench", help="host throughput benchmark (wall clock)")
+    bench_parser.add_argument("benchmark", help="benchmark id, e.g. e18")
+    bench_parser.add_argument("--ops", type=int, default=None)
+    bench_parser.add_argument("--seed", type=int, default=None)
+    bench_parser.add_argument("--json", action="store_true",
+                              help="emit the BENCH record as sorted JSON")
+    bench_parser.set_defaults(func=cmd_bench)
     sim_parser = commands.add_parser(
         "simtest", help="deterministic sim-chaos + linearizability check")
     sim_parser.add_argument("--seed", type=int, default=0,

@@ -54,6 +54,9 @@ class Proxy:
                  config: dict | None = None):
         self.proxy_context = context
         self.proxy_ref = ref
+        #: Resolved-``Operation`` cache (verb → Operation), filled lazily by
+        #: :meth:`proxy_operation`; cleared with the bound-operation cache.
+        self.proxy_opcache = {}
         self.proxy_interface = interface
         self.proxy_config = dict(config or {})
         self.proxy_protocol = context.system.rpc
@@ -82,9 +85,12 @@ class Proxy:
         Called by :meth:`ObjectSpace.upgrade` on proxies that were first
         materialised without a handshake (e.g. from a reference embedded in
         a reply).  Shipped values do not override local ones already set.
+        An upgrade may change operation-relevant configuration, so the
+        operation caches are dropped.
         """
         merged = {**config, **self.proxy_config}
         self.proxy_config = merged
+        self.proxy_invalidate_ops()
         self.proxy_install()
 
     # -- invocation ------------------------------------------------------------
@@ -96,7 +102,41 @@ class Proxy:
             raise InterfaceError(
                 f"interface {self.proxy_interface.name!r} declares no "
                 f"operation {verb!r}")
-        return _BoundProxyOperation(self, verb)
+        bound = _BoundProxyOperation(self, verb)
+        # Memoise on the instance: the next ``proxy.verb`` is a plain
+        # attribute hit that never re-enters ``__getattr__`` (verbs can never
+        # start with ``proxy_`` or ``_``, so no internal name is shadowed).
+        # Dropped by :meth:`proxy_invalidate_ops` on rebinds and upgrades.
+        self.__dict__[verb] = bound
+        return bound
+
+    def proxy_operation(self, verb: str):
+        """The resolved :class:`Operation` for ``verb``, cached per proxy.
+
+        Saves the interface signature lookup on every repeated invocation;
+        the cache is dropped whenever the interface or binding changes.
+        """
+        op = self.proxy_opcache.get(verb)
+        if op is None:
+            op = self.proxy_interface.operation(verb)
+            self.proxy_opcache[verb] = op
+        return op
+
+    def proxy_invalidate_ops(self) -> None:
+        """Drop every cached bound operation and resolved signature.
+
+        Called on rebind, upgrade, and interface replacement, so a stale
+        cache can never answer for an operation the current interface no
+        longer declares (or route to a superseded binding).
+        """
+        instance = self.__dict__
+        stale = [name for name, value in instance.items()
+                 if value.__class__ is _BoundProxyOperation]
+        for name in stale:
+            del instance[name]
+        cache = instance.get("proxy_opcache")
+        if cache:
+            cache.clear()
 
     def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
         """Perform one operation.  Policies override this.
@@ -123,7 +163,7 @@ class Proxy:
             self.proxy_stats["remote_calls"] += 1
             return self.proxy_next.invoke(verb, args, kwargs)
         max_forwards = int(self.proxy_config.get("max_forwards", 4))
-        op = self.proxy_interface.operation(verb)
+        op = self.proxy_operation(verb)
         for _ in range(1 + max_forwards):
             self.proxy_stats["remote_calls"] += 1
             try:
@@ -146,10 +186,28 @@ class Proxy:
         self.proxy_stats["rebinds"] += 1
         old = self.proxy_ref
         self.proxy_ref = ref
+        self.proxy_invalidate_ops()
         table = self.proxy_context.proxies
         if table.get(old.key) is self:
             del table[old.key]
             table[ref.key] = self
+
+    # -- interface (operation caches track replacement) -------------------------
+
+    @property
+    def proxy_interface(self) -> Interface:
+        """The interface this proxy exports.
+
+        Replacing it (an interface upgrade) drops the operation caches, so
+        stale bound operations cannot outlive the signature that admitted
+        them.
+        """
+        return self._proxy_interface
+
+    @proxy_interface.setter
+    def proxy_interface(self, interface: Interface) -> None:
+        self._proxy_interface = interface
+        self.proxy_invalidate_ops()
 
     # -- introspection -----------------------------------------------------------
 

@@ -25,28 +25,26 @@ class Clock:
     common way a cost model goes wrong.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
+        #: Current virtual time in seconds.  A plain attribute (not a
+        #: property): it is read on every hop of the invoke path, and all
+        #: writes go through the methods below, which enforce monotonicity.
+        self.now = float(start)
 
     def advance(self, delta: float) -> float:
         """Move the cursor forward by ``delta`` seconds and return the new time."""
         if delta < 0:
             raise SimulationError(f"cannot advance clock by negative delta {delta!r}")
-        self._now += delta
-        return self._now
+        self.now += delta
+        return self.now
 
     def advance_to(self, when: float) -> float:
         """Move the cursor forward to ``when`` (no-op if already past it)."""
-        if when > self._now:
-            self._now = when
-        return self._now
+        if when > self.now:
+            self.now = when
+        return self.now
 
     def reset(self, when: float = 0.0) -> None:
         """Set the cursor unconditionally (may rewind).
@@ -55,10 +53,10 @@ class Clock:
         promise layer rewinding a client to its request's send time to model
         asynchronous overlap (:mod:`repro.rpc.promises`).
         """
-        self._now = float(when)
+        self.now = float(when)
 
     def __repr__(self) -> str:
-        return f"Clock(now={self._now:.9f})"
+        return f"Clock(now={self.now:.9f})"
 
 
 class BusyLine:
@@ -69,17 +67,15 @@ class BusyLine:
     the line is busy queues.  ``occupy`` returns the interval actually used.
     """
 
-    __slots__ = ("_busy_until", "total_busy", "jobs")
+    __slots__ = ("busy_until", "total_busy", "jobs")
 
     def __init__(self):
-        self._busy_until = 0.0
+        #: Virtual time at which the line becomes free (plain attribute for
+        #: the same hot-path reason as :attr:`Clock.now`; writes go through
+        #: :meth:`occupy` and :meth:`reset`).
+        self.busy_until = 0.0
         self.total_busy = 0.0
         self.jobs = 0
-
-    @property
-    def busy_until(self) -> float:
-        """Virtual time at which the line becomes free."""
-        return self._busy_until
 
     def occupy(self, arrive: float, duration: float) -> tuple[float, float]:
         """Occupy the line for ``duration`` starting no earlier than ``arrive``.
@@ -89,18 +85,18 @@ class BusyLine:
         """
         if duration < 0:
             raise SimulationError(f"negative service duration {duration!r}")
-        start = max(arrive, self._busy_until)
+        start = max(arrive, self.busy_until)
         end = start + duration
-        self._busy_until = end
+        self.busy_until = end
         self.total_busy += duration
         self.jobs += 1
         return start, end
 
     def reset(self) -> None:
         """Clear occupancy (test/bench setup only)."""
-        self._busy_until = 0.0
+        self.busy_until = 0.0
         self.total_busy = 0.0
         self.jobs = 0
 
     def __repr__(self) -> str:
-        return f"BusyLine(busy_until={self._busy_until:.9f}, jobs={self.jobs})"
+        return f"BusyLine(busy_until={self.busy_until:.9f}, jobs={self.jobs})"

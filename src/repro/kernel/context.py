@@ -36,9 +36,14 @@ class Context:
             (installed by repro.core; refs become proxies).
     """
 
+    __slots__ = ("node", "name", "clock", "line", "handler", "exports",
+                 "proxies", "encoder_hook", "decoder_hook", "space",
+                 "current_deadline", "_context_id")
+
     def __init__(self, node, name: str):
         self.node = node
         self.name = name
+        self._context_id = f"{node.name}/{name}"
         self.clock = Clock()
         self.line = BusyLine()
         self.handler: Callable[[bytes, float], tuple[bytes, float] | None] | None = None
@@ -54,8 +59,10 @@ class Context:
 
     @property
     def context_id(self) -> str:
-        """Globally unique id: ``"<node>/<context>"``."""
-        return f"{self.node.name}/{self.name}"
+        """Globally unique id: ``"<node>/<context>"`` (computed once — node
+        and context names are fixed at creation, and the id is read on every
+        hop of the invoke path)."""
+        return self._context_id
 
     @property
     def system(self):

@@ -7,11 +7,18 @@ random loss, node crashes, and partitions.
 The network is deliberately *unreliable and silent*: a dropped message is not
 reported to the sender (that is the RPC layer's problem to detect by
 timeout), exactly as on real hardware.
+
+Hot path: :meth:`Network.transmit` runs once per message and used to build a
+fresh default :class:`LinkSpec` per call plus a frozen-dataclass
+:class:`Delivery` per outcome.  Both are now plain named tuples (cheap to
+construct, immutable, attribute access preserved), the default spec is
+interned and rebuilt only when :meth:`set_default_loss` changes it, and the
+partition check is skipped entirely while no partition is active.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from .errors import ConfigurationError
 from .params import CostModel
@@ -19,8 +26,7 @@ from .randomness import SeedSequence
 from .trace import Trace
 
 
-@dataclass(frozen=True)
-class LinkSpec:
+class LinkSpec(NamedTuple):
     """Per-link override of the default cost model.
 
     Attributes:
@@ -34,8 +40,7 @@ class LinkSpec:
     loss: float = 0.0
 
 
-@dataclass(frozen=True)
-class Delivery:
+class Delivery(NamedTuple):
     """Outcome of one transmission attempt.
 
     Attributes:
@@ -60,7 +65,12 @@ class Network:
         self._nodes: dict[str, "object"] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
         self._default_loss = 0.0
+        self._default_spec = LinkSpec(latency=costs.remote_latency,
+                                      byte_cost=costs.byte_cost, loss=0.0)
         self._groups: dict[str, int] = {}
+        #: Whether any partition is currently in force (cheap early-out for
+        #: the per-message group comparison on the hot path).
+        self._partition_active = False
         #: Multiplier on inter-node propagation latency (latency-spike
         #: injection; see repro.failures.injectors.latency_spike).
         self.latency_factor = 1.0
@@ -93,6 +103,9 @@ class Network:
         if not 0.0 <= probability <= 1.0:
             raise ConfigurationError(f"loss probability {probability!r} not in [0,1]")
         self._default_loss = probability
+        self._default_spec = LinkSpec(latency=self.costs.remote_latency,
+                                      byte_cost=self.costs.byte_cost,
+                                      loss=probability)
 
     def set_latency_factor(self, factor: float) -> float:
         """Scale inter-node propagation latency; returns the previous factor."""
@@ -116,14 +129,18 @@ class Network:
                 if name not in self._nodes:
                     raise ConfigurationError(f"unknown node {name!r} in partition")
                 self._groups[name] = group
+        self._partition_active = any(self._groups.values())
 
     def heal(self) -> None:
         """Remove all partitions."""
         for name in self._groups:
             self._groups[name] = 0
+        self._partition_active = False
 
     def partitioned(self, a: str, b: str) -> bool:
         """Whether nodes ``a`` and ``b`` are currently separated."""
+        if not self._partition_active:
+            return False
         return self._groups.get(a, 0) != self._groups.get(b, 0)
 
     # -- transmission --------------------------------------------------------
@@ -133,39 +150,58 @@ class Network:
         spec = self._links.get((src, dst))
         if spec is not None:
             return spec
-        return LinkSpec(latency=self.costs.remote_latency,
-                        byte_cost=self.costs.byte_cost,
-                        loss=self._default_loss)
+        return self._default_spec
 
     def transit_time(self, src: str, dst: str, nbytes: int) -> float:
         """One-way transfer time for ``nbytes`` from ``src`` to ``dst``.
 
         Same-node transfers use the IPC costs from the cost model.
         """
+        costs = self.costs
         if src == dst:
-            return self.costs.ipc_latency + nbytes * self.costs.ipc_byte_cost
-        spec = self.link_spec(src, dst)
+            return costs.ipc_latency + nbytes * costs.ipc_byte_cost
+        spec = self._links.get((src, dst))
+        if spec is None:
+            spec = self._default_spec
         return spec.latency * self.latency_factor + nbytes * spec.byte_cost
 
     def transmit(self, src: str, dst: str, nbytes: int, at: float) -> Delivery:
         """Attempt delivery of one message; never raises for network faults.
 
         Loss, crash, and partition all surface as ``delivered=False`` — the
-        sender cannot tell them apart, just like on a real wire.
+        sender cannot tell them apart, just like on a real wire.  Every drop
+        emits a ``drop`` trace event, whichever end caused it.
         """
-        src_node = self.node(src)
-        dst_node = self.node(dst)
-        arrive = at + self.transit_time(src, dst, nbytes)
+        nodes = self._nodes
+        src_node = nodes.get(src)
+        if src_node is None:
+            raise ConfigurationError(f"unknown node {src!r}")
+        dst_node = nodes.get(dst)
+        if dst_node is None:
+            raise ConfigurationError(f"unknown node {dst!r}")
+        costs = self.costs
+        # Parenthesised exactly like transit_time() so the float sum is
+        # bit-identical to the pre-inlining arithmetic (fingerprint audit).
+        if src == dst:
+            arrive = at + (costs.ipc_latency + nbytes * costs.ipc_byte_cost)
+            spec = None
+        else:
+            spec = self._links.get((src, dst))
+            if spec is None:
+                spec = self._default_spec
+            arrive = at + (spec.latency * self.latency_factor
+                           + nbytes * spec.byte_cost)
         if not src_node.alive:
+            self.trace.emit(at, "drop", src, dst, "crash", nbytes)
             return Delivery(False, arrive, "crash")
         if not dst_node.alive:
             self.trace.emit(at, "drop", src, dst, "crash", nbytes)
             return Delivery(False, arrive, "crash")
-        if src != dst and self.partitioned(src, dst):
-            self.trace.emit(at, "drop", src, dst, "partition", nbytes)
-            return Delivery(False, arrive, "partition")
-        if src != dst:
-            loss = self.link_spec(src, dst).loss
+        if spec is not None:
+            if self._partition_active and self.partitioned(src, dst):
+                self.trace.emit(at, "drop", src, dst, "partition", nbytes)
+                return Delivery(False, arrive, "partition")
+            loss = spec.loss
             if loss > 0.0 and self._rng.random() < loss:
                 self.trace.emit(at, "drop", src, dst, "loss", nbytes)
                 return Delivery(False, arrive, "loss")

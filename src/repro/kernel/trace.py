@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, NamedTuple
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One traced occurrence.
+
+    A named tuple rather than a (frozen) dataclass: one is built per traced
+    message, and tuple construction skips the per-field ``__setattr__`` walk
+    frozen dataclasses pay.
 
     Attributes:
         time: virtual time of the event.
@@ -43,17 +46,46 @@ class Trace:
         self.events: list[TraceEvent] = []
         self.capacity = capacity
         self._marks: list[int] = []
+        #: Live listeners called with each recorded event (metrics taps,
+        #: debug consoles).  The emit hot path pays one truth test while the
+        #: list is empty — see :meth:`subscribe`.
+        self.subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a live listener; it sees every event recorded from now on."""
+        self.subscribers.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        try:
+            self.subscribers.remove(listener)
+        except ValueError:
+            pass
 
     def record(self, event: TraceEvent) -> None:
         """Append one event (drops silently once ``capacity`` is reached)."""
         if self.capacity is not None and len(self.events) >= self.capacity:
             return
         self.events.append(event)
+        if self.subscribers:
+            for listener in self.subscribers:
+                listener(event)
 
     def emit(self, time: float, kind: str, src: str, dst: str,
              label: str = "", size: int = 0) -> None:
-        """Convenience wrapper building and recording a :class:`TraceEvent`."""
-        self.record(TraceEvent(time, kind, src, dst, label, size))
+        """Convenience wrapper building and recording a :class:`TraceEvent`.
+
+        Checks capacity *before* constructing the event, so a saturated
+        bounded trace costs one comparison per message rather than one
+        allocation.
+        """
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        event = TraceEvent(time, kind, src, dst, label, size)
+        self.events.append(event)
+        if self.subscribers:
+            for listener in self.subscribers:
+                listener(event)
 
     # -- querying ----------------------------------------------------------
 

@@ -108,7 +108,7 @@ class Dispatcher:
         ctx = self.context
         system = ctx.system
         costs = system.costs
-        ctx.charge(self.transport.unmarshal_cost(len(data)))
+        ctx.charge(costs.marshal_fixed + len(data) * costs.marshal_byte_cost)
         frame = self.transport.decode_frame(data, ctx)
         if frame.kind == ONEWAY:
             self.stats["oneways"] += 1
@@ -124,7 +124,8 @@ class Dispatcher:
             ctx.charge(costs.dispatch_cost)
             return self._replay[dedup_key], ctx.clock.now
         ctx.charge(costs.dispatch_cost)
-        deadline = Deadline.from_headers(frame.headers)
+        deadline = Deadline.from_headers(frame.headers) if frame.headers \
+            else None
         if deadline is not None and deadline.expired(ctx.clock.now):
             # The caller's budget is already spent: executing the operation
             # can no longer help anyone, so skip dispatch entirely and tell
@@ -133,18 +134,21 @@ class Dispatcher:
             reply = frame.exception_to(
                 "DeadlineExceeded",
                 f"budget spent before dispatch of {frame.verb!r}")
-            return self.transport.encode_frame(reply), ctx.clock.now
+            return self.transport.encode_frame(reply, ctx), ctx.clock.now
         # Park the deadline on the serving context so nested outbound calls
         # the handler makes inherit the root caller's budget.
         enclosing = ctx.current_deadline
-        ctx.current_deadline = Deadline.merge(deadline, enclosing)
+        if deadline is None and enclosing is None:
+            ctx.current_deadline = None
+        else:
+            ctx.current_deadline = Deadline.merge(deadline, enclosing)
         try:
             reply = self._dispatch(frame)
         finally:
             ctx.current_deadline = enclosing
         system.trace.emit(ctx.clock.now, "invoke", frame.src, ctx.context_id,
-                          f"{frame.verb}")
-        reply_data = self.transport.encode_frame(reply)
+                          frame.verb)
+        reply_data = self.transport.encode_frame(reply, ctx)
         if self.at_most_once:
             self._remember(dedup_key, reply_data)
         return reply_data, ctx.clock.now
@@ -166,12 +170,12 @@ class Dispatcher:
                 f"object {frame.target!r} migrated to {fwd.context_id!r}",
                 detail=(fwd.context_id, fwd.oid, fwd.interface, fwd.epoch,
                         fwd.policy))
-        if frame.verb not in entry.interface:
+        op = entry.interface.operations.get(frame.verb)
+        if op is None:
             return frame.exception_to(
                 "InterfaceError",
                 f"interface {entry.interface.name!r} declares no operation "
                 f"{frame.verb!r}")
-        op = entry.interface.operation(frame.verb)
         if op.compute > 0:
             self.context.charge(op.compute)
         try:

@@ -69,6 +69,10 @@ class RpcProtocol:
     def __init__(self, system, transport: Transport | None = None):
         self.system = system
         self.transport = transport or system.transport or Transport(system)
+        # Fixed for the system's lifetime (System.__init__ never swaps them);
+        # cached to keep attribute chains off the per-call path.
+        self._costs = system.costs
+        self._network = system.network
         self.lrpc_enabled = True
         #: Send time of the most recent call's first attempt (promise layer).
         self.last_sent_at: float | None = None
@@ -101,7 +105,9 @@ class RpcProtocol:
         """
         kwargs = kwargs or {}
         self.stats["calls"] += 1
-        deadline = Deadline.merge(deadline, src.current_deadline)
+        enclosing = src.current_deadline
+        if deadline is not None or enclosing is not None:
+            deadline = Deadline.merge(deadline, enclosing)
         if self.lrpc_enabled and ref.context_id == src.context_id:
             return self._local_call(src, ref, verb, args, kwargs)
         if deadline is not None and deadline.expired(src.clock.now):
@@ -113,21 +119,17 @@ class RpcProtocol:
                       target=ref.oid, verb=verb, body=(tuple(args), kwargs))
         if deadline is not None:
             deadline.to_headers(frame.headers)
-        data = self.transport.encode_frame(frame)
-        costs = self.system.costs
-        attempts = policy.budget(costs)
-        # The retransmission timer scales with the request size: a bulk
-        # argument legitimately takes longer than the base timeout to even
-        # reach the server (Birrell-Nelson RPC used per-packet acks for the
-        # same reason).
-        patience = costs.rpc_timeout + 2 * self.system.network.transit_time(
-            src.node.name, ref.node_name, len(data))
+        data = self.transport.encode_frame(frame, src)
+        attempts = policy.budget(self._costs)
         tracker = self.system.latency
-        if tracker is not None and getattr(policy, "adaptive", False):
-            # Per-link patience: the Jacobson RTO from observed RTTs, with
-            # the global constant as the cold-link fallback.
-            patience = tracker.patience(src.context_id, ref.context_id,
-                                        patience)
+        # The retransmission-timer interval is pure arithmetic for
+        # jitter-free policies, and an attempt that gets its reply never
+        # consults the timer — so ``patience`` and ``wait_until`` are
+        # computed lazily, on the first timed-out attempt.  Jittered
+        # policies draw from the seeded stream inside ``interval`` and must
+        # keep drawing eagerly, once per attempt, in the original order.
+        jittered = policy.jitter > 0.0
+        patience = None
         for attempt in range(attempts):
             if attempt > 0:
                 self.stats["retries"] += 1
@@ -135,14 +137,20 @@ class RpcProtocol:
             if attempt == 0:
                 # Consumed by the promise layer to overlap round trips.
                 self.last_sent_at = sent_at
-            wait_until = sent_at + policy.interval(attempt, patience,
-                                                   self._retry_rng)
-            if deadline is not None:
-                # A wait must never outlive the call's budget: the final
-                # attempt's timer is cut at the deadline instead of charging
-                # the full interval after the budget is already spent.
-                wait_until = deadline.clamp(wait_until)
-            reply = self._attempt(src, frame, data, sent_at, wait_until)
+            if jittered:
+                if patience is None:
+                    patience = self._patience(src, ref, policy, tracker,
+                                              len(data))
+                wait_until = sent_at + policy.interval(attempt, patience,
+                                                       self._retry_rng)
+                if deadline is not None:
+                    # A wait must never outlive the call's budget: the final
+                    # attempt's timer is cut at the deadline instead of
+                    # charging the full interval after the budget is spent.
+                    wait_until = deadline.clamp(wait_until)
+            else:
+                wait_until = None
+            reply = self._attempt(src, frame, data, sent_at)
             if reply is not None:
                 if tracker is not None:
                     # Karn's rule analogue: only successful attempts are
@@ -151,6 +159,14 @@ class RpcProtocol:
                                     src.clock.now - sent_at)
                 self._feed_breaker(src, ref, success=True)
                 return self._accept(src, ref, reply)
+            if wait_until is None:
+                if patience is None:
+                    patience = self._patience(src, ref, policy, tracker,
+                                              len(data))
+                wait_until = sent_at + policy.interval(attempt, patience,
+                                                       self._retry_rng)
+                if deadline is not None:
+                    wait_until = deadline.clamp(wait_until)
             src.clock.advance_to(wait_until)
             if deadline is not None and deadline.expired(src.clock.now):
                 self.stats["deadline_exceeded"] += 1
@@ -160,9 +176,28 @@ class RpcProtocol:
                     f"{attempt + 1} attempts")
         self.stats["timeouts"] += 1
         self._feed_breaker(src, ref, success=False)
+        if patience is None:
+            patience = self._patience(src, ref, policy, tracker, len(data))
         raise RpcTimeout(
             f"{verb!r} on {ref} failed after {attempts} attempts "
             f"({patience * 1e3:.1f} ms base timeout)")
+
+    def _patience(self, src: Context, ref: ObjectRef, policy: RetryPolicy,
+                  tracker, nbytes: int) -> float:
+        """Base retransmission timeout for one call.
+
+        Scales with the request size: a bulk argument legitimately takes
+        longer than the base timeout to even reach the server
+        (Birrell-Nelson RPC used per-packet acks for the same reason).
+        """
+        patience = self._costs.rpc_timeout + 2 * self._network.transit_time(
+            src.node.name, ref.node_name, nbytes)
+        if tracker is not None and getattr(policy, "adaptive", False):
+            # Per-link patience: the Jacobson RTO from observed RTTs, with
+            # the global constant as the cold-link fallback.
+            patience = tracker.patience(src.context_id, ref.context_id,
+                                        patience)
+        return patience
 
     def send_oneway(self, src: Context, ref: ObjectRef, verb: str,
                     args: tuple = (), kwargs: dict | None = None) -> None:
@@ -177,7 +212,7 @@ class RpcProtocol:
             return
         frame = Frame(ONEWAY, self._mint(src), src.context_id, ref.context_id,
                       target=ref.oid, verb=verb, body=(tuple(args), kwargs))
-        data = self.transport.encode_frame(frame)
+        data = self.transport.encode_frame(frame, src)
         delivery = self.transport.transmit(frame, data, src.clock.now)
         if delivery.delivered:
             try:
@@ -206,7 +241,7 @@ class RpcProtocol:
     # -- one attempt -----------------------------------------------------------
 
     def _attempt(self, src: Context, frame: Frame, data: bytes,
-                 sent_at: float, deadline: float):
+                 sent_at: float):
         """One request transmission; returns the decoded reply frame or None."""
         delivery = self.transport.transmit(frame, data, sent_at)
         if not delivery.delivered:
@@ -221,8 +256,8 @@ class RpcProtocol:
         if outcome is None:
             return None
         reply_data, ready = outcome
-        pseudo = Frame(REPLY, frame.msg_id, frame.dst, frame.src)
-        back = self.transport.transmit(pseudo, reply_data, ready)
+        back = self.transport.transmit_reply(frame.dst, frame.src,
+                                             reply_data, ready)
         if not back.delivered:
             return None
         # Birrell-Nelson semantics: the retransmission timer exists to
@@ -230,10 +265,11 @@ class RpcProtocol:
         # acks keep the caller waiting as long as work is in progress.  In
         # the simulation, "both legs delivered" is exactly that case, so
         # the reply is accepted whenever it arrives; only a lost leg
-        # triggers the timeout path.  (``deadline`` still paces the waits
-        # between retransmissions on the loss path.)
+        # triggers the timeout path.  (The caller's retry loop still paces
+        # the waits between retransmissions on the loss path.)
         src.clock.advance_to(back.arrive_time)
-        src.charge(self.transport.unmarshal_cost(len(reply_data)))
+        costs = self._costs
+        src.charge(costs.marshal_fixed + len(reply_data) * costs.marshal_byte_cost)
         return self.transport.decode_frame(reply_data, src)
 
     def _accept(self, src: Context, ref: ObjectRef, reply: Frame) -> Any:
@@ -273,7 +309,7 @@ class RpcProtocol:
         op = entry.interface.operation(verb)
         src.charge(self.system.costs.local_call + op.compute)
         self.system.trace.emit(src.clock.now, "invoke", src.context_id,
-                               src.context_id, f"{verb}")
+                               src.context_id, verb)
         return getattr(entry.obj, verb)(*args, **kwargs)
 
     def _mint(self, src: Context) -> int:

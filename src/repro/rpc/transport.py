@@ -8,6 +8,13 @@ materialises in the destination context as a proxy.
 
 The transport also charges marshalling CPU to the sender and unmarshalling
 CPU to the receiver, and records every transmission in the system trace.
+
+Hot path: a :class:`~repro.wire.marshal.Marshaller` is stateless apart from
+its hooks, so the transport keeps one encoder and one decoder per context
+instead of allocating a fresh pair for every frame.  The cache is validated
+against the context's *current* hook on every use (hooks are installed once,
+when the object space attaches, which may be after the first frame), so a
+stale marshaller can never be applied.
 """
 
 from __future__ import annotations
@@ -22,21 +29,43 @@ class Transport:
 
     def __init__(self, system: System):
         self.system = system
+        # Fixed for the system's lifetime; cached off the per-frame path.
+        self._trace = system.trace
+        self._network = system.network
+        self._encoders: dict[str, Marshaller] = {}
+        self._decoders: dict[str, Marshaller] = {}
+        self._labels: dict[tuple[str, str], str] = {}
+        self._node_names: dict[str, str] = {}
         system.transport = self
 
     # -- marshalling with per-context hooks -----------------------------------
 
     def encoder_for(self, context) -> Marshaller:
         """Marshaller applying ``context``'s outbound swizzle hook."""
-        return Marshaller(encoder_hook=context.encoder_hook)
+        hook = context.encoder_hook
+        marshaller = self._encoders.get(context.context_id)
+        if marshaller is None or marshaller.encoder_hook is not hook:
+            marshaller = Marshaller(encoder_hook=hook)
+            self._encoders[context.context_id] = marshaller
+        return marshaller
 
     def decoder_for(self, context) -> Marshaller:
         """Marshaller applying ``context``'s inbound swizzle hook."""
-        return Marshaller(decoder_hook=context.decoder_hook)
+        hook = context.decoder_hook
+        marshaller = self._decoders.get(context.context_id)
+        if marshaller is None or marshaller.decoder_hook is not hook:
+            marshaller = Marshaller(decoder_hook=hook)
+            self._decoders[context.context_id] = marshaller
+        return marshaller
 
-    def encode_frame(self, frame: Frame) -> bytes:
-        """Encode ``frame`` with the sending context's hooks, charging CPU."""
-        src_ctx = self.system.context(frame.src)
+    def encode_frame(self, frame: Frame, src_ctx=None) -> bytes:
+        """Encode ``frame`` with the sending context's hooks, charging CPU.
+
+        Callers that already hold the sending context pass it as ``src_ctx``
+        to skip the id lookup; it must be the context named by ``frame.src``.
+        """
+        if src_ctx is None:
+            src_ctx = self.system.context(frame.src)
         data = frame.encode(self.encoder_for(src_ctx))
         costs = self.system.costs
         src_ctx.charge(costs.marshal_fixed + len(data) * costs.marshal_byte_cost)
@@ -63,9 +92,38 @@ class Transport:
         Records a ``send`` trace event regardless of outcome (the sender did
         the work); drops are recorded by the network itself.
         """
-        src_node = frame.src.split("/", 1)[0]
-        dst_node = frame.dst.split("/", 1)[0]
-        self.system.trace.emit(at, "send", frame.src, frame.dst,
-                               f"{frame.kind}:{frame.verb}" if frame.verb else frame.kind,
-                               len(data))
-        return self.system.network.transmit(src_node, dst_node, len(data), at)
+        src = frame.src
+        dst = frame.dst
+        key = (frame.kind, frame.verb)
+        label = self._labels.get(key)
+        if label is None:
+            label = f"{frame.kind}:{frame.verb}" if frame.verb else frame.kind
+            self._labels[key] = label
+        nbytes = len(data)
+        self._trace.emit(at, "send", src, dst, label, nbytes)
+        names = self._node_names
+        src_node = names.get(src)
+        if src_node is None:
+            src_node = names[src] = src.split("/", 1)[0]
+        dst_node = names.get(dst)
+        if dst_node is None:
+            dst_node = names[dst] = dst.split("/", 1)[0]
+        return self._network.transmit(src_node, dst_node, nbytes, at)
+
+    def transmit_reply(self, src: str, dst: str, data: bytes, at: float):
+        """Send reply bytes back to the caller.
+
+        Identical trace and network behaviour to :meth:`transmit` with a
+        verb-less reply frame — without requiring the caller to build one
+        just to carry the four header fields.
+        """
+        nbytes = len(data)
+        self._trace.emit(at, "send", src, dst, "rep", nbytes)
+        names = self._node_names
+        src_node = names.get(src)
+        if src_node is None:
+            src_node = names[src] = src.split("/", 1)[0]
+        dst_node = names.get(dst)
+        if dst_node is None:
+            dst_node = names[dst] = dst.split("/", 1)[0]
+        return self._network.transmit(src_node, dst_node, nbytes, at)

@@ -24,7 +24,7 @@ ONEWAY = "one"       #: fire-and-forget notification (no reply)
 _KINDS = {REQUEST, REPLY, EXCEPTION, ONEWAY}
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One message.
 
@@ -54,17 +54,20 @@ class Frame:
         """Encode the frame (hooks of ``marshaller`` apply to the body)."""
         if self.kind not in _KINDS:
             raise ProtocolError(f"unknown frame kind {self.kind!r}")
-        return marshaller.encode([
+        return marshaller.encode_frame_fields(
             self.kind, self.msg_id, self.src, self.dst,
-            self.target, self.verb, self.body, self.headers,
-        ])
+            self.target, self.verb, self.body, self.headers)
 
     @classmethod
     def decode(cls, data: bytes, marshaller: Marshaller) -> "Frame":
         """Decode wire bytes into a frame (hooks apply to the body)."""
-        fields = marshaller.decode(data)
-        if not isinstance(fields, list) or len(fields) != 8:
-            raise ProtocolError("malformed frame")
+        fields = marshaller.decode_frame_fields(data)
+        if fields is None:
+            # Not an 8-element list: decode generically so malformed input
+            # produces the same errors it always did.
+            fields = marshaller.decode(data)
+            if not isinstance(fields, list) or len(fields) != 8:
+                raise ProtocolError("malformed frame")
         kind, msg_id, src, dst, target, verb, body, headers = fields
         if kind not in _KINDS:
             raise ProtocolError(f"unknown frame kind {kind!r}")
@@ -87,6 +90,8 @@ class Frame:
 
 class MessageIdMinter:
     """Mints per-context message ids (unique within one sender)."""
+
+    __slots__ = ("_next",)
 
     def __init__(self):
         self._next = 1

@@ -11,6 +11,21 @@ that ref into a proxy.  Application data passes by value.
 Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
 ``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict``, ``set``,
 ``frozenset``, :class:`ObjectRef`, plus anything the hooks translate.
+
+Performance model (see DESIGN.md): encoding dispatches on the *exact* type
+of each value through a table of fast encoders.  Values of a built-in
+primitive or container type are **hook-exempt** — the swizzle hook cannot
+replace a plain int or list (the object-space hook declines them by
+definition), so consulting it per value is pure overhead on the hot path.
+Hooks still see every value of any other type, including elements nested
+inside containers, so reference swizzling is unaffected.  Encodings are
+byte-for-byte identical to the naive encoder (the fuzz test in
+``tests/wire/test_marshal_fastpath.py`` keeps the naive encoder around as
+the reference implementation and asserts exactly that).  Small immutable
+payloads — interned strings such as verbs, context ids and hot keys, and
+small ints — additionally hit a bounded encode/decode memo, which is safe
+precisely because the encoding of a primitive is a pure function of its
+value.
 """
 
 from __future__ import annotations
@@ -40,13 +55,50 @@ _TAG_SET = b"S"
 _TAG_FROZENSET = b"Z"
 _TAG_REF = b"R"
 
-#: Encoder hook: given a value the base encoder cannot handle (or any value,
-#: since hooks run first), return a replacement value or ``None`` to decline.
+# Integer tag values for the decoder (indexing bytes yields ints; comparing
+# ints beats slicing one-byte substrings on the hot path).
+_ORD_NONE = _TAG_NONE[0]
+_ORD_TRUE = _TAG_TRUE[0]
+_ORD_FALSE = _TAG_FALSE[0]
+_ORD_INT = _TAG_INT[0]
+_ORD_BIGINT = _TAG_BIGINT[0]
+_ORD_FLOAT = _TAG_FLOAT[0]
+_ORD_STR = _TAG_STR[0]
+_ORD_BYTES = _TAG_BYTES[0]
+_ORD_LIST = _TAG_LIST[0]
+_ORD_TUPLE = _TAG_TUPLE[0]
+_ORD_DICT = _TAG_DICT[0]
+_ORD_SET = _TAG_SET[0]
+_ORD_FROZENSET = _TAG_FROZENSET[0]
+_ORD_REF = _TAG_REF[0]
+
+# Precomputed fragments for the frame fast path: every frame is an 8-element
+# list, and its headers dict is empty on all but protocol-extension frames.
+_LIST8_HEAD = _TAG_LIST + _U32.pack(8)
+_EMPTY_DICT = _TAG_DICT + _U32.pack(0)
+
+#: Encoder hook: given a value the base encoder cannot handle (or any
+#: hook-eligible value — see the module docstring for exemptions), return a
+#: replacement value or ``None`` to decline.
 EncoderHook = Callable[[Any], Any]
 
 #: Decoder hook: given a decoded :class:`ObjectRef`, return what application
 #: code should see (a proxy).  Returning the ref unchanged is allowed.
 DecoderHook = Callable[[ObjectRef], Any]
+
+# -- encode/decode memos for identical small payloads --------------------------
+#
+# Verbs, context ids, frame kinds and hot application keys repeat endlessly;
+# their encodings are pure functions of the value, so a bounded memo turns
+# "utf-8 encode + length pack + two appends" into one dict hit.  Bounded so a
+# pathological workload of unique strings cannot grow them without limit.
+
+_MEMO_MAX_ENTRIES = 4096
+_MEMO_MAX_STR = 64
+
+_STR_ENC: dict[str, bytes] = {}
+_STR_DEC: dict[bytes, str] = {}
+_INT_ENC: dict[int, bytes] = {}
 
 
 class Marshaller:
@@ -66,6 +118,19 @@ class Marshaller:
         return bytes(out)
 
     def _encode_into(self, value: Any, out: bytearray) -> None:
+        fast = _FAST_ENCODERS.get(value.__class__)
+        if fast is not None:
+            fast(self, value, out)
+        else:
+            self._encode_general(value, out)
+
+    def _encode_general(self, value: Any, out: bytearray) -> None:
+        """Hook consultation plus the full isinstance chain.
+
+        This is the reference semantics the fast path must agree with; it
+        also handles subclasses of the built-in types, which the exact-type
+        dispatch table deliberately does not claim.
+        """
         if self.encoder_hook is not None:
             replacement = self.encoder_hook(value)
             if replacement is not None and replacement is not value:
@@ -77,23 +142,12 @@ class Marshaller:
         elif value is False:
             out += _TAG_FALSE
         elif isinstance(value, int):
-            if -(2**63) <= value < 2**63:
-                out += _TAG_INT
-                out += _I64.pack(value)
-            else:
-                raw = value.to_bytes((value.bit_length() + 8) // 8 + 1,
-                                     "big", signed=True)
-                out += _TAG_BIGINT
-                out += _U32.pack(len(raw))
-                out += raw
+            _enc_int(self, value, out)
         elif isinstance(value, float):
             out += _TAG_FLOAT
             out += _F64.pack(value)
         elif isinstance(value, str):
-            raw = value.encode("utf-8")
-            out += _TAG_STR
-            out += _U32.pack(len(raw))
-            out += raw
+            _enc_str(self, value, out)
         elif isinstance(value, (bytes, bytearray, memoryview)):
             raw = bytes(value)
             out += _TAG_BYTES
@@ -102,35 +156,106 @@ class Marshaller:
         elif isinstance(value, ObjectRef):
             self._encode_ref(value, out)
         elif isinstance(value, list):
-            out += _TAG_LIST
-            out += _U32.pack(len(value))
-            for item in value:
-                self._encode_into(item, out)
+            _enc_list(self, value, out)
         elif isinstance(value, tuple):
-            out += _TAG_TUPLE
-            out += _U32.pack(len(value))
-            for item in value:
-                self._encode_into(item, out)
+            _enc_tuple(self, value, out)
         elif isinstance(value, dict):
-            out += _TAG_DICT
-            out += _U32.pack(len(value))
-            for key, val in value.items():
-                self._encode_into(key, out)
-                self._encode_into(val, out)
+            _enc_dict(self, value, out)
         elif isinstance(value, frozenset):
-            out += _TAG_FROZENSET
-            out += _U32.pack(len(value))
-            for item in sorted(value, key=repr):
-                self._encode_into(item, out)
+            _enc_frozenset(self, value, out)
         elif isinstance(value, set):
-            out += _TAG_SET
-            out += _U32.pack(len(value))
-            for item in sorted(value, key=repr):
-                self._encode_into(item, out)
+            _enc_set(self, value, out)
         else:
             raise MarshalError(
                 f"cannot marshal {type(value).__name__!r} value {value!r}; "
                 "pass plain data, or export the object so it travels by reference")
+
+    # -- the frame fast path --------------------------------------------------
+
+    def encode_frame_fields(self, kind: str, msg_id: int, src: str, dst: str,
+                            target: str, verb: str, body: Any,
+                            headers: dict) -> bytes:
+        """Encode the 8-field frame list without materialising the list.
+
+        Byte-identical to ``encode([kind, msg_id, src, dst, target, verb,
+        body, headers])``.  The framing layer's one hot structure gets its
+        own path: five memo-hit strings, one small int, the body, and an
+        almost-always-empty headers dict.
+        """
+        out = bytearray(_LIST8_HEAD)
+        cached = _STR_ENC.get(kind)
+        if cached is not None:
+            out += cached
+        else:
+            _enc_str(self, kind, out)
+        cached = _INT_ENC.get(msg_id)
+        if cached is not None:
+            out += cached
+        else:
+            _enc_int(self, msg_id, out)
+        for text in (src, dst, target, verb):
+            cached = _STR_ENC.get(text)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_str(self, text, out)
+        self._encode_into(body, out)
+        if headers.__class__ is dict and not headers:
+            out += _EMPTY_DICT
+        else:
+            self._encode_into(headers, out)
+        return bytes(out)
+
+    def decode_frame_fields(self, data: bytes) -> list | None:
+        """Decode an 8-field frame list encoded by :meth:`encode_frame_fields`.
+
+        Returns the eight fields, or ``None`` when ``data`` is not an
+        8-element list at all (the framing layer falls back to the generic
+        decoder, whose error behaviour it preserves).  Raises
+        :class:`MarshalError` on truncated or trailing bytes, exactly like
+        :meth:`decode`.
+        """
+        if data[:5] != _LIST8_HEAD:
+            return None
+        offset = 5
+        fields = []
+        append = fields.append
+        decode_from = self._decode_from
+        try:
+            for _ in range(8):
+                sub = data[offset]
+                if sub == _ORD_STR:
+                    (slen,) = _U32.unpack_from(data, offset + 1)
+                    start = offset + 5
+                    raw = data[start:start + slen]
+                    if len(raw) != slen:
+                        raise MarshalError("truncated string")
+                    item = _STR_DEC.get(raw)
+                    if item is None:
+                        item = raw.decode("utf-8")
+                        if slen <= _MEMO_MAX_STR and \
+                                len(_STR_DEC) < _MEMO_MAX_ENTRIES:
+                            _STR_DEC[raw] = item
+                    offset = start + slen
+                elif sub == _ORD_INT:
+                    (item,) = _I64.unpack_from(data, offset + 1)
+                    offset += 9
+                elif sub == _ORD_NONE:
+                    item = None
+                    offset += 1
+                elif sub == _ORD_DICT and \
+                        data[offset:offset + 5] == _EMPTY_DICT:
+                    item = {}
+                    offset += 5
+                else:
+                    item, offset = decode_from(data, offset)
+                append(item)
+        except (struct.error, IndexError) as exc:
+            raise MarshalError(
+                f"truncated wire data at offset {offset}") from exc
+        if offset != len(data):
+            raise MarshalError(f"trailing garbage: {len(data) - offset} bytes")
+        return fields
 
     def _encode_ref(self, ref: ObjectRef, out: bytearray) -> None:
         out += _TAG_REF
@@ -151,67 +276,130 @@ class Marshaller:
 
     def _decode_from(self, data: bytes, offset: int) -> tuple[Any, int]:
         try:
-            tag = data[offset:offset + 1]
+            tag = data[offset]
             offset += 1
-            if tag == _TAG_NONE:
-                return None, offset
-            if tag == _TAG_TRUE:
-                return True, offset
-            if tag == _TAG_FALSE:
-                return False, offset
-            if tag == _TAG_INT:
-                (value,) = _I64.unpack_from(data, offset)
-                return value, offset + 8
-            if tag == _TAG_BIGINT:
-                (length,) = _U32.unpack_from(data, offset)
-                offset += 4
-                raw = data[offset:offset + length]
-                return int.from_bytes(raw, "big", signed=True), offset + length
-            if tag == _TAG_FLOAT:
-                (value,) = _F64.unpack_from(data, offset)
-                return value, offset + 8
-            if tag == _TAG_STR:
+            # Branches ordered by hot-path frequency: frames are mostly
+            # strings and small ints inside lists/tuples/dicts.
+            if tag == _ORD_STR:
                 (length,) = _U32.unpack_from(data, offset)
                 offset += 4
                 raw = data[offset:offset + length]
                 if len(raw) != length:
                     raise MarshalError("truncated string")
-                return raw.decode("utf-8"), offset + length
-            if tag == _TAG_BYTES:
+                value = _STR_DEC.get(raw)
+                if value is None:
+                    value = raw.decode("utf-8")
+                    if length <= _MEMO_MAX_STR and \
+                            len(_STR_DEC) < _MEMO_MAX_ENTRIES:
+                        _STR_DEC[raw] = value
+                return value, offset + length
+            if tag == _ORD_INT:
+                (value,) = _I64.unpack_from(data, offset)
+                return value, offset + 8
+            if tag == _ORD_LIST or tag == _ORD_TUPLE or tag == _ORD_SET \
+                    or tag == _ORD_FROZENSET:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                items = []
+                append = items.append
+                decode_from = self._decode_from
+                # The str/int cases are inlined in the element loop: frames
+                # are mostly short strings and small ints inside containers,
+                # and the recursive call per element costs more than the
+                # decode itself.
+                for _ in range(length):
+                    sub = data[offset]
+                    if sub == _ORD_STR:
+                        (slen,) = _U32.unpack_from(data, offset + 1)
+                        start = offset + 5
+                        raw = data[start:start + slen]
+                        if len(raw) != slen:
+                            raise MarshalError("truncated string")
+                        item = _STR_DEC.get(raw)
+                        if item is None:
+                            item = raw.decode("utf-8")
+                            if slen <= _MEMO_MAX_STR and \
+                                    len(_STR_DEC) < _MEMO_MAX_ENTRIES:
+                                _STR_DEC[raw] = item
+                        offset = start + slen
+                    elif sub == _ORD_INT:
+                        (item,) = _I64.unpack_from(data, offset + 1)
+                        offset += 9
+                    elif sub == _ORD_NONE:
+                        item = None
+                        offset += 1
+                    elif sub == _ORD_TRUE:
+                        item = True
+                        offset += 1
+                    elif sub == _ORD_FALSE:
+                        item = False
+                        offset += 1
+                    elif sub == _ORD_DICT and \
+                            data[offset:offset + 5] == _EMPTY_DICT:
+                        item = {}
+                        offset += 5
+                    else:
+                        item, offset = decode_from(data, offset)
+                    append(item)
+                if tag == _ORD_LIST:
+                    return items, offset
+                if tag == _ORD_TUPLE:
+                    return tuple(items), offset
+                if tag == _ORD_SET:
+                    return set(items), offset
+                return frozenset(items), offset
+            if tag == _ORD_DICT:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                result = {}
+                decode_from = self._decode_from
+                for _ in range(length):
+                    sub = data[offset]
+                    if sub == _ORD_STR:
+                        (slen,) = _U32.unpack_from(data, offset + 1)
+                        start = offset + 5
+                        raw = data[start:start + slen]
+                        if len(raw) != slen:
+                            raise MarshalError("truncated string")
+                        key = _STR_DEC.get(raw)
+                        if key is None:
+                            key = raw.decode("utf-8")
+                            if slen <= _MEMO_MAX_STR and \
+                                    len(_STR_DEC) < _MEMO_MAX_ENTRIES:
+                                _STR_DEC[raw] = key
+                        offset = start + slen
+                    else:
+                        key, offset = decode_from(data, offset)
+                    val, offset = decode_from(data, offset)
+                    result[key] = val
+                return result, offset
+            if tag == _ORD_NONE:
+                return None, offset
+            if tag == _ORD_TRUE:
+                return True, offset
+            if tag == _ORD_FALSE:
+                return False, offset
+            if tag == _ORD_FLOAT:
+                (value,) = _F64.unpack_from(data, offset)
+                return value, offset + 8
+            if tag == _ORD_BYTES:
                 (length,) = _U32.unpack_from(data, offset)
                 offset += 4
                 raw = data[offset:offset + length]
                 if len(raw) != length:
                     raise MarshalError("truncated bytes")
                 return raw, offset + length
-            if tag == _TAG_REF:
+            if tag == _ORD_REF:
                 return self._decode_ref(data, offset)
-            if tag in (_TAG_LIST, _TAG_TUPLE, _TAG_SET, _TAG_FROZENSET):
+            if tag == _ORD_BIGINT:
                 (length,) = _U32.unpack_from(data, offset)
                 offset += 4
-                items = []
-                for _ in range(length):
-                    item, offset = self._decode_from(data, offset)
-                    items.append(item)
-                if tag == _TAG_LIST:
-                    return items, offset
-                if tag == _TAG_TUPLE:
-                    return tuple(items), offset
-                if tag == _TAG_SET:
-                    return set(items), offset
-                return frozenset(items), offset
-            if tag == _TAG_DICT:
-                (length,) = _U32.unpack_from(data, offset)
-                offset += 4
-                result = {}
-                for _ in range(length):
-                    key, offset = self._decode_from(data, offset)
-                    val, offset = self._decode_from(data, offset)
-                    result[key] = val
-                return result, offset
+                raw = data[offset:offset + length]
+                return int.from_bytes(raw, "big", signed=True), offset + length
         except (struct.error, IndexError) as exc:
             raise MarshalError(f"truncated wire data at offset {offset}") from exc
-        raise MarshalError(f"unknown wire tag {tag!r} at offset {offset - 1}")
+        raise MarshalError(
+            f"unknown wire tag {bytes((tag,))!r} at offset {offset - 1}")
 
     def _decode_ref(self, data: bytes, offset: int) -> tuple[Any, int]:
         fields = []
@@ -221,7 +409,13 @@ class Marshaller:
             raw = data[offset:offset + length]
             if len(raw) != length:
                 raise MarshalError("truncated ref")
-            fields.append(raw.decode("utf-8"))
+            value = _STR_DEC.get(raw)
+            if value is None:
+                value = raw.decode("utf-8")
+                if length <= _MEMO_MAX_STR and \
+                        len(_STR_DEC) < _MEMO_MAX_ENTRIES:
+                    _STR_DEC[raw] = value
+            fields.append(value)
             offset += length
         (epoch,) = _I64.unpack_from(data, offset)
         offset += 8
@@ -229,6 +423,198 @@ class Marshaller:
         if self.decoder_hook is not None:
             return self.decoder_hook(ref), offset
         return ref, offset
+
+
+# -- the fast encoders ---------------------------------------------------------
+#
+# One function per exact built-in type, dispatched from a table.  These are
+# module-level (not methods) so the dispatch dict holds plain functions and
+# the call site pays no bound-method construction.
+
+def _enc_none(m: Marshaller, value, out: bytearray) -> None:
+    out += _TAG_NONE
+
+
+def _enc_bool(m: Marshaller, value, out: bytearray) -> None:
+    out += _TAG_TRUE if value else _TAG_FALSE
+
+
+def _enc_int(m: Marshaller, value: int, out: bytearray) -> None:
+    cached = _INT_ENC.get(value)
+    if cached is not None:
+        out += cached
+        return
+    if -(2**63) <= value < 2**63:
+        enc = _TAG_INT + _I64.pack(value)
+    else:
+        raw = value.to_bytes((value.bit_length() + 8) // 8 + 1,
+                             "big", signed=True)
+        enc = _TAG_BIGINT + _U32.pack(len(raw)) + raw
+    if len(_INT_ENC) < _MEMO_MAX_ENTRIES:
+        _INT_ENC[value] = enc
+    out += enc
+
+
+def _enc_float(m: Marshaller, value: float, out: bytearray) -> None:
+    out += _TAG_FLOAT
+    out += _F64.pack(value)
+
+
+def _enc_str(m: Marshaller, value: str, out: bytearray) -> None:
+    cached = _STR_ENC.get(value)
+    if cached is None:
+        raw = value.encode("utf-8")
+        cached = _TAG_STR + _U32.pack(len(raw)) + raw
+        if len(value) <= _MEMO_MAX_STR and len(_STR_ENC) < _MEMO_MAX_ENTRIES:
+            _STR_ENC[value] = cached
+    out += cached
+
+
+def _enc_bytes(m: Marshaller, value: bytes, out: bytearray) -> None:
+    out += _TAG_BYTES
+    out += _U32.pack(len(value))
+    out += value
+
+
+def _enc_bytelike(m: Marshaller, value, out: bytearray) -> None:
+    raw = bytes(value)
+    out += _TAG_BYTES
+    out += _U32.pack(len(raw))
+    out += raw
+
+
+def _enc_list(m: Marshaller, value: list, out: bytearray) -> None:
+    out += _TAG_LIST
+    out += _U32.pack(len(value))
+    # Memo-hit strings and ints are appended inline: container elements are
+    # overwhelmingly repeated short strings (verbs, context ids, keys) and
+    # small ints, and the dispatch call per element dwarfs the append.
+    for item in value:
+        cls = item.__class__
+        if cls is str:
+            cached = _STR_ENC.get(item)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_str(m, item, out)
+        elif cls is int:
+            cached = _INT_ENC.get(item)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_int(m, item, out)
+        elif item is None:
+            out += _TAG_NONE
+        elif cls is dict and not item:
+            out += _EMPTY_DICT
+        else:
+            fast = _FAST_ENCODERS.get(cls)
+            if fast is not None:
+                fast(m, item, out)
+            else:
+                m._encode_general(item, out)
+
+
+def _enc_tuple(m: Marshaller, value: tuple, out: bytearray) -> None:
+    out += _TAG_TUPLE
+    out += _U32.pack(len(value))
+    for item in value:
+        cls = item.__class__
+        if cls is str:
+            cached = _STR_ENC.get(item)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_str(m, item, out)
+        elif cls is int:
+            cached = _INT_ENC.get(item)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_int(m, item, out)
+        elif item is None:
+            out += _TAG_NONE
+        elif cls is dict and not item:
+            out += _EMPTY_DICT
+        else:
+            fast = _FAST_ENCODERS.get(cls)
+            if fast is not None:
+                fast(m, item, out)
+            else:
+                m._encode_general(item, out)
+
+
+def _enc_dict(m: Marshaller, value: dict, out: bytearray) -> None:
+    out += _TAG_DICT
+    out += _U32.pack(len(value))
+    encode_into = m._encode_into
+    for key, val in value.items():
+        if key.__class__ is str:
+            cached = _STR_ENC.get(key)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_str(m, key, out)
+        else:
+            encode_into(key, out)
+        cls = val.__class__
+        if cls is str:
+            cached = _STR_ENC.get(val)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_str(m, val, out)
+        elif cls is int:
+            cached = _INT_ENC.get(val)
+            if cached is not None:
+                out += cached
+            else:
+                _enc_int(m, val, out)
+        else:
+            encode_into(val, out)
+
+
+def _enc_set(m: Marshaller, value: set, out: bytearray) -> None:
+    out += _TAG_SET
+    out += _U32.pack(len(value))
+    encode_into = m._encode_into
+    for item in sorted(value, key=repr):
+        encode_into(item, out)
+
+
+def _enc_frozenset(m: Marshaller, value: frozenset, out: bytearray) -> None:
+    out += _TAG_FROZENSET
+    out += _U32.pack(len(value))
+    encode_into = m._encode_into
+    for item in sorted(value, key=repr):
+        encode_into(item, out)
+
+
+def _enc_ref(m: Marshaller, value: ObjectRef, out: bytearray) -> None:
+    m._encode_ref(value, out)
+
+
+#: Exact-type dispatch table.  A type listed here is hook-exempt: the swizzle
+#: hook can never replace a value of a plain built-in type (the object-space
+#: hook declines them by definition), and :class:`ObjectRef` is already the
+#: hook's *output*.  Subclasses fall through to :meth:`_encode_general`,
+#: which preserves the original hook-first semantics for them.
+_FAST_ENCODERS: dict[type, Callable] = {
+    type(None): _enc_none,
+    bool: _enc_bool,
+    int: _enc_int,
+    float: _enc_float,
+    str: _enc_str,
+    bytes: _enc_bytes,
+    bytearray: _enc_bytelike,
+    memoryview: _enc_bytelike,
+    list: _enc_list,
+    tuple: _enc_tuple,
+    dict: _enc_dict,
+    set: _enc_set,
+    frozenset: _enc_frozenset,
+    ObjectRef: _enc_ref,
+}
 
 
 #: A hook-free marshaller, for layers that must see raw refs (naming, GC).

@@ -1,0 +1,104 @@
+"""The proxy's operation caches: memoisation and (crucially) invalidation.
+
+``Proxy.__getattr__`` memoises bound operations in the instance ``__dict__``
+and ``proxy_operation`` caches resolved signatures, so the hot path of a
+repeated ``proxy.verb(...)`` never re-enters attribute dispatch or the
+interface table.  A cache like that is only correct if every event that
+could change the answer — rebind, upgrade handshake, interface replacement —
+drops it; these tests pin exactly that.
+"""
+
+import pytest
+
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.core.proxy import _BoundProxyOperation
+from repro.iface.interface import Interface
+from repro.kernel.errors import InterfaceError
+
+
+@pytest.fixture
+def bound(pair):
+    system, server, client = pair
+    store = KVStore()
+    ref = get_space(server).export(store)
+    proxy = get_space(client).bind_ref(ref)
+    return system, server, client, store, ref, proxy
+
+
+class TestMemoisation:
+    def test_bound_operation_is_memoised_on_the_instance(self, bound):
+        *_, proxy = bound
+        first = proxy.get
+        assert isinstance(first, _BoundProxyOperation)
+        assert proxy.__dict__["get"] is first
+        assert proxy.get is first  # plain attribute hit, no __getattr__
+
+    def test_memoised_operation_still_forwards(self, bound):
+        *_, store, _, proxy = bound
+        op = proxy.put
+        op("k", "v")
+        assert store.data == {"k": "v"}
+        assert proxy.get("k") == "v"
+
+    def test_resolved_signatures_are_cached(self, bound):
+        *_, proxy = bound
+        op = proxy.proxy_operation("get")
+        assert proxy.proxy_opcache["get"] is op
+        assert proxy.proxy_operation("get") is op
+
+    def test_distinct_verbs_get_distinct_bindings(self, bound):
+        *_, proxy = bound
+        assert proxy.get is not proxy.put
+        assert "get" in proxy.__dict__ and "put" in proxy.__dict__
+
+
+class TestInvalidation:
+    def test_rebind_drops_both_caches(self, bound):
+        _system, server, _client, _store, ref, proxy = bound
+        _ = proxy.get
+        proxy.proxy_operation("get")
+        moved = ref.moved_to(server.context_id)
+        proxy.proxy_rebind(moved)
+        assert "get" not in proxy.__dict__
+        assert proxy.proxy_opcache == {}
+        assert proxy.proxy_ref == moved
+
+    def test_upgrade_drops_both_caches(self, bound):
+        *_, proxy = bound
+        _ = proxy.get
+        proxy.proxy_operation("put")
+        proxy.proxy_upgrade({"hint": 1})
+        assert "get" not in proxy.__dict__
+        assert proxy.proxy_opcache == {}
+        assert proxy.proxy_config["hint"] == 1
+
+    def test_interface_replacement_drops_stale_operations(self, bound):
+        *_, proxy = bound
+        _ = proxy.put  # memoised under the full interface
+        full = proxy.proxy_interface
+        narrowed = Interface("KVReadOnly", [full.operation("get")])
+        proxy.proxy_interface = narrowed
+        # The stale binding must not answer for a verb the new interface
+        # no longer declares.
+        assert "put" not in proxy.__dict__
+        with pytest.raises(InterfaceError):
+            proxy.put
+        # Declared verbs still resolve (and re-memoise) under the new one.
+        assert proxy.get("missing") is None
+        assert "get" in proxy.__dict__
+
+    def test_rebound_proxy_keeps_working(self, bound):
+        system, server, client, store, ref, proxy = bound
+        proxy.put("k", "v1")
+        proxy.proxy_rebind(ref)  # same location: caches drop, routing holds
+        assert proxy.get("k") == "v1"
+        assert proxy.proxy_stats["rebinds"] == 1
+
+    def test_non_proxy_instance_attributes_survive_invalidation(self, bound):
+        *_, proxy = bound
+        _ = proxy.get
+        stats = proxy.proxy_stats
+        proxy.proxy_invalidate_ops()
+        assert proxy.proxy_stats is stats
+        assert proxy.proxy_config is not None

@@ -27,6 +27,7 @@ from repro.bench.experiments import (
     e15_weak_dsm,
     e16_events,
     e17_wan_placement,
+    e18_fastpath,
 )
 from repro.bench.render import who_wins
 
@@ -419,3 +420,39 @@ class TestE17WanPlacement:
     def test_caching_beats_central_for_remote(self, rows):
         assert by(rows, deployment="caching", site="beta")[0]["mean_ms"] < \
             by(rows, deployment="central", site="beta")[0]["mean_ms"]
+
+
+class TestE18Fastpath:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return e18_fastpath.bench_payload(ops=200)
+
+    def test_covers_every_shipped_policy(self, payload):
+        assert [row["policy"] for row in payload["policies"]] == \
+            list(e18_fastpath.POLICIES)
+
+    def test_wall_and_calibration_positive(self, payload):
+        assert payload["calibration_rate"] > 0
+        for row in payload["policies"]:
+            assert row["ops_per_sec"] > 0
+            assert row["wall_us_per_op"] > 0
+            assert row["norm_ops"] > 0
+
+    def test_deterministic_fields_shape(self, payload):
+        rows = {row["policy"]: row for row in payload["policies"]}
+        assert rows["caching"]["messages"] < rows["stub"]["messages"]
+        assert rows["caching"]["sim_us_per_op"] < rows["stub"]["sim_us_per_op"]
+        assert rows["replicated"]["messages"] > rows["stub"]["messages"]
+        # Fault-free, the resilience layer is pure bookkeeping: the virtual
+        # timeline must be exactly the stub's.
+        assert rows["resilient"]["sim_us_per_op"] == \
+            rows["stub"]["sim_us_per_op"]
+        assert rows["resilient"]["messages"] == rows["stub"]["messages"]
+
+    def test_run_rows_mirror_the_payload(self, payload):
+        rows = e18_fastpath.run(ops=200)
+        assert [row["policy"] for row in rows] == \
+            [row["policy"] for row in payload["policies"]]
+        for row, measured in zip(rows, payload["policies"]):
+            assert row["sim_us_per_op"] == measured["sim_us_per_op"]
+            assert row["messages"] == measured["messages"]

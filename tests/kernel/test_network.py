@@ -89,6 +89,20 @@ class TestDelivery:
         net.network.transmit("a", "b", 10, 0.0)
         assert net.trace.count("drop") == 1
 
+    def test_crashed_sender_drop_is_traced(self, net):
+        # A message from a dead sender dies too — and leaves the same
+        # audit trail as any other drop, so chaos traces account for
+        # every message whichever end failed.
+        mark = net.trace.mark()
+        net.node("a").crash()
+        delivery = net.network.transmit("a", "b", 10, 0.0)
+        assert not delivery.delivered
+        assert delivery.reason == "crash"
+        drops = [ev for ev in net.trace.since(mark) if ev.kind == "drop"]
+        assert len(drops) == 1
+        assert (drops[0].src, drops[0].dst, drops[0].label) == \
+            ("a", "b", "crash")
+
 
 class TestPartitions:
     def test_partition_blocks_cross_island(self, net):

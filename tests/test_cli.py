@@ -51,3 +51,24 @@ class TestCli:
         main(["run", "e6", "--seed", "5", "--json"])
         assert capsys.readouterr().out == first, \
             "the determinism CI gate diffs exactly this output"
+
+    def test_bench_prints_table_and_calibration(self, capsys):
+        assert main(["bench", "e18", "--ops", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "invocation fast path" in out
+        assert "calibration" in out
+
+    def test_bench_json_has_perf_gate_fields(self, capsys):
+        import json
+        assert main(["bench", "e18", "--ops", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "e18"
+        assert payload["calibration_rate"] > 0
+        for row in payload["policies"]:
+            for field in ("policy", "ops_per_sec", "norm_ops",
+                          "sim_us_per_op", "messages", "fingerprint"):
+                assert field in row
+
+    def test_bench_unknown_benchmark_fails(self, capsys):
+        assert main(["bench", "e99"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

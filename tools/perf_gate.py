@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf gate: fail CI when the invocation fast path regresses.
+
+Compares a fresh ``python -m repro bench e18 --json`` record against the
+committed baseline (``BENCH_e18.json``).  Two kinds of checks:
+
+* **Deterministic fields** — per-policy virtual µs/op, message counts, and
+  trace fingerprints are machine-independent: same seed ⇒ same trace.  Any
+  difference from the baseline is a hard failure regardless of tolerance,
+  because it means behaviour (not just speed) changed.
+* **Throughput** — raw ops/sec is meaningless across machines, so the gate
+  compares ``norm_ops`` (ops/sec divided by the host calibration rate; see
+  ``repro.bench.timing``).  A policy may be up to ``--tolerance`` slower
+  than baseline before the gate trips; faster is always fine.
+
+Usage::
+
+    python -m repro bench e18 --json > /tmp/bench.json
+    python tools/perf_gate.py --baseline BENCH_e18.json \
+        --current /tmp/bench.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Per-policy fields that must match the baseline byte for byte.
+DETERMINISTIC_FIELDS = ("sim_us_per_op", "messages", "fingerprint")
+
+
+def _index(record: dict) -> dict[str, dict]:
+    """Policy name → row, with a sanity check on the record shape."""
+    if record.get("experiment") != "e18":
+        raise SystemExit(f"not an e18 bench record: "
+                         f"{record.get('experiment')!r}")
+    return {row["policy"]: row for row in record["policies"]}
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """All gate violations, as human-readable strings (empty = pass)."""
+    problems: list[str] = []
+    for field in ("ops", "seed"):
+        if baseline.get(field) != current.get(field):
+            problems.append(
+                f"workload mismatch: {field} {baseline.get(field)!r} "
+                f"(baseline) vs {current.get(field)!r} (current)")
+    base_rows, cur_rows = _index(baseline), _index(current)
+    missing = sorted(set(base_rows) - set(cur_rows))
+    if missing:
+        problems.append(f"policies missing from current run: {missing}")
+    for policy, base in sorted(base_rows.items()):
+        cur = cur_rows.get(policy)
+        if cur is None:
+            continue
+        for field in DETERMINISTIC_FIELDS:
+            if base[field] != cur[field]:
+                problems.append(
+                    f"{policy}: deterministic field {field!r} changed: "
+                    f"{base[field]!r} -> {cur[field]!r}")
+        floor = base["norm_ops"] * (1.0 - tolerance)
+        if cur["norm_ops"] < floor:
+            drop = 1.0 - cur["norm_ops"] / base["norm_ops"]
+            problems.append(
+                f"{policy}: norm_ops {cur['norm_ops']:.1f} is {drop:.0%} "
+                f"below baseline {base['norm_ops']:.1f} "
+                f"(tolerance {tolerance:.0%})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_e18.json")
+    parser.add_argument("--current", required=True,
+                        help="fresh bench record to check")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max allowed fractional norm_ops drop "
+                             "(default 0.25)")
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    problems = compare(baseline, current, args.tolerance)
+    if problems:
+        print("perf gate: FAIL")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    for policy, base in sorted(_index(baseline).items()):
+        cur = _index(current)[policy]
+        delta = cur["norm_ops"] / base["norm_ops"] - 1.0
+        print(f"  {policy:>12}: norm_ops {cur['norm_ops']:.1f} "
+              f"({delta:+.0%} vs baseline)")
+    print("perf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
