@@ -1,4 +1,4 @@
-"""E9 bench: replication latency and availability (figure E9)."""
+"""E9 bench: replication latency, availability, quorum trade (figure E9)."""
 
 from conftest import run_experiment
 
@@ -7,10 +7,17 @@ from repro.bench.experiments import e9_replication
 
 def test_e9_replication(benchmark):
     rows = run_experiment(benchmark, e9_replication, ops=120)
-    at = {row["replicas"]: row for row in rows}
+    at = {row["replicas"]: row for row in rows
+          if row["mode"] == "write-all"}
     assert at[3]["read_ms"] < at[1]["read_ms"] / 2, \
         "a near replica must cut read latency"
     writes = [at[n]["write_ms"] for n in sorted(at)]
     assert writes == sorted(writes), "write-all cost grows with replicas"
     assert at[5]["availability"] > at[1]["availability"], \
         "replication must buy availability under crashes"
+    quorum = {(row["write_quorum"], row["read_quorum"]): row
+              for row in rows if row["mode"] == "quorum"}
+    assert quorum[(2, 2)]["stale_reads"] == 0, \
+        "overlapping quorums must never serve stale reads"
+    assert quorum[(1, 1)]["stale_reads"] > 0, \
+        "the under-quorumed config must show the staleness it trades for"

@@ -1,13 +1,24 @@
-"""E9 — replication: read latency, write cost, and availability.
+"""E9 — replication: latency, availability, and the quorum consistency trade.
 
-The replicated proxy binds reads to the nearest replica and fans writes out
-to all of them.  Three effects, one sweep over the replica count:
+Two sweeps share the table:
 
-* read latency *falls* (a nearby replica exists more often — modelled here
-  with one slow "far" link to the primary);
-* write latency *rises* linearly (write-all);
-* availability under a periodic crash plan *rises* (reads fail over; writes
-  succeed while a quorum remains).
+* **Write-all sweep** (``mode="write-all"``, the legacy contract) over the
+  replica count: read latency *falls* (a nearby replica exists more often —
+  modelled with one slow "far" link to the primary), write latency *rises*
+  linearly, and availability under a periodic crash plan *rises* (reads
+  fail over; writes succeed while a majority remains).
+
+* **Quorum sweep** (``mode="quorum"``) over ``(write_quorum, read_quorum)``
+  at a fixed N=3: the versioned quorum mode of
+  :mod:`repro.core.policies.replicating`.  An overlapped configuration
+  (R + W > N, e.g. ``(2, 2)``) never serves a stale read; the under-quorumed
+  ``(1, 1)`` buys availability and latency with staleness; ``(3, 1)`` pins
+  every copy fresh and pays for it in availability.
+
+The staleness probe drives a writer client and a reader client through a
+crash plan with round-robin reads; values are globally monotone integers,
+so a read is **stale** exactly when it returns less than the last
+acknowledged write of its key.
 """
 
 from __future__ import annotations
@@ -15,20 +26,37 @@ from __future__ import annotations
 from ...apps.kv import KVStore
 from ...core.policies.replicating import replicate
 from ...failures.injectors import CrashPlan
+from ...kernel.errors import DistributionError
 from ...kernel.network import LinkSpec
 from ...naming.bootstrap import bind, register
 from ...workloads.distributions import UniformSampler
-from ...workloads.sessions import OpMix, proxy_session, run_interleaved
 from ..common import mesh, ms
 
-TITLE = "E9: replication — latency and availability vs replica count"
-COLUMNS = ["replicas", "read_ms", "write_ms", "availability"]
+TITLE = "E9: replication — latency, availability, and the quorum trade"
+COLUMNS = ["replicas", "mode", "write_quorum", "read_quorum",
+           "read_ms", "write_ms", "availability", "stale_reads"]
 
 REPLICA_COUNTS = (1, 2, 3, 5)
+#: (write_quorum, read_quorum) points of the N=3 quorum sweep.
+QUORUM_CONFIGS = ((1, 1), (2, 2), (3, 1))
 OPS = 120
 
 
-def _build(replicas: int, seed: int):
+def _deploy(contexts, replicas: int, write_quorum: int,
+            read_quorum: int | None):
+    """A replica group over the first ``replicas`` contexts; quorum mode
+    when ``read_quorum`` is given, legacy write-all otherwise."""
+    if read_quorum is None:
+        return replicate(contexts[:replicas], KVStore,
+                         write_quorum=write_quorum)
+    return replicate(contexts[:replicas], KVStore,
+                     write_quorum=write_quorum, read_quorum=read_quorum,
+                     version_key="arg0", read_policy="roundrobin")
+
+
+def _latency(replicas: int, seed: int, ops: int, write_quorum: int,
+             read_quorum: int | None) -> tuple[float, float]:
+    """Fault-free per-op read and write latency (ms) from a WAN client."""
     system, contexts = mesh(seed=seed, nodes=replicas + 1)
     client = contexts[-1]
     # The client sits far from the primary: a 5x-latency link models a WAN
@@ -37,40 +65,87 @@ def _build(replicas: int, seed: int):
     system.network.set_link(client.node.name, contexts[0].node.name,
                             LinkSpec(latency=costs.remote_latency * 5,
                                      byte_cost=costs.byte_cost))
-    quorum = max(1, replicas // 2 + 1)
-    ref = replicate(contexts[:replicas], KVStore, write_quorum=quorum)
+    ref = _deploy(contexts, replicas, write_quorum, read_quorum)
     register(contexts[0], "kv", ref)
     proxy = bind(client, "kv")
-    return system, contexts, client, proxy
+    proxy.put("key", 0)
+    t0 = client.clock.now
+    for _ in range(ops):
+        proxy.get("key")
+    read_ms = ms((client.clock.now - t0) / ops)
+    t0 = client.clock.now
+    for index in range(ops // 4):
+        proxy.put("key", index + 1)
+    write_ms = ms((client.clock.now - t0) / (ops // 4))
+    return read_ms, write_ms
+
+
+def _probe(replicas: int, seed: int, ops: int, write_quorum: int,
+           read_quorum: int | None) -> tuple[float, int]:
+    """Availability and stale reads under a periodic crash plan.
+
+    A writer client and a reader client interleave (one op per tick, the
+    plan advancing each tick).  Written values are globally monotone, so
+    ``read < last acked write of the key`` — or a missing key that was
+    acknowledged — is a stale read.
+    """
+    system, contexts = mesh(seed=seed, nodes=replicas + 2)
+    writer_ctx, reader_ctx = contexts[-2], contexts[-1]
+    ref = _deploy(contexts, replicas, write_quorum, read_quorum)
+    register(contexts[0], "kv", ref)
+    writer = bind(writer_ctx, "kv")
+    writer.proxy_config["read_policy"] = "roundrobin"
+    reader = bind(reader_ctx, "kv")
+    reader.proxy_config["read_policy"] = "roundrobin"
+    plan = CrashPlan.periodic([ctx.node.name for ctx in contexts[:replicas]],
+                              every=15, duration=5, total_ops=ops)
+    # One shared stream name: every configuration sees the *same* op
+    # sequence, so availability and staleness compare pairwise.
+    rng = system.seeds.stream("e9.probe.ops")
+    sampler = UniformSampler(8, system.seeds.stream("e9.probe.keys"))
+    acked: dict[str, int] = {}
+    sequence = 0
+    failures = 0
+    stale = 0
+    for _ in range(ops):
+        plan.tick(system)
+        key = sampler.sample()
+        if rng.random() < 0.5:
+            sequence += 1
+            try:
+                writer.put(key, sequence)
+                acked[key] = sequence
+            except DistributionError:
+                failures += 1
+        else:
+            try:
+                value = reader.get(key)
+            except DistributionError:
+                failures += 1
+                continue
+            if key in acked and (value is None or value < acked[key]):
+                stale += 1
+    return 1.0 - failures / ops, stale
 
 
 def run(ops: int = OPS, seed: int = 37) -> list[dict]:
-    """Sweep replica count; returns one row per count."""
+    """Both sweeps; one row per configuration."""
     rows = []
     for replicas in REPLICA_COUNTS:
-        # -- latency, fault-free ------------------------------------------------
-        system, contexts, client, proxy = _build(replicas, seed)
-        proxy.put("key", "value0")
-        t0 = client.clock.now
-        for index in range(ops):
-            proxy.get("key")
-        read_ms = ms((client.clock.now - t0) / ops)
-        t0 = client.clock.now
-        for index in range(ops // 4):
-            proxy.put("key", f"value{index}")
-        write_ms = ms((client.clock.now - t0) / (ops // 4))
-
-        # -- availability under a crash plan -------------------------------------
-        system, contexts, client, proxy = _build(replicas, seed + 1)
-        replica_nodes = [ctx.node.name for ctx in contexts[:replicas]]
-        plan = CrashPlan.periodic(replica_nodes, every=15, duration=5,
-                                  total_ops=ops)
-        session = proxy_session(
-            "avail", client, proxy,
-            OpMix(0.8, UniformSampler(8, system.seeds.stream("e9.keys"))),
-            system.seeds.stream(f"e9.{replicas}"))
-        result = run_interleaved([session], ops, crash_plan=plan)
-        availability = 1.0 - result.failures / result.operations
-        rows.append({"replicas": replicas, "read_ms": read_ms,
-                     "write_ms": write_ms, "availability": availability})
+        quorum = max(1, replicas // 2 + 1)
+        read_ms, write_ms = _latency(replicas, seed, ops, quorum, None)
+        availability, stale = _probe(replicas, seed + 1, ops, quorum, None)
+        rows.append({"replicas": replicas, "mode": "write-all",
+                     "write_quorum": quorum, "read_quorum": 0,
+                     "read_ms": read_ms, "write_ms": write_ms,
+                     "availability": availability, "stale_reads": stale})
+    for write_quorum, read_quorum in QUORUM_CONFIGS:
+        read_ms, write_ms = _latency(3, seed, ops, write_quorum, read_quorum)
+        availability, stale = _probe(3, seed + 1, ops, write_quorum,
+                                     read_quorum)
+        rows.append({"replicas": 3, "mode": "quorum",
+                     "write_quorum": write_quorum,
+                     "read_quorum": read_quorum,
+                     "read_ms": read_ms, "write_ms": write_ms,
+                     "availability": availability, "stale_reads": stale})
     return rows

@@ -129,10 +129,13 @@ def cmd_simtest(args) -> int:
     from .simtest.workload import FAULT_MENUS, SHIPPED_POLICIES
 
     minimize = not args.no_minimize
+    consistency = args.consistency or "linearizable"
     if args.replay is not None:
         with open(args.replay, encoding="utf-8") as handle:
             data = json.load(handle)
-        report = replay(data, minimize=minimize)
+        # An explicit --consistency overrides the corpus record's pin.
+        report = replay(data, minimize=minimize,
+                        consistency=args.consistency)
         expect = data.get("expect")
         if args.json:
             print(report_json(report))
@@ -154,7 +157,8 @@ def cmd_simtest(args) -> int:
     if args.seeds is not None:
         summary = run_battery(range(args.seeds), policies=policies,
                               service=args.service, ops=args.ops,
-                              clients=args.clients, minimize=minimize)
+                              clients=args.clients, minimize=minimize,
+                              consistency=consistency)
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:
@@ -170,13 +174,16 @@ def cmd_simtest(args) -> int:
     for policy in policies:
         case = build_case(args.seed, policy, service=args.service,
                           ops=args.ops, clients=args.clients)
-        report = run_case(case, minimize=minimize)
+        report = run_case(case, minimize=minimize, consistency=consistency)
         if args.json:
             print(report_json(report))
         else:
             line = (f"seed={case.seed} policy={case.policy} "
                     f"service={case.service} ops={case.ops} "
-                    f"faults={len(case.faults)}: {report.verdict}")
+                    f"faults={len(case.faults)}")
+            if consistency != "linearizable":
+                line += f" consistency={consistency}"
+            line += f": {report.verdict}"
             if report.minimized is not None:
                 line += (f" (minimized to {report.minimized.ops} ops / "
                          f"{len(report.minimized.faults)} faults, "
@@ -260,6 +267,11 @@ def main(argv: list[str] | None = None) -> int:
                             help="kv|counter|lock|queue (default: by seed)")
     sim_parser.add_argument("--json", action="store_true",
                             help="emit the full report as sorted JSON")
+    sim_parser.add_argument(
+        "--consistency", default=None,
+        choices=("linearizable", "sequential", "read-your-writes"),
+        help="checker mode to grade against (default: linearizable, or "
+             "the mode a replayed corpus record pins)")
     sim_parser.add_argument("--replay", default=None, metavar="FILE",
                             help="re-run a recorded case JSON verbatim")
     sim_parser.add_argument("--no-minimize", action="store_true",

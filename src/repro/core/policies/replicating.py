@@ -1,20 +1,35 @@
 """The ``replicated`` policy: a proxy that binds to a replica group.
 
 The service is deployed as N copies in different contexts; the proxy the
-service ships routes each operation:
+service ships routes each operation.  Two modes share the deployment:
 
-* **reads** (``readonly`` operations) go to one replica, chosen by the
-  configured ``read_policy`` (``"nearest"`` by transit time, ``"roundrobin"``,
-  or ``"primary"``), failing over to the next candidate on a distribution
-  error — this is the availability story of experiment E9;
-* **writes** (everything else) go to *all* replicas, synchronously, in a
-  fixed order; the write succeeds when at least ``write_quorum`` replicas
-  (default: all alive is required — i.e. ``len(replicas)``) acknowledged.
+**Legacy write-all** (the 1986-era contract, still the default):
 
-Consistency contract: with synchronous write-all and a single writer this
-gives read-your-writes everywhere.  Concurrent writers are ordered only
-per-replica (no global order) — the 1986-era trade-off; services needing
-more layer a sequencer on top.
+* **reads** go to one replica, chosen by the configured ``read_policy``
+  (``"nearest"`` by transit time, ``"roundrobin"``, or ``"primary"``),
+  failing over to the next candidate on a distribution error;
+* **writes** go to *all* replicas, synchronously, in a fixed order; the
+  write succeeds when at least ``write_quorum`` replicas acknowledged.
+
+With ``write_quorum < N`` this gives read-your-writes only when the read
+happens to land on a replica that acknowledged — a *probabilistic*
+freshness story, and the reason simtest's fault menu confines this mode
+to latency faults.
+
+**Versioned quorum mode** (``read_quorum`` set, or ``versioned=True``):
+Gifford-style weighted voting with a primary sequencer.  Every write is
+executed first at the primary (``replicas[0]``), which assigns the next
+per-key **version** and logs the operation; the proxy then fans the write
+out with that version attached (:mod:`repro.wire.versions`), repairs any
+replica that reports a missing prefix, and succeeds once ``write_quorum``
+(W) copies hold the version.  Reads collect versioned answers from
+``read_quorum`` (R) replicas, return the **newest**, read-repair the
+stale answerers, and — before returning — confirm the winning version on
+at least W copies (ABD-style promotion), so an overlapped configuration
+(``R + W > N``) is linearizable under crashes, partitions, and message
+loss; the sim-chaos battery holds it to that.  An under-quorumed
+configuration (``R + W <= N``) trades that consistency for availability —
+measured in experiment E9.
 
 Deployment helper: :func:`replicate` builds the group and returns the
 client-facing reference.
@@ -24,7 +39,14 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from ...kernel.errors import DistributionError
+from ...kernel.errors import (
+    ConfigurationError,
+    DanglingReference,
+    DistributionError,
+    ReproError,
+)
+from ...rpc.protocol import RemoteError, remote_exception
+from ...wire import versions
 from ...wire.refs import ObjectRef
 from ..factory import register_policy
 from ..proxy import Proxy
@@ -32,16 +54,19 @@ from ..proxy import Proxy
 
 @register_policy
 class ReplicatedProxy(Proxy):
-    """Route reads to one replica and writes to all of them."""
+    """Route reads to R replicas and writes through the primary to all."""
 
     policy_name = "replicated"
 
     def __init__(self, context, ref, interface, config=None):
         super().__init__(context, ref, interface, config)
         self._replicas: list | None = None
+        self._replica_refs: list[ObjectRef | None] = []
         self._rr_counter = 0
         self.proxy_stats.update(reads=0, writes=0, read_failovers=0,
-                                write_failures=0)
+                                write_failures=0, read_failures=0,
+                                app_errors=0, read_repairs=0,
+                                write_repairs=0, repair_failures=0)
 
     # -- replica resolution -------------------------------------------------------
 
@@ -50,7 +75,10 @@ class ReplicatedProxy(Proxy):
 
         Falls back to the installation handshake when the configuration
         arrived without the replica list (reference passed by value), and to
-        plain forwarding when even that yields nothing.
+        plain forwarding when even that yields nothing.  An **empty**
+        resolution is not memoised: the replica list may simply not have
+        been delivered yet (handshake raced or skipped), and caching the
+        emptiness would degrade the proxy to plain forwarding forever.
         """
         if self._replicas is not None:
             return self._replicas
@@ -59,31 +87,93 @@ class ReplicatedProxy(Proxy):
             self.proxy_context.space.upgrade(self)
             raw = self.proxy_config.get("replicas")
         space = self.proxy_context.space
-        replicas = []
+        replicas: list = []
+        refs: list[ObjectRef | None] = []
         for item in raw or []:
             if isinstance(item, ObjectRef):
+                refs.append(item)
                 item = space.bind_ref(item, handshake=False)
+            else:
+                # A co-located replica arrives as the raw object (home
+                # access); recover its export reference so the versioned
+                # path can reach its entry (and version log).
+                ref = getattr(item, "proxy_ref", None)
+                if ref is None:
+                    try:
+                        ref = space.ref_of(item)
+                    except ReproError:
+                        ref = None
+                refs.append(ref)
             replicas.append(item)
+        if not replicas:
+            return []
         self._replicas = replicas
+        self._replica_refs = refs
         return replicas
 
-    def _read_order(self, replicas: list) -> list:
+    def _read_order_indices(self, count: int) -> list[int]:
+        indices = list(range(count))
         policy = self.proxy_config.get("read_policy", "nearest")
         if policy == "roundrobin":
-            start = self._rr_counter % len(replicas)
+            start = self._rr_counter % count
             self._rr_counter += 1
-            return replicas[start:] + replicas[:start]
+            return indices[start:] + indices[:start]
         if policy == "primary":
-            return list(replicas)
+            return indices
         network = self.proxy_context.system.network
         my_node = self.proxy_context.node.name
 
-        def distance(replica) -> float:
+        def distance(index: int) -> float:
+            replica = self._replicas[index]
             if not isinstance(replica, Proxy):
                 return 0.0  # a co-located raw replica is as near as it gets
-            return network.transit_time(my_node, replica.proxy_ref.node_name, 64)
+            return network.transit_time(my_node, replica.proxy_ref.node_name,
+                                        64)
 
-        return sorted(replicas, key=distance)
+        return sorted(indices, key=distance)
+
+    def _read_order(self, replicas: list) -> list:
+        return [replicas[i] for i in self._read_order_indices(len(replicas))]
+
+    # -- configuration ------------------------------------------------------------
+
+    def _quorum_mode(self) -> bool:
+        """True when the group runs versioned quorum reads/writes."""
+        config = self.proxy_config
+        return bool(config.get("versioned")) or "read_quorum" in config
+
+    def _quorum_params(self, count: int) -> tuple[int, int]:
+        """Validated ``(write_quorum, read_quorum)`` for a ``count`` group.
+
+        ``write_quorum`` outside ``1..count`` is a configuration error, not
+        a distribution outcome: zero (or negative) would let a write that
+        reached *no* replica "succeed", and more than ``count`` can never
+        be met.  Same bounds for ``read_quorum`` (quorum mode only).
+        """
+        write_quorum = int(self.proxy_config.get("write_quorum", count))
+        if not 1 <= write_quorum <= count:
+            raise ConfigurationError(
+                f"write_quorum={write_quorum} outside 1..{count} for a "
+                f"{count}-replica group")
+        read_quorum = int(self.proxy_config.get("read_quorum",
+                                                count - write_quorum + 1))
+        if not 1 <= read_quorum <= count:
+            raise ConfigurationError(
+                f"read_quorum={read_quorum} outside 1..{count} for a "
+                f"{count}-replica group")
+        return write_quorum, read_quorum
+
+    def _version_key(self, args: tuple) -> Any:
+        """The version-log key of one operation.
+
+        ``version_key="arg0"`` partitions the log by the first argument
+        (right for keyed services — KV, locks); the default ``"object"``
+        serialises every write of the object under one log, which is always
+        safe.
+        """
+        if self.proxy_config.get("version_key") == "arg0" and args:
+            return args[0]
+        return "*"
 
     # -- invocation ---------------------------------------------------------------------
 
@@ -93,6 +183,14 @@ class ReplicatedProxy(Proxy):
         if not replicas:
             return self.proxy_remote(verb, args, kwargs)
         op = self.proxy_interface.operation(verb)
+        if self._quorum_mode():
+            write_quorum, read_quorum = self._quorum_params(len(replicas))
+            key = self._version_key(args)
+            if op.readonly:
+                return self._read_versioned(replicas, verb, args, kwargs,
+                                            key, write_quorum, read_quorum)
+            return self._write_versioned(replicas, verb, args, kwargs, key,
+                                         write_quorum)
         if op.readonly:
             return self._read(replicas, verb, args, kwargs)
         return self._write(replicas, verb, args, kwargs)
@@ -119,19 +217,39 @@ class ReplicatedProxy(Proxy):
 
     def _write(self, replicas: list, verb: str, args: tuple, kwargs: dict) -> Any:
         self.proxy_stats["writes"] += 1
-        quorum = int(self.proxy_config.get("write_quorum", len(replicas)))
+        quorum = self._quorum_params(len(replicas))[0]
         acknowledged = 0
         result: Any = None
         last_error: Exception | None = None
+        app_error: BaseException | None = None
         for replica in replicas:
             try:
                 outcome = self._call(replica, verb, args, kwargs)
+            except RemoteError as exc:
+                # An application exception of an unreconstructible type:
+                # the replica executed the operation and raised.
+                if app_error is None:
+                    app_error = exc
+                continue
             except DistributionError as exc:
                 last_error = exc
+                continue
+            except ReproError:
+                raise    # a kernel/harness problem, not a write outcome
+            except Exception as exc:
+                # A reconstructed application exception.  Aborting here
+                # would leave the remaining replicas without the write —
+                # silent divergence — so complete the fan-out first and
+                # re-raise after the group has converged.
+                if app_error is None:
+                    app_error = exc
                 continue
             if acknowledged == 0:
                 result = outcome
             acknowledged += 1
+        if app_error is not None:
+            self.proxy_stats["app_errors"] += 1
+            raise app_error
         if acknowledged < quorum:
             self.proxy_stats["write_failures"] += 1
             raise DistributionError(
@@ -139,10 +257,180 @@ class ReplicatedProxy(Proxy):
                 f"replicas, quorum is {quorum}") from last_error
         return result
 
+    # -- versioned quorum mode ----------------------------------------------------
+
+    def _versioned_call(self, index: int, verb: str, args: tuple,
+                        kwargs: dict, headers: dict) -> dict:
+        """One enveloped replica call; returns the reply wrapper.
+
+        Remote replicas get the envelope in the frame headers; a replica
+        co-located with the caller bypasses the frame layer and runs the
+        same protocol step against the local export entry.
+        """
+        replica = self._replicas[index]
+        context = self.proxy_context
+        if isinstance(replica, Proxy):
+            return context.system.rpc.call(context, replica.proxy_ref, verb,
+                                           args, kwargs, headers=headers)
+        ref = self._replica_refs[index]
+        if ref is None:
+            raise ConfigurationError(
+                "versioned replication needs reference-addressed replicas")
+        entry = context.exports.get(ref.oid)
+        if entry is None or entry.revoked:
+            raise DanglingReference(
+                f"context {context.context_id!r} exports no object "
+                f"{ref.oid!r}")
+        context.charge(context.system.costs.local_call)
+        return versions.serve_envelope(entry, verb, args, kwargs, headers)
+
+    def _control_call(self, index: int, control: list,
+                      body_args: tuple) -> dict:
+        """A verb-less log-transfer call (repair traffic) to one replica."""
+        return self._versioned_call(index, "", tuple(body_args), {},
+                                    {versions.H_CONTROL: control})
+
+    def _repair(self, target: int, source: int, key, since: int) -> int:
+        """Transfer ``key``'s log suffix after ``since`` from ``source`` to
+        ``target``; returns the target's resulting version (-1 on failure)."""
+        try:
+            pulled = self._control_call(source, ["pull", key, int(since)], ())
+            pushed = self._control_call(target, ["push", key],
+                                        (pulled.get(versions.K_LOG, []),))
+        except DistributionError:
+            self.proxy_stats["repair_failures"] += 1
+            return -1
+        return int(pushed.get(versions.K_VERSION, -1))
+
+    def _write_versioned(self, replicas: list, verb: str, args: tuple,
+                         kwargs: dict, key, write_quorum: int) -> Any:
+        """Primary-sequenced quorum write.
+
+        The primary executes first and assigns the version, so an
+        application exception surfaces before any fan-out — the group never
+        diverges on a raising write.  A replica that reports a missing
+        prefix is repaired (suffix pull from the primary) and then counts;
+        the write succeeds once ``write_quorum`` copies hold the version.
+        """
+        self.proxy_stats["writes"] += 1
+        try:
+            primary = self._versioned_call(0, verb, args, kwargs,
+                                           {versions.H_ASSIGN: [key]})
+        except RemoteError:
+            self.proxy_stats["app_errors"] += 1
+            raise
+        except DistributionError:
+            # The primary is unreachable: no version was assigned that we
+            # know of (a lost reply still makes this a "maybe").
+            self.proxy_stats["write_failures"] += 1
+            raise
+        except ReproError:
+            raise
+        except Exception:
+            self.proxy_stats["app_errors"] += 1
+            raise
+        version = int(primary[versions.K_VERSION])
+        acknowledged = 1
+        last_error: Exception | None = None
+        for index in range(1, len(replicas)):
+            try:
+                reply = self._versioned_call(
+                    index, verb, args, kwargs,
+                    {versions.H_APPLY: [key, version]})
+            except DistributionError as exc:
+                last_error = exc
+                continue
+            if int(reply[versions.K_VERSION]) >= version:
+                acknowledged += 1
+            elif versions.K_EXC not in reply:
+                # The replica is missing a prefix: pull it from the primary,
+                # which holds every assigned version of this key.
+                if self._repair(index, 0, key, since=reply[
+                        versions.K_VERSION]) >= version:
+                    self.proxy_stats["write_repairs"] += 1
+                    acknowledged += 1
+            # A K_EXC reply is a diverged replica (the primary executed this
+            # operation cleanly): never acknowledged, repair won't help.
+        if acknowledged < write_quorum:
+            self.proxy_stats["write_failures"] += 1
+            raise DistributionError(
+                f"write {verb!r} at version {version} of {key!r} reached "
+                f"{acknowledged}/{len(replicas)} replicas, quorum is "
+                f"{write_quorum}") from last_error
+        return primary.get(versions.K_VALUE)
+
+    def _read_versioned(self, replicas: list, verb: str, args: tuple,
+                        kwargs: dict, key, write_quorum: int,
+                        read_quorum: int) -> Any:
+        """Quorum read: collect R versioned answers, newest wins.
+
+        Before the winner is returned, its version must be **confirmed on
+        at least W replicas** (read-repairing stale answerers and, if still
+        short, unanswered replicas).  That promotion step is what makes a
+        barely-committed — or merely *maybe*-committed — write safe to
+        expose: any later R-read overlaps the confirmed set, so a value
+        shown once can never disappear again.  A read that cannot promote
+        its winner fails (and a failed read moves no state).
+        """
+        self.proxy_stats["reads"] += 1
+        order = self._read_order_indices(len(replicas))
+        answers: dict[int, dict] = {}
+        last_error: Exception | None = None
+        for index in order:
+            if len(answers) >= read_quorum:
+                break
+            try:
+                answers[index] = self._versioned_call(
+                    index, verb, args, kwargs, {versions.H_READ: [key]})
+            except DistributionError as exc:
+                self.proxy_stats["read_failovers"] += 1
+                last_error = exc
+        if len(answers) < read_quorum:
+            self.proxy_stats["read_failures"] += 1
+            raise DistributionError(
+                f"read {verb!r} of {key!r} reached {len(answers)}/"
+                f"{len(replicas)} replicas, read quorum is "
+                f"{read_quorum}") from last_error
+        newest = max(int(reply[versions.K_VERSION])
+                     for reply in answers.values())
+        winner_index = next(i for i in order if i in answers and
+                            int(answers[i][versions.K_VERSION]) >= newest)
+        confirmed = {i for i, reply in answers.items()
+                     if int(reply[versions.K_VERSION]) >= newest}
+        for index, reply in answers.items():
+            seen = int(reply[versions.K_VERSION])
+            if seen < newest:    # read-repair the stale answerer
+                if self._repair(index, winner_index, key,
+                                since=seen) >= newest:
+                    self.proxy_stats["read_repairs"] += 1
+                    confirmed.add(index)
+        if len(confirmed) < write_quorum:
+            for index in order:
+                if len(confirmed) >= write_quorum:
+                    break
+                if index in answers:
+                    continue
+                if self._repair(index, winner_index, key, since=0) >= newest:
+                    self.proxy_stats["read_repairs"] += 1
+                    confirmed.add(index)
+        if len(confirmed) < write_quorum:
+            self.proxy_stats["read_failures"] += 1
+            raise DistributionError(
+                f"read {verb!r} saw version {newest} of {key!r} on only "
+                f"{len(confirmed)} replicas, write quorum is {write_quorum}")
+        winner = answers[winner_index]
+        failure = winner.get(versions.K_EXC)
+        if failure is not None:
+            raise remote_exception(failure[0], failure[1])
+        return winner.get(versions.K_VALUE)
+
 
 def replicate(contexts: list, factory: Callable[[], object],
               interface=None, read_policy: str = "nearest",
               write_quorum: int | None = None,
+              read_quorum: int | None = None,
+              versioned: bool = False,
+              version_key: str | None = None,
               extra_layers: list[str] | None = None) -> ObjectRef:
     """Deploy a replica group and return the client-facing reference.
 
@@ -151,6 +439,12 @@ def replicate(contexts: list, factory: Callable[[], object],
     the group entry under the ``replicated`` policy, whose configuration
     carries the replica references.  Clients bind the returned reference and
     receive a :class:`ReplicatedProxy`.
+
+    ``read_quorum`` (or ``versioned=True``) switches the group to the
+    versioned quorum mode (module docstring); ``version_key="arg0"``
+    partitions the version log by the operations' first argument.  Quorum
+    bounds are validated here as well as at call time, so a broken
+    deployment fails at deploy.
 
     ``extra_layers`` stacks additional policies *in front of* replication
     (outermost first), e.g. ``["caching"]`` for a cached replica group; the
@@ -161,6 +455,13 @@ def replicate(contexts: list, factory: Callable[[], object],
     from ..export import get_space
     if not contexts:
         raise ValueError("replicate() needs at least one context")
+    count = len(contexts)
+    for label, quorum in (("write_quorum", write_quorum),
+                          ("read_quorum", read_quorum)):
+        if quorum is not None and not 1 <= int(quorum) <= count:
+            raise ConfigurationError(
+                f"{label}={quorum} outside 1..{count} for a "
+                f"{count}-replica group")
     replica_refs = []
     first_obj = None
     for ctx in contexts:
@@ -173,7 +474,13 @@ def replicate(contexts: list, factory: Callable[[], object],
                                                   policy="stub"))
     config: dict = {"replicas": replica_refs, "read_policy": read_policy}
     if write_quorum is not None:
-        config["write_quorum"] = write_quorum
+        config["write_quorum"] = int(write_quorum)
+    if read_quorum is not None:
+        config["read_quorum"] = int(read_quorum)
+    if versioned:
+        config["versioned"] = True
+    if version_key is not None:
+        config["version_key"] = version_key
     policy = "replicated"
     if extra_layers:
         policy = "composite"

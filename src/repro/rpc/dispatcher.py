@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 from ..iface.interface import Interface
 from ..kernel.context import Context
-from ..kernel.errors import ReproError
+from ..kernel.errors import InterfaceError, ReproError
 from ..resilience.deadline import Deadline
+from ..wire import versions
 from ..wire.frames import ONEWAY, REQUEST, Frame
 from ..wire.refs import ObjectRef
 
@@ -44,6 +45,9 @@ class ExportEntry:
             kwargs)`` runs after each successful mutating operation — the
             caching policy's invalidation broadcaster and the persistence
             manager's checkpointer live here.
+        replica_log: per-key version log, created lazily on the first
+            quorum-enveloped request (see :mod:`repro.wire.versions`);
+            ``None`` for every entry that never serves versioned traffic.
     """
 
     obj: object
@@ -54,6 +58,7 @@ class ExportEntry:
     policy_name: str = "stub"
     policy_config: dict = field(default_factory=dict)
     mutation_hooks: list = field(default_factory=list)
+    replica_log: object | None = None
 
     def run_mutation_hooks(self, verb: str, args: tuple, kwargs: dict) -> None:
         """Notify every hook of one successful mutating operation."""
@@ -170,6 +175,13 @@ class Dispatcher:
                 f"object {frame.target!r} migrated to {fwd.context_id!r}",
                 detail=(fwd.context_id, fwd.oid, fwd.interface, fwd.epoch,
                         fwd.policy))
+        if versions.has_envelope(frame.headers):
+            # Quorum-enveloped request (replicated policy, versioned mode):
+            # the protocol steps in repro.wire.versions wrap the result and
+            # run the mutation hooks themselves.  Control frames (repair
+            # log transfers) are verb-less, so this must precede the
+            # interface check.
+            return self._dispatch_versioned(entry, frame)
         op = entry.interface.operations.get(frame.verb)
         if op is None:
             return frame.exception_to(
@@ -190,6 +202,53 @@ class Dispatcher:
             args, kwargs = frame.body if frame.body else ((), {})
             entry.run_mutation_hooks(frame.verb, args, kwargs)
         return frame.reply_to(result)
+
+    def _dispatch_versioned(self, entry: ExportEntry, frame: Frame) -> Frame:
+        """Serve one quorum-enveloped request (see :mod:`repro.wire.versions`).
+
+        Versioned reads and replica applies fold application exceptions
+        into the reply wrapper (the caller needs the replica's version
+        either way); a primary write propagates them here so the usual
+        exception frame travels back and nothing is logged.
+        """
+        args, kwargs = frame.body if frame.body else ((), {})
+        try:
+            if versions.H_CONTROL in frame.headers:
+                result = versions.serve_control(
+                    entry, frame.headers[versions.H_CONTROL], args,
+                    self._entry_invoke(entry))
+            else:
+                op = entry.interface.operations.get(frame.verb)
+                if op is None:
+                    return frame.exception_to(
+                        "InterfaceError",
+                        f"interface {entry.interface.name!r} declares no "
+                        f"operation {frame.verb!r}")
+                if op.compute > 0:
+                    self.context.charge(op.compute)
+                result = versions.serve_envelope(
+                    entry, frame.verb, args, kwargs, frame.headers)
+        except ReproError as exc:
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        except Exception as exc:  # a primary write's application error
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        return frame.reply_to(result)
+
+    def _entry_invoke(self, entry: ExportEntry):
+        """An invoke thunk for repair pushes: replayed log entries get the
+        same interface check and compute accounting as a direct request."""
+        def invoke(verb: str, args: tuple, kwargs: dict):
+            op = entry.interface.operations.get(verb)
+            if op is None:
+                raise InterfaceError(
+                    f"interface {entry.interface.name!r} declares no "
+                    f"operation {verb!r}")
+            if op.compute > 0:
+                self.context.charge(op.compute)
+            return getattr(entry.obj, verb)(*args, **kwargs)
+        return invoke
 
     def _execute(self, frame: Frame) -> None:
         """Best-effort execution for one-way frames (errors are dropped)."""

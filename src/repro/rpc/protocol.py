@@ -63,6 +63,20 @@ _RAISABLE.update({
 })
 
 
+def remote_exception(name: str, message: str) -> BaseException:
+    """Rebuild a remote exception from its class name and message.
+
+    Known library and common Python exception types are reconstructed as
+    themselves; everything else degrades to :class:`RemoteError`.  Shared
+    by the reply acceptor below and by proxies that carry exceptions in
+    marshalled wrappers (the replicated policy's versioned reads).
+    """
+    klass = _RAISABLE.get(name)
+    if klass is not None:
+        return klass(message)
+    return RemoteError(name, message)
+
+
 class RpcProtocol:
     """Synchronous request/reply over the simulated transport."""
 
@@ -90,13 +104,17 @@ class RpcProtocol:
     def call(self, src: Context, ref: ObjectRef, verb: str,
              args: tuple = (), kwargs: dict | None = None, *,
              retry: RetryPolicy | None = None,
-             deadline: Deadline | None = None) -> Any:
+             deadline: Deadline | None = None,
+             headers: dict | None = None) -> Any:
         """Invoke ``verb`` on the object named by ``ref``, blocking for the reply.
 
         ``retry`` overrides the protocol's retransmission schedule for this
         call; ``deadline`` caps the call's total wait and travels in the
         request headers (merged with any deadline the serving context is
         itself under, so nested chains inherit the root caller's budget).
+        ``headers`` are extra request-header entries (protocol extensions,
+        e.g. the quorum envelopes of :mod:`repro.wire.versions`); they only
+        apply to remote frames — the same-context fast path carries none.
 
         Raises the remote exception locally; raises
         :class:`~repro.kernel.errors.RpcTimeout` when the retry budget is
@@ -117,6 +135,8 @@ class RpcProtocol:
         policy = retry or self.retry_policy
         frame = Frame(REQUEST, self._mint(src), src.context_id, ref.context_id,
                       target=ref.oid, verb=verb, body=(tuple(args), kwargs))
+        if headers:
+            frame.headers.update(headers)
         if deadline is not None:
             deadline.to_headers(frame.headers)
         data = self.transport.encode_frame(frame, src)
@@ -285,10 +305,7 @@ class RpcProtocol:
                     ctx_id, oid, iface, epoch, policy = detail
                     forward = ObjectRef(ctx_id, oid, iface, epoch, policy)
                 raise ObjectMoved(message, forward=forward)
-            klass = _RAISABLE.get(name)
-            if klass is not None:
-                raise klass(message)
-            raise RemoteError(name, message)
+            raise remote_exception(name, message)
         raise kernel_errors.ProtocolError(f"unexpected reply kind {reply.kind!r}")
 
     # -- local fast path ---------------------------------------------------------

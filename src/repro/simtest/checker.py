@@ -1,18 +1,34 @@
-"""A Wing–Gong linearizability checker with "maybe happened" semantics.
+"""A Wing–Gong linearizability checker with "maybe happened" semantics —
+plus two weaker consistency modes (sequential, read-your-writes).
 
 Given a recorded :class:`~repro.simtest.history.History` and a sequential
 :class:`~repro.simtest.models.Model`, decide whether some total order of
-the operations (a) respects real time — an operation that completed before
-another was invoked must precede it — and (b) yields each ``ok``
-operation's recorded result when replayed through the model.
+the operations (a) respects the mode's ordering constraint and (b) yields
+each ``ok`` operation's recorded result when replayed through the model.
+
+**Consistency modes** (:data:`CONSISTENCY_MODES`):
+
+* ``"linearizable"`` — the total order must respect *real time*: an
+  operation that completed before another was invoked must precede it.
+  Checked per partition key (operations on disjoint keys commute).
+* ``"sequential"`` — the total order must respect each client's *program
+  order* only; no real-time constraint.  Sequential consistency is not
+  compositional, so this mode searches one combined partition
+  (:class:`~repro.simtest.models.CombinedModel`).
+* ``"read-your-writes"`` — each client, taken alone, must observe its own
+  acknowledged writes: the client's projection (its ops verbatim, other
+  clients' mutators as optional ``maybe`` ops, other clients' reads
+  dropped — :func:`~repro.simtest.models.ryw_projection`) must be
+  linearizable.  This is the contract a write-through cache actually
+  offers under faults that eat invalidations.
 
 Algorithm (Wing & Gong 1993, with the standard refinements):
 
-* **Per-key partitioning**: operations on disjoint ``partition_key``\\ s
-  commute, so each key is checked independently.
-* **Minimal-op candidates**: at each step only operations whose invoke
-  time does not follow another pending operation's completion may be
-  linearized next.
+* **Per-key partitioning** (linearizable/RYW modes): operations touching
+  disjoint ``partition_key``\\ s commute, so each key is checked
+  independently.
+* **Minimal-op candidates**: at each step only operations whose ordering
+  constraint allows them next may be linearized next.
 * **Memoization**: the search state is ``(remaining ops, model state)``;
   a configuration seen once is never re-explored (this is what keeps the
   search sub-exponential on realistic histories).
@@ -27,18 +43,21 @@ The search is budgeted: pathological histories return verdict
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .history import History, Op, canonical
-from .models import Model
+from .models import CombinedModel, Model, ryw_projection
 
 #: Default cap on memoized configurations explored per partition.
 DEFAULT_MAX_NODES = 200_000
 
+#: The checker's consistency modes, strongest first.
+CONSISTENCY_MODES = ("linearizable", "sequential", "read-your-writes")
+
 
 @dataclass
 class Violation:
-    """Evidence that one partition's sub-history is not linearizable."""
+    """Evidence that one partition's sub-history breaks the checked mode."""
 
     partition: str
     ops: list[dict]
@@ -75,21 +94,48 @@ class CheckResult:
 
 
 def check_history(history: History, model: Model,
-                  max_nodes: int = DEFAULT_MAX_NODES) -> CheckResult:
-    """Check a history against a model; returns a :class:`CheckResult`."""
+                  max_nodes: int = DEFAULT_MAX_NODES,
+                  consistency: str = "linearizable") -> CheckResult:
+    """Check a history against a model; returns a :class:`CheckResult`.
+
+    ``consistency`` selects the mode (:data:`CONSISTENCY_MODES`).
+    """
+    if consistency not in CONSISTENCY_MODES:
+        raise ValueError(f"unknown consistency mode {consistency!r}; "
+                         f"known: {CONSISTENCY_MODES}")
+    ops = history.checkable()
+    if consistency == "linearizable":
+        return _check_groups(_by_key(ops, model), model, max_nodes,
+                             order="realtime")
+    if consistency == "sequential":
+        ordered = sorted(ops, key=lambda op: (op.invoke, op.index))
+        return _check_groups({"*": ordered}, CombinedModel(model),
+                             max_nodes, order="program")
+    return _check_ryw(ops, model, max_nodes)
+
+
+def _by_key(ops: list[Op], model: Model,
+            label: str = "") -> dict[str, list[Op]]:
+    """Partition checkable ops by the model's key (labels prefixed)."""
     groups: dict[str, list[Op]] = {}
-    for op in history.checkable():
+    for op in ops:
         key = model.partition_key(op.verb, tuple(op.args))
-        groups.setdefault(repr(key), []).append(op)
+        groups.setdefault(label + repr(key), []).append(op)
+    return groups
+
+
+def _check_groups(groups: dict[str, list[Op]], model: Model, max_nodes: int,
+                  order: str) -> CheckResult:
+    """Run the search over each partition; first violation wins."""
     total_explored = 0
     capped = False
     for key in sorted(groups):
         ops = sorted(groups[key], key=lambda op: (op.invoke, op.index))
-        linearizable, explored, prefix = _search(ops, model, max_nodes)
+        admissible, explored, prefix = _search(ops, model, max_nodes, order)
         total_explored += explored
         if explored >= max_nodes:
             capped = True
-        if not linearizable:
+        if not admissible:
             return CheckResult(
                 ok=False,
                 violation=Violation(partition=key,
@@ -101,13 +147,38 @@ def check_history(history: History, model: Model,
                        partitions=len(groups))
 
 
-def _search(ops: list[Op], model: Model,
-            max_nodes: int) -> tuple[bool, int, int]:
-    """DFS over linearization orders of one partition's operations.
+def _check_ryw(ops: list[Op], model: Model, max_nodes: int) -> CheckResult:
+    """Read-your-writes: each client's projection must be linearizable."""
+    total_explored = 0
+    capped = False
+    partitions = 0
+    for client in sorted({op.client for op in ops}):
+        groups = _by_key(ryw_projection(ops, client, model), model,
+                         label=f"{client}:")
+        result = _check_groups(groups, model, max_nodes, order="realtime")
+        total_explored += result.explored
+        capped = capped or result.capped
+        partitions += result.partitions
+        if not result.ok:
+            return CheckResult(ok=False, violation=result.violation,
+                               explored=total_explored, capped=capped,
+                               partitions=partitions)
+    return CheckResult(ok=True, explored=total_explored, capped=capped,
+                       partitions=partitions)
 
-    Returns ``(linearizable, configurations explored, longest prefix of
+
+def _search(ops: list[Op], model: Model, max_nodes: int,
+            order: str = "realtime") -> tuple[bool, int, int]:
+    """DFS over admissible total orders of one partition's operations.
+
+    ``order`` is the mode's constraint: ``"realtime"`` (an op may go next
+    only if nothing pending completed before its invoke) or ``"program"``
+    (an op may go next only if no *required* earlier op of the same client
+    is still pending — failed maybe-ops never block their session).
+
+    Returns ``(admissible, configurations explored, longest prefix of
     required ops ever applied)``.  When the budget is exhausted the history
-    is *presumed* linearizable (the caller reports ``capped``).
+    is *presumed* admissible (the caller reports ``capped``).
     """
     required = frozenset(i for i, op in enumerate(ops)
                          if op.status == "ok")
@@ -116,9 +187,20 @@ def _search(ops: list[Op], model: Model,
                  for op in ops]
     expected = [canonical(op.result) if op.status == "ok" else None
                 for op in ops]
+    if order == "program":
+        predecessor = _required_predecessors(ops, required)
+
+        def candidates(remaining: frozenset) -> list[int]:
+            return sorted(i for i in remaining
+                          if predecessor[i] is None
+                          or predecessor[i] not in remaining)
+    else:
+        def candidates(remaining: frozenset) -> list[int]:
+            return _candidates(ops, completes, remaining)
+
     initial = model.initial()
     if not required and all(op.status != "ok" for op in ops):
-        # Nothing is required to have happened: trivially linearizable.
+        # Nothing is required to have happened: trivially admissible.
         return True, 0, 0
 
     seen: set[tuple[frozenset, object]] = set()
@@ -126,15 +208,14 @@ def _search(ops: list[Op], model: Model,
     best_applied = 0
     # Each stack frame: (remaining index set, state, candidate iterator).
     remaining = frozenset(range(len(ops)))
-    stack = [(remaining, initial, iter(_candidates(ops, completes,
-                                                   remaining)))]
+    stack = [(remaining, initial, iter(candidates(remaining)))]
     seen.add((remaining, initial))
     while stack:
-        remaining, state, candidates = stack[-1]
+        remaining, state, frontier = stack[-1]
         if not (remaining & required):
             return True, explored, best_applied
         advanced = False
-        for index in candidates:
+        for index in frontier:
             op = ops[index]
             try:
                 result, new_state = model.step(state, op.verb,
@@ -154,7 +235,7 @@ def _search(ops: list[Op], model: Model,
             if explored >= max_nodes:
                 return True, explored, best_applied    # presumed; capped
             stack.append((new_remaining, new_state,
-                          iter(_candidates(ops, completes, new_remaining))))
+                          iter(candidates(new_remaining))))
             advanced = True
             break
         if not advanced:
@@ -170,3 +251,23 @@ def _candidates(ops: list[Op], completes: list[float],
         return []
     horizon = min(completes[i] for i in remaining)
     return sorted(i for i in remaining if ops[i].invoke <= horizon)
+
+
+def _required_predecessors(ops: list[Op],
+                           required: frozenset) -> list[int | None]:
+    """For each op, the nearest earlier *required* op of the same client.
+
+    Program order per client is ``(invoke, index)``.  Chasing only the
+    nearest required predecessor suffices: an applied predecessor was
+    itself a candidate once, so its own required predecessors were applied
+    first (induction).
+    """
+    last_required: dict[str, int] = {}
+    predecessor: list[int | None] = [None] * len(ops)
+    for position in sorted(range(len(ops)),
+                           key=lambda i: (ops[i].invoke, ops[i].index)):
+        client = ops[position].client
+        predecessor[position] = last_required.get(client)
+        if position in required:
+            last_required[client] = position
+    return predecessor

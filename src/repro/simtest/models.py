@@ -18,10 +18,14 @@ State must be **hashable** (tuples, not lists): the checker memoizes on
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Hashable
 
 #: State marker for an absent KV key (distinct from a stored ``None``).
 _ABSENT = ("__absent__",)
+
+#: Sentinel for "this partition has no state yet" in :class:`CombinedModel`.
+_UNSET = ("__unset__",)
 
 
 class Model:
@@ -29,6 +33,12 @@ class Model:
 
     #: Registry name, matching the workload's service names.
     name = ""
+
+    #: Verbs that never move state (the read-your-writes oracle drops
+    #: *other* clients' reads from a client's projection; see
+    #: :func:`ryw_projection`).  Must mirror the service interface's
+    #: ``readonly`` flags — cross-checked by the model self-tests.
+    readonly_verbs: frozenset[str] = frozenset()
 
     def initial(self) -> Hashable:
         """The state every partition starts from."""
@@ -48,6 +58,7 @@ class KVModel(Model):
     """Oracle for :class:`repro.apps.kv.KVStore` (per-key partitioned)."""
 
     name = "kv"
+    readonly_verbs = frozenset({"get", "contains"})
 
     def initial(self) -> Hashable:
         return _ABSENT
@@ -76,6 +87,7 @@ class CounterModel(Model):
     """Oracle for :class:`repro.apps.counter.Counter` (single partition)."""
 
     name = "counter"
+    readonly_verbs = frozenset({"read"})
 
     def initial(self) -> Hashable:
         return 0
@@ -103,6 +115,7 @@ class LockModel(Model):
     """
 
     name = "lock"
+    readonly_verbs = frozenset({"holder", "queue_length"})
 
     def initial(self) -> Hashable:
         return ("", ())
@@ -145,6 +158,7 @@ class QueueModel(Model):
     """
 
     name = "queue"
+    readonly_verbs = frozenset({"depth", "stats"})
 
     def initial(self) -> Hashable:
         return ((), (), (), 1)
@@ -181,3 +195,56 @@ MODELS: dict[str, type[Model]] = {
     model.name: model for model in (KVModel, CounterModel, LockModel,
                                     QueueModel)
 }
+
+
+class CombinedModel(Model):
+    """All of a base model's partitions folded into one state.
+
+    Sequential consistency is **not compositional** (unlike
+    linearizability): per-key sub-histories can each admit a program-order-
+    respecting total order while no single order serves every key at once.
+    The sequential checker mode therefore searches one partition whose
+    state is the whole table — ``((key_repr, sub_state), ...)``, sorted by
+    key so equal tables memoize equally.
+    """
+
+    def __init__(self, base: Model):
+        self.base = base
+        self.name = f"combined({base.name})"
+        self.readonly_verbs = base.readonly_verbs
+
+    def initial(self) -> Hashable:
+        return ()
+
+    def partition_key(self, verb: str, args: tuple) -> Hashable | None:
+        return None
+
+    def step(self, state, verb, args):
+        key = repr(self.base.partition_key(verb, args))
+        table = dict(state)
+        sub = table.get(key, _UNSET)
+        if sub is _UNSET:
+            sub = self.base.initial()
+        result, new_sub = self.base.step(sub, verb, args)
+        table[key] = new_sub
+        return result, tuple(sorted(table.items()))
+
+
+def ryw_projection(ops, client: str, model: Model) -> list:
+    """One client's read-your-writes view of a checkable history.
+
+    The client's own operations keep their order, results, and times.
+    Other clients' **mutators** become optional, unconstrained ``maybe``
+    ops (their effects may be observed at any point after their invoke, or
+    never); other clients' **reads** move no state and are dropped.  The
+    projection is then checked like any history — a violation means this
+    client failed to observe *its own* acknowledged writes.
+    """
+    projected = []
+    for op in ops:
+        if op.client == client:
+            projected.append(op)
+        elif op.verb not in model.readonly_verbs:
+            projected.append(replace(op, status="maybe", complete=None,
+                                     result=None, error=None))
+    return projected

@@ -122,11 +122,13 @@ class SimReport:
     minimized: SimCase | None = None
     confirmed: bool = False
     stats: dict = field(default_factory=dict)
+    consistency: str = "linearizable"
 
     def to_json(self) -> dict:
         """Marshal with stable keys (dump with ``sort_keys=True``)."""
         return {
             "case": self.case.to_json(),
+            "consistency": self.consistency,
             "verdict": self.verdict,
             "history": self.history.to_json(),
             "fingerprint": self.fingerprint,
@@ -150,23 +152,31 @@ def execute(case: SimCase) -> tuple[History, object]:
     return history, deployment.system
 
 
-def _violates(case: SimCase, max_nodes: int) -> bool:
+def _violates(case: SimCase, max_nodes: int,
+              consistency: str = "linearizable") -> bool:
     history, _ = execute(case)
     model = MODELS[case.service]()
-    return check_history(history, model, max_nodes).verdict == "violation"
+    return check_history(history, model, max_nodes,
+                         consistency=consistency).verdict == "violation"
 
 
 def run_case(case: SimCase, minimize: bool = True,
-             max_nodes: int | None = None) -> SimReport:
-    """Run one case end-to-end: execute, check, minimize, confirm."""
+             max_nodes: int | None = None,
+             consistency: str = "linearizable") -> SimReport:
+    """Run one case end-to-end: execute, check, minimize, confirm.
+
+    ``consistency`` picks the checker mode the verdict is graded against
+    (:data:`~repro.simtest.checker.CONSISTENCY_MODES`).
+    """
     from .checker import DEFAULT_MAX_NODES
     budget = max_nodes if max_nodes is not None else DEFAULT_MAX_NODES
     history, system = execute(case)
     model = MODELS[case.service]()
-    check = check_history(history, model, budget)
+    check = check_history(history, model, budget, consistency=consistency)
     rpc = system.rpc.stats if system.rpc is not None else {}
     report = SimReport(
         case=case, verdict=check.verdict, history=history,
+        consistency=consistency,
         fingerprint=system.trace.fingerprint(),
         streams=system.seeds.streams_used(), check=check,
         violation=check.violation,
@@ -178,16 +188,18 @@ def run_case(case: SimCase, minimize: bool = True,
                "rpc_retries": rpc.get("retries", 0),
                "rpc_timeouts": rpc.get("timeouts", 0)})
     if check.verdict == "violation" and minimize:
-        minimized = minimize_case(case, lambda c: _violates(c, budget))
+        minimized = minimize_case(
+            case, lambda c: _violates(c, budget, consistency))
         report.minimized = minimized
-        report.confirmed = _violates(minimized, budget)
+        report.confirmed = _violates(minimized, budget, consistency)
     return report
 
 
 def run_battery(seeds, policies=SHIPPED_POLICIES, service: str | None = None,
                 ops: int = DEFAULT_OPS, clients: int = DEFAULT_CLIENTS,
                 minimize: bool = False,
-                max_nodes: int | None = None) -> dict:
+                max_nodes: int | None = None,
+                consistency: str = "linearizable") -> dict:
     """Sweep seeds × policies; returns a JSON-ready summary.
 
     ``violations`` carries one entry per convicted case (with the
@@ -195,13 +207,14 @@ def run_battery(seeds, policies=SHIPPED_POLICIES, service: str | None = None,
     cases whose checker search hit its budget — both empty on a clean run.
     """
     summary: dict = {"cases": 0, "violations": [], "unknown": [],
-                     "per_policy": {}}
+                     "consistency": consistency, "per_policy": {}}
     for policy in policies:
         counts = {"cases": 0, "ok": 0}
         for seed in seeds:
             case = build_case(seed, policy, service=service, ops=ops,
                               clients=clients)
-            report = run_case(case, minimize=minimize, max_nodes=max_nodes)
+            report = run_case(case, minimize=minimize, max_nodes=max_nodes,
+                              consistency=consistency)
             summary["cases"] += 1
             counts["cases"] += 1
             if report.verdict == "ok":
@@ -220,15 +233,22 @@ def run_battery(seeds, policies=SHIPPED_POLICIES, service: str | None = None,
 
 
 def replay(data: dict, minimize: bool = False,
-           max_nodes: int | None = None) -> SimReport:
+           max_nodes: int | None = None,
+           consistency: str | None = None) -> SimReport:
     """Re-run a case parsed from JSON (the regression-corpus entry point).
 
     ``data`` is either a bare case (:meth:`SimCase.to_json`) or a corpus
     record ``{"case": {...}, "expect": "ok" | "violation", ...}``; the
-    caller compares ``report.verdict`` against its expectation.
+    caller compares ``report.verdict`` against its expectation.  The
+    record may pin a ``"consistency"`` mode (a corpus entry can grade a
+    policy against its actual, weaker contract); an explicit
+    ``consistency`` argument overrides it.
     """
     case = SimCase.from_json(data.get("case", data))
-    return run_case(case, minimize=minimize, max_nodes=max_nodes)
+    if consistency is None:
+        consistency = data.get("consistency", "linearizable")
+    return run_case(case, minimize=minimize, max_nodes=max_nodes,
+                    consistency=consistency)
 
 
 def report_json(report: SimReport) -> str:

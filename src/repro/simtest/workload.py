@@ -15,10 +15,11 @@ SimCase` exists" and "a :class:`~repro.simtest.history.History` exists":
   op Y was invoked in virtual time, X was necessarily driven first);
 * **classification** — each outcome lands in the history as ``ok``,
   ``maybe``, or ``fail`` per the rules of :mod:`repro.simtest.history`;
-* **the ``dirtycache`` policy** — a deliberately broken caching proxy
-  (no invalidation, no TTL) that the harness must catch.  It is the
-  end-to-end self-test: if the checker ever stops flagging it, the
-  harness — not the library — has the bug.
+* **the ``dirtycache`` and ``underquorum`` canaries** — a caching proxy
+  with the coherence machinery removed, and a replica group deployed with
+  ``R + W <= N``.  Both are deliberately broken and the harness must
+  convict them: if the checker ever stops flagging either, the harness —
+  not the library — has the bug.
 
 Fault menus as consistency contracts
 ------------------------------------
@@ -33,11 +34,19 @@ design*, and the menu documents each contract:
   one-way messages, so a loss burst or partition can silently drop one and
   leave a cache permanently stale (invalidation-mode TTL is ∞) — a
   documented freshness trade, not a bug.
-* ``replicated`` tolerates ``(latency,)``: write-all raises after partial
-  application when a replica is unreachable, so crash/partition/loss can
-  diverge the copies — the 1986-era contract says "don't run it there".
-* ``composite`` (caching over replicated) gets the intersection of its
-  layers' menus.
+* ``replicated`` runs in versioned quorum mode here (``W=2, R=2`` over
+  three replicas, so ``R + W > N``) and tolerates the **full menu**:
+  primary-assigned versions, quorum reads with read-repair, and the
+  read-side promotion step keep every exposed value stable under crash,
+  partition, and loss (see ``repro.core.policies.replicating``).
+* ``underquorum`` is the same deployment with ``W=1, R=1`` —
+  ``R + W <= N``, so a partitioned replica can serve stale reads the
+  moment the read rotation lands on it.  It runs the full menu *expecting
+  conviction* (the quorum-overlap counterpart of ``dirtycache``).
+* ``composite`` (caching over replicated) still deploys its replication
+  layer in legacy write-all mode — quorum versioning is configuration
+  opt-in — so its menu stays the intersection of a coherent cache and
+  write-all replication: ``(latency,)``.
 """
 
 from __future__ import annotations
@@ -70,12 +79,23 @@ FAULT_MENUS: dict[str, tuple[str, ...]] = {
     "resilient": FAULT_KINDS,
     "caching": ("crash", "latency"),
     "dirtycache": ("crash", "latency"),
-    "replicated": ("latency",),
+    "replicated": FAULT_KINDS,
+    "underquorum": FAULT_KINDS,
     "composite": ("latency",),
 }
 
 #: Policies deployed as a three-replica group (everything else: one server).
-_REPLICA_POLICIES = ("replicated", "composite")
+_REPLICA_POLICIES = ("replicated", "underquorum", "composite")
+
+#: Quorum deployments per harness policy label: ``(write_quorum,
+#: read_quorum, read_policy)`` over the three replicas.  ``replicated``
+#: overlaps (R + W > N: every read intersects every acknowledged write);
+#: ``underquorum`` deliberately does not, and rotates its reads so the
+#: battery actually lands on a stale copy.
+_QUORUM_CONFIGS = {
+    "replicated": (2, 2, "nearest"),
+    "underquorum": (1, 1, "roundrobin"),
+}
 
 #: Service rotation for cases that don't pin one (seed-indexed).
 SERVICE_CYCLE = ("kv", "counter", "lock", "queue")
@@ -143,15 +163,26 @@ def deploy(case) -> Deployment:
     client_ctxs = [system.add_node(name).create_context("main")
                    for name in client_names]
     interface = Interface.of(service_cls)
-    ref = _export(case.policy, server_ctxs, service_cls, interface)
+    ref = _export(case.policy, server_ctxs, service_cls, interface,
+                  case.service)
     clients = [(name, ctx, get_space(ctx).bind_ref(ref, handshake=True))
                for name, ctx in zip(client_names, client_ctxs)]
     return Deployment(system=system, interface=interface,
                       model=MODELS[case.service](), clients=clients)
 
 
-def _export(policy: str, server_ctxs: list, service_cls, interface):
+def _export(policy: str, server_ctxs: list, service_cls, interface,
+            service: str):
     primary = server_ctxs[0]
+    quorum = _QUORUM_CONFIGS.get(policy)
+    if quorum is not None:
+        write_quorum, read_quorum, read_policy = quorum
+        # Keyed services version per key (their model partitions the same
+        # way); the single-state services serialise under one object log.
+        version_key = "arg0" if service in ("kv", "lock") else "object"
+        return replicate(server_ctxs, service_cls, interface=interface,
+                         read_policy=read_policy, write_quorum=write_quorum,
+                         read_quorum=read_quorum, version_key=version_key)
     if policy in _REPLICA_POLICIES:
         extra = ["caching"] if policy == "composite" else None
         return replicate(server_ctxs, service_cls, interface=interface,

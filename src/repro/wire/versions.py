@@ -1,0 +1,249 @@
+"""Versioned replica envelopes: quorum metadata threaded through the wire.
+
+The ``replicated`` policy's quorum mode attaches a per-key **version** (a
+logical timestamp assigned by the group's primary) to every replica write,
+and reads collect ``(version, answer)`` pairs so the newest copy wins.
+This module owns the wire representation and the server-side protocol
+steps, shared by two call paths:
+
+* the dispatcher (:mod:`repro.rpc.dispatcher`) for remote replicas — the
+  request metadata rides :attr:`~repro.wire.frames.Frame.headers` (the
+  same extension point deadlines use), and the versioned reply is a
+  **marshalled wrapper** (a dict with reserved ``q.*`` keys) because a
+  reply frame's body is the only thing the RPC client hands back;
+* the replicated proxy itself for a co-located replica, where the frame
+  layer is bypassed entirely (home access is the object).
+
+Frames that carry no quorum envelope are untouched: the header dict stays
+empty and :meth:`Marshaller.encode_frame_fields` elides it, so non-
+replicated traffic is byte-identical to a build without this module.
+
+Request header keys (values are small marshallable lists):
+
+========== ======================= ========================================
+key        value                   meaning
+========== ======================= ========================================
+``q.w``    ``[key]``               primary write: apply, assign the next
+                                   version of ``key``, log the operation
+``q.a``    ``[key, n]``            replica write: apply iff ``n`` extends
+                                   the replica's log of ``key`` contiguously
+``q.r``    ``[key]``               versioned read: answer with the replica's
+                                   current version of ``key``
+``q.c``    ``["pull", key, since]`` log transfer for repair: return the
+           / ``["push", key]``     suffix after ``since`` / apply pushed
+                                   entries (ride the request body)
+========== ======================= ========================================
+
+Reply wrappers (reserved keys, see :func:`is_wrapped`):
+
+* ``{"q.v": n, "q.val": result}`` — applied/answered at version ``n``;
+* ``{"q.v": cur, "q.stale": True}`` — the replica is missing a prefix
+  (apply of ``n > cur + 1``): the caller repairs, then retries the ack;
+* ``{"q.v": cur, "q.exc": [type, message]}`` — the operation raised an
+  application exception (versioned reads re-raise it client-side);
+* ``{"q.v": cur, "q.log": [[n, verb, args, kwargs], ...]}`` — pull answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..kernel.errors import ProtocolError
+
+#: Request header: primary write ``[key]`` — apply and assign the version.
+H_ASSIGN = "q.w"
+#: Request header: replica write ``[key, n]`` — apply iff contiguous.
+H_APPLY = "q.a"
+#: Request header: versioned read ``[key]``.
+H_READ = "q.r"
+#: Request header: log-transfer control ``["pull", key, since]``/``["push", key]``.
+H_CONTROL = "q.c"
+
+#: Reply key: the replica's version of the addressed key after the call.
+K_VERSION = "q.v"
+#: Reply key: the operation's result (present on success).
+K_VALUE = "q.val"
+#: Reply key: apply refused, the replica is missing a log prefix.
+K_STALE = "q.stale"
+#: Reply key: the operation raised ``[type_name, message]``.
+K_EXC = "q.exc"
+#: Reply key: pulled log suffix ``[[n, verb, args, kwargs], ...]``.
+K_LOG = "q.log"
+
+_QUORUM_HEADERS = (H_ASSIGN, H_APPLY, H_READ, H_CONTROL)
+
+
+def has_envelope(headers: dict | None) -> bool:
+    """True when a request carries any quorum envelope."""
+    if not headers:
+        return False
+    return any(key in headers for key in _QUORUM_HEADERS)
+
+
+class ReplicaLog:
+    """Per-key contiguous operation log of one replica.
+
+    The version of a key is simply the length of its log; entry ``n`` is
+    the operation that moved the key from version ``n - 1`` to ``n``.
+    Because versions are assigned by a single sequencer (the group's
+    primary), every replica's log of a key is a prefix of the primary's —
+    repair is therefore always a suffix transfer, never a merge.
+    """
+
+    __slots__ = ("_logs",)
+
+    def __init__(self) -> None:
+        self._logs: dict[Any, list] = {}
+
+    def version(self, key) -> int:
+        """The highest contiguous version this replica holds for ``key``."""
+        log = self._logs.get(key)
+        return len(log) if log else 0
+
+    def append(self, key, n: int, verb: str, args, kwargs) -> None:
+        """Record the operation that produced version ``n`` of ``key``."""
+        log = self._logs.setdefault(key, [])
+        if n != len(log) + 1:
+            raise ProtocolError(
+                f"replica log of {key!r} at version {len(log)} cannot "
+                f"append version {n}")
+        log.append((n, verb, list(args), dict(kwargs)))
+
+    def suffix(self, key, since: int) -> list:
+        """The marshallable entries after version ``since`` (for repair)."""
+        log = self._logs.get(key)
+        if not log:
+            return []
+        return [[n, verb, list(args), dict(kwargs)]
+                for n, verb, args, kwargs in log[int(since):]]
+
+
+def replica_log(entry) -> ReplicaLog:
+    """The (lazily created) version log of one export-table entry."""
+    log = entry.replica_log
+    if log is None:
+        log = entry.replica_log = ReplicaLog()
+    return log
+
+
+# -- server-side protocol steps -----------------------------------------------
+#
+# Each helper takes the export entry and an ``invoke`` thunk (the actual
+# method call, with whatever interface checking and compute accounting the
+# caller's layer does) and returns the marshallable reply wrapper.
+# Application exceptions are folded into the wrapper for reads and replica
+# applies; a primary write propagates them so nothing is logged and the
+# fan-out never starts — the group stays converged.
+
+
+def serve_read(entry, key, invoke: Callable[[], Any]) -> dict:
+    """A versioned read: the answer plus the replica's version of ``key``."""
+    log = replica_log(entry)
+    try:
+        result = invoke()
+    except Exception as exc:
+        return {K_VERSION: log.version(key),
+                K_EXC: [type(exc).__name__, str(exc)]}
+    return {K_VERSION: log.version(key), K_VALUE: result}
+
+
+def serve_assign(entry, key, verb: str, args, kwargs,
+                 invoke: Callable[[], Any]) -> dict:
+    """A primary write: execute, then log it under the next version."""
+    log = replica_log(entry)
+    result = invoke()    # an exception propagates; nothing is logged
+    n = log.version(key) + 1
+    log.append(key, n, verb, args, kwargs)
+    entry.run_mutation_hooks(verb, tuple(args), dict(kwargs))
+    return {K_VERSION: n, K_VALUE: result}
+
+
+def serve_apply(entry, key, n: int, verb: str, args, kwargs,
+                invoke: Callable[[], Any]) -> dict:
+    """A replica write at an assigned version: apply iff contiguous.
+
+    ``n <= current`` is an idempotent ack (the replica already holds that
+    prefix); a gap answers ``stale`` so the caller can repair and retry.
+    """
+    log = replica_log(entry)
+    current = log.version(key)
+    n = int(n)
+    if n <= current:
+        return {K_VERSION: current}
+    if n > current + 1:
+        return {K_VERSION: current, K_STALE: True}
+    try:
+        invoke()
+    except Exception as exc:
+        # The primary executed this operation without raising, so a raising
+        # replica has diverged — refuse the ack, leave the log untouched.
+        return {K_VERSION: current,
+                K_EXC: [type(exc).__name__, str(exc)]}
+    log.append(key, n, verb, args, kwargs)
+    entry.run_mutation_hooks(verb, tuple(args), dict(kwargs))
+    return {K_VERSION: n}
+
+
+def serve_control(entry, control, body_args,
+                  invoke: Callable[[str, tuple, dict], Any]) -> dict:
+    """A log-transfer control call (repair traffic, verb-less frames).
+
+    ``["pull", key, since]`` returns the suffix after ``since``;
+    ``["push", key]`` applies the entries riding ``body_args[0]``
+    contiguously (old entries are skipped, a gap or a raising entry stops
+    the push) and returns the resulting version.
+    """
+    kind = control[0]
+    log = replica_log(entry)
+    if kind == "pull":
+        key, since = control[1], int(control[2])
+        return {K_VERSION: log.version(key), K_LOG: log.suffix(key, since)}
+    if kind == "push":
+        key = control[1]
+        entries = body_args[0] if body_args else []
+        for item in entries:
+            n, verb, args, kwargs = (int(item[0]), item[1], tuple(item[2]),
+                                     dict(item[3]))
+            current = log.version(key)
+            if n <= current:
+                continue
+            if n > current + 1:
+                break
+            try:
+                invoke(verb, args, kwargs)
+            except Exception:
+                break    # diverged entry: stop, report how far we got
+            log.append(key, n, verb, args, kwargs)
+            entry.run_mutation_hooks(verb, args, kwargs)
+        return {K_VERSION: log.version(key)}
+    raise ProtocolError(f"unknown quorum control {kind!r}")
+
+
+def serve_envelope(entry, verb: str, args, kwargs, headers: dict,
+                   invoke: Callable[[], Any] | None = None,
+                   control_invoke: Callable[[str, tuple, dict], Any] | None
+                   = None) -> dict:
+    """Dispatch one enveloped call to the matching protocol step.
+
+    The co-located fast path of the replicated proxy uses this directly on
+    the local export entry; the dispatcher inlines the same steps with its
+    own interface/compute accounting.
+    """
+    control = headers.get(H_CONTROL)
+    if control is not None:
+        if control_invoke is None:
+            control_invoke = lambda v, a, k: getattr(entry.obj, v)(*a, **k)  # noqa: E731
+        return serve_control(entry, control, args, control_invoke)
+    if invoke is None:
+        invoke = lambda: getattr(entry.obj, verb)(*args, **kwargs)  # noqa: E731
+    spec = headers.get(H_READ)
+    if spec is not None:
+        return serve_read(entry, spec[0], invoke)
+    spec = headers.get(H_ASSIGN)
+    if spec is not None:
+        return serve_assign(entry, spec[0], verb, args, kwargs, invoke)
+    spec = headers.get(H_APPLY)
+    if spec is not None:
+        return serve_apply(entry, spec[0], spec[1], verb, args, kwargs,
+                           invoke)
+    raise ProtocolError("frame carries no quorum envelope")

@@ -4,8 +4,11 @@ import pytest
 
 import repro
 from repro.apps.kv import KVStore
+from repro.apps.locks import LockService
 from repro.core.policies.replicating import ReplicatedProxy, replicate
-from repro.kernel.errors import DistributionError
+from repro.core.service import Service
+from repro.iface.interface import operation
+from repro.kernel.errors import ConfigurationError, DistributionError
 from repro.metrics.counters import MessageWindow
 
 
@@ -16,6 +19,37 @@ def group(star):
     ref = replicate([server, clients[1], clients[2]], KVStore, write_quorum=2)
     repro.register(server, "kv", ref)
     return system, server, clients
+
+
+@pytest.fixture
+def quorum_group(star):
+    """3-replica versioned-quorum KV group (W=2, R=2, per-key versions)."""
+    system, server, clients = star
+    ref = replicate([server, clients[1], clients[2]], KVStore,
+                    write_quorum=2, read_quorum=2, version_key="arg0")
+    repro.register(server, "qkv", ref)
+    return system, server, clients
+
+
+class Flaky(Service):
+    """A service whose writes can be made to raise on one replica only."""
+
+    default_policy = "stub"
+
+    def __init__(self):
+        self.log = []
+        self.fail = False
+
+    @operation
+    def record(self, item):
+        if self.fail:
+            raise ValueError("replica refuses")
+        self.log.append(item)
+        return len(self.log)
+
+    @operation(readonly=True)
+    def entries(self):
+        return list(self.log)
 
 
 class TestRouting:
@@ -116,6 +150,197 @@ class TestDeployment:
     def test_principle_holds(self, group):
         system, server, clients = group
         proxy = repro.bind(clients[0], "kv")
+        proxy.put("k", 1)
+        proxy.get("k")
+        repro.assert_principle(system)
+
+
+class TestQuorumValidation:
+    """Quorum bounds are configuration errors, at deploy and at call time.
+
+    Regression: ``write_quorum=0`` used to let a write that reached *no*
+    replica "succeed" (returning ``None``), and ``write_quorum > N`` used
+    to fail every write with a misleading distribution error.
+    """
+
+    @pytest.mark.parametrize("quorum", [0, -2, 4])
+    def test_deploy_rejects_out_of_range_write_quorum(self, star, quorum):
+        system, server, clients = star
+        with pytest.raises(ConfigurationError):
+            replicate([server, clients[1], clients[2]], KVStore,
+                      write_quorum=quorum)
+
+    @pytest.mark.parametrize("quorum", [0, -1, 4])
+    def test_deploy_rejects_out_of_range_read_quorum(self, star, quorum):
+        system, server, clients = star
+        with pytest.raises(ConfigurationError):
+            replicate([server, clients[1], clients[2]], KVStore,
+                      read_quorum=quorum)
+
+    @pytest.mark.parametrize("quorum", [0, -1, 5])
+    def test_call_time_rejects_injected_write_quorum(self, group, quorum):
+        # A config that dodged deploy validation (hand-edited, or shipped
+        # by an older server) must still fail closed at the proxy.
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        proxy.proxy_config["write_quorum"] = quorum
+        with pytest.raises(ConfigurationError):
+            proxy.put("k", 1)
+
+    def test_call_time_rejects_injected_read_quorum(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
+        proxy.proxy_config["read_quorum"] = 0
+        with pytest.raises(ConfigurationError):
+            proxy.get("k")
+
+    def test_zero_quorum_write_does_not_silently_succeed(self, group):
+        # The original bug: all replicas down + write_quorum=0 returned
+        # None as if the write had happened.
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        server.node.crash()
+        clients[1].node.crash()
+        clients[2].node.crash()
+        proxy.proxy_config["write_quorum"] = 0
+        with pytest.raises(ConfigurationError):
+            proxy.put("k", "ghost")
+
+
+class TestPartialWriteFanout:
+    """Regression: an application exception from an early replica used to
+    abort the write-all loop, leaving later replicas without the write
+    (silent divergence).  The fan-out must complete before re-raising."""
+
+    @pytest.fixture
+    def flaky_group(self, star):
+        system, server, clients = star
+        instances = []
+
+        def factory():
+            obj = Flaky()
+            instances.append(obj)
+            return obj
+
+        ref = replicate([server, clients[1], clients[2]], factory,
+                        write_quorum=2)
+        repro.register(server, "flaky", ref)
+        return system, clients, instances
+
+    def test_fanout_completes_past_a_raising_replica(self, flaky_group):
+        system, clients, instances = flaky_group
+        instances[0].fail = True    # only the first replica raises
+        proxy = repro.bind(clients[0], "flaky")
+        with pytest.raises(ValueError):
+            proxy.record("x")
+        assert instances[1].log == ["x"], "fan-out must not stop early"
+        assert instances[2].log == ["x"]
+        assert proxy.proxy_stats["app_errors"] == 1
+
+    def test_app_error_beats_quorum_success(self, flaky_group):
+        # Even with enough clean acks for the quorum, the application
+        # exception is the write's outcome and must surface.
+        system, clients, instances = flaky_group
+        instances[1].fail = True
+        proxy = repro.bind(clients[0], "flaky")
+        with pytest.raises(ValueError):
+            proxy.record("y")
+        assert instances[0].log == ["y"]
+        assert instances[2].log == ["y"]
+
+    def test_clean_writes_still_return_first_result(self, flaky_group):
+        system, clients, instances = flaky_group
+        proxy = repro.bind(clients[0], "flaky")
+        assert proxy.record("z") == 1
+        assert proxy.proxy_stats["app_errors"] == 0
+
+
+class TestEmptyResolutionNotMemoized:
+    """Regression: an empty replica resolution was cached forever, pinning
+    the proxy to plain forwarding even after the list arrived."""
+
+    def test_empty_resolution_is_retried(self, group):
+        system, server, clients = group
+        proxy = repro.bind(clients[0], "kv")
+        saved = proxy.proxy_config.pop("replicas")
+        proxy.proxy_handshaken = True    # keep the handshake from refetching
+        assert proxy._resolve_replicas() == []
+        assert proxy._replicas is None, "emptiness must not be memoised"
+        proxy.proxy_config["replicas"] = saved
+        assert len(proxy._resolve_replicas()) == 3
+        assert proxy._replicas is not None
+
+
+class TestVersionedQuorum:
+    def test_read_your_writes_across_clients(self, quorum_group):
+        system, server, clients = quorum_group
+        writer = repro.bind(clients[0], "qkv")
+        reader = repro.bind(clients[2], "qkv")
+        reader.proxy_config["read_policy"] = "roundrobin"
+        assert writer.put("k", "fresh") is True
+        assert [reader.get("k") for _ in range(3)] == ["fresh"] * 3
+
+    def test_stale_replica_is_read_repaired(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
+        proxy.proxy_config["read_policy"] = "roundrobin"
+        proxy.put("k", 1)
+        clients[2].node.crash()     # third replica misses the next write
+        proxy.put("k", 2)
+        clients[2].node.restart()
+        values = [proxy.get("k") for _ in range(3)]
+        assert values == [2, 2, 2], "a repaired read must return the newest"
+        assert proxy.proxy_stats["read_repairs"] >= 1
+
+    def test_write_fails_below_quorum(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
+        proxy.put("k", 1)
+        clients[1].node.crash()
+        clients[2].node.crash()     # primary alone: 1 < W=2
+        with pytest.raises(DistributionError):
+            proxy.put("k", 2)
+        assert proxy.proxy_stats["write_failures"] >= 1
+
+    def test_read_fails_below_read_quorum(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
+        proxy.put("k", 1)
+        clients[1].node.crash()
+        clients[2].node.crash()     # one answer < R=2
+        with pytest.raises(DistributionError):
+            proxy.get("k")
+        assert proxy.proxy_stats["read_failures"] >= 1
+
+    def test_group_recovers_after_restart(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
+        proxy.put("k", 1)
+        clients[1].node.crash()
+        clients[2].node.crash()
+        with pytest.raises(DistributionError):
+            proxy.put("k", 2)
+        clients[1].node.restart()
+        clients[2].node.restart()
+        assert proxy.put("k", 3) is True
+        assert proxy.get("k") == 3
+
+    def test_app_exception_does_not_diverge_the_group(self, star):
+        # The primary executes first and raises *before* any fan-out, so
+        # a raising write leaves every replica untouched and in agreement.
+        system, server, clients = star
+        ref = replicate([server, clients[1], clients[2]], LockService,
+                        write_quorum=2, read_quorum=2, version_key="arg0")
+        repro.register(server, "qlock", ref)
+        proxy = repro.bind(clients[0], "qlock")
+        with pytest.raises(PermissionError):
+            proxy.release("m", "nobody")
+        assert proxy.try_acquire("m", "alice") is True
+        assert proxy.holder("m") == "alice"
+
+    def test_principle_holds_for_quorum_traffic(self, quorum_group):
+        system, server, clients = quorum_group
+        proxy = repro.bind(clients[0], "qkv")
         proxy.put("k", 1)
         proxy.get("k")
         repro.assert_principle(system)

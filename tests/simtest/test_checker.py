@@ -1,6 +1,8 @@
 """Unit tests for the Wing–Gong linearizability checker."""
 
-from repro.simtest.checker import check_history
+import pytest
+
+from repro.simtest.checker import CONSISTENCY_MODES, check_history
 from repro.simtest.history import History, Op
 from repro.simtest.models import KVModel, LockModel
 
@@ -179,6 +181,85 @@ class TestBudget:
         result = check_history(h, KVModel())
         assert result.verdict == "ok"
         assert not result.capped
+
+
+class TestConsistencyModes:
+    def test_unknown_mode_raises(self):
+        h = history(op(0, "a", "get", ("k",), 0.0, 1.0, result=None))
+        with pytest.raises(ValueError):
+            check_history(h, KVModel(), consistency="causal")
+
+    def test_mode_registry_is_strongest_first(self):
+        assert CONSISTENCY_MODES == ("linearizable", "sequential",
+                                     "read-your-writes")
+
+    def test_cross_client_stale_read_grades_by_mode(self):
+        # b's write is acknowledged before a's read begins, yet a still
+        # sees the old value.  Linearizability forbids that (real time);
+        # sequential consistency allows it (b's write may order after a's
+        # read); read-your-writes allows it (the stale value is a's *own*
+        # last write).
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "b", "put", ("k", 2), 2.0, 3.0, result=True),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=1),
+        )
+        assert check_history(h, KVModel()).verdict == "violation"
+        assert check_history(h, KVModel(),
+                             consistency="sequential").verdict == "ok"
+        assert check_history(h, KVModel(),
+                             consistency="read-your-writes").verdict == "ok"
+
+    def test_same_client_stale_read_violates_every_mode(self):
+        # A client failing to see its *own* acknowledged write breaks even
+        # the weakest contract here.
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "a", "put", ("k", 2), 2.0, 3.0, result=True),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=1),
+        )
+        for mode in CONSISTENCY_MODES:
+            assert check_history(h, KVModel(),
+                                 consistency=mode).verdict == "violation", \
+                mode
+
+    def test_sequential_needs_the_combined_search(self):
+        # IRIW-shaped: two readers observe two independent writes in
+        # opposite orders.  Each key's sub-history alone admits a
+        # program-order-respecting total order — only the single combined
+        # partition (CombinedModel) exposes the cross-key cycle.
+        h = history(
+            op(0, "w1", "put", ("x", 1), 0.0, 20.0, result=True),
+            op(1, "w2", "put", ("y", 1), 0.0, 20.0, result=True),
+            op(2, "r1", "get", ("x",), 1.0, 2.0, result=1),
+            op(3, "r1", "get", ("y",), 3.0, 4.0, result=None),
+            op(4, "r2", "get", ("y",), 1.0, 2.0, result=1),
+            op(5, "r2", "get", ("x",), 3.0, 4.0, result=None),
+        )
+        assert check_history(h, KVModel(),
+                             consistency="sequential").verdict == "violation"
+
+    def test_ryw_still_enforces_monotonic_self_reads(self):
+        # Under RYW another client's write is a maybe-op: once observed it
+        # cannot un-apply for the observer.
+        h = history(
+            op(0, "b", "put", ("k", 9), 0.0, 1.0, result=True),
+            op(1, "a", "get", ("k",), 2.0, 3.0, result=9),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=None),
+        )
+        assert check_history(h, KVModel(),
+                             consistency="read-your-writes").verdict == \
+            "violation"
+
+    def test_ryw_partitions_are_labelled_per_client(self):
+        h = history(
+            op(0, "a", "put", ("k", 1), 0.0, 1.0, result=True),
+            op(1, "a", "put", ("k", 2), 2.0, 3.0, result=True),
+            op(2, "a", "get", ("k",), 4.0, 5.0, result=1),
+        )
+        result = check_history(h, KVModel(),
+                               consistency="read-your-writes")
+        assert result.violation.partition == "a:" + repr("k")
 
 
 class TestHistoryMarshalling:

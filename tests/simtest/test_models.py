@@ -14,13 +14,16 @@ from repro.apps.counter import Counter
 from repro.apps.kv import KVStore
 from repro.apps.locks import LockService
 from repro.apps.queue import WorkQueue
-from repro.simtest.history import canonical
+from repro.iface.interface import Interface
+from repro.simtest.history import Op, canonical
 from repro.simtest.models import (
     MODELS,
+    CombinedModel,
     CounterModel,
     KVModel,
     LockModel,
     QueueModel,
+    ryw_projection,
 )
 from repro.simtest.workload import _OPGENS, SERVICE_CYCLE
 
@@ -119,8 +122,90 @@ class TestCounterModel:
         assert (result, state) == (2, 0)
 
 
+def _op(index, client, verb, args, status="ok", result=None):
+    return Op(index=index, client=client, verb=verb, args=list(args),
+              invoke=float(index), complete=float(index) + 0.5,
+              status=status, result=result, error="")
+
+
+class TestCombinedModel:
+    def test_folds_every_partition_into_one_state(self):
+        model = CombinedModel(KVModel())
+        state = model.initial()
+        assert state == ()
+        result, state = model.step(state, "put", ("a", 1))
+        assert result is True
+        result, state = model.step(state, "put", ("b", 2))
+        assert model.step(state, "get", ("a",))[0] == 1
+        assert model.step(state, "get", ("b",))[0] == 2
+
+    def test_state_is_hashable_and_order_independent(self):
+        model = CombinedModel(KVModel())
+        _, one = model.step(model.initial(), "put", ("a", 1))
+        _, one = model.step(one, "put", ("b", 2))
+        _, two = model.step(model.initial(), "put", ("b", 2))
+        _, two = model.step(two, "put", ("a", 1))
+        hash(one)    # checker memoizes on state
+        assert one == two, "equal tables must memoize equally"
+
+    def test_single_combined_partition(self):
+        model = CombinedModel(KVModel())
+        assert model.partition_key("get", ("a",)) is None
+        assert model.partition_key("put", ("b", 1)) is None
+
+    def test_inherits_readonly_verbs(self):
+        assert CombinedModel(KVModel()).readonly_verbs == \
+            KVModel.readonly_verbs
+
+
+class TestRywProjection:
+    def test_own_ops_survive_verbatim(self):
+        mine = _op(0, "a", "put", ("k", 1), result=True)
+        projected = ryw_projection([mine], "a", KVModel())
+        assert projected == [mine]
+
+    def test_other_clients_mutators_become_optional(self):
+        theirs = _op(0, "b", "put", ("k", 2), result=True)
+        projected = ryw_projection([theirs], "a", KVModel())
+        assert len(projected) == 1
+        assert projected[0].status == "maybe"
+        assert projected[0].complete is None
+        assert projected[0].result is None
+
+    def test_other_clients_reads_are_dropped(self):
+        theirs = _op(0, "b", "get", ("k",), result=1)
+        assert ryw_projection([theirs], "a", KVModel()) == []
+
+    def test_projection_preserves_history_order(self):
+        ops = [
+            _op(0, "a", "put", ("k", 1), result=True),
+            _op(1, "b", "get", ("k",), result=1),
+            _op(2, "b", "put", ("k", 2), result=True),
+            _op(3, "a", "get", ("k",), result=1),
+        ]
+        projected = ryw_projection(ops, "a", KVModel())
+        assert [op.index for op in projected] == [0, 2, 3]
+
+
 _SERVICES = {"kv": KVStore, "counter": Counter, "lock": LockService,
              "queue": WorkQueue}
+
+
+@pytest.mark.parametrize("service", SERVICE_CYCLE)
+def test_readonly_verbs_mirror_the_interface(service):
+    """The RYW oracle drops other clients' reads by ``readonly_verbs``;
+    a verb misclassified there silently weakens (or breaks) the check, so
+    pin the set against the service interface's own ``readonly`` flags."""
+    model = MODELS[service]()
+    iface = Interface.of(_SERVICES[service])
+    for verb in model.readonly_verbs:
+        assert iface.operation(verb).readonly, verb
+    opgen = _OPGENS[service]
+    rng = random.Random(f"readonly-xval:{service}")
+    exercised = {opgen(rng, "c0", index)[0] for index in range(200)}
+    for verb in exercised:
+        assert (verb in model.readonly_verbs) == \
+            iface.operation(verb).readonly, verb
 
 
 @pytest.mark.parametrize("service", SERVICE_CYCLE)

@@ -71,11 +71,26 @@ class TestFaultMenus:
         assert FAULT_MENUS["stub"] == FAULT_KINDS
         assert FAULT_MENUS["resilient"] == FAULT_KINDS
 
+    def test_replicated_quorum_mode_takes_the_full_menu(self):
+        # R + W > N with read-side promotion: crash, partition, and loss
+        # are all survivable — the tentpole contract of the quorum mode.
+        assert FAULT_MENUS["replicated"] == FAULT_KINDS
+
     def test_composite_menu_is_the_intersection_of_its_layers(self):
+        # The composite deployment stacks caching over *legacy write-all*
+        # replication (quorum versioning is configuration opt-in), and the
+        # write-all contract tolerates only latency — so the intersection
+        # bottoms out there, not at the quorum-mode menu.
+        legacy_write_all_menu = ("latency",)
         assert set(FAULT_MENUS["composite"]) == \
-            set(FAULT_MENUS["caching"]) & set(FAULT_MENUS["replicated"])
+            set(FAULT_MENUS["caching"]) & set(legacy_write_all_menu)
 
     def test_dirtycache_shares_the_caching_contract(self):
         # Same menu as the honest caching policy: the conviction comes
         # from broken coherence, not from unfair faults.
         assert FAULT_MENUS["dirtycache"] == FAULT_MENUS["caching"]
+
+    def test_underquorum_shares_the_replicated_contract(self):
+        # Same full menu as the honest quorum deployment: the conviction
+        # comes from R + W <= N, not from unfair faults.
+        assert FAULT_MENUS["underquorum"] == FAULT_MENUS["replicated"]

@@ -56,6 +56,37 @@ def test_replay_honours_the_expectation(capsys):
         capsys.readouterr()
 
 
+def test_consistency_flag_changes_the_verdict(capsys):
+    # The dirty cache breaks linearizability but does give each client its
+    # own writes — the same case grades by the contract it is held to.
+    argv = ["simtest", "--seed", "0", "--policy", "dirtycache",
+            "--service", "kv", "--ops", "30"]
+    assert main(argv) == 1
+    capsys.readouterr()
+    assert main(argv + ["--consistency", "read-your-writes"]) == 0
+    assert "read-your-writes" in capsys.readouterr().out
+
+
+def test_consistency_json_is_byte_identical_across_runs(capsys):
+    argv = ["simtest", "--seed", "2", "--policy", "replicated",
+            "--ops", "16", "--json", "--no-minimize",
+            "--consistency", "sequential"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert json.loads(first)["consistency"] == "sequential"
+
+
+def test_replay_honours_the_consistency_pin(capsys):
+    # The corpus record pins read-your-writes; replayed without an explicit
+    # --consistency it must grade under the pinned mode and meet "ok".
+    code = main(["simtest", "--replay",
+                 str(CORPUS / "dirtycache-kv-seed7-ryw.json")])
+    assert code == 0, capsys.readouterr().out
+
+
 def test_unknown_policy_exits_two(capsys):
     assert main(["simtest", "--policy", "nosuch"]) == 2
     assert "unknown policy" in capsys.readouterr().err
