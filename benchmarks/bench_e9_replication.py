@@ -21,3 +21,15 @@ def test_e9_replication(benchmark):
         "overlapping quorums must never serve stale reads"
     assert quorum[(1, 1)]["stale_reads"] > 0, \
         "the under-quorumed config must show the staleness it trades for"
+    failover = {row["mode"]: row for row in rows
+                if row["mode"].startswith("failover-")}
+    static, lease = failover["failover-static"], failover["failover-lease"]
+    assert static["goodput_after"] == 0.0, \
+        "a fixed primary's crash must stall every subsequent write"
+    assert static["unavail_ms"] is None, \
+        "the static deployment never recovers within the run"
+    assert lease["goodput_after"] == 1.0, \
+        "the election must recover every post-crash write"
+    assert lease["unavail_ms"] is not None and \
+        500.0 <= lease["unavail_ms"] < 2000.0, \
+        "write unavailability must be bounded by lease TTL + election time"

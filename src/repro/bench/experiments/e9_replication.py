@@ -1,6 +1,6 @@
 """E9 — replication: latency, availability, and the quorum consistency trade.
 
-Two sweeps share the table:
+Three sweeps share the table:
 
 * **Write-all sweep** (``mode="write-all"``, the legacy contract) over the
   replica count: read latency *falls* (a nearby replica exists more often —
@@ -15,6 +15,16 @@ Two sweeps share the table:
   ``(1, 1)`` buys availability and latency with staleness; ``(3, 1)`` pins
   every copy fresh and pays for it in availability.
 
+* **Failover panel** (``mode="failover-static"`` / ``"failover-lease"``)
+  at N=3, W=2, R=2: the primary is crashed a third of the way into a
+  write-only workload and never restarted.  The two rows share one RNG
+  stream (paired op sequences), so they differ only in the election
+  policy: the static-primary deployment loses *every* subsequent write,
+  while the lease-based one rides out a single bounded unavailability
+  window (``unavail_ms`` — the virtual-time gap between the kill and the
+  next acknowledged write, bounded by the lease TTL plus the election
+  time) and then recovers full goodput.
+
 The staleness probe drives a writer client and a reader client through a
 crash plan with round-robin reads; values are globally monotone integers,
 so a read is **stale** exactly when it returns less than the last
@@ -25,7 +35,7 @@ from __future__ import annotations
 
 from ...apps.kv import KVStore
 from ...core.policies.replicating import replicate
-from ...failures.injectors import CrashPlan
+from ...failures.injectors import CrashPlan, begin_crash
 from ...kernel.errors import DistributionError
 from ...kernel.network import LinkSpec
 from ...naming.bootstrap import bind, register
@@ -34,7 +44,8 @@ from ..common import mesh, ms
 
 TITLE = "E9: replication — latency, availability, and the quorum trade"
 COLUMNS = ["replicas", "mode", "write_quorum", "read_quorum",
-           "read_ms", "write_ms", "availability", "stale_reads"]
+           "read_ms", "write_ms", "availability", "stale_reads",
+           "unavail_ms", "goodput_after"]
 
 REPLICA_COUNTS = (1, 2, 3, 5)
 #: (write_quorum, read_quorum) points of the N=3 quorum sweep.
@@ -128,6 +139,53 @@ def _probe(replicas: int, seed: int, ops: int, write_quorum: int,
     return 1.0 - failures / ops, stale
 
 
+def _failover(elect: bool, seed: int, ops: int) -> dict:
+    """Goodput around a primary kill for one election policy.
+
+    Both policies run the identical paired op sequence (one shared seeded
+    stream name); the primary is crashed at ``ops // 3`` and stays down.
+    Returns the write availability after the kill and the unavailability
+    window (virtual ms from the kill to the next acknowledged write).
+    """
+    system, contexts = mesh(seed=seed, nodes=4)
+    client = contexts[-1]
+    ref = replicate(contexts[:3], KVStore, write_quorum=2, read_quorum=2,
+                    version_key="arg0", read_policy="roundrobin",
+                    elect=elect)
+    register(contexts[0], "kv", ref)
+    proxy = bind(client, "kv")
+    rng = system.seeds.stream("e9.failover.ops")
+    kill_at = ops // 3
+    crash_time = None
+    recovered_at = None
+    after_ok = 0
+    sequence = 0
+    for index in range(ops):
+        if index == kill_at:
+            crash_time = client.clock.now
+            begin_crash(system, contexts[0].node.name)    # never restored
+        key = f"k{rng.randrange(4)}"
+        sequence += 1
+        try:
+            proxy.put(key, sequence)
+        except DistributionError:
+            continue
+        if crash_time is not None:
+            after_ok += 1
+            if recovered_at is None:
+                recovered_at = client.clock.now
+    after_total = ops - kill_at
+    return {
+        "replicas": 3, "mode": "failover-lease" if elect
+        else "failover-static", "write_quorum": 2, "read_quorum": 2,
+        "availability": (kill_at + after_ok) / ops,
+        # None = never recovered (JSON-safe; rendered as an empty cell).
+        "unavail_ms": ms(recovered_at - crash_time)
+        if recovered_at is not None else None,
+        "goodput_after": after_ok / after_total,
+    }
+
+
 def run(ops: int = OPS, seed: int = 37) -> list[dict]:
     """Both sweeps; one row per configuration."""
     rows = []
@@ -148,4 +206,6 @@ def run(ops: int = OPS, seed: int = 37) -> list[dict]:
                      "read_quorum": read_quorum,
                      "read_ms": read_ms, "write_ms": write_ms,
                      "availability": availability, "stale_reads": stale})
+    for elect in (False, True):
+        rows.append(_failover(elect, seed + 2, ops))
     return rows

@@ -269,7 +269,8 @@ def main(argv: list[str] | None = None) -> int:
                             help="emit the full report as sorted JSON")
     sim_parser.add_argument(
         "--consistency", default=None,
-        choices=("linearizable", "sequential", "read-your-writes"),
+        choices=("linearizable", "sequential", "causal",
+                 "read-your-writes"),
         help="checker mode to grade against (default: linearizable, or "
              "the mode a replayed corpus record pins)")
     sim_parser.add_argument("--replay", default=None, metavar="FILE",

@@ -31,6 +31,25 @@ loss; the sim-chaos battery holds it to that.  An under-quorumed
 configuration (``R + W <= N``) trades that consistency for availability —
 measured in experiment E9.
 
+**Election mode** (``elect=True`` on top of quorum mode): the primary is
+no longer a fixed single point of failure.  Every replica carries an
+:class:`~repro.failures.election.ElectionState` (a term number, a leader
+belief, and a lease), every envelope is stamped with the proxy's
+``(term, leader)`` belief, and stale-term writes are fenced server-side
+with a redirect the proxy follows like a migration forward.  When the
+leader stops answering, the proxy — policy code shipped by the service,
+so clients never see any of this — runs the deterministic election of
+:mod:`repro.failures.election` and resumes writes at the winner; the
+write unavailability window is bounded by the lease TTL plus the
+election time (experiment E9's failover panel measures it).  Log entries
+carry the term that assigned them, versions order lexicographically by
+``(term, version)``, and a replica holding a *different* entry at the
+same version (an old leader's uncommitted tail) is detected as diverged
+and repaired by reset + full log replay from the leader.  A periodic
+:meth:`ReplicatedProxy.proxy_anti_entropy` sweep pushes missing log
+suffixes from the leader to lagging replicas so restarted nodes catch up
+without waiting for read-repair.
+
 Deployment helper: :func:`replicate` builds the group and returns the
 client-facing reference.
 """
@@ -51,6 +70,12 @@ from ...wire.refs import ObjectRef
 from ..factory import register_policy
 from ..proxy import Proxy
 
+#: Leader-retry bound per write (fence redirects, renewals, elections).
+ASSIGN_ATTEMPTS = 4
+
+#: Candidacy rounds one election call may drive before giving up.
+ELECTION_ROUNDS = 4
+
 
 @register_policy
 class ReplicatedProxy(Proxy):
@@ -63,10 +88,19 @@ class ReplicatedProxy(Proxy):
         self._replicas: list | None = None
         self._replica_refs: list[ObjectRef | None] = []
         self._rr_counter = 0
+        #: Cached leadership belief (election mode): stamped on every
+        #: envelope, corrected by fencing redirects and elections.
+        self._term = 1
+        self._leader = 0
         self.proxy_stats.update(reads=0, writes=0, read_failovers=0,
                                 write_failures=0, read_failures=0,
                                 app_errors=0, read_repairs=0,
-                                write_repairs=0, repair_failures=0)
+                                write_repairs=0, repair_failures=0,
+                                terms_started=0, elections=0,
+                                elections_won=0, election_waits=0,
+                                fencing_rejects=0, lease_renewals=0,
+                                resyncs=0, anti_entropy_runs=0,
+                                anti_entropy_keys=0, anti_entropy_bytes=0)
 
     # -- replica resolution -------------------------------------------------------
 
@@ -142,6 +176,18 @@ class ReplicatedProxy(Proxy):
         config = self.proxy_config
         return bool(config.get("versioned")) or "read_quorum" in config
 
+    def _elect_mode(self) -> bool:
+        """True when the group additionally runs leader election."""
+        return bool(self.proxy_config.get("elect"))
+
+    def _adopt(self, term: int, leader: int) -> bool:
+        """Fold a ``(term, leader)`` observed on the wire into the cache."""
+        term, leader = int(term), int(leader)
+        if term > self._term or (term == self._term and leader != self._leader):
+            self._term, self._leader = term, leader
+            return True
+        return False
+
     def _quorum_params(self, count: int) -> tuple[int, int]:
         """Validated ``(write_quorum, read_quorum)`` for a ``count`` group.
 
@@ -186,6 +232,12 @@ class ReplicatedProxy(Proxy):
         if self._quorum_mode():
             write_quorum, read_quorum = self._quorum_params(len(replicas))
             key = self._version_key(args)
+            if self._elect_mode():
+                if op.readonly:
+                    return self._read_elected(replicas, verb, args, kwargs,
+                                              key, write_quorum, read_quorum)
+                return self._write_elected(replicas, verb, args, kwargs, key,
+                                           write_quorum)
             if op.readonly:
                 return self._read_versioned(replicas, verb, args, kwargs,
                                             key, write_quorum, read_quorum)
@@ -282,13 +334,16 @@ class ReplicatedProxy(Proxy):
                 f"context {context.context_id!r} exports no object "
                 f"{ref.oid!r}")
         context.charge(context.system.costs.local_call)
-        return versions.serve_envelope(entry, verb, args, kwargs, headers)
+        return versions.serve_envelope(entry, verb, args, kwargs, headers,
+                                       now=context.clock.now)
 
-    def _control_call(self, index: int, control: list,
-                      body_args: tuple) -> dict:
-        """A verb-less log-transfer call (repair traffic) to one replica."""
-        return self._versioned_call(index, "", tuple(body_args), {},
-                                    {versions.H_CONTROL: control})
+    def _control_call(self, index: int, control: list, body_args: tuple,
+                      extra_headers: dict | None = None) -> dict:
+        """A verb-less log-transfer/election call to one replica."""
+        headers = {versions.H_CONTROL: control}
+        if extra_headers:
+            headers.update(extra_headers)
+        return self._versioned_call(index, "", tuple(body_args), {}, headers)
 
     def _repair(self, target: int, source: int, key, since: int) -> int:
         """Transfer ``key``'s log suffix after ``since`` from ``source`` to
@@ -424,6 +479,572 @@ class ReplicatedProxy(Proxy):
             raise remote_exception(failure[0], failure[1])
         return winner.get(versions.K_VALUE)
 
+    # -- election mode ------------------------------------------------------------
+
+    def _term_header(self, term: int | None = None,
+                     leader: int | None = None) -> dict:
+        """The :data:`~repro.wire.versions.H_TERM` stamp for one envelope."""
+        return {versions.H_TERM: [
+            self._term if term is None else int(term),
+            self._leader if leader is None else int(leader)]}
+
+    def _adopt_newer(self, reply: dict) -> None:
+        """Fold a strictly newer ``(term, leader)`` advertised in a reply."""
+        pair = reply.get(versions.K_TERM)
+        if pair is not None and int(pair[0]) > self._term:
+            self._adopt(pair[0], pair[1])
+
+    def _repair_elected(self, target: int, source: int, key, since: int,
+                        since_term: int, allow_resync: bool = True) -> int:
+        """Term-aware suffix repair of ``key`` from ``source`` to ``target``.
+
+        The pull's boundary term must match the target's last-entry term
+        (equal ``(version, term)`` pairs imply equal prefixes); a mismatch
+        — or a diverged push — falls back to reset + full resync.  Returns
+        the target's resulting version of ``key`` (-1 on failure, -2 for a
+        divergence ``allow_resync`` forbids repairing, e.g. the leader).
+        """
+        try:
+            pulled = self._control_call(source, ["pull", key, int(since)], ())
+            if int(since) > 0 and \
+                    int(pulled.get(versions.K_VTERM, 0)) != int(since_term):
+                return self._diverged(target, source, key, allow_resync)
+            pushed = self._control_call(target, ["push", key],
+                                        (pulled.get(versions.K_LOG, []),),
+                                        self._term_header())
+        except DistributionError:
+            self.proxy_stats["repair_failures"] += 1
+            return -1
+        if versions.K_FENCED in pushed:
+            self.proxy_stats["fencing_rejects"] += 1
+            self._adopt(*pushed[versions.K_FENCED])
+            return -1
+        if versions.K_DIVERGED in pushed:
+            return self._diverged(target, source, key, allow_resync)
+        return int(pushed.get(versions.K_VERSION, -1))
+
+    def _diverged(self, target: int, source: int, key,
+                  allow_resync: bool) -> int:
+        if not allow_resync:
+            return -2
+        synced = self._resync(target, source)
+        if synced is None:
+            return -1
+        return int(synced.get(key, -1))
+
+    def _resync(self, target: int, source: int) -> dict | None:
+        """Divergence repair: reset ``target``, replay ``source``'s logs.
+
+        A suffix push cannot un-apply a diverged entry (an old leader's
+        uncommitted tail that a newer term overwrote), so the target's
+        object is recreated and every key's full log replayed.  Returns
+        the per-key versions reached, or ``None`` on failure.
+        """
+        reached: dict = {}
+        try:
+            digest = self._control_call(source, ["digest"], ())
+            reset = self._control_call(target, ["reset"], (),
+                                       self._term_header())
+            if versions.K_FENCED in reset:
+                self.proxy_stats["fencing_rejects"] += 1
+                self._adopt(*reset[versions.K_FENCED])
+                return None
+            for key, _term, _version in digest.get(versions.K_DIGEST, []):
+                pulled = self._control_call(source, ["pull", key, 0], ())
+                pushed = self._control_call(target, ["push", key],
+                                            (pulled.get(versions.K_LOG, []),),
+                                            self._term_header())
+                if versions.K_FENCED in pushed:
+                    self.proxy_stats["fencing_rejects"] += 1
+                    self._adopt(*pushed[versions.K_FENCED])
+                    return None
+                reached[key] = int(pushed.get(versions.K_VERSION, -1))
+        except DistributionError:
+            self.proxy_stats["repair_failures"] += 1
+            return None
+        self.proxy_stats["resyncs"] += 1
+        return reached
+
+    def _write_elected(self, replicas: list, verb: str, args: tuple,
+                       kwargs: dict, key, write_quorum: int) -> Any:
+        """Leader-sequenced quorum write with fencing and failover.
+
+        The assign loop follows fencing redirects like the migration
+        chain, renews the leader's lease when it reports expiry, and runs
+        an election when the leader stops answering — so one invoke rides
+        out a leader change whenever a majority is reachable.  The fan-out
+        then carries the assign's ``(term, leader)``; a fenced apply never
+        acknowledges, a stale one is suffix-repaired from the leader, and
+        a diverged one is reset + fully resynced.  A proxy deposed *during*
+        the fan-out (its assign landed at a stale leader and the applies
+        came back fenced) adopts the newer term and retries the whole
+        write there — the stale assign was never quorum-committed, so
+        re-sequencing it under the new term is the designed outcome, and
+        the old leader's orphaned tail is erased by divergence repair.
+        """
+        self.proxy_stats["writes"] += 1
+        last_error: Exception | None = None
+        assigned = acknowledged = 0
+        wterm = self._term
+        for _ in range(ASSIGN_ATTEMPTS):
+            reply = self._assign_elected(replicas, verb, args, kwargs, key)
+            assigned = int(reply[versions.K_VERSION])
+            wterm = int(reply.get(versions.K_VTERM, self._term))
+            leader = self._leader
+            acknowledged = 1
+            for index in range(len(replicas)):
+                if index == leader:
+                    continue
+                try:
+                    ack = self._versioned_call(
+                        index, verb, args, kwargs,
+                        {versions.H_APPLY: [key, assigned],
+                         versions.H_TERM: [wterm, leader]})
+                except DistributionError as exc:
+                    last_error = exc
+                    continue
+                if versions.K_FENCED in ack:
+                    self.proxy_stats["fencing_rejects"] += 1
+                    self._adopt(*ack[versions.K_FENCED])
+                    continue
+                if versions.K_DIVERGED in ack:
+                    synced = self._resync(index, leader)
+                    if synced is not None and synced.get(key, -1) >= assigned:
+                        self.proxy_stats["write_repairs"] += 1
+                        acknowledged += 1
+                    continue
+                if versions.K_EXC in ack:
+                    continue    # diverged execution: never acknowledged
+                if int(ack[versions.K_VERSION]) >= assigned:
+                    acknowledged += 1
+                elif self._repair_elected(
+                        index, leader, key,
+                        since=int(ack[versions.K_VERSION]),
+                        since_term=int(ack.get(versions.K_VTERM, 0))
+                        ) >= assigned:
+                    self.proxy_stats["write_repairs"] += 1
+                    acknowledged += 1
+            if acknowledged >= write_quorum:
+                return reply.get(versions.K_VALUE)
+            if self._term > wterm:
+                continue    # deposed mid-fan-out: retry at the new leader
+            break
+        self.proxy_stats["write_failures"] += 1
+        raise DistributionError(
+            f"write {verb!r} at version {assigned} (term {wterm}) of "
+            f"{key!r} reached {acknowledged}/{len(replicas)} replicas, "
+            f"quorum is {write_quorum}") from last_error
+
+    def _assign_elected(self, replicas: list, verb: str, args: tuple,
+                        kwargs: dict, key) -> dict:
+        """Leader assign: follow fencing redirects, renew an expired
+        lease, and elect when the leader stops answering."""
+        last_error: Exception | None = None
+        for _ in range(ASSIGN_ATTEMPTS):
+            try:
+                reply = self._versioned_call(
+                    self._leader, verb, args, kwargs,
+                    {versions.H_ASSIGN: [key], **self._term_header()})
+            except RemoteError:
+                self.proxy_stats["app_errors"] += 1
+                raise
+            except DistributionError as exc:
+                last_error = exc
+                try:
+                    self._run_election(replicas)
+                except DistributionError:
+                    self.proxy_stats["write_failures"] += 1
+                    raise
+                continue
+            except ReproError:
+                raise
+            except Exception:
+                self.proxy_stats["app_errors"] += 1
+                raise
+            if versions.K_FENCED in reply:
+                self.proxy_stats["fencing_rejects"] += 1
+                self._adopt(*reply[versions.K_FENCED])
+                continue
+            if versions.K_EXPIRED in reply:
+                if not self._renew_lease(replicas):
+                    try:
+                        self._run_election(replicas)
+                    except DistributionError:
+                        self.proxy_stats["write_failures"] += 1
+                        raise
+                continue
+            return reply
+        self.proxy_stats["write_failures"] += 1
+        raise DistributionError(
+            f"write {verb!r} found no assignable leader in "
+            f"{ASSIGN_ATTEMPTS} attempts") from last_error
+
+    def _read_elected(self, replicas: list, verb: str, args: tuple,
+                      kwargs: dict, key, write_quorum: int,
+                      read_quorum: int) -> Any:
+        """Quorum read under elections: newest ``(term, version)`` wins.
+
+        Reads are never fenced (a replica answers during an election
+        window — co-located reads keep working while writes wait), but
+        replies advertise the group's leadership so the proxy adopts a
+        newer term opportunistically.  Promotion works as in the static
+        mode with one addition: the winner must also land in the
+        **leader's** log before it is exposed, otherwise the leader's
+        next assign would reuse the winner's version under a newer term
+        and silently supersede a value this read already showed.  An
+        unreachable leader is tolerated — the next election syncs its
+        winner from a vote majority, which always intersects the
+        confirmed write-quorum set.
+        """
+        self.proxy_stats["reads"] += 1
+        order = self._read_order_indices(len(replicas))
+        answers: dict[int, dict] = {}
+        last_error: Exception | None = None
+        for index in order:
+            if len(answers) >= read_quorum:
+                break
+            try:
+                reply = self._versioned_call(
+                    index, verb, args, kwargs,
+                    {versions.H_READ: [key], **self._term_header()})
+            except DistributionError as exc:
+                self.proxy_stats["read_failovers"] += 1
+                last_error = exc
+                continue
+            self._adopt_newer(reply)
+            answers[index] = reply
+        if len(answers) < read_quorum:
+            self.proxy_stats["read_failures"] += 1
+            raise DistributionError(
+                f"read {verb!r} of {key!r} reached {len(answers)}/"
+                f"{len(replicas)} replicas, read quorum is "
+                f"{read_quorum}") from last_error
+
+        def pair_of(reply: dict) -> tuple[int, int]:
+            return (int(reply.get(versions.K_VTERM, 0)),
+                    int(reply[versions.K_VERSION]))
+
+        newest = max(pair_of(reply) for reply in answers.values())
+        winner_index = next(i for i in order if i in answers
+                            and pair_of(answers[i]) == newest)
+        confirmed = {i for i, reply in answers.items()
+                     if pair_of(reply) == newest}
+        for index, reply in answers.items():
+            seen_term, seen = pair_of(reply)
+            if (seen_term, seen) < newest:    # read-repair the stale answerer
+                if self._repair_elected(index, winner_index, key, seen,
+                                        seen_term) >= newest[1]:
+                    self.proxy_stats["read_repairs"] += 1
+                    confirmed.add(index)
+        if len(confirmed) < write_quorum:
+            for index in order:
+                if len(confirmed) >= write_quorum:
+                    break
+                if index in answers:
+                    continue
+                if self._repair_elected(index, winner_index, key, 0,
+                                        0) >= newest[1]:
+                    self.proxy_stats["read_repairs"] += 1
+                    confirmed.add(index)
+        if len(confirmed) < write_quorum:
+            self.proxy_stats["read_failures"] += 1
+            raise DistributionError(
+                f"read {verb!r} saw version {newest[1]} (term {newest[0]}) "
+                f"of {key!r} on only {len(confirmed)} replicas, write "
+                f"quorum is {write_quorum}")
+        leader = self._leader
+        if leader not in confirmed and leader < len(replicas):
+            promoted = self._repair_elected(leader, winner_index, key, 0, 0,
+                                            allow_resync=False)
+            if promoted == -2:
+                # The leader holds different, newer-term entries at these
+                # versions: the winner is already superseded.  Fail — a
+                # failed read moves no state, and the anti-entropy sweep
+                # resyncs the stragglers from the leader.
+                self.proxy_stats["read_failures"] += 1
+                raise DistributionError(
+                    f"read {verb!r} of {key!r}: winner at {newest} is "
+                    f"superseded by the leader's log")
+            if promoted >= newest[1]:
+                self.proxy_stats["read_repairs"] += 1
+                confirmed.add(leader)
+        winner = answers[winner_index]
+        failure = winner.get(versions.K_EXC)
+        if failure is not None:
+            raise remote_exception(failure[0], failure[1])
+        return winner.get(versions.K_VALUE)
+
+    def _renew_lease(self, replicas: list) -> bool:
+        """One lease-renewal round: followers first, then the leader.
+
+        The leader's own lease is extended only after a majority of the
+        group (counting the leader) re-promised, so in the common path a
+        leader's valid self-lease implies outstanding follower promises.
+        """
+        count = len(replicas)
+        majority = count // 2 + 1
+        leader = self._leader
+        grants = 0
+        for index in [i for i in range(count) if i != leader]:
+            try:
+                reply = self._control_call(
+                    index, ["renew", self._term, leader], ())
+            except DistributionError:
+                continue
+            if reply.get(versions.K_GRANT):
+                grants += 1
+            else:
+                self._adopt_newer(reply)
+        if grants < majority - 1:
+            return False
+        try:
+            reply = self._control_call(
+                leader, ["renew", self._term, leader], ())
+        except DistributionError:
+            return False
+        if not reply.get(versions.K_GRANT):
+            self._adopt_newer(reply)
+            return False
+        self.proxy_stats["lease_renewals"] += 1
+        return True
+
+    def _run_election(self, replicas: list) -> None:
+        """Elect a leader (module docstring of :mod:`repro.failures.election`).
+
+        Status-probes the group, nominates the most up-to-date reachable
+        replica (ties to the lowest index — the bully rule), gathers
+        votes at the next term, syncs the winner from its voters, and
+        announces.  Vote refusals carry lease-expiry hints; the proxy
+        waits the shortest one out (that wait *is* the bounded
+        unavailability window) and retries, up to :data:`ELECTION_ROUNDS`.
+        Raises :class:`DistributionError` when no majority is reachable.
+        """
+        count = len(replicas)
+        majority = count // 2 + 1
+        clock = self.proxy_context.clock
+        self.proxy_stats["elections"] += 1
+        last_error: Exception | None = None
+        for _ in range(ELECTION_ROUNDS):
+            statuses: dict[int, dict] = {}
+            for index in range(count):
+                try:
+                    statuses[index] = self._control_call(index, ["status"],
+                                                         ())
+                except DistributionError as exc:
+                    last_error = exc
+            if len(statuses) < majority:
+                raise DistributionError(
+                    f"election: {len(statuses)}/{count} replicas reachable, "
+                    f"majority is {majority}") from last_error
+            best = max(statuses.values(),
+                       key=lambda s: int(s[versions.K_TERM][0]))
+            top_term = int(best[versions.K_TERM][0])
+            if top_term > self._term:
+                # A rival proxy already elected a newer leader: adopt it.
+                self._adopt(top_term, int(best[versions.K_TERM][1]))
+                return
+            target = top_term + 1
+            candidate = max(
+                statuses,
+                key=lambda i: (_digest_total(
+                    statuses[i].get(versions.K_DIGEST, [])), -i))
+            self.proxy_stats["terms_started"] += 1
+            grants: dict[int, dict] = {}
+            hints: list[float] = []
+            for index in sorted(statuses):
+                try:
+                    reply = self._control_call(
+                        index, ["vote", target, candidate], ())
+                except DistributionError as exc:
+                    last_error = exc
+                    continue
+                if reply.get(versions.K_GRANT):
+                    grants[index] = reply
+                    continue
+                self._adopt_newer(reply)
+                hint = reply.get(versions.K_EXPIRY)
+                if hint is not None:
+                    hints.append(float(hint))
+            if len(grants) >= majority:
+                try:
+                    self._sync_candidate(candidate, target, grants)
+                except DistributionError as exc:
+                    last_error = exc
+                    continue
+                if self._announce(replicas, target, candidate):
+                    self._term, self._leader = target, candidate
+                    self.proxy_stats["elections_won"] += 1
+                    return
+                continue
+            future = [hint for hint in hints if hint > clock.now]
+            if future:
+                # Wait out the shortest outstanding lease promise; this
+                # wait plus the election round-trips is the write
+                # unavailability the lease TTL bounds.
+                self.proxy_stats["election_waits"] += 1
+                clock.advance_to(min(future) + 1e-6)
+        raise DistributionError(
+            f"election gave up after {ELECTION_ROUNDS} rounds") \
+            from last_error
+
+    def _announce(self, replicas: list, term: int, leader: int) -> bool:
+        """Announce ``(term, leader)`` group-wide; the winner must accept."""
+        accepted_self = False
+        for index in range(len(replicas)):
+            try:
+                reply = self._control_call(index,
+                                           ["announce", term, leader], ())
+            except DistributionError:
+                continue
+            if index == leader and reply.get(versions.K_GRANT):
+                accepted_self = True
+        return accepted_self
+
+    def _sync_candidate(self, candidate: int, target: int,
+                        grants: dict) -> None:
+        """Bring the candidate up to the best entries its voters hold.
+
+        Any vote majority intersects every write quorum, so pulling each
+        key's best ``(term, version)`` suffix from the granting voters
+        guarantees the new leader misses no committed entry.  A diverged
+        candidate tail (an uncommitted old-term suffix) is reset and the
+        whole transfer restarted from scratch — once.  Raises
+        :class:`DistributionError` if the sync cannot complete; the
+        election round is then abandoned (leaders are always synced).
+        """
+        def unpack(reply: dict) -> dict:
+            return {entry[0]: (int(entry[1]), int(entry[2]))
+                    for entry in reply.get(versions.K_DIGEST, [])}
+
+        digests = {index: unpack(reply) for index, reply in grants.items()}
+        if candidate in digests:
+            cand = dict(digests[candidate])
+        else:
+            cand = unpack(self._control_call(candidate, ["digest"], ()))
+        header = {versions.H_TERM: [int(target), int(candidate)]}
+        keys = sorted({key for digest in digests.values() for key in digest},
+                      key=repr)
+        for _round in (0, 1):
+            diverged = False
+            for key in keys:
+                best_index = max(digests, key=lambda i: (
+                    digests[i].get(key, (0, 0)), -i))
+                best = digests[best_index].get(key, (0, 0))
+                have = cand.get(key, (0, 0))
+                if have >= best:
+                    continue
+                since_term, since = have
+                pulled = self._control_call(best_index,
+                                            ["pull", key, since], ())
+                if since and \
+                        int(pulled.get(versions.K_VTERM, 0)) != since_term:
+                    diverged = True
+                    break
+                pushed = self._control_call(
+                    candidate, ["push", key],
+                    (pulled.get(versions.K_LOG, []),), header)
+                if versions.K_FENCED in pushed:
+                    raise DistributionError(
+                        "candidate sync fenced by a newer term")
+                if versions.K_DIVERGED in pushed:
+                    diverged = True
+                    break
+                if int(pushed.get(versions.K_VERSION, -1)) < best[1]:
+                    raise DistributionError(
+                        f"candidate sync of {key!r} stalled")
+                cand[key] = best
+            if not diverged:
+                return
+            reset = self._control_call(candidate, ["reset"], (), header)
+            if versions.K_FENCED in reset:
+                raise DistributionError(
+                    "candidate sync fenced by a newer term")
+            cand = {}
+        raise DistributionError("candidate log diverged twice during sync")
+
+    def proxy_anti_entropy(self) -> dict:
+        """One anti-entropy sweep: push the leader's missing suffixes.
+
+        Compares the leader's per-key digest against every other replica
+        and pushes the missing suffix (reset + full resync on
+        divergence), so a restarted or long-partitioned replica catches
+        up without waiting for read-repair to land on it.  The sweep is
+        driven periodically by whoever holds a proxy — the simtest
+        driver, experiment E9, and the tests call it between operations;
+        a deposed leader's sweep is fenced harmlessly.  Distribution
+        errors are swallowed: a sweep is opportunistic repair, never an
+        outcome.
+
+        Returns ``{"keys": …, "entries": …, "bytes": …}`` pushed (bytes
+        are the marshallable entries' repr length — a stable proxy for
+        wire volume).
+        """
+        swept = {"keys": 0, "entries": 0, "bytes": 0}
+        replicas = self._resolve_replicas()
+        if not replicas or not self._quorum_mode() or not self._elect_mode():
+            return swept
+        self.proxy_stats["anti_entropy_runs"] += 1
+        leader = self._leader
+        try:
+            reply = self._control_call(leader, ["digest"], ())
+        except DistributionError:
+            return swept
+        leader_digest = {entry[0]: (int(entry[1]), int(entry[2]))
+                         for entry in reply.get(versions.K_DIGEST, [])}
+        if not leader_digest:
+            return swept
+        for index in range(len(replicas)):
+            if index == leader:
+                continue
+            try:
+                reply = self._control_call(index, ["digest"], ())
+            except DistributionError:
+                continue
+            have = {entry[0]: (int(entry[1]), int(entry[2]))
+                    for entry in reply.get(versions.K_DIGEST, [])}
+            for key in sorted(leader_digest, key=repr):
+                best = leader_digest[key]
+                mine = have.get(key, (0, 0))
+                if mine >= best:
+                    continue
+                since_term, since = mine
+                try:
+                    pulled = self._control_call(leader,
+                                                ["pull", key, since], ())
+                    entries = pulled.get(versions.K_LOG, [])
+                    if since and int(pulled.get(versions.K_VTERM,
+                                                0)) != since_term:
+                        self._resync(index, leader)
+                        continue
+                    pushed = self._control_call(index, ["push", key],
+                                                (entries,),
+                                                self._term_header())
+                except DistributionError:
+                    self.proxy_stats["repair_failures"] += 1
+                    continue
+                if versions.K_FENCED in pushed:
+                    # This proxy's leader was deposed mid-sweep: adopt the
+                    # new term and stop — the new leader's sweeps take over.
+                    self.proxy_stats["fencing_rejects"] += 1
+                    self._adopt(*pushed[versions.K_FENCED])
+                    return swept
+                if versions.K_DIVERGED in pushed:
+                    self._resync(index, leader)
+                    continue
+                if int(pushed.get(versions.K_VERSION, -1)) >= best[1]:
+                    swept["keys"] += 1
+                    swept["entries"] += len(entries)
+                    swept["bytes"] += sum(len(repr(entry))
+                                          for entry in entries)
+        self.proxy_stats["anti_entropy_keys"] += swept["keys"]
+        self.proxy_stats["anti_entropy_bytes"] += swept["bytes"]
+        return swept
+
+
+def _digest_total(digest: list) -> int:
+    """Total logged entries in a digest (the candidacy up-to-dateness rank)."""
+    return sum(int(entry[2]) for entry in digest)
+
 
 def replicate(contexts: list, factory: Callable[[], object],
               interface=None, read_policy: str = "nearest",
@@ -431,7 +1052,10 @@ def replicate(contexts: list, factory: Callable[[], object],
               read_quorum: int | None = None,
               versioned: bool = False,
               version_key: str | None = None,
-              extra_layers: list[str] | None = None) -> ObjectRef:
+              extra_layers: list[str] | None = None,
+              elect: bool = False,
+              lease_ttl: float | None = None,
+              policy: str = "replicated") -> ObjectRef:
     """Deploy a replica group and return the client-facing reference.
 
     One instance from ``factory`` is exported (under the plain ``stub``
@@ -446,9 +1070,18 @@ def replicate(contexts: list, factory: Callable[[], object],
     bounds are validated here as well as at call time, so a broken
     deployment fails at deploy.
 
+    ``elect=True`` (versioned mode only) removes the fixed primary: every
+    replica gets an :class:`~repro.failures.election.ElectionState` (term
+    1 bootstraps on replica 0 with a ``lease_ttl``-long lease) plus a
+    :class:`~repro.failures.detector.FailureDetector` watching its peers,
+    and proxies run the election protocol of the module docstring when
+    the leader stops answering.
+
     ``extra_layers`` stacks additional policies *in front of* replication
     (outermost first), e.g. ``["caching"]`` for a cached replica group; the
-    group is then exported under the ``composite`` policy.
+    group is then exported under the ``composite`` policy.  ``policy``
+    overrides the group's registered policy name (the simtest canaries
+    deploy buggy :class:`ReplicatedProxy` subclasses this way).
     """
     from ...iface.adapters import make_delegate
     from ...iface.interface import Interface
@@ -481,10 +1114,15 @@ def replicate(contexts: list, factory: Callable[[], object],
         config["versioned"] = True
     if version_key is not None:
         config["version_key"] = version_key
-    policy = "replicated"
+    if elect:
+        if not (versioned or read_quorum is not None):
+            raise ConfigurationError(
+                "elect=True requires the versioned quorum mode "
+                "(pass read_quorum or versioned=True)")
+        config["elect"] = True
     if extra_layers:
+        config["layers"] = list(extra_layers) + [policy]
         policy = "composite"
-        config["layers"] = list(extra_layers) + ["replicated"]
     # The group entry is a distinct delegate object (not the primary itself),
     # so the primary's identity keeps exactly one export and the group
     # reference carries the replicated policy.  The delegate answers clients
@@ -504,4 +1142,20 @@ def replicate(contexts: list, factory: Callable[[], object],
         for ctx, ref in zip(contexts, replica_refs):
             get_space(ctx).entry(ref.oid).mutation_hooks = \
                 group_entry.mutation_hooks
+    if elect:
+        # Arm every replica stub entry with its election state (term
+        # fencing switches on at the dispatcher the moment the entry
+        # carries one) and a failure detector watching its peers, so a
+        # suspected leader unlocks votes before the lease runs out.
+        from ...failures.detector import FailureDetector
+        from ...failures.election import DEFAULT_LEASE_TTL, ElectionState
+        ttl = DEFAULT_LEASE_TTL if lease_ttl is None else float(lease_ttl)
+        context_ids = [ctx.context_id for ctx in contexts]
+        for index, (ctx, ref) in enumerate(zip(contexts, replica_refs)):
+            detector = FailureDetector(ctx)
+            for peer in context_ids:
+                if peer != ctx.context_id:
+                    detector.watch(peer)
+            get_space(ctx).entry(ref.oid).election = ElectionState(
+                index, context_ids, ttl=ttl, detector=detector)
     return group_ref

@@ -6,12 +6,20 @@ tick` once per operation, exactly like :class:`~repro.failures.injectors.
 CrashPlan`).  Each fault kind maps onto one of the begin/restore injector
 primitives of :mod:`repro.failures.injectors`:
 
-========== =================================================================
-``crash``    one node down for the fault's duration (crash + restart)
-``partition`` the victim node isolated from everyone else
-``loss``     uniform message loss on every link (a loss burst)
-``latency``  all inter-node propagation latency scaled by a factor
-========== =================================================================
+=================== ==========================================================
+``crash``             one node down for the fault's duration (crash + restart)
+``partition``         the victim node isolated from everyone else
+``loss``              uniform message loss on every link (a loss burst)
+``latency``           all inter-node propagation latency scaled by a factor
+``primary_crash``     ``crash`` aimed at the first victim (a replica group's
+                      bootstrap primary) instead of a sampled one
+``primary_partition`` ``partition`` aimed the same way
+=================== ==========================================================
+
+The ``primary_*`` kinds exist because a random victim pick usually spares
+the one node whose loss actually matters to a leader-based policy; menus
+that include them (``replicated`` under election) are guaranteed schedules
+that hit the primary.
 
 Schedules are **data**: :meth:`to_json`/:meth:`from_json` round-trip them
 losslessly, which is what makes a failing simulation seed minimizable (drop
@@ -37,8 +45,12 @@ from .injectors import (
     begin_partition,
 )
 
-#: Every fault kind a schedule may carry, in canonical order.
+#: Every basic fault kind a schedule may carry, in canonical order.
 FAULT_KINDS = ("crash", "partition", "loss", "latency")
+
+#: Primary-targeted variants: same injectors, victim pinned to the first
+#: victim name (the replica group's bootstrap primary, node ``s0``).
+PRIMARY_FAULT_KINDS = ("primary_crash", "primary_partition")
 
 
 @dataclass(frozen=True)
@@ -119,9 +131,9 @@ class ChaosSchedule:
             self._active.pop(fid)()
 
     def _begin(self, system: System, fault: Fault) -> Callable[[], None]:
-        if fault.kind == "crash":
+        if fault.kind in ("crash", "primary_crash"):
             return begin_crash(system, fault.node)
-        if fault.kind == "partition":
+        if fault.kind in ("partition", "primary_partition"):
             rest = {name for name in self.node_names if name != fault.node}
             return begin_partition(system, [{fault.node}, rest])
         if fault.kind == "loss":
@@ -157,6 +169,10 @@ class ChaosSchedule:
                 if victims:
                     node = victims[rng.randrange(len(victims))]
                     fault = Fault(kind, start, duration, node=node)
+            elif kind in PRIMARY_FAULT_KINDS:
+                if victims:
+                    # Deterministically aim at the bootstrap primary.
+                    fault = Fault(kind, start, duration, node=victims[0])
             elif kind == "loss":
                 probability = round(0.05 + 0.25 * rng.random(), 3)
                 fault = Fault(kind, start, duration, probability=probability)
@@ -193,12 +209,19 @@ def _prune_overlaps(faults: list[Fault]) -> tuple[Fault, ...]:
     Keeps begin/restore pairs trivially correct: at most one loss burst, one
     latency spike, one partition, and one outage per node are active at any
     tick.  Partitions additionally never overlap each other regardless of
-    victim (two concurrent two-island splits would not compose).
+    victim (two concurrent two-island splits would not compose).  The
+    ``primary_*`` kinds share their base kind's class — a ``primary_crash``
+    and a ``crash`` of the same node never overlap, nor do any two
+    partition-class faults.
     """
     kept: list[Fault] = []
     busy_until: dict[tuple[str, str], int] = {}
     for fault in sorted(faults, key=lambda f: (f.start, f.kind, f.node)):
-        key = (fault.kind, fault.node if fault.kind == "crash" else "")
+        kind_class = "crash" if fault.kind in ("crash", "primary_crash") \
+            else "partition" if fault.kind in ("partition",
+                                               "primary_partition") \
+            else fault.kind
+        key = (kind_class, fault.node if kind_class == "crash" else "")
         if busy_until.get(key, -1) > fault.start:
             continue
         kept.append(fault)

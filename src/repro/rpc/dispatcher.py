@@ -48,6 +48,10 @@ class ExportEntry:
         replica_log: per-key version log, created lazily on the first
             quorum-enveloped request (see :mod:`repro.wire.versions`);
             ``None`` for every entry that never serves versioned traffic.
+        election: the replica's :class:`~repro.failures.election.
+            ElectionState` when the group runs leader election; ``None``
+            otherwise.  Its presence switches the versioned protocol
+            steps into term-fencing mode.
     """
 
     obj: object
@@ -59,6 +63,7 @@ class ExportEntry:
     policy_config: dict = field(default_factory=dict)
     mutation_hooks: list = field(default_factory=list)
     replica_log: object | None = None
+    election: object | None = None
 
     def run_mutation_hooks(self, verb: str, args: tuple, kwargs: dict) -> None:
         """Notify every hook of one successful mutating operation."""
@@ -212,11 +217,16 @@ class Dispatcher:
         exception frame travels back and nothing is logged.
         """
         args, kwargs = frame.body if frame.body else ((), {})
+        # Election mode fences on the serving context's clock: the term
+        # check and lease check happen at dispatch time, mirroring how the
+        # migration redirect chain consults ``moved_to`` here.
+        now = self.context.clock.now
         try:
             if versions.H_CONTROL in frame.headers:
                 result = versions.serve_control(
                     entry, frame.headers[versions.H_CONTROL], args,
-                    self._entry_invoke(entry))
+                    self._entry_invoke(entry), headers=frame.headers,
+                    now=now)
             else:
                 op = entry.interface.operations.get(frame.verb)
                 if op is None:
@@ -227,7 +237,7 @@ class Dispatcher:
                 if op.compute > 0:
                     self.context.charge(op.compute)
                 result = versions.serve_envelope(
-                    entry, frame.verb, args, kwargs, frame.headers)
+                    entry, frame.verb, args, kwargs, frame.headers, now=now)
         except ReproError as exc:
             self.stats["exceptions"] += 1
             return frame.exception_to(type(exc).__name__, str(exc))

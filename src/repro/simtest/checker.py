@@ -21,6 +21,16 @@ each ``ok`` operation's recorded result when replayed through the model.
   dropped — :func:`~repro.simtest.models.ryw_projection`) must be
   linearizable.  This is the contract a write-through cache actually
   offers under faults that eat invalidations.
+* ``"causal"`` — each client's projection (as in RYW) must be explainable
+  by a total order respecting that client's *program order* alone, with
+  no real-time constraint — i.e. the client may read arbitrarily stale
+  prefixes, but never a state that contradicts its own session or the
+  write order it has already observed.  Like the sequential mode it is
+  not compositional, so each projection searches one combined partition.
+  This checker is a sound convictor for causal consistency (anything it
+  flags genuinely breaks the session guarantees that causal implies —
+  RYW + monotonic reads within the projection), not a complete decision
+  procedure for full causal+ semantics across clients.
 
 Algorithm (Wing & Gong 1993, with the standard refinements):
 
@@ -52,7 +62,8 @@ from .models import CombinedModel, Model, ryw_projection
 DEFAULT_MAX_NODES = 200_000
 
 #: The checker's consistency modes, strongest first.
-CONSISTENCY_MODES = ("linearizable", "sequential", "read-your-writes")
+CONSISTENCY_MODES = ("linearizable", "sequential", "causal",
+                     "read-your-writes")
 
 
 @dataclass
@@ -111,6 +122,8 @@ def check_history(history: History, model: Model,
         ordered = sorted(ops, key=lambda op: (op.invoke, op.index))
         return _check_groups({"*": ordered}, CombinedModel(model),
                              max_nodes, order="program")
+    if consistency == "causal":
+        return _check_causal(ops, model, max_nodes)
     return _check_ryw(ops, model, max_nodes)
 
 
@@ -156,6 +169,36 @@ def _check_ryw(ops: list[Op], model: Model, max_nodes: int) -> CheckResult:
         groups = _by_key(ryw_projection(ops, client, model), model,
                          label=f"{client}:")
         result = _check_groups(groups, model, max_nodes, order="realtime")
+        total_explored += result.explored
+        capped = capped or result.capped
+        partitions += result.partitions
+        if not result.ok:
+            return CheckResult(ok=False, violation=result.violation,
+                               explored=total_explored, capped=capped,
+                               partitions=partitions)
+    return CheckResult(ok=True, explored=total_explored, capped=capped,
+                       partitions=partitions)
+
+
+def _check_causal(ops: list[Op], model: Model,
+                  max_nodes: int) -> CheckResult:
+    """Causal mode: each client's projection, program order, one partition.
+
+    The projection is the RYW one; the ordering constraint drops to
+    program order (the client may observe stale prefixes), but unlike RYW
+    the search runs over one *combined* partition so cross-key session
+    anomalies — e.g. reading the effect of a write whose causal
+    predecessor on another key is missing — still convict.
+    """
+    total_explored = 0
+    capped = False
+    partitions = 0
+    for client in sorted({op.client for op in ops}):
+        projected = sorted(ryw_projection(ops, client, model),
+                           key=lambda op: (op.invoke, op.index))
+        result = _check_groups({f"{client}:*": projected},
+                               CombinedModel(model), max_nodes,
+                               order="program")
         total_explored += result.explored
         capped = capped or result.capped
         partitions += result.partitions

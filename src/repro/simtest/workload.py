@@ -15,11 +15,12 @@ SimCase` exists" and "a :class:`~repro.simtest.history.History` exists":
   op Y was invoked in virtual time, X was necessarily driven first);
 * **classification** — each outcome lands in the history as ``ok``,
   ``maybe``, or ``fail`` per the rules of :mod:`repro.simtest.history`;
-* **the ``dirtycache`` and ``underquorum`` canaries** — a caching proxy
-  with the coherence machinery removed, and a replica group deployed with
-  ``R + W <= N``.  Both are deliberately broken and the harness must
-  convict them: if the checker ever stops flagging either, the harness —
-  not the library — has the bug.
+* **the ``dirtycache``, ``underquorum`` and ``splitbrain`` canaries** — a
+  caching proxy with the coherence machinery removed, a replica group
+  deployed with ``R + W <= N``, and an election-mode group whose proxies
+  each crown their own leader *without collecting votes*.  All three are
+  deliberately broken and the harness must convict them: if the checker
+  ever stops flagging one, the harness — not the library — has the bug.
 
 Fault menus as consistency contracts
 ------------------------------------
@@ -35,14 +36,25 @@ design*, and the menu documents each contract:
   leave a cache permanently stale (invalidation-mode TTL is ∞) — a
   documented freshness trade, not a bug.
 * ``replicated`` runs in versioned quorum mode here (``W=2, R=2`` over
-  three replicas, so ``R + W > N``) and tolerates the **full menu**:
-  primary-assigned versions, quorum reads with read-repair, and the
-  read-side promotion step keep every exposed value stable under crash,
-  partition, and loss (see ``repro.core.policies.replicating``).
-* ``underquorum`` is the same deployment with ``W=1, R=1`` —
+  three replicas, so ``R + W > N``) **with leader election** and
+  tolerates the full menu *plus* the ``primary_crash`` and
+  ``primary_partition`` kinds aimed squarely at the current primary:
+  term-fenced leader-sequenced versions, quorum reads with read-repair,
+  and lease-bounded elections keep every exposed value stable and bring
+  writes back within the lease TTL + election time (see
+  ``repro.core.policies.replicating``).  The driver additionally pumps
+  one anti-entropy sweep every :data:`MAINT_EVERY` operations, so
+  restarted replicas catch up off the read path.
+* ``underquorum`` is the quorum deployment with ``W=1, R=1`` —
   ``R + W <= N``, so a partitioned replica can serve stale reads the
   moment the read rotation lands on it.  It runs the full menu *expecting
   conviction* (the quorum-overlap counterpart of ``dirtycache``).
+* ``splitbrain`` is the election deployment with the vote-collection
+  step deleted: every client's proxy unilaterally announces its own
+  favourite replica as the term-2 leader, so two-plus leaders of the
+  *same term* accept writes concurrently.  Under loss or partition their
+  logs silently diverge at equal ``(term, version)`` pairs — the exact
+  anomaly one-vote-per-term forbids — and the checker must convict it.
 * ``composite`` (caching over replicated) still deploys its replication
   layer in legacy write-all mode — quorum versioning is configuration
   opt-in — so its menu stays the intersection of a coherent cache and
@@ -57,12 +69,16 @@ from .. import make_system
 from ..core.export import get_space
 from ..core.factory import register_policy
 from ..core.policies.caching import CachingProxy
-from ..core.policies.replicating import replicate
+from ..core.policies.replicating import ReplicatedProxy, replicate
 from ..apps.counter import Counter
 from ..apps.kv import KVStore
 from ..apps.locks import LockService
 from ..apps.queue import WorkQueue
-from ..failures.schedule import FAULT_KINDS, ChaosSchedule
+from ..failures.schedule import (
+    FAULT_KINDS,
+    PRIMARY_FAULT_KINDS,
+    ChaosSchedule,
+)
 from ..iface.interface import Interface
 from ..kernel.errors import CircuitOpen, DistributionError, ReproError
 from ..rpc.protocol import RemoteError
@@ -79,23 +95,33 @@ FAULT_MENUS: dict[str, tuple[str, ...]] = {
     "resilient": FAULT_KINDS,
     "caching": ("crash", "latency"),
     "dirtycache": ("crash", "latency"),
-    "replicated": FAULT_KINDS,
+    "replicated": FAULT_KINDS + PRIMARY_FAULT_KINDS,
     "underquorum": FAULT_KINDS,
+    "splitbrain": ("partition", "loss"),
     "composite": ("latency",),
 }
 
 #: Policies deployed as a three-replica group (everything else: one server).
-_REPLICA_POLICIES = ("replicated", "underquorum", "composite")
+_REPLICA_POLICIES = ("replicated", "underquorum", "splitbrain", "composite")
 
 #: Quorum deployments per harness policy label: ``(write_quorum,
 #: read_quorum, read_policy)`` over the three replicas.  ``replicated``
 #: overlaps (R + W > N: every read intersects every acknowledged write);
 #: ``underquorum`` deliberately does not, and rotates its reads so the
-#: battery actually lands on a stale copy.
+#: battery actually lands on a stale copy.  ``splitbrain`` overlaps too —
+#: its bug is upstream of the quorum, in the election — and rotates reads
+#: so diverged copies actually get exposed.
 _QUORUM_CONFIGS = {
     "replicated": (2, 2, "nearest"),
     "underquorum": (1, 1, "roundrobin"),
+    "splitbrain": (2, 2, "roundrobin"),
 }
+
+#: The driver runs one anti-entropy sweep every this many operations for
+#: the election-mode ``replicated`` deployment (never for ``splitbrain`` —
+#: background repair would paper over the very divergence the canary must
+#: exhibit).
+MAINT_EVERY = 8
 
 #: Service rotation for cases that don't pin one (seed-indexed).
 SERVICE_CYCLE = ("kv", "counter", "lock", "queue")
@@ -132,6 +158,54 @@ class DirtyCachingProxy(CachingProxy):
         pass    # no server-side coherence either
 
 
+@register_policy
+class SplitBrainProxy(ReplicatedProxy):
+    """An election-mode replicated proxy with the vote step *removed*.
+
+    Before its first operation, each client's proxy unilaterally announces
+    a per-client favourite replica as the leader of term 2 — no status
+    round, no votes, no candidate sync.  Different clients crown different
+    favourites, and because every favourite is still at the bootstrap term
+    1, each accepts its own coronation: two-plus leaders of the **same**
+    term now assign versions independently.  A lost apply then leaves two
+    replicas holding different entries at equal ``(term, version)`` pairs,
+    which the idempotent-apply check cannot tell apart — precisely the
+    split brain that one-vote-per-term makes impossible in the real
+    protocol.  The checker must convict this canary.
+    """
+
+    policy_name = "splitbrain"
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict):
+        if not getattr(self, "_usurped", False):
+            self._usurped = True
+            self._usurp()
+        return super().invoke(verb, args, kwargs)
+
+    def _usurp(self) -> None:
+        """Crown this client's favourite replica, collecting no votes."""
+        replicas = self._resolve_replicas()
+        if not replicas:
+            return
+        digits = [ch for ch in self.proxy_context.context_id
+                  if ch.isdigit()]
+        favourite = int(digits[0]) % len(replicas) if digits else 0
+        try:
+            self._control_call(favourite, ["announce", 2, favourite], ())
+        except DistributionError:
+            pass
+        self._term, self._leader = 2, favourite
+
+    def _run_election(self, replicas: list) -> None:
+        # The bug, part two: instead of electing, re-assert the favourite.
+        try:
+            self._control_call(self._leader,
+                               ["announce", self._term, self._leader], ())
+        except DistributionError:
+            pass
+        raise DistributionError("splitbrain canary never elects")
+
+
 def topology(policy: str, clients: int) -> tuple[list[str], list[str]]:
     """Node names for a case: ``(server_names, client_names)``."""
     servers = 3 if policy in _REPLICA_POLICIES else 1
@@ -147,6 +221,7 @@ class Deployment:
     interface: Interface
     model: Model
     clients: list    # (name, context, proxy) triples, driver order
+    maintenance: object = None    # background sweep thunk, or None
 
 
 def deploy(case) -> Deployment:
@@ -167,8 +242,16 @@ def deploy(case) -> Deployment:
                   case.service)
     clients = [(name, ctx, get_space(ctx).bind_ref(ref, handshake=True))
                for name, ctx in zip(client_names, client_ctxs)]
+    maintenance = None
+    if case.policy == "replicated":
+        # The first client's proxy doubles as the anti-entropy pump (the
+        # sweep costs that client virtual time, which the min-clock driver
+        # absorbs deterministically).  splitbrain never sweeps: background
+        # repair would heal the divergence the canary must exhibit.
+        maintenance = clients[0][2].proxy_anti_entropy
     return Deployment(system=system, interface=interface,
-                      model=MODELS[case.service](), clients=clients)
+                      model=MODELS[case.service](), clients=clients,
+                      maintenance=maintenance)
 
 
 def _export(policy: str, server_ctxs: list, service_cls, interface,
@@ -180,9 +263,19 @@ def _export(policy: str, server_ctxs: list, service_cls, interface,
         # Keyed services version per key (their model partitions the same
         # way); the single-state services serialise under one object log.
         version_key = "arg0" if service in ("kv", "lock") else "object"
+        extra = {}
+        if policy == "replicated":
+            extra = {"elect": True}
+        elif policy == "splitbrain":
+            # A practically-infinite lease keeps the legitimate election
+            # machinery quiet; only the canary's vote-free coronations
+            # change leadership.
+            extra = {"elect": True, "lease_ttl": 1e9,
+                     "policy": "splitbrain"}
         return replicate(server_ctxs, service_cls, interface=interface,
                          read_policy=read_policy, write_quorum=write_quorum,
-                         read_quorum=read_quorum, version_key=version_key)
+                         read_quorum=read_quorum, version_key=version_key,
+                         **extra)
     if policy in _REPLICA_POLICIES:
         extra = ["caching"] if policy == "composite" else None
         return replicate(server_ctxs, service_cls, interface=interface,
@@ -285,6 +378,9 @@ def drive(deployment: Deployment, case,
         for index in range(case.ops):
             if schedule is not None:
                 schedule.tick(deployment.system)
+            if deployment.maintenance is not None and index \
+                    and index % MAINT_EVERY == 0:
+                deployment.maintenance()
             name, ctx, proxy = min(deployment.clients,
                                    key=lambda c: c[1].clock.now)
             verb, args = opgen(rng, name, index)

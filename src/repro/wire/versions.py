@@ -18,6 +18,15 @@ Frames that carry no quorum envelope are untouched: the header dict stays
 empty and :meth:`Marshaller.encode_frame_fields` elides it, so non-
 replicated traffic is byte-identical to a build without this module.
 
+**Election mode** (the export entry carries an :class:`~repro.failures.
+election.ElectionState`): every write envelope additionally carries the
+caller's ``(term, leader)`` belief in :data:`H_TERM`, log entries are
+stamped with the term they were assigned under, and stale-term writes are
+**fenced** — refused with a :data:`K_FENCED` redirect naming the current
+``(term, leader)``, mirroring the migration chain's reject-with-forwarding.
+Every election-mode key is emitted *only* when the entry has election
+state, so legacy quorum traffic stays byte-identical too.
+
 Request header keys (values are small marshallable lists):
 
 ========== ======================= ========================================
@@ -32,7 +41,16 @@ key        value                   meaning
 ``q.c``    ``["pull", key, since]`` log transfer for repair: return the
            / ``["push", key]``     suffix after ``since`` / apply pushed
                                    entries (ride the request body)
+``q.t``    ``[term, leader]``      election mode: the caller's leadership
+                                   belief; stale terms are fenced, newer
+                                   terms are adopted
 ========== ======================= ========================================
+
+Election-mode control verbs (also under ``q.c``): ``["status"]``,
+``["vote", term, candidate]``, ``["announce", term, leader]``,
+``["renew", term, leader]``, ``["digest"]``, and ``["reset"]`` (discard
+the object and its logs ahead of a full resync from the leader — the
+divergence repair; a suffix push cannot *un*-apply an executed entry).
 
 Reply wrappers (reserved keys, see :func:`is_wrapped`):
 
@@ -41,7 +59,21 @@ Reply wrappers (reserved keys, see :func:`is_wrapped`):
   (apply of ``n > cur + 1``): the caller repairs, then retries the ack;
 * ``{"q.v": cur, "q.exc": [type, message]}`` — the operation raised an
   application exception (versioned reads re-raise it client-side);
-* ``{"q.v": cur, "q.log": [[n, verb, args, kwargs], ...]}`` — pull answer.
+* ``{"q.v": cur, "q.log": [[n, verb, args, kwargs(, term)], ...]}`` —
+  pull answer (the fifth element appears only for term-stamped entries);
+* ``{"q.f": [term, leader]}`` — fenced: the write's term is stale;
+* ``{"q.exp": True}`` — the leader's own lease expired; the caller runs
+  a renewal round and retries;
+* ``{"q.div": True}`` — divergence: the replica holds a *different*
+  entry (another term) at that version; only a reset + full resync from
+  the leader can repair it;
+* ``q.vt`` — the term of the key's last log entry (reads/stale replies)
+  or of the entry at the pull boundary (prefix-equality witness: equal
+  ``(version, term)`` pairs imply equal prefixes, because a term has at
+  most one leader and a leader assigns each version once);
+* ``q.tl`` — the replica's current ``[term, leader]`` (reads, election
+  controls); ``q.x`` — its lease expiry; ``q.g`` — a vote/announce/renew
+  grant flag; ``q.dig`` — a log digest ``[[key, last_term, version]...]``.
 """
 
 from __future__ import annotations
@@ -58,6 +90,8 @@ H_APPLY = "q.a"
 H_READ = "q.r"
 #: Request header: log-transfer control ``["pull", key, since]``/``["push", key]``.
 H_CONTROL = "q.c"
+#: Request header: the caller's ``[term, leader]`` belief (election mode).
+H_TERM = "q.t"
 
 #: Reply key: the replica's version of the addressed key after the call.
 K_VERSION = "q.v"
@@ -67,10 +101,30 @@ K_VALUE = "q.val"
 K_STALE = "q.stale"
 #: Reply key: the operation raised ``[type_name, message]``.
 K_EXC = "q.exc"
-#: Reply key: pulled log suffix ``[[n, verb, args, kwargs], ...]``.
+#: Reply key: pulled log suffix ``[[n, verb, args, kwargs(, term)], ...]``.
 K_LOG = "q.log"
+#: Reply key: fenced — the write's term is stale; value ``[term, leader]``.
+K_FENCED = "q.f"
+#: Reply key: the leader's self-lease expired; renew and retry.
+K_EXPIRED = "q.exp"
+#: Reply key: divergence — a different entry of another term sits at that
+#: version; suffix repair cannot fix it, only reset + full resync can.
+K_DIVERGED = "q.div"
+#: Reply key: the term of the key's last entry (or the pull boundary's).
+K_VTERM = "q.vt"
+#: Reply key: the replica's current ``[term, leader]``.
+K_TERM = "q.tl"
+#: Reply key: the replica's lease expiry (vote refusals, status).
+K_EXPIRY = "q.x"
+#: Reply key: vote/announce/renew outcome flag.
+K_GRANT = "q.g"
+#: Reply key: per-key log digest ``[[key, last_term, version], ...]``.
+K_DIGEST = "q.dig"
 
 _QUORUM_HEADERS = (H_ASSIGN, H_APPLY, H_READ, H_CONTROL)
+
+#: Control verbs served by the export entry's election state.
+_ELECTION_CONTROLS = ("status", "vote", "announce", "renew")
 
 
 def has_envelope(headers: dict | None) -> bool:
@@ -85,9 +139,14 @@ class ReplicaLog:
 
     The version of a key is simply the length of its log; entry ``n`` is
     the operation that moved the key from version ``n - 1`` to ``n``.
-    Because versions are assigned by a single sequencer (the group's
-    primary), every replica's log of a key is a prefix of the primary's —
-    repair is therefore always a suffix transfer, never a merge.
+    Because versions are assigned by a single sequencer (the leader of
+    the entry's term), every replica's log of a key is a prefix of that
+    leader's — repair is a suffix transfer.  Across a leader change two
+    logs can hold *different* entries at the same version (an old
+    leader's uncommitted tail); entries therefore carry the term they
+    were assigned under, and ``(term, version)`` pairs order
+    lexicographically: equal pairs imply equal prefixes (a term has one
+    leader, and a leader assigns each version of a key exactly once).
     """
 
     __slots__ = ("_logs",)
@@ -100,22 +159,49 @@ class ReplicaLog:
         log = self._logs.get(key)
         return len(log) if log else 0
 
-    def append(self, key, n: int, verb: str, args, kwargs) -> None:
+    def last_term(self, key) -> int:
+        """The term of the key's last entry (0 for an empty log)."""
+        log = self._logs.get(key)
+        return log[-1][4] if log else 0
+
+    def term_at(self, key, n: int) -> int:
+        """The term of the entry that produced version ``n`` (0 if absent)."""
+        log = self._logs.get(key)
+        n = int(n)
+        if not log or not 1 <= n <= len(log):
+            return 0
+        return log[n - 1][4]
+
+    def append(self, key, n: int, verb: str, args, kwargs,
+               term: int = 0) -> None:
         """Record the operation that produced version ``n`` of ``key``."""
         log = self._logs.setdefault(key, [])
         if n != len(log) + 1:
             raise ProtocolError(
                 f"replica log of {key!r} at version {len(log)} cannot "
                 f"append version {n}")
-        log.append((n, verb, list(args), dict(kwargs)))
+        log.append((n, verb, list(args), dict(kwargs), int(term)))
 
     def suffix(self, key, since: int) -> list:
-        """The marshallable entries after version ``since`` (for repair)."""
+        """The marshallable entries after version ``since`` (for repair).
+
+        Un-termed entries (legacy quorum mode) keep the four-element wire
+        form, so repair traffic without elections is byte-identical to a
+        build without term stamping.
+        """
         log = self._logs.get(key)
         if not log:
             return []
-        return [[n, verb, list(args), dict(kwargs)]
-                for n, verb, args, kwargs in log[int(since):]]
+        return [[n, verb, list(args), dict(kwargs)] if term == 0
+                else [n, verb, list(args), dict(kwargs), term]
+                for n, verb, args, kwargs, term in log[int(since):]]
+
+    def digest(self) -> list:
+        """``[[key, last_term, version], ...]`` over every key, sorted."""
+        return [[key, log[-1][4], len(log)]
+                for key, log in sorted(self._logs.items(),
+                                       key=lambda item: repr(item[0]))
+                if log]
 
 
 def replica_log(entry) -> ReplicaLog:
@@ -124,6 +210,35 @@ def replica_log(entry) -> ReplicaLog:
     if log is None:
         log = entry.replica_log = ReplicaLog()
     return log
+
+
+def _term_of(headers: dict | None) -> tuple[int, int] | None:
+    """The ``(term, leader)`` a request carries, if any."""
+    spec = headers.get(H_TERM) if headers else None
+    if spec is None:
+        return None
+    return int(spec[0]), int(spec[1])
+
+
+def _fence_write(entry, headers: dict | None, now: float) -> dict | None:
+    """Election-mode gate for mutating envelopes (assign/apply/push/reset).
+
+    A stale term answers the :data:`K_FENCED` redirect; a newer term is
+    adopted on the spot (a lost announce heals through ordinary traffic).
+    Returns the refusal wrapper, or ``None`` to proceed.
+    """
+    state = getattr(entry, "election", None)
+    if state is None:
+        return None
+    claim = _term_of(headers)
+    if claim is None:
+        return None
+    term, leader = claim
+    refused = state.fence(term)
+    if refused is not None:
+        return refused
+    state.adopt(term, leader, now)
+    return None
 
 
 # -- server-side protocol steps -----------------------------------------------
@@ -137,41 +252,95 @@ def replica_log(entry) -> ReplicaLog:
 
 
 def serve_read(entry, key, invoke: Callable[[], Any]) -> dict:
-    """A versioned read: the answer plus the replica's version of ``key``."""
+    """A versioned read: the answer plus the replica's version of ``key``.
+
+    Reads are never fenced — a replica may answer during an election
+    window (the read-side promotion step is what keeps exposed values
+    stable) — but in election mode the reply advertises the entry term
+    of the answer and the replica's current ``(term, leader)`` so the
+    caller can adopt a newer leadership opportunistically.
+    """
     log = replica_log(entry)
+    state = getattr(entry, "election", None)
+    extra = ({K_VTERM: log.last_term(key),
+              K_TERM: [state.term, state.leader]}
+             if state is not None else {})
     try:
         result = invoke()
     except Exception as exc:
         return {K_VERSION: log.version(key),
-                K_EXC: [type(exc).__name__, str(exc)]}
-    return {K_VERSION: log.version(key), K_VALUE: result}
+                K_EXC: [type(exc).__name__, str(exc)], **extra}
+    return {K_VERSION: log.version(key), K_VALUE: result, **extra}
 
 
 def serve_assign(entry, key, verb: str, args, kwargs,
-                 invoke: Callable[[], Any]) -> dict:
-    """A primary write: execute, then log it under the next version."""
+                 invoke: Callable[[], Any], headers: dict | None = None,
+                 now: float = 0.0) -> dict:
+    """A primary write: execute, then log it under the next version.
+
+    In election mode the assign is the most-guarded step: the request's
+    term must be current, this replica must believe *itself* leader of
+    that term, and its own lease must still be valid (an expired lease
+    answers :data:`K_EXPIRED`; the caller drives a renewal round through
+    the followers and retries).  The entry is logged under the term that
+    assigned it.
+    """
     log = replica_log(entry)
+    state = getattr(entry, "election", None)
+    term = 0
+    if state is not None:
+        refused = _fence_write(entry, headers, now)
+        if refused is not None:
+            return refused
+        if not state.is_leader():
+            state.counters.incr("fencing_rejects")
+            return {K_FENCED: [state.term, state.leader]}
+        if not state.lease_valid(now):
+            state.counters.incr("lease_refusals")
+            return {K_EXPIRED: True, K_TERM: [state.term, state.leader]}
+        term = state.term
     result = invoke()    # an exception propagates; nothing is logged
     n = log.version(key) + 1
-    log.append(key, n, verb, args, kwargs)
+    log.append(key, n, verb, args, kwargs, term)
     entry.run_mutation_hooks(verb, tuple(args), dict(kwargs))
-    return {K_VERSION: n, K_VALUE: result}
+    reply = {K_VERSION: n, K_VALUE: result}
+    if state is not None:
+        reply[K_VTERM] = term
+    return reply
 
 
 def serve_apply(entry, key, n: int, verb: str, args, kwargs,
-                invoke: Callable[[], Any]) -> dict:
+                invoke: Callable[[], Any], headers: dict | None = None,
+                now: float = 0.0) -> dict:
     """A replica write at an assigned version: apply iff contiguous.
 
     ``n <= current`` is an idempotent ack (the replica already holds that
     prefix); a gap answers ``stale`` so the caller can repair and retry.
+    In election mode a stale term is fenced, and an ``n <= current`` ack
+    additionally demands that the held entry's *term* matches the
+    write's — a mismatch is divergence (:data:`K_DIVERGED`), repairable
+    only by reset + full resync from the leader.
     """
     log = replica_log(entry)
+    state = getattr(entry, "election", None)
+    claim = _term_of(headers)
+    wterm = claim[0] if (state is not None and claim is not None) else 0
+    if state is not None:
+        refused = _fence_write(entry, headers, now)
+        if refused is not None:
+            return refused
     current = log.version(key)
     n = int(n)
     if n <= current:
+        if state is not None and log.term_at(key, n) != wterm:
+            state.counters.incr("divergences")
+            return {K_VERSION: current, K_DIVERGED: True}
         return {K_VERSION: current}
     if n > current + 1:
-        return {K_VERSION: current, K_STALE: True}
+        reply = {K_VERSION: current, K_STALE: True}
+        if state is not None:
+            reply[K_VTERM] = log.last_term(key)
+        return reply
     try:
         invoke()
     except Exception as exc:
@@ -179,33 +348,74 @@ def serve_apply(entry, key, n: int, verb: str, args, kwargs,
         # replica has diverged — refuse the ack, leave the log untouched.
         return {K_VERSION: current,
                 K_EXC: [type(exc).__name__, str(exc)]}
-    log.append(key, n, verb, args, kwargs)
+    log.append(key, n, verb, args, kwargs, wterm)
     entry.run_mutation_hooks(verb, tuple(args), dict(kwargs))
     return {K_VERSION: n}
 
 
 def serve_control(entry, control, body_args,
-                  invoke: Callable[[str, tuple, dict], Any]) -> dict:
-    """A log-transfer control call (repair traffic, verb-less frames).
+                  invoke: Callable[[str, tuple, dict], Any],
+                  headers: dict | None = None, now: float = 0.0) -> dict:
+    """A log-transfer or election control call (verb-less frames).
 
     ``["pull", key, since]`` returns the suffix after ``since``;
     ``["push", key]`` applies the entries riding ``body_args[0]``
     contiguously (old entries are skipped, a gap or a raising entry stops
-    the push) and returns the resulting version.
+    the push) and returns the resulting version.  Election mode adds
+    ``["status"]``/``["vote", …]``/``["announce", …]``/``["renew", …]``
+    (served by the entry's :class:`~repro.failures.election.
+    ElectionState`), ``["digest"]``, and ``["reset"]`` — the divergence
+    repair: discard the object and its logs, then take a full push.
     """
     kind = control[0]
     log = replica_log(entry)
+    state = getattr(entry, "election", None)
+    if kind in _ELECTION_CONTROLS:
+        if state is None:
+            raise ProtocolError(
+                f"control {kind!r} on a group without election state")
+        return state.control(kind, control, now, log)
+    if kind == "digest":
+        return {K_VERSION: 0, K_DIGEST: log.digest()}
+    if kind == "reset":
+        if state is None:
+            raise ProtocolError("reset on a group without election state")
+        refused = _fence_write(entry, headers, now)
+        if refused is not None:
+            return refused
+        # A suffix push cannot un-apply a diverged entry: recreate the
+        # object from scratch and let the caller replay the leader's full
+        # logs.  Service state is rebuilt purely from the log, so nothing
+        # needs to be marshalled.
+        entry.obj = type(entry.obj)()
+        entry.replica_log = ReplicaLog()
+        state.counters.incr("resets")
+        return {K_VERSION: 0}
     if kind == "pull":
         key, since = control[1], int(control[2])
-        return {K_VERSION: log.version(key), K_LOG: log.suffix(key, since)}
+        reply = {K_VERSION: log.version(key), K_LOG: log.suffix(key, since)}
+        if state is not None:
+            # The boundary witness: the term of the entry *at* ``since``.
+            # The puller compares it with the target's last-entry term —
+            # equal (version, term) pairs imply equal prefixes, so the
+            # suffix is guaranteed to extend what the target holds.
+            reply[K_VTERM] = log.term_at(key, since)
+        return reply
     if kind == "push":
+        refused = _fence_write(entry, headers, now)
+        if refused is not None:
+            return refused
         key = control[1]
         entries = body_args[0] if body_args else []
         for item in entries:
             n, verb, args, kwargs = (int(item[0]), item[1], tuple(item[2]),
                                      dict(item[3]))
+            eterm = int(item[4]) if len(item) > 4 else 0
             current = log.version(key)
             if n <= current:
+                if state is not None and log.term_at(key, n) != eterm:
+                    state.counters.incr("divergences")
+                    return {K_VERSION: current, K_DIVERGED: True}
                 continue
             if n > current + 1:
                 break
@@ -213,7 +423,7 @@ def serve_control(entry, control, body_args,
                 invoke(verb, args, kwargs)
             except Exception:
                 break    # diverged entry: stop, report how far we got
-            log.append(key, n, verb, args, kwargs)
+            log.append(key, n, verb, args, kwargs, eterm)
             entry.run_mutation_hooks(verb, args, kwargs)
         return {K_VERSION: log.version(key)}
     raise ProtocolError(f"unknown quorum control {kind!r}")
@@ -222,7 +432,7 @@ def serve_control(entry, control, body_args,
 def serve_envelope(entry, verb: str, args, kwargs, headers: dict,
                    invoke: Callable[[], Any] | None = None,
                    control_invoke: Callable[[str, tuple, dict], Any] | None
-                   = None) -> dict:
+                   = None, now: float = 0.0) -> dict:
     """Dispatch one enveloped call to the matching protocol step.
 
     The co-located fast path of the replicated proxy uses this directly on
@@ -233,7 +443,8 @@ def serve_envelope(entry, verb: str, args, kwargs, headers: dict,
     if control is not None:
         if control_invoke is None:
             control_invoke = lambda v, a, k: getattr(entry.obj, v)(*a, **k)  # noqa: E731
-        return serve_control(entry, control, args, control_invoke)
+        return serve_control(entry, control, args, control_invoke,
+                             headers=headers, now=now)
     if invoke is None:
         invoke = lambda: getattr(entry.obj, verb)(*args, **kwargs)  # noqa: E731
     spec = headers.get(H_READ)
@@ -241,9 +452,10 @@ def serve_envelope(entry, verb: str, args, kwargs, headers: dict,
         return serve_read(entry, spec[0], invoke)
     spec = headers.get(H_ASSIGN)
     if spec is not None:
-        return serve_assign(entry, spec[0], verb, args, kwargs, invoke)
+        return serve_assign(entry, spec[0], verb, args, kwargs, invoke,
+                            headers=headers, now=now)
     spec = headers.get(H_APPLY)
     if spec is not None:
         return serve_apply(entry, spec[0], spec[1], verb, args, kwargs,
-                           invoke)
+                           invoke, headers=headers, now=now)
     raise ProtocolError("frame carries no quorum envelope")

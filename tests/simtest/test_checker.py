@@ -187,10 +187,10 @@ class TestConsistencyModes:
     def test_unknown_mode_raises(self):
         h = history(op(0, "a", "get", ("k",), 0.0, 1.0, result=None))
         with pytest.raises(ValueError):
-            check_history(h, KVModel(), consistency="causal")
+            check_history(h, KVModel(), consistency="eventual")
 
     def test_mode_registry_is_strongest_first(self):
-        assert CONSISTENCY_MODES == ("linearizable", "sequential",
+        assert CONSISTENCY_MODES == ("linearizable", "sequential", "causal",
                                      "read-your-writes")
 
     def test_cross_client_stale_read_grades_by_mode(self):

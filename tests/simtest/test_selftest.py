@@ -10,7 +10,7 @@ import pytest
 from repro.simtest import build_case, run_battery, run_case
 from repro.simtest.runner import SimCase
 from repro.simtest.workload import FAULT_MENUS, SHIPPED_POLICIES
-from repro.failures.schedule import FAULT_KINDS
+from repro.failures.schedule import FAULT_KINDS, PRIMARY_FAULT_KINDS
 
 
 class TestDirtyCacheIsConvicted:
@@ -65,16 +65,19 @@ class TestFaultMenus:
     def test_every_shipped_policy_has_a_menu(self):
         for policy in SHIPPED_POLICIES:
             assert policy in FAULT_MENUS
-            assert set(FAULT_MENUS[policy]) <= set(FAULT_KINDS)
+            assert set(FAULT_MENUS[policy]) <= \
+                set(FAULT_KINDS) | set(PRIMARY_FAULT_KINDS)
 
     def test_stub_and_resilient_take_the_full_menu(self):
         assert FAULT_MENUS["stub"] == FAULT_KINDS
         assert FAULT_MENUS["resilient"] == FAULT_KINDS
 
     def test_replicated_quorum_mode_takes_the_full_menu(self):
-        # R + W > N with read-side promotion: crash, partition, and loss
-        # are all survivable — the tentpole contract of the quorum mode.
-        assert FAULT_MENUS["replicated"] == FAULT_KINDS
+        # R + W > N with read-side promotion and leader election: crash,
+        # partition, and loss are all survivable — including the
+        # primary-targeted variants, the tentpole contract of elect mode.
+        assert FAULT_MENUS["replicated"] == \
+            FAULT_KINDS + PRIMARY_FAULT_KINDS
 
     def test_composite_menu_is_the_intersection_of_its_layers(self):
         # The composite deployment stacks caching over *legacy write-all*
@@ -91,6 +94,14 @@ class TestFaultMenus:
         assert FAULT_MENUS["dirtycache"] == FAULT_MENUS["caching"]
 
     def test_underquorum_shares_the_replicated_contract(self):
-        # Same full menu as the honest quorum deployment: the conviction
-        # comes from R + W <= N, not from unfair faults.
-        assert FAULT_MENUS["underquorum"] == FAULT_MENUS["replicated"]
+        # The full basic menu, as for the honest quorum deployment: the
+        # conviction comes from R + W <= N, not from unfair faults (the
+        # primary-targeted kinds stay out — there is no election to stress
+        # in the fixed-primary deployment).
+        assert FAULT_MENUS["underquorum"] == FAULT_KINDS
+
+    def test_splitbrain_menu_sticks_to_divergence_makers(self):
+        # Partition and loss are what turn two same-term leaders into two
+        # *diverged* logs; crash or latency would only slow the canary
+        # down without exercising the election bug.
+        assert FAULT_MENUS["splitbrain"] == ("partition", "loss")
