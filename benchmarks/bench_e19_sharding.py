@@ -1,0 +1,36 @@
+"""E19 bench: consistent-hash sharding — scaling and hot-shard split."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e19_sharding
+
+
+def test_e19_sharding(benchmark):
+    rows = run_experiment(benchmark, e19_sharding, ops=1280)
+    by_scenario = {row["scenario"]: row for row in rows}
+    expected = {str(count) for count in e19_sharding.SHARD_COUNTS}
+    expected.add(f"{e19_sharding.SHARD_COUNTS[-1]}+split")
+    assert set(by_scenario) == expected
+    # The scaling claim: virtual throughput grows monotonically with the
+    # shard count (every number here is virtual-time, hence exact).
+    curve = [by_scenario[str(count)]["virtual_kops"]
+             for count in e19_sharding.SHARD_COUNTS]
+    assert curve == sorted(curve) and curve[0] < curve[-1], \
+        f"shard scaling must be monotone, got {curve}"
+    for row in rows:
+        assert row["p50_us"] > 0 and row["p99_us"] >= row["p50_us"]
+        assert row["messages"] > 0
+    # The split claim: arcs actually moved, stale-ring clients were fenced
+    # or healed rather than served wrong answers, and the post-split rate
+    # recovers to near the undisturbed 8-shard rate.
+    split = by_scenario[f"{e19_sharding.SHARD_COUNTS[-1]}+split"]
+    steady = by_scenario[str(e19_sharding.SHARD_COUNTS[-1])]
+    assert split["moved_arcs"] > 0, "the split must move ring arcs"
+    assert split["redirects"] + split["heals"] > 0, \
+        "stale rings must be fenced (redirect) or healed in-band"
+    assert split["second_half_kops"] > 0.6 * steady["second_half_kops"], \
+        "post-split throughput must recover near the steady 8-shard rate"
+    # No-split scenarios never touch the ring, so no fencing happens.
+    for count in e19_sharding.SHARD_COUNTS:
+        row = by_scenario[str(count)]
+        assert row["moved_arcs"] == row["redirects"] == row["heals"] == 0

@@ -37,6 +37,24 @@ class Counter(Service):
         previous, self.value = self.value, 0
         return previous
 
+    # -- shard partitioning hooks ------------------------------------------------
+    # A counter has no key space: it shards as one unit under the
+    # whole-object key, so a rebalance moves the entire value or nothing.
+
+    def shard_keys(self) -> list:
+        return ["*"]
+
+    def shard_fragment(self, keys) -> dict:
+        return {"value": self.value} if keys else {}
+
+    def shard_absorb(self, fragment: dict) -> None:
+        if "value" in fragment:
+            self.value = fragment["value"]
+
+    def shard_discard(self, keys) -> None:
+        if keys:
+            self.value = 0
+
 
 class MigratingCounter(Counter):
     """A counter that follows its hottest client around."""

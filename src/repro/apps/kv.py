@@ -53,6 +53,24 @@ class KVStore(Service):
         """All keys starting with ``prefix``, sorted."""
         return sorted(key for key in self.data if key.startswith(prefix))
 
+    # -- shard partitioning hooks ------------------------------------------------
+    # Plain methods (not operations): invisible to the interface, used only
+    # server-side by the sharded policy's arc handoff (repro.wire.shards).
+    # A KV store partitions per key, so an arc's fragment is a sub-dict.
+
+    def shard_keys(self) -> list:
+        return sorted(self.data)
+
+    def shard_fragment(self, keys) -> dict:
+        return {key: self.data[key] for key in keys if key in self.data}
+
+    def shard_absorb(self, fragment: dict) -> None:
+        self.data.update(fragment)
+
+    def shard_discard(self, keys) -> None:
+        for key in keys:
+            self.data.pop(key, None)
+
 
 class CachedKVStore(KVStore):
     """The same store, shipped with the caching proxy.

@@ -73,3 +73,35 @@ class LockService(Service):
     def grant_count(self) -> int:
         """Total grants ever made (diagnostics)."""
         return self._grants
+
+    # -- shard partitioning hooks ------------------------------------------------
+    # Locks partition per lock name; a fragment carries ``[holder,
+    # waiters]`` per name.  ``grant_count`` stays per-shard (diagnostics).
+
+    def shard_keys(self) -> list:
+        return sorted(set(self._holders) | set(self._waiters))
+
+    def shard_fragment(self, keys) -> dict:
+        fragment = {}
+        for name in keys:
+            holder = self._holders.get(name)
+            waiters = list(self._waiters.get(name) or [])
+            if holder is not None or waiters:
+                fragment[name] = [holder, waiters]
+        return fragment
+
+    def shard_absorb(self, fragment: dict) -> None:
+        for name, (holder, waiters) in fragment.items():
+            if holder is None:
+                self._holders.pop(name, None)
+            else:
+                self._holders[name] = holder
+            if waiters:
+                self._waiters[name] = list(waiters)
+            else:
+                self._waiters.pop(name, None)
+
+    def shard_discard(self, keys) -> None:
+        for name in keys:
+            self._holders.pop(name, None)
+            self._waiters.pop(name, None)

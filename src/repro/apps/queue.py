@@ -78,3 +78,38 @@ class WorkQueue(Service):
         return {"pending": len(self._pending),
                 "in_flight": len(self._in_flight),
                 "done": len(self._done)}
+
+    # -- shard partitioning hooks ------------------------------------------------
+    # A FIFO queue cannot be split without breaking its ordering contract,
+    # so it shards as one unit under the whole-object key (like Counter):
+    # a rebalance moves the entire queue state or nothing.
+
+    def shard_keys(self) -> list:
+        return ["*"]
+
+    def shard_fragment(self, keys) -> dict:
+        if not keys:
+            return {}
+        return {"pending": [[task_id, task] for task_id, task
+                            in self._pending],
+                "in_flight": [[task_id, who, task] for task_id, (who, task)
+                              in sorted(self._in_flight.items())],
+                "done": sorted(self._done),
+                "next_id": self._next_id}
+
+    def shard_absorb(self, fragment: dict) -> None:
+        if not fragment:
+            return
+        self._pending = [(task_id, task) for task_id, task
+                         in fragment.get("pending", [])]
+        self._in_flight = {task_id: (who, task) for task_id, who, task
+                           in fragment.get("in_flight", [])}
+        self._done = set(fragment.get("done", []))
+        self._next_id = int(fragment.get("next_id", 1))
+
+    def shard_discard(self, keys) -> None:
+        if keys:
+            self._pending = []
+            self._in_flight = {}
+            self._done = set()
+            self._next_id = 1

@@ -127,14 +127,8 @@ def bench_payload(ops: int = OPS, seed: int = SEED) -> dict:
     }
 
 
-def run(ops: int = OPS, seed: int = SEED) -> list[dict]:
-    """Sweep all shipped policies; one row per policy.
-
-    ``norm_ops`` is ops/sec divided by the host calibration rate, scaled to
-    "ops per million calibration iterations" — the machine-portable number
-    the CI perf gate compares.
-    """
-    payload = bench_payload(ops=ops, seed=seed)
+def bench_rows(payload: dict) -> list[dict]:
+    """The table form of a payload (the CLI's non-``--json`` rendering)."""
     return [{
         "policy": measured["policy"],
         "kops_per_sec": round(measured["ops_per_sec"] / 1e3, 1),
@@ -143,3 +137,19 @@ def run(ops: int = OPS, seed: int = SEED) -> list[dict]:
         "sim_us_per_op": measured["sim_us_per_op"],
         "messages": measured["messages"],
     } for measured in payload["policies"]]
+
+
+def bench_footer(payload: dict) -> str:
+    """A one-line table footnote (the CLI prints it under the table)."""
+    return (f"calibration: {payload['calibration_rate']:.0f} it/s "
+            f"(norm_ops = ops/sec per million calibration iterations)")
+
+
+def run(ops: int = OPS, seed: int = SEED) -> list[dict]:
+    """Sweep all shipped policies; one row per policy.
+
+    ``norm_ops`` is ops/sec divided by the host calibration rate, scaled to
+    "ops per million calibration iterations" — the machine-portable number
+    the CI perf gate compares.
+    """
+    return bench_rows(bench_payload(ops=ops, seed=seed))

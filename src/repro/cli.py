@@ -82,37 +82,47 @@ def cmd_all(args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
-    """Host-side throughput benchmark (wall clock, not virtual time).
+def _bench_registry() -> dict:
+    """Benchmark id → experiment module shipping a ``bench_payload``.
 
-    ``python -m repro bench e18 --json > BENCH_e18.json`` produces the
-    machine-readable record the CI perf gate compares against the committed
-    baseline.  Determinism discipline matches ``simtest --json``: every
-    workload runs multiple times and the harness asserts the deterministic
-    fields (virtual µs/op, message counts, trace fingerprints) agree before
-    reporting; only the wall readings may differ.
+    A bench module provides ``bench_payload(**kwargs) -> dict`` (the
+    machine-readable BENCH record), ``bench_rows(payload) -> list`` (its
+    table form), and optionally ``bench_footer(payload) -> str``.
     """
-    if args.benchmark != "e18":
-        print(f"unknown benchmark {args.benchmark!r}; known: ['e18']",
-              file=sys.stderr)
+    from .bench.experiments import e18_fastpath, e19_sharding
+    return {"e18": e18_fastpath, "e19": e19_sharding}
+
+
+def cmd_bench(args) -> int:
+    """Gated benchmarks (wall-clock hosts or virtual-time scaling).
+
+    ``python -m repro bench e18 --json > BENCH_e18.json`` (likewise
+    ``e19``) produces the machine-readable record the CI perf gate
+    compares against the committed baseline.  Determinism discipline
+    matches ``simtest --json``: every workload runs multiple times and
+    the harness asserts the deterministic fields (virtual µs/op, message
+    counts, trace fingerprints) agree before reporting; only wall
+    readings — e18 carries some, e19 none — may differ between runs.
+    """
+    registry = _bench_registry()
+    module = registry.get(args.benchmark)
+    if module is None:
+        print(f"unknown benchmark {args.benchmark!r}; known: "
+              f"{sorted(registry)}", file=sys.stderr)
         return 2
-    from .bench.experiments import e18_fastpath
     kwargs = {}
     if args.ops is not None:
         kwargs["ops"] = args.ops
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    payload = e18_fastpath.bench_payload(**kwargs)
+    payload = module.bench_payload(**kwargs)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        rows = [{key: measured[key]
-                 for key in ("policy", "ops_per_sec", "wall_us_per_op",
-                             "norm_ops", "sim_us_per_op", "messages")}
-                for measured in payload["policies"]]
-        print(render_table(rows, e18_fastpath.TITLE))
-        print(f"calibration: {payload['calibration_rate']:.0f} it/s "
-              f"(norm_ops = ops/sec per million calibration iterations)")
+        print(render_table(module.bench_rows(payload), module.TITLE))
+        footer = getattr(module, "bench_footer", None)
+        if footer is not None:
+            print(footer(payload))
     return 0
 
 
@@ -247,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         func=cmd_all)
     bench_parser = commands.add_parser(
         "bench", help="host throughput benchmark (wall clock)")
-    bench_parser.add_argument("benchmark", help="benchmark id, e.g. e18")
+    bench_parser.add_argument("benchmark", help="benchmark id: e18 or e19")
     bench_parser.add_argument("--ops", type=int, default=None)
     bench_parser.add_argument("--seed", type=int, default=None)
     bench_parser.add_argument("--json", action="store_true",

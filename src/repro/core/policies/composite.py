@@ -43,7 +43,8 @@ def _layer_config(config: dict, name: str) -> dict:
                 "read_policy", "write_quorum", "ttl", "invalidation",
                 "migrate_after", "batch_size", "batch_ops", "report_every",
                 "retry", "call_budget", "breaker", "stale_reads", "hedge",
-                "adaptive_budget"):
+                "adaptive_budget", "shards", "ring", "ring_epoch",
+                "shard_key", "vnodes"):
         if key in config and key not in specific:
             specific[key] = config[key]
     return specific

@@ -1,0 +1,612 @@
+"""The ``sharded`` policy: a proxy that routes each call by key.
+
+The service's data spans N shard objects in N contexts; the proxy the
+service ships holds a **consistent-hash ring** (:mod:`repro.wire.shards`)
+and routes every operation to the owning shard — the client calls the
+same interface it always did and never learns the service is partitioned.
+That is the paper's thesis at its most productive: the distribution
+structure (how many shards, where they live, how keys map to them) is
+entirely behind the proxy.
+
+**Routing.**  The shard key is the operation's argument at the
+configurable ``shard_key`` index (default 0 — right for keyed services
+like KV and locks, the same convention as the replicated policy's
+``version_key``); ``shard_key=None`` routes the whole object as one unit.
+The key hashes onto the ring (:func:`~repro.wire.shards.stable_hash` —
+seeded ``hash()`` would break determinism) and a bisect finds the owner.
+
+**Degenerate ring.**  A single-shard deployment at the bootstrap epoch
+sends *plain* calls — byte-identical to a ``stub`` proxy bound to the
+shard directly.  Multi-shard (or post-rebalance) traffic carries the ring
+epoch in the frame headers, so a mis-routed call is **fenced** with a
+redirect carrying the whole current map, which the proxy adopts and
+retries — mirroring both the migration forwarding chain and PR 6's
+``K_FENCED`` term fencing.  A plain call reaching a rebalanced shard gets
+the same treatment via the ``StaleShardRing`` exception.
+
+**Rebalancing** (:meth:`ShardedProxy.proxy_rebalance`) moves one ring
+arc per sweep: the current epoch picks a ring point deterministically,
+and a ``handoff`` control at the departing owner extracts the arc's
+keys, installs them at the new owner *first*, then commits the epoch
+bump (see :mod:`repro.wire.shards` for the safety argument).
+:meth:`ShardedProxy.proxy_split` moves half a hot shard's arcs to a
+designated target — the E19 hot-shard scenario — and
+:meth:`ShardedProxy.proxy_move_shard` relocates a whole shard *object*
+to another context through :mod:`repro.migration`'s mover, then commits
+a map naming the new home.
+
+**Composition.**  ``resilient``-over-``sharded`` stacks through the
+composite policy (``extra_layers=["resilient"]``), and a shard may
+itself be a ``replicate(...)`` group (pass a list of contexts in the
+``contexts`` slot): the proxy then routes to the group's replicated
+sub-proxy instead of a stub entry.  Replicated shards keep a static ring
+(arc handoff needs direct fragment access, which a group encapsulates) —
+scale-out with per-shard redundancy, rebalance within the stub tier.
+
+Deployment helper: :func:`shard` builds the partitioned group and
+returns the client-facing reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...kernel.errors import (
+    ConfigurationError,
+    DanglingReference,
+    DistributionError,
+    ObjectMoved,
+    StaleShardRing,
+)
+from ...wire import shards
+from ...wire.refs import ObjectRef
+from ..factory import register_policy
+from ..proxy import Proxy
+
+#: Re-route bound per call (fence redirects, migration forwards).
+ROUTE_ATTEMPTS = 4
+
+
+@register_policy
+class ShardedProxy(Proxy):
+    """Route each operation to the shard owning its key."""
+
+    policy_name = "sharded"
+
+    def __init__(self, context, ref, interface, config=None):
+        super().__init__(context, ref, interface, config)
+        self._state: shards.ShardState | None = None
+        self._subs: dict[str, Any] = {}
+        self.proxy_stats.update(shard_routes=0, shard_local=0,
+                                shard_redirects=0, shard_heals=0,
+                                rebalances=0, splits=0,
+                                shard_moves=0, handoff_failures=0,
+                                map_syncs=0)
+        if self.proxy_config.get("shards") is not None:
+            # Broken deployments fail at construction, not first call.
+            self._shard_params()
+
+    # -- configuration ------------------------------------------------------------
+
+    def _shard_params(self) -> tuple[int, list, list]:
+        """Validated ``(epoch, ring, shard_specs)`` from the configuration.
+
+        A zero-shard map, a non-positive epoch, a negative ``shard_key``
+        index, a duplicate ring point, or a ring owner outside the shard
+        range is a configuration error, not a distribution outcome.
+        """
+        config = self.proxy_config
+        specs = config.get("shards") or []
+        if not specs:
+            raise ConfigurationError("sharded policy configured with no "
+                                     "shards")
+        ring = config.get("ring")
+        if ring is None:
+            ring = shards.default_ring(len(specs),
+                                       int(config.get("vnodes",
+                                                      shards.DEFAULT_VNODES)))
+        else:
+            ring = shards.validate_ring(ring, len(specs))
+        epoch = int(config.get("ring_epoch", 1))
+        if epoch < 1:
+            raise ConfigurationError(f"ring_epoch {epoch} must be >= 1")
+        key_index = config.get("shard_key", 0)
+        if key_index is not None and int(key_index) < 0:
+            raise ConfigurationError(
+                f"shard_key index {key_index} is negative")
+        return epoch, ring, [list(spec) for spec in specs]
+
+    def _shard_state(self) -> shards.ShardState | None:
+        """The routing state, resolved lazily.
+
+        Falls back to the installation handshake when the configuration
+        arrived without the shard map (reference passed by value), and to
+        plain forwarding when even that yields nothing.  An absent map is
+        not memoised — it may simply not have been delivered yet.
+        """
+        if self._state is not None:
+            return self._state
+        raw = self.proxy_config.get("shards")
+        if raw is None and not self.proxy_handshaken:
+            self.proxy_context.space.upgrade(self)
+            raw = self.proxy_config.get("shards")
+        if raw is None:
+            return None
+        epoch, ring, specs = self._shard_params()
+        self._state = shards.ShardState(-1, epoch, ring, specs)
+        return self._state
+
+    def _shard_key(self, args: tuple) -> Any:
+        """The shard key of one operation.
+
+        ``shard_key`` names the argument index that carries it (like the
+        replicated policy's ``version_key``); ``None`` — or an operation
+        without that argument (``size()``, ``stats()``) — routes as the
+        whole object.
+        """
+        index = self.proxy_config.get("shard_key", 0)
+        if index is None:
+            return shards.WHOLE_OBJECT
+        index = int(index)
+        if len(args) > index:
+            return args[index]
+        return shards.WHOLE_OBJECT
+
+    # -- canary override points (see simtest's staleshard) ------------------------
+
+    def _routing_state(self, state: shards.ShardState) -> shards.ShardState:
+        """The state used for owner lookups (canaries freeze this)."""
+        return state
+
+    def _route_epoch(self, route: shards.ShardState) -> int:
+        """The epoch stamped on envelopes (canaries spoof this)."""
+        return route.epoch
+
+    def _adopt_map(self, ring_map: list) -> bool:
+        """Fold a fence redirect's (or sync's) newer map into the state."""
+        state = self._shard_state()
+        if state is None:
+            return False
+        return state.adopt(*ring_map)
+
+    # -- invocation ---------------------------------------------------------------
+
+    def invoke(self, verb: str, args: tuple, kwargs: dict) -> Any:
+        self.proxy_stats["invocations"] += 1
+        state = self._shard_state()
+        if state is None:
+            return self.proxy_remote(verb, args, kwargs)
+        op = self.proxy_interface.operation(verb)
+        h = shards.stable_hash(self._shard_key(args))
+        for _ in range(ROUTE_ATTEMPTS):
+            route = self._routing_state(state)
+            index = route.owner_of(h)
+            spec = route.shards[index]
+            enveloped = spec[4] == "stub" and (len(route.shards) > 1
+                                               or route.epoch > 1)
+            try:
+                if not enveloped:
+                    result = self._plain_call(spec, verb, args, kwargs)
+                else:
+                    reply = self._enveloped_call(
+                        spec, verb, args, kwargs,
+                        {shards.H_EPOCH: [self._route_epoch(route)],
+                         shards.H_KEY: h},
+                        readonly=op.readonly)
+                    if shards.K_FENCED in reply:
+                        self.proxy_stats["shard_redirects"] += 1
+                        self._adopt_map(reply[shards.K_FENCED])
+                        continue
+                    if shards.K_MAP in reply:
+                        # Served despite a stale ring (the key had not
+                        # moved): the shard healed us in-band.
+                        self.proxy_stats["shard_heals"] += 1
+                        self._adopt_map(reply[shards.K_MAP])
+                    result = reply[shards.K_VALUE]
+            except StaleShardRing as exc:
+                # A plain call outran a rebalance: adopt the map the
+                # redirect carries and re-route (now enveloped).
+                self.proxy_stats["shard_redirects"] += 1
+                if exc.ring_map is not None:
+                    self._adopt_map(exc.ring_map)
+                else:
+                    self._sync_map(state)
+                continue
+            except ObjectMoved as exc:
+                if exc.forward is None:
+                    raise
+                self._note_forward(route, index, exc.forward)
+                continue
+            self.proxy_stats["shard_routes"] += 1
+            return result
+        raise DistributionError(
+            f"sharded call {verb!r} exhausted {ROUTE_ATTEMPTS} routing "
+            f"attempts (ring epoch {state.epoch})")
+
+    def _note_forward(self, route: shards.ShardState, index: int,
+                      forward: ObjectRef) -> None:
+        """A shard object migrated mid-call: rebind that slot and retry."""
+        self.proxy_stats["rebinds"] += 1
+        old = route.shards[index]
+        self._subs.pop(old[1], None)
+        route.shards[index] = [forward.context_id, forward.oid,
+                               forward.interface, forward.epoch,
+                               forward.policy]
+
+    def _sub(self, spec: list):
+        """The bound sub-proxy for one shard (raw object when co-located)."""
+        sub = self._subs.get(spec[1])
+        if sub is None:
+            ref = ObjectRef(spec[0], spec[1], spec[2], spec[3], spec[4])
+            sub = self.proxy_context.space.bind_ref(ref, handshake=False)
+            self._subs[spec[1]] = sub
+        return sub
+
+    def _plain_call(self, spec: list, verb: str, args: tuple,
+                    kwargs: dict) -> Any:
+        """Un-enveloped invocation: single-shard fast path (byte-identical
+        to a stub client) and non-stub shard policies (replicated groups)."""
+        sub = self._sub(spec)
+        if isinstance(sub, Proxy):
+            return sub.invoke(verb, args, kwargs)
+        self.proxy_stats["shard_local"] += 1
+        context = self.proxy_context
+        context.charge(context.system.costs.local_call)
+        return getattr(sub, verb)(*args, **kwargs)
+
+    def _enveloped_call(self, spec: list, verb: str, args: tuple,
+                        kwargs: dict, headers: dict,
+                        readonly: bool = False) -> dict:
+        """One enveloped shard call; returns the reply wrapper.
+
+        Remote shards get the envelope in the frame headers; a shard
+        co-located with the caller bypasses the frame layer and runs the
+        same protocol step against the local export entry.
+        """
+        context = self.proxy_context
+        if spec[0] != context.context_id:
+            ref = ObjectRef(spec[0], spec[1], spec[2], spec[3], spec[4])
+            return self.proxy_protocol.call(context, ref, verb, args,
+                                            kwargs, headers=headers)
+        entry = context.exports.get(spec[1])
+        if entry is None or entry.revoked:
+            raise DanglingReference(
+                f"context {context.context_id!r} exports no object "
+                f"{spec[1]!r}")
+        if entry.moved_to is not None:
+            fwd = entry.moved_to
+            raise ObjectMoved(
+                f"object {spec[1]!r} migrated to {fwd.context_id!r}",
+                forward=fwd)
+        self.proxy_stats["shard_local"] += 1
+        context.charge(context.system.costs.local_call)
+        from ...rpc.dispatcher import ensure_dispatcher
+        dispatcher = ensure_dispatcher(context, self.proxy_protocol.transport)
+        return shards.serve_envelope(entry, verb, args, kwargs, headers,
+                                     readonly=readonly,
+                                     call_shard=dispatcher._shard_call)
+
+    def _control_call(self, spec: list, control: list,
+                      body_args: tuple = ()) -> dict:
+        """A verb-less ring-control call to one shard (or the group)."""
+        return self._enveloped_call(spec, "", tuple(body_args), {},
+                                    {shards.H_CONTROL: control})
+
+    # -- ring maintenance ---------------------------------------------------------
+
+    def _group_spec(self) -> list:
+        ref = self.proxy_ref
+        return [ref.context_id, ref.oid, ref.interface, ref.epoch,
+                ref.policy]
+
+    def _sync_targets(self, state: shards.ShardState) -> list:
+        """Every map holder: the stub shards plus the group entry."""
+        targets = [spec for spec in state.shards if spec[4] == "stub"]
+        group = self._group_spec()
+        if all(spec[1] != group[1] for spec in targets):
+            targets.append(group)
+        return targets
+
+    def _sync_map(self, state: shards.ShardState) -> list:
+        """Map-sync anti-entropy: poll every holder, push the newest map.
+
+        Heals shards that missed a handoff's best-effort commit (so no
+        source can get stuck fencing handoffs against an old epoch) and
+        keeps the group entry's bootstrap configuration current.  Failures
+        are swallowed — a sweep is opportunistic repair, never an outcome.
+        """
+        self.proxy_stats["map_syncs"] += 1
+        best = state.map()
+        behind: list[list] = []
+        for spec in self._sync_targets(state):
+            try:
+                reply = self._control_call(spec, ["map"])
+            except DistributionError:
+                continue
+            seen = reply.get(shards.K_MAP)
+            if seen is None:
+                continue
+            if seen[0] > best[0]:
+                best = seen
+            elif seen[0] < best[0]:
+                behind.append(spec)
+        if best[0] > state.epoch:
+            self._adopt_map(best)
+            # Everyone polled before the newer map surfaced may be behind.
+            behind = [spec for spec in self._sync_targets(state)]
+        for spec in behind:
+            try:
+                self._control_call(spec, ["commit"], (best,))
+            except DistributionError:
+                continue
+        return state.map()
+
+    def proxy_shard_map(self, sync: bool = True) -> list:
+        """The current ``[epoch, ring, shards]`` map.
+
+        ``sync`` runs the anti-entropy sweep first (one control round trip
+        per holder); pass ``False`` to read the proxy's own view — right
+        when the caller knows the ring is current (e.g. before the first
+        rebalance) and the sweep's serial round trips would cost more than
+        the staleness risk.
+        """
+        state = self._shard_state()
+        if state is None:
+            raise ConfigurationError("proxy has no shard map to sync")
+        if sync:
+            return self._sync_map(state)
+        return state.map()
+
+    def proxy_rebalance(self) -> list | None:
+        """One rebalance sweep: move one deterministically chosen arc.
+
+        The epoch picks the ring point (``epoch % len(ring)``) and the
+        arc moves from its current owner to the next shard around — a
+        rotation that exercises every arc over successive sweeps.  The
+        handoff runs at the source; a fence or an unreachable source makes
+        the sweep a no-op (it is opportunistic, like anti-entropy).
+        Returns the resulting map, or ``None`` on an unsharded proxy.
+        """
+        state = self._shard_state()
+        if state is None:
+            return None
+        if len(state.shards) < 2:
+            return state.map()    # nowhere to move to
+        self._sync_map(state)
+        point = state.epoch % len(state.ring)
+        source = int(state.ring[point][1])
+        target = (source + 1) % len(state.shards)
+        if state.shards[source][4] != "stub" \
+                or state.shards[target][4] != "stub":
+            return state.map()    # replicated shards keep a static ring
+        try:
+            reply = self._control_call(
+                state.shards[source],
+                ["handoff", point, target, state.epoch])
+        except DistributionError:
+            self.proxy_stats["handoff_failures"] += 1
+            return state.map()
+        if shards.K_FENCED in reply:
+            self._adopt_map(reply[shards.K_FENCED])
+            return state.map()
+        self._adopt_map(reply[shards.K_MAP])
+        self.proxy_stats["rebalances"] += 1
+        return state.map()
+
+    def proxy_split(self, source: int, target: int,
+                    sync: bool = True) -> int:
+        """Split a hot shard: move every other of its arcs to ``target``.
+
+        The E19 scenario — a Zipf head concentrates on one shard, and the
+        operator (or an autoscaler) splits its load in half.  Returns the
+        number of arcs moved; failures skip the arc (the next sweep can
+        retry).  ``sync=False`` skips the pre-split anti-entropy sweep —
+        the handoffs themselves are still epoch-fenced, so a stale view
+        costs a fenced no-op arc at worst, while the sweep's serial round
+        trips run the caller's clock ahead of the traffic it is splitting
+        around.
+        """
+        state = self._shard_state()
+        if state is None:
+            raise ConfigurationError("proxy has no shard map to split")
+        if not (0 <= source < len(state.shards)
+                and 0 <= target < len(state.shards)):
+            raise ConfigurationError(
+                f"split {source}->{target} outside "
+                f"0..{len(state.shards) - 1}")
+        if sync:
+            self._sync_map(state)
+        points = [i for i, entry in enumerate(state.ring)
+                  if int(entry[1]) == source]
+        moved = 0
+        for j, point in enumerate(points):
+            if j % 2 == 0:
+                continue    # keep half the arcs at the source
+            try:
+                reply = self._control_call(
+                    state.shards[source],
+                    ["handoff", point, target, state.epoch])
+            except DistributionError:
+                self.proxy_stats["handoff_failures"] += 1
+                continue
+            if shards.K_FENCED in reply:
+                self._adopt_map(reply[shards.K_FENCED])
+                continue
+            self._adopt_map(reply[shards.K_MAP])
+            moved += 1
+        if moved:
+            self.proxy_stats["splits"] += 1
+        return moved
+
+    def proxy_move_shard(self, index: int, dst_context_id: str) -> ObjectRef:
+        """Relocate one shard *object* to another context.
+
+        Rebalancing moves arcs between existing shards; this moves the
+        shard itself (capacity change, node drain) by reusing
+        :mod:`repro.migration`'s mover, then commits a map naming the new
+        home — epoch-bumped, so stale routes fence into it.  Calls racing
+        the move follow the migration forwarding chain meanwhile.
+        """
+        from ...migration.mover import migrate
+        state = self._shard_state()
+        if state is None:
+            raise ConfigurationError("proxy has no shard map to move")
+        if not 0 <= index < len(state.shards):
+            raise ConfigurationError(
+                f"shard {index} outside 0..{len(state.shards) - 1}")
+        spec = state.shards[index]
+        if spec[4] != "stub":
+            raise ConfigurationError(
+                "only stub shards are movable; a replicated shard migrates "
+                "through its own group machinery")
+        ref = ObjectRef(spec[0], spec[1], spec[2], spec[3], spec[4])
+        new_ref = migrate(self.proxy_context, ref, dst_context_id)
+        if new_ref is None:
+            raise DistributionError(
+                f"shard {index} could not be migrated to "
+                f"{dst_context_id!r}")
+        self._subs.pop(spec[1], None)
+        new_map = state.map()
+        new_map[0] = state.epoch + 1
+        new_map[2][index] = [new_ref.context_id, new_ref.oid,
+                             new_ref.interface, new_ref.epoch,
+                             new_ref.policy]
+        self._adopt_map(new_map)
+        # The freshly migrated entry has no shard state yet: its commit
+        # installs one (index inferred from the map); then fan the map out.
+        for target in self._sync_targets(state):
+            try:
+                self._control_call(target, ["commit"], (new_map,))
+            except DistributionError:
+                continue
+        self.proxy_stats["shard_moves"] += 1
+        return new_ref
+
+    def proxy_publish(self, registry, name: str) -> None:
+        """(Re-)publish the ring through a naming service.
+
+        ``registry`` is a bound :class:`~repro.naming.service.NameService`
+        proxy (or the object): ``name`` maps to the group reference and
+        ``name + ".ring"`` to the current map, so late joiners bootstrap
+        from the directory instead of redirecting their way to the truth.
+        """
+        state = self._shard_state()
+        if state is None:
+            raise ConfigurationError("proxy has no shard map to publish")
+        self._sync_map(state)
+        registry.unregister(name)
+        registry.register(name, self.proxy_ref)
+        registry.unregister(f"{name}.ring")
+        registry.register(f"{name}.ring", state.map())
+
+
+def shard(contexts: list, factory: Callable[[], object], interface=None,
+          shard_key: int | None = 0, vnodes: int = shards.DEFAULT_VNODES,
+          ring: list | None = None, ring_epoch: int = 1,
+          extra_layers: list[str] | None = None,
+          replicate_with: dict | None = None,
+          policy: str = "sharded", registry=None,
+          name: str | None = None) -> ObjectRef:
+    """Deploy a sharded group and return the client-facing reference.
+
+    One instance from ``factory`` is exported (under the plain ``stub``
+    policy) in each of ``contexts``; the first context additionally
+    exports the group entry under the ``sharded`` policy, whose
+    configuration carries the shard map and ring.  Clients bind the
+    returned reference and receive a :class:`ShardedProxy` — zero client
+    change, per the paper.
+
+    A ``contexts`` item that is itself a list deploys that shard as a
+    ``replicate(...)`` group over those contexts (``replicate_with``
+    supplies the replication kwargs) — sharding for scale, replication
+    for durability, composed.  ``extra_layers`` stacks policies in front
+    (e.g. ``["resilient"]``); ``policy`` overrides the registered policy
+    name (the simtest canary deploys a broken subclass this way).
+    ``registry``/``name`` publish the group and its ring through
+    :mod:`repro.naming`.
+
+    Configuration is validated here as well as at proxy construction, so
+    a broken deployment fails at deploy: no contexts, a bad ring
+    (duplicate points, out-of-range owners), a non-positive epoch or
+    vnode count, or a negative ``shard_key`` all raise
+    :class:`ConfigurationError`.
+    """
+    from ...iface.adapters import make_delegate
+    from ...iface.interface import Interface
+    from ...migration.mover import ensure_mover
+    from ..export import get_space
+    from .replicating import replicate
+    if not contexts:
+        raise ConfigurationError("shard() needs at least one context")
+    count = len(contexts)
+    if ring is not None:
+        ring = shards.validate_ring(ring, count)
+    else:
+        ring = shards.default_ring(count, int(vnodes))
+    if int(ring_epoch) < 1:
+        raise ConfigurationError(f"ring_epoch {ring_epoch} must be >= 1")
+    if shard_key is not None and int(shard_key) < 0:
+        raise ConfigurationError(f"shard_key index {shard_key} is negative")
+    specs: list[list] = []
+    stub_entries: list[tuple[int, object, str]] = []  # (index, space, oid)
+    first_obj = None
+    for index, item in enumerate(contexts):
+        if isinstance(item, (list, tuple)):
+            if interface is None:
+                interface = Interface.of(type(factory()))
+            ref = replicate(list(item), factory, interface=interface,
+                            **dict(replicate_with or {}))
+        else:
+            obj = factory()
+            if first_obj is None:
+                first_obj = obj
+            if interface is None:
+                interface = Interface.of(type(obj))
+            space = get_space(item)
+            ref = space.export(obj, interface=interface, policy="stub")
+            stub_entries.append((index, space, ref.oid))
+            # Movability: each stub context gets a mover, and the class is
+            # registered so proxy_move_shard's migrate_in can rebuild it.
+            ensure_mover(space)
+            space.system.codebase.register_class(type(obj))
+        specs.append([ref.context_id, ref.oid, ref.interface, ref.epoch,
+                      ref.policy])
+    if first_obj is None:
+        first_obj = factory()    # every shard replicated: delegate template
+    config: dict = {
+        "shards": specs,
+        "ring": [list(entry) for entry in ring],
+        "ring_epoch": int(ring_epoch),
+        "vnodes": int(vnodes),
+        "shard_key": None if shard_key is None else int(shard_key),
+    }
+    group_policy = policy
+    if extra_layers:
+        config["layers"] = list(extra_layers) + [policy]
+        group_policy = "composite"
+    home = contexts[0] if not isinstance(contexts[0], (list, tuple)) \
+        else contexts[0][0]
+    home_space = get_space(home)
+    coordinator = make_delegate(first_obj, interface)
+    group_ref = home_space.export(coordinator, interface=interface,
+                                  policy=group_policy, config=config)
+    group_entry = home_space.entry(group_ref.oid)
+    # Server-side layer components install on the group entry, but calls
+    # dispatch to the shard stub entries — mirror the hook list so
+    # mutations observed at any shard fire the same machinery (the list
+    # object is shared, so later installs propagate too).
+    if group_entry.mutation_hooks:
+        for _index, space, oid in stub_entries:
+            space.entry(oid).mutation_hooks = group_entry.mutation_hooks
+    # Arm every stub shard entry — and the group entry — with its ring
+    # state; fencing switches on at the dispatcher the moment an entry
+    # carries one.
+    for index, space, oid in stub_entries:
+        space.entry(oid).sharding = shards.ShardState(index, ring_epoch,
+                                                      ring, specs)
+    group_entry.sharding = shards.ShardState(-1, ring_epoch, ring, specs)
+    if registry is not None:
+        label = name or f"sharded:{interface.name}"
+        registry.register(label, group_ref)
+        registry.register(f"{label}.ring", group_entry.sharding.map())
+    return group_ref

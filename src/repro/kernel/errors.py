@@ -91,6 +91,26 @@ class ObjectMoved(DistributionError):
         self.forward = forward
 
 
+class StaleShardRing(DistributionError):
+    """The call was routed by a stale shard ring; carries the current map.
+
+    The sharded counterpart of :class:`ObjectMoved`: raised at the
+    dispatcher when a plain (un-enveloped) call reaches a shard whose
+    ring epoch has advanced past the bootstrap, so a client that never
+    learned about sharding — or fell behind a rebalance — is redirected
+    instead of silently served from the wrong partition.
+
+    Attributes:
+        ring_map: the shard's current ``[epoch, ring, shards]`` map (see
+            :class:`~repro.wire.shards.ShardState`), or ``None`` when the
+            exception crossed a transport that kept no detail.
+    """
+
+    def __init__(self, message: str, ring_map=None):
+        super().__init__(message)
+        self.ring_map = ring_map
+
+
 # --------------------------------------------------------------------------
 # Protocol / typing violations
 # --------------------------------------------------------------------------

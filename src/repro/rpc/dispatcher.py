@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 
 from ..iface.interface import Interface
 from ..kernel.context import Context
-from ..kernel.errors import InterfaceError, ReproError
+from ..kernel.errors import DanglingReference, InterfaceError, ReproError
 from ..resilience.deadline import Deadline
-from ..wire import versions
+from ..wire import shards, versions
 from ..wire.frames import ONEWAY, REQUEST, Frame
 from ..wire.refs import ObjectRef
 
@@ -52,6 +52,11 @@ class ExportEntry:
             ElectionState` when the group runs leader election; ``None``
             otherwise.  Its presence switches the versioned protocol
             steps into term-fencing mode.
+        sharding: the shard's :class:`~repro.wire.shards.ShardState` when
+            the object is one partition of a sharded deployment; ``None``
+            otherwise.  Its presence switches on ring-epoch fencing: an
+            enveloped call with a stale epoch gets a redirect wrapper, a
+            plain call after the first rebalance gets ``StaleShardRing``.
     """
 
     obj: object
@@ -64,6 +69,7 @@ class ExportEntry:
     mutation_hooks: list = field(default_factory=list)
     replica_log: object | None = None
     election: object | None = None
+    sharding: object | None = None
 
     def run_mutation_hooks(self, verb: str, args: tuple, kwargs: dict) -> None:
         """Notify every hook of one successful mutating operation."""
@@ -187,6 +193,21 @@ class Dispatcher:
             # log transfers) are verb-less, so this must precede the
             # interface check.
             return self._dispatch_versioned(entry, frame)
+        if shards.has_envelope(frame.headers):
+            # Shard-enveloped request (sharded policy): epoch fencing and
+            # ring controls, same shape as the quorum path above.
+            return self._dispatch_sharded(entry, frame)
+        if entry.sharding is not None and entry.sharding.epoch > 1:
+            # A plain call on a shard whose ring has been rebalanced: the
+            # caller routed without (or with a pre-rebalance) ring, so it
+            # may well be at the wrong owner.  Redirect with the current
+            # map — the sharded counterpart of the ObjectMoved chain.
+            self.stats["redirects"] += 1
+            return frame.exception_to(
+                "StaleShardRing",
+                f"shard {frame.target!r} is at ring epoch "
+                f"{entry.sharding.epoch}; re-route with the current map",
+                detail=entry.sharding.map())
         op = entry.interface.operations.get(frame.verb)
         if op is None:
             return frame.exception_to(
@@ -245,6 +266,60 @@ class Dispatcher:
             self.stats["exceptions"] += 1
             return frame.exception_to(type(exc).__name__, str(exc))
         return frame.reply_to(result)
+
+    def _dispatch_sharded(self, entry: ExportEntry, frame: Frame) -> Frame:
+        """Serve one shard-enveloped request (see :mod:`repro.wire.shards`).
+
+        Ring controls (map reads, commits, arc installs, handoffs) are
+        verb-less; enveloped operations get the usual interface check and
+        compute accounting before the fencing step runs.
+        """
+        args, kwargs = frame.body if frame.body else ((), {})
+        try:
+            if shards.H_CONTROL in frame.headers:
+                result = shards.serve_control(
+                    entry, frame.headers[shards.H_CONTROL], args,
+                    call_shard=self._shard_call)
+            else:
+                op = entry.interface.operations.get(frame.verb)
+                if op is None:
+                    return frame.exception_to(
+                        "InterfaceError",
+                        f"interface {entry.interface.name!r} declares no "
+                        f"operation {frame.verb!r}")
+                if op.compute > 0:
+                    self.context.charge(op.compute)
+                result = shards.serve_verb(
+                    entry, frame.verb, args, kwargs, frame.headers,
+                    readonly=op.readonly)
+        except ReproError as exc:
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        except Exception as exc:  # an application error inside the shard
+            self.stats["exceptions"] += 1
+            return frame.exception_to(type(exc).__name__, str(exc))
+        return frame.reply_to(result)
+
+    def _shard_call(self, shard_spec: list, control: list,
+                    body_args: tuple) -> dict:
+        """Nested ring-control call to a peer shard (handoff's install and
+        commit legs).  A co-located peer is served through its local entry;
+        a remote one gets an ordinary enveloped request — nested outbound
+        calls inside a handler are legal (migration's mover does the same).
+        """
+        ctx = self.context
+        context_id, oid = shard_spec[0], shard_spec[1]
+        if context_id == ctx.context_id:
+            peer = ctx.exports.get(oid)
+            if peer is None or peer.revoked:
+                raise DanglingReference(
+                    f"context {context_id!r} exports no object {oid!r}")
+            ctx.charge(ctx.system.costs.local_call)
+            return shards.serve_control(peer, control, tuple(body_args),
+                                        call_shard=self._shard_call)
+        ref = ObjectRef(*shard_spec)
+        return ctx.system.rpc.call(ctx, ref, "", tuple(body_args), {},
+                                   headers={shards.H_CONTROL: control})
 
     def _entry_invoke(self, entry: ExportEntry):
         """An invoke thunk for repair pushes: replayed log entries get the

@@ -29,6 +29,7 @@ from ..kernel.errors import (
     ObjectMoved,
     ReproError,
     RpcTimeout,
+    StaleShardRing,
 )
 from ..resilience.deadline import Deadline
 from ..resilience.retry import DEFAULT_RETRY, RetryPolicy
@@ -305,6 +306,8 @@ class RpcProtocol:
                     ctx_id, oid, iface, epoch, policy = detail
                     forward = ObjectRef(ctx_id, oid, iface, epoch, policy)
                 raise ObjectMoved(message, forward=forward)
+            if name == "StaleShardRing":
+                raise StaleShardRing(message, ring_map=detail)
             raise remote_exception(name, message)
         raise kernel_errors.ProtocolError(f"unexpected reply kind {reply.kind!r}")
 

@@ -59,6 +59,22 @@ design*, and the menu documents each contract:
   layer in legacy write-all mode — quorum versioning is configuration
   opt-in — so its menu stays the intersection of a coherent cache and
   write-all replication: ``(latency,)``.
+* ``sharded`` partitions the service over three shard contexts behind a
+  consistent-hash ring and tolerates the full menu: each key lives on
+  exactly one shard, so a shard outage fails that key's calls cleanly
+  (``maybe``/``fail``) without exposing stale state, and epoch fencing
+  turns every mid-rebalance misroute into a redirect.  The driver pumps
+  one :meth:`~repro.core.policies.sharding.ShardedProxy.proxy_rebalance`
+  sweep every :data:`MAINT_EVERY` operations, so arcs genuinely move
+  under traffic.
+* ``staleshard`` is the sharded deployment with the ring-maintenance
+  loop severed from routing: the proxy snapshots the bootstrap ring on
+  first use, routes by that frozen copy forever, and stamps a spoofed
+  far-future epoch on every envelope so the fence never corrects it.
+  Once the rebalance pump moves an arc, the frozen ring points at the
+  *old* owner — whose handoff discarded the moved keys — and reads go
+  stale (or writes land where nobody looks).  The checker must convict
+  it; it is the ring-epoch counterpart of ``dirtycache``.
 """
 
 from __future__ import annotations
@@ -70,6 +86,8 @@ from ..core.export import get_space
 from ..core.factory import register_policy
 from ..core.policies.caching import CachingProxy
 from ..core.policies.replicating import ReplicatedProxy, replicate
+from ..core.policies.sharding import ShardedProxy, shard
+from ..wire import shards
 from ..apps.counter import Counter
 from ..apps.kv import KVStore
 from ..apps.locks import LockService
@@ -87,7 +105,7 @@ from .models import MODELS, Model
 
 #: The shipped policies the battery must prove clean.
 SHIPPED_POLICIES = ("stub", "caching", "replicated", "resilient",
-                    "composite")
+                    "composite", "sharded")
 
 #: Per-policy fault menus (the consistency contracts — module docstring).
 FAULT_MENUS: dict[str, tuple[str, ...]] = {
@@ -99,10 +117,15 @@ FAULT_MENUS: dict[str, tuple[str, ...]] = {
     "underquorum": FAULT_KINDS,
     "splitbrain": ("partition", "loss"),
     "composite": ("latency",),
+    "sharded": FAULT_KINDS,
+    "staleshard": FAULT_KINDS,
 }
 
 #: Policies deployed as a three-replica group (everything else: one server).
 _REPLICA_POLICIES = ("replicated", "underquorum", "splitbrain", "composite")
+
+#: Policies deployed as a three-shard consistent-hash group.
+_SHARD_POLICIES = ("sharded", "staleshard")
 
 #: Quorum deployments per harness policy label: ``(write_quorum,
 #: read_quorum, read_policy)`` over the three replicas.  ``replicated``
@@ -133,6 +156,23 @@ _SERVICE_CLASSES = {"kv": KVStore, "counter": Counter, "lock": LockService,
 #: is where linearizability violations live).
 _KV_KEYS = ("k0", "k1", "k2", "k3")
 _LOCK_NAMES = ("l0", "l1")
+
+
+def _shard_ring() -> list:
+    """The ring the shard deployments use: one point per workload key.
+
+    A generated ring would scatter this tiny key set arbitrarily (with 4
+    hot keys it usually lands them all on one shard and the rebalance
+    sweep moves empty arcs for epochs on end).  Placing a ring point *at*
+    each key's hash makes every key the top of its own arc: the keys
+    spread round-robin over the three shards, and each maintenance sweep
+    (epoch ``e`` moves ring point ``e % len(ring)``) hands off exactly
+    one key's data — so the battery genuinely exercises mid-traffic arc
+    transfer, fencing, and (for the canary) staleness on every run.
+    """
+    labels = _KV_KEYS + _LOCK_NAMES + (shards.WHOLE_OBJECT,)
+    points = sorted(shards.stable_hash(label) for label in labels)
+    return [[point, index % 3] for index, point in enumerate(points)]
 
 
 @register_policy
@@ -206,9 +246,41 @@ class SplitBrainProxy(ReplicatedProxy):
         raise DistributionError("splitbrain canary never elects")
 
 
+@register_policy
+class StaleShardProxy(ShardedProxy):
+    """A sharded proxy whose routing never learns the ring moved.
+
+    Two overrides sever routing from ring maintenance: the routing state
+    is a **frozen copy** of the first map the proxy ever resolves, and
+    every envelope is stamped with a far-future epoch so the shard-side
+    fence (which only refuses *older* epochs) waves the misroute
+    through.  The honest machinery is otherwise untouched — the
+    maintenance pump's ``proxy_rebalance`` genuinely moves arcs and the
+    live state adopts every new map — so after the first sweep the
+    frozen ring names owners whose handoffs already discarded the moved
+    keys.  Reads then return the new owner's data *absence* (or writes
+    land where no honest reader looks): a linearizability violation
+    manufactured purely from stale routing, with no fault injection
+    needed.  The checker must convict this canary.
+    """
+
+    policy_name = "staleshard"
+
+    def _routing_state(self, state):
+        frozen = getattr(self, "_frozen", None)
+        if frozen is None:
+            frozen = shards.ShardState(state.index, state.epoch,
+                                       state.ring, state.shards)
+            self._frozen = frozen
+        return frozen
+
+    def _route_epoch(self, route):
+        return 10 ** 9    # never fenced: the shard believes we are newer
+
+
 def topology(policy: str, clients: int) -> tuple[list[str], list[str]]:
     """Node names for a case: ``(server_names, client_names)``."""
-    servers = 3 if policy in _REPLICA_POLICIES else 1
+    servers = 3 if policy in _REPLICA_POLICIES + _SHARD_POLICIES else 1
     return ([f"s{i}" for i in range(servers)],
             [f"c{i}" for i in range(clients)])
 
@@ -249,6 +321,12 @@ def deploy(case) -> Deployment:
         # absorbs deterministically).  splitbrain never sweeps: background
         # repair would heal the divergence the canary must exhibit.
         maintenance = clients[0][2].proxy_anti_entropy
+    elif case.policy in _SHARD_POLICIES:
+        # Same pump slot, rebalance sweep: arcs move under live traffic.
+        # The staleshard canary's pump is the *honest* inherited
+        # rebalance — only its routing is frozen — so the ring genuinely
+        # changes underneath the frozen copy it routes by.
+        maintenance = clients[0][2].proxy_rebalance
     return Deployment(system=system, interface=interface,
                       model=MODELS[case.service](), clients=clients,
                       maintenance=maintenance)
@@ -257,6 +335,15 @@ def deploy(case) -> Deployment:
 def _export(policy: str, server_ctxs: list, service_cls, interface,
             service: str):
     primary = server_ctxs[0]
+    if policy in _SHARD_POLICIES:
+        # Keyed services shard per key (argument 0, like the replicated
+        # version_key convention); the single-state services shard as one
+        # unit — the ring still fences and rebalances, it just moves the
+        # whole object's arc set between owners.
+        shard_key = 0 if service in ("kv", "lock") else None
+        return shard(server_ctxs, service_cls, interface=interface,
+                     shard_key=shard_key, ring=_shard_ring(),
+                     policy=policy)
     quorum = _QUORUM_CONFIGS.get(policy)
     if quorum is not None:
         write_quorum, read_quorum, read_policy = quorum

@@ -1,0 +1,427 @@
+"""Shard ring envelopes: consistent-hash routing metadata on the wire.
+
+The ``sharded`` policy partitions a service's key space over N shard
+objects with a **consistent-hash ring**: a sorted list of ``[point,
+owner]`` pairs over the 64-bit hash circle, where ring entry ``i`` owns
+the arc ``(point[i-1], point[i]]`` (wrapping at the top).  Routing a call
+is a hash of its shard key plus a bisect — no directory lookup, no
+coordination.
+
+This module owns the wire representation and the server-side protocol
+steps, shared by two call paths exactly like :mod:`repro.wire.versions`:
+
+* the dispatcher (:mod:`repro.rpc.dispatcher`) for remote shards — the
+  caller's **ring epoch** rides the frame headers, and the reply is a
+  marshalled wrapper (a dict with reserved ``s.*`` keys);
+* the sharded proxy itself for a shard co-located with the caller, where
+  the frame layer is bypassed.
+
+**Epoch fencing** mirrors PR 6's term fencing: every shard export entry
+carries a :class:`ShardState` (its shard index, the ring, and the ring's
+epoch).  A request stamped with an *older* epoch whose key has **moved
+away** is refused with a :data:`K_FENCED` redirect carrying the whole
+current map — the caller adopts it and re-routes, exactly like following
+a migration forward.  A stale-epoch request whose key this shard *still
+owns* (judged by the advisory :data:`H_KEY` routing hash) routed
+correctly despite its old ring, so it is served, with the current map
+piggybacked on the reply as a one-round-trip heal — redirect storms
+after a rebalance hit only the keys that actually moved.  Requests that
+carry no shard envelope are untouched, so a single-shard epoch-1
+deployment is byte-identical to a plain ``stub`` export; once a
+rebalance bumps the epoch, plain (un-enveloped) calls are fenced at the
+dispatcher with a ``StaleShardRing`` exception whose detail carries the
+same map.
+
+**Rebalancing** reuses the arc-transfer idea of :mod:`repro.migration`
+(state out of one live object, into another) at sub-object granularity.
+The ``handoff`` control runs **at the source shard**, inside its
+dispatch, so the extract-install-commit sequence is atomic with respect
+to that shard's other operations:
+
+1. fence if the caller's believed epoch is stale (ring changed under it);
+2. compute the keys in the departing arc (``obj.shard_keys()`` filtered
+   by hash), extract them (``obj.shard_fragment``);
+3. **install at the target first** (a nested control call) — the data
+   exists at the new owner before any map names it;
+4. commit locally: bump the epoch, reassign the ring point, discard the
+   moved keys — the fencing authority (the old owner) advances first, so
+   a client routed by the old map is fenced into adopting the new one;
+5. best-effort commit at the target (a lost commit leaves the target
+   serving correctly at the old epoch; map-sync anti-entropy heals it).
+
+A failed install aborts before step 4, leaving at worst a harmless stale
+copy at the target (``install`` is discard-first, hence idempotent).
+
+Request header keys:
+
+========= =================== ==========================================
+key       value               meaning
+========= =================== ==========================================
+``s.e``   ``[epoch]``         the caller's ring epoch; older than the
+                              shard's ⇒ :data:`K_FENCED` redirect when
+                              the key moved, in-band heal otherwise
+``s.k``   ``hash``            the call's routing hash (advisory; lets a
+                              stale caller at the right shard be served)
+``s.c``   ``["map"]`` /       ring controls (verb-less frames): read the
+          ``["commit"]`` /    map, adopt a newer one, absorb an arc
+          ``["install", ks]`` fragment (rides the body), or run the
+          / ``["handoff",    source side of an arc transfer
+          i, dst, epoch]``
+========= =================== ==========================================
+
+Reply wrappers: ``{"s.val": result}`` on success (plus ``"s.map"`` when
+healing a stale caller), ``{"s.f": map}`` when fenced, ``{"s.map":
+map}`` from controls — where ``map`` is the marshallable ``[epoch,
+ring, shards]`` triple of :meth:`ShardState.map`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Any, Callable
+
+from ..kernel.errors import ConfigurationError, ProtocolError
+
+#: Request header: the caller's ring epoch ``[epoch]``.
+H_EPOCH = "s.e"
+#: Request header: ring control ``["map"]`` / ``["commit"]`` /
+#: ``["install", keys]`` / ``["handoff", point, target, epoch]``.
+H_CONTROL = "s.c"
+#: Request header: the routing hash of the call's shard key.  Advisory:
+#: it refines the *stale* path only — a stale-epoch call whose key the
+#: serving shard still owns is served (with the new map piggybacked on
+#: the reply) instead of redirected, since its routing was right anyway.
+H_KEY = "s.k"
+
+#: Reply key: the operation's result (present on success).
+K_VALUE = "s.val"
+#: Reply key: fenced — the caller's epoch is stale; value is the map.
+K_FENCED = "s.f"
+#: Reply key: the shard's current ``[epoch, ring, shards]`` map.  On a
+#: verb reply (next to :data:`K_VALUE`) it is the in-band heal of a
+#: stale-but-correctly-routed caller.
+K_MAP = "s.map"
+
+_SHARD_HEADERS = (H_EPOCH, H_CONTROL)
+
+#: Ring points per shard in a generated ring (vnodes smooth the arcs).
+DEFAULT_VNODES = 8
+
+#: The shard key used when an operation carries no key argument: the whole
+#: object routes as one unit.
+WHOLE_OBJECT = "*"
+
+
+def has_envelope(headers: dict | None) -> bool:
+    """True when a request carries any shard envelope."""
+    if not headers:
+        return False
+    return any(key in headers for key in _SHARD_HEADERS)
+
+
+def stable_hash(key: Any) -> int:
+    """A seed-independent 64-bit hash of a shard key.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would make
+    ring placement nondeterministic across runs — the determinism lint's
+    whole reason to exist.  blake2b of the key's ``repr`` is stable,
+    uniform, and cheap.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def default_ring(count: int, vnodes: int = DEFAULT_VNODES) -> list:
+    """A generated ring: ``vnodes`` points per shard, sorted by point.
+
+    Point placement hashes a stable label, so the same ``(count, vnodes)``
+    always yields the same ring — deployments and rebinding clients agree
+    without exchanging it.
+    """
+    if count < 1:
+        raise ConfigurationError(f"shard count {count} must be >= 1")
+    if vnodes < 1:
+        raise ConfigurationError(f"vnodes {vnodes} must be >= 1")
+    ring = [[stable_hash(f"vnode:{shard}:{v}"), shard]
+            for shard in range(count) for v in range(vnodes)]
+    ring.sort()
+    return ring
+
+
+def validate_ring(ring: list, count: int) -> list:
+    """Check a ring's invariants; returns it normalised to sorted lists.
+
+    Raises :class:`ConfigurationError` on an empty ring, a duplicate
+    point (two entries would contest one arc), or an owner outside
+    ``0..count-1``.
+    """
+    if not ring:
+        raise ConfigurationError("shard ring is empty")
+    normalised = sorted([int(point), int(owner)] for point, owner in ring)
+    for i, (point, owner) in enumerate(normalised):
+        if i and point == normalised[i - 1][0]:
+            raise ConfigurationError(
+                f"duplicate ring point {point} (entries {i - 1} and {i})")
+        if not 0 <= owner < count:
+            raise ConfigurationError(
+                f"ring point {point} owned by shard {owner}, outside "
+                f"0..{count - 1}")
+    return normalised
+
+
+def in_arc(h: int, lo: int, hi: int) -> bool:
+    """True when hash ``h`` lies in the ring arc ``(lo, hi]``.
+
+    ``lo == hi`` is the single-point ring: one arc covering the whole
+    circle.  ``lo > hi`` is the wrapping arc through the top.
+    """
+    if lo == hi:
+        return True
+    if lo < hi:
+        return lo < h <= hi
+    return h > lo or h <= hi
+
+
+class ShardState:
+    """One participant's view of the ring: epoch, arcs, and shard homes.
+
+    Installed on every shard's export entry (``index`` = its position)
+    and on the group entry (``index`` = -1); the sharded proxy holds one
+    too (also -1) as its routing cache.  ``shards`` is a list of plain
+    field lists ``[context_id, oid, interface, epoch, policy]`` — the
+    same swizzle-free form :meth:`~repro.migration.mover.MoverService.
+    migrate_to` uses — so the whole map marshals as-is.
+    """
+
+    __slots__ = ("index", "epoch", "ring", "shards", "_points", "_owners")
+
+    def __init__(self, index: int, epoch: int, ring: list, shards: list):
+        self.index = index
+        self.epoch = int(epoch)
+        self.ring = [list(entry) for entry in ring]
+        self.shards = [list(spec) for spec in shards]
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._points = [entry[0] for entry in self.ring]
+        self._owners = [entry[1] for entry in self.ring]
+
+    def owner_of(self, h: int) -> int:
+        """The shard index owning hash ``h`` (first point clockwise)."""
+        idx = bisect_left(self._points, h)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def arc_of(self, point_index: int) -> tuple[int, int]:
+        """The ``(lo, hi]`` arc of ring entry ``point_index``."""
+        hi = self._points[point_index]
+        lo = self._points[point_index - 1] if point_index else \
+            self._points[-1]
+        return lo, hi
+
+    def map(self) -> list:
+        """The marshallable ``[epoch, ring, shards]`` triple."""
+        return [self.epoch, [list(entry) for entry in self.ring],
+                [list(spec) for spec in self.shards]]
+
+    def adopt(self, epoch: int, ring: list, shards: list) -> bool:
+        """Replace the view iff ``epoch`` is strictly newer."""
+        if int(epoch) <= self.epoch:
+            return False
+        self.epoch = int(epoch)
+        self.ring = [list(entry) for entry in ring]
+        self.shards = [list(spec) for spec in shards]
+        self._reindex()
+        return True
+
+
+def shard_state(entry) -> ShardState | None:
+    """The shard state of one export-table entry, if any."""
+    return getattr(entry, "sharding", None)
+
+
+def _stale(state: ShardState | None, headers: dict | None) -> dict | None:
+    """The :data:`K_FENCED` refusal for a stale-epoch request, or None.
+
+    The epoch is the fencing authority; the advisory :data:`H_KEY` hash
+    softens it.  A stale caller whose key this shard *still owns* routed
+    correctly despite its old ring, so refusing it buys nothing — it is
+    served, and the current map rides back on the reply
+    (:data:`K_MAP` next to the value) to heal the caller in one round
+    trip.  Only a stale caller at the *wrong* shard — or one carrying no
+    key hash to judge by — is redirected.  (A caller lying about its
+    epoch skips both checks; that is exactly the bug class the simtest
+    ``staleshard`` canary exists to convict.)
+    """
+    if state is None:
+        return None
+    spec = headers.get(H_EPOCH) if headers else None
+    if spec is None or int(spec[0]) >= state.epoch:
+        return None
+    h = headers.get(H_KEY)
+    if h is not None and state.index >= 0 \
+            and state.owner_of(int(h)) == state.index:
+        return None
+    return {K_FENCED: state.map()}
+
+
+def _heal(state: ShardState | None, headers: dict | None,
+          reply: dict) -> dict:
+    """Piggyback the current map onto a stale-epoch caller's reply."""
+    if state is not None and headers:
+        spec = headers.get(H_EPOCH)
+        if spec is not None and int(spec[0]) < state.epoch:
+            reply[K_MAP] = state.map()
+    return reply
+
+
+# -- server-side protocol steps -----------------------------------------------
+#
+# Each helper takes the export entry and an ``invoke`` thunk (the actual
+# method call, with whatever interface checking and compute accounting the
+# caller's layer does) and returns the marshallable reply wrapper.
+# Application exceptions propagate — the dispatcher ships them as ordinary
+# exception frames and the client re-raises, exactly as for plain calls.
+
+
+def serve_verb(entry, verb: str, args, kwargs, headers: dict,
+               invoke: Callable[[], Any] | None = None,
+               readonly: bool = False) -> dict:
+    """One enveloped operation at a shard: fence, or serve (and heal)."""
+    state = shard_state(entry)
+    refused = _stale(state, headers)
+    if refused is not None:
+        return refused
+    if invoke is None:
+        invoke = lambda: getattr(entry.obj, verb)(*args, **kwargs)  # noqa: E731
+    result = invoke()
+    if not readonly:
+        entry.run_mutation_hooks(verb, tuple(args), dict(kwargs))
+    return _heal(state, headers, {K_VALUE: result})
+
+
+def serve_control(entry, control, body_args,
+                  call_shard: Callable[[list, list, tuple], dict]
+                  | None = None) -> dict:
+    """A ring control call (verb-less frames).
+
+    ``["map"]`` returns the current map; ``["commit"]`` adopts the map
+    riding ``body_args[0]`` iff newer; ``["install", keys]`` absorbs the
+    arc fragment riding ``body_args[0]`` (discard-first, so a replayed
+    install is idempotent); ``["handoff", point, target, epoch]`` runs
+    the source side of an arc transfer (module docstring) — it needs
+    ``call_shard(shard_spec, control, body_args)``, the nested-call thunk
+    the dispatcher (or the co-located proxy path) injects.
+    """
+    kind = control[0]
+    state = shard_state(entry)
+    if kind == "map":
+        if state is None:
+            raise ProtocolError("map control on an unsharded entry")
+        return {K_MAP: state.map()}
+    if kind == "commit":
+        spec = body_args[0] if body_args else None
+        if spec is None:
+            raise ProtocolError("commit control carries no map")
+        epoch, ring, shards = spec
+        if state is None:
+            # A freshly migrated shard entry: infer our index from the
+            # map (our own oid must appear in it) and install the state.
+            index = _own_index(entry, shards)
+            state = entry.sharding = ShardState(index, epoch, ring, shards)
+        else:
+            state.adopt(epoch, ring, shards)
+        if state.index < 0:
+            # The group entry doubles as the bootstrap directory: keep its
+            # shipped configuration current so late-binding clients start
+            # from the newest map instead of redirecting their way to it.
+            entry.policy_config["ring"] = [list(e) for e in state.ring]
+            entry.policy_config["ring_epoch"] = state.epoch
+            entry.policy_config["shards"] = [list(s) for s in state.shards]
+        return {K_MAP: state.map()}
+    if kind == "install":
+        keys = list(control[1])
+        fragment = body_args[0] if body_args else {}
+        entry.obj.shard_discard(keys)
+        entry.obj.shard_absorb(fragment)
+        return {K_VALUE: True}
+    if kind == "handoff":
+        if state is None:
+            raise ProtocolError("handoff control on an unsharded entry")
+        if call_shard is None:
+            raise ProtocolError("handoff needs a nested-call thunk")
+        return _serve_handoff(entry, state, control, call_shard)
+    raise ProtocolError(f"unknown shard control {kind!r}")
+
+
+def _own_index(entry, shards: list) -> int:
+    """This entry's shard index in a map (group delegates get -1)."""
+    for index, spec in enumerate(shards):
+        if spec[1] == entry.ref.oid:
+            return index
+    return -1
+
+
+def _serve_handoff(entry, state: ShardState, control,
+                   call_shard: Callable) -> dict:
+    """The source side of one arc transfer (runs at the departing owner)."""
+    point_index, target, believed = (int(control[1]), int(control[2]),
+                                     int(control[3]))
+    if believed != state.epoch:
+        return {K_FENCED: state.map()}
+    if not 0 <= point_index < len(state.ring):
+        raise ProtocolError(
+            f"handoff of ring point {point_index}, ring has "
+            f"{len(state.ring)} points")
+    if not 0 <= target < len(state.shards):
+        raise ProtocolError(
+            f"handoff to shard {target}, map has {len(state.shards)}")
+    source = state.ring[point_index][1]
+    if source != state.index:
+        return {K_FENCED: state.map()}
+    if target == source:
+        return {K_MAP: state.map()}    # idempotent no-op
+    lo, hi = state.arc_of(point_index)
+    keys = [key for key in entry.obj.shard_keys()
+            if in_arc(stable_hash(key), lo, hi)]
+    fragment = entry.obj.shard_fragment(keys)
+    new_ring = [list(e) for e in state.ring]
+    new_ring[point_index][1] = target
+    new_map = [state.epoch + 1, new_ring, [list(s) for s in state.shards]]
+    # Install at the target first: a DistributionError here propagates and
+    # aborts the handoff before any commit — the map never names an owner
+    # that lacks the data.
+    call_shard(state.shards[target], ["install", keys], (fragment,))
+    # Source-first commit: the fencing authority advances before anyone
+    # else, so every stale-mapped call is refused into adopting the truth.
+    state.adopt(*new_map)
+    entry.obj.shard_discard(keys)
+    try:
+        call_shard(state.shards[target], ["commit"], (new_map,))
+    except Exception:
+        # Best-effort: a target left at the old epoch still serves
+        # correctly (fencing only rejects *older* requests); the map-sync
+        # sweep will deliver the commit eventually.
+        pass
+    return {K_MAP: state.map()}
+
+
+def serve_envelope(entry, verb: str, args, kwargs, headers: dict,
+                   invoke: Callable[[], Any] | None = None,
+                   readonly: bool = False,
+                   call_shard: Callable | None = None) -> dict:
+    """Dispatch one enveloped call to the matching protocol step.
+
+    The co-located fast path of the sharded proxy uses this directly on
+    the local export entry; the dispatcher inlines the same steps with
+    its own interface/compute accounting.
+    """
+    control = headers.get(H_CONTROL)
+    if control is not None:
+        return serve_control(entry, control, args, call_shard)
+    if H_EPOCH in headers:
+        return serve_verb(entry, verb, args, kwargs, headers,
+                          invoke=invoke, readonly=readonly)
+    raise ProtocolError("frame carries no shard envelope")

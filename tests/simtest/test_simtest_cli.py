@@ -4,6 +4,7 @@ import json
 import pathlib
 
 from repro.cli import main
+from repro.simtest.workload import SHIPPED_POLICIES
 
 CORPUS = pathlib.Path(__file__).parent / "regressions"
 
@@ -42,7 +43,7 @@ def test_battery_mode_sweeps_all_policies(capsys):
     code = main(["simtest", "--seeds", "3", "--ops", "14", "--json"])
     summary = json.loads(capsys.readouterr().out)
     assert code == 0
-    assert summary["cases"] == 3 * 5
+    assert summary["cases"] == 3 * len(SHIPPED_POLICIES)
     assert summary["violations"] == [] and summary["unknown"] == []
 
 

@@ -69,6 +69,31 @@ class TestCli:
                           "sim_us_per_op", "messages", "fingerprint"):
                 assert field in row
 
+    def test_bench_e19_table_is_deterministic(self, capsys):
+        assert main(["bench", "e19", "--ops", "640"]) == 0
+        first = capsys.readouterr().out
+        assert "consistent-hash sharding" in first
+        assert "8+split" in first
+        assert main(["bench", "e19", "--ops", "640"]) == 0
+        assert capsys.readouterr().out == first, \
+            "e19 is virtual-only; its table must be byte-stable"
+
+    def test_bench_e19_json_has_perf_gate_fields(self, capsys):
+        import json
+        assert main(["bench", "e19", "--ops", "640", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "e19"
+        for row in payload["scenarios"]:
+            for field in ("scenario", "shards", "virtual_kops",
+                          "second_half_kops", "messages", "fingerprint"):
+                assert field in row
+
+    def test_bench_e19_rejects_too_few_ops(self):
+        from repro.kernel.errors import ConfigurationError
+        import pytest
+        with pytest.raises(ConfigurationError):
+            main(["bench", "e19", "--ops", "60"])
+
     def test_bench_unknown_benchmark_fails(self, capsys):
         assert main(["bench", "e99"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err

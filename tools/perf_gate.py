@@ -1,23 +1,35 @@
 #!/usr/bin/env python3
-"""Perf gate: fail CI when the invocation fast path regresses.
+"""Perf gate: fail CI when a gated benchmark regresses.
 
-Compares a fresh ``python -m repro bench e18 --json`` record against the
-committed baseline (``BENCH_e18.json``).  Two kinds of checks:
+Compares fresh ``python -m repro bench <id> --json`` records against the
+committed baselines (``BENCH_e18.json``, ``BENCH_e19.json``).  Each
+experiment declares its own comparison contract in ``EXPERIMENTS``:
 
-* **Deterministic fields** — per-policy virtual µs/op, message counts, and
-  trace fingerprints are machine-independent: same seed ⇒ same trace.  Any
-  difference from the baseline is a hard failure regardless of tolerance,
-  because it means behaviour (not just speed) changed.
-* **Throughput** — raw ops/sec is meaningless across machines, so the gate
-  compares ``norm_ops`` (ops/sec divided by the host calibration rate; see
-  ``repro.bench.timing``).  A policy may be up to ``--tolerance`` slower
-  than baseline before the gate trips; faster is always fine.
+* **e18** (wall-clock fast path) — per-policy virtual µs/op, message
+  counts, and trace fingerprints are machine-independent: same seed ⇒
+  same trace.  Any difference is a hard failure regardless of tolerance,
+  because it means behaviour (not just speed) changed.  Raw ops/sec is
+  meaningless across machines, so throughput is compared via ``norm_ops``
+  (ops/sec divided by the host calibration rate; see
+  ``repro.bench.timing``), with a per-pair tolerance band.
+* **e19** (virtual-time shard scaling) — carries no wall numbers at all,
+  so *every* scenario field must match the baseline exactly; the
+  tolerance does not apply.
+
+A named baseline or current file that cannot be read is a loud failure
+(exit 2), never a silent skip: a gate that "passes" because its baseline
+went missing is worse than no gate.
 
 Usage::
 
-    python -m repro bench e18 --json > /tmp/bench.json
-    python tools/perf_gate.py --baseline BENCH_e18.json \
-        --current /tmp/bench.json --tolerance 0.25
+    python -m repro bench e18 --json > /tmp/e18.json
+    python -m repro bench e19 --json > /tmp/e19.json
+    python tools/perf_gate.py \
+        --pair BENCH_e18.json:/tmp/e18.json:0.25 \
+        --pair BENCH_e19.json:/tmp/e19.json
+
+The single-pair spelling ``--baseline BENCH_e18.json --current
+/tmp/e18.json --tolerance 0.25`` is still accepted.
 """
 
 from __future__ import annotations
@@ -26,76 +38,173 @@ import argparse
 import json
 import sys
 
-#: Per-policy fields that must match the baseline byte for byte.
-DETERMINISTIC_FIELDS = ("sim_us_per_op", "messages", "fingerprint")
+#: Per-experiment comparison contracts.  ``rows``/``key`` locate the row
+#: list and its identity field; ``deterministic`` fields must match the
+#: baseline byte for byte; ``throughput`` (optional) is the single
+#: machine-dependent field allowed to drop by at most the tolerance.
+EXPERIMENTS = {
+    "e18": {
+        "rows": "policies",
+        "key": "policy",
+        "deterministic": ("sim_us_per_op", "messages", "fingerprint"),
+        "throughput": "norm_ops",
+    },
+    "e19": {
+        "rows": "scenarios",
+        "key": "scenario",
+        # Virtual-time record: every field is deterministic.  ``None``
+        # means "all of them", so new row fields are gated automatically.
+        "deterministic": None,
+        "throughput": None,
+    },
+}
 
 
-def _index(record: dict) -> dict[str, dict]:
-    """Policy name → row, with a sanity check on the record shape."""
-    if record.get("experiment") != "e18":
-        raise SystemExit(f"not an e18 bench record: "
-                         f"{record.get('experiment')!r}")
-    return {row["policy"]: row for row in record["policies"]}
+def _load(path: str) -> dict:
+    """Read a bench record, failing loudly if the file is unusable.
+
+    A missing baseline must kill the gate, not soften it: exit 2 so CI
+    distinguishes "broken gate setup" from "perf regression" (exit 1).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        print(f"perf gate: cannot read {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as exc:
+        print(f"perf gate: {path!r} is not valid JSON: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
 
 
-def compare(baseline: dict, current: dict, tolerance: float) -> list[str]:
+def _spec(record: dict, path: str) -> dict:
+    """The comparison contract for a record, from its experiment id."""
+    experiment = record.get("experiment")
+    spec = EXPERIMENTS.get(experiment)
+    if spec is None:
+        print(f"perf gate: {path!r} is not a gated bench record "
+              f"(experiment={experiment!r}; known: {sorted(EXPERIMENTS)})",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return spec
+
+
+def _index(record: dict, spec: dict) -> dict[str, dict]:
+    """Row identity → row, per the experiment's contract."""
+    return {row[spec["key"]]: row for row in record[spec["rows"]]}
+
+
+def compare(baseline: dict, current: dict, tolerance: float,
+            spec: dict) -> list[str]:
     """All gate violations, as human-readable strings (empty = pass)."""
     problems: list[str] = []
-    for field in ("ops", "seed"):
+    for field in ("experiment", "ops", "seed"):
         if baseline.get(field) != current.get(field):
             problems.append(
                 f"workload mismatch: {field} {baseline.get(field)!r} "
                 f"(baseline) vs {current.get(field)!r} (current)")
-    base_rows, cur_rows = _index(baseline), _index(current)
+    if problems:
+        return problems
+    base_rows, cur_rows = _index(baseline, spec), _index(current, spec)
     missing = sorted(set(base_rows) - set(cur_rows))
     if missing:
-        problems.append(f"policies missing from current run: {missing}")
-    for policy, base in sorted(base_rows.items()):
-        cur = cur_rows.get(policy)
+        problems.append(f"rows missing from current run: {missing}")
+    for name, base in sorted(base_rows.items()):
+        cur = cur_rows.get(name)
         if cur is None:
             continue
-        for field in DETERMINISTIC_FIELDS:
-            if base[field] != cur[field]:
+        fields = spec["deterministic"]
+        if fields is None:
+            fields = sorted(base)
+        for field in fields:
+            if base.get(field) != cur.get(field):
                 problems.append(
-                    f"{policy}: deterministic field {field!r} changed: "
-                    f"{base[field]!r} -> {cur[field]!r}")
-        floor = base["norm_ops"] * (1.0 - tolerance)
-        if cur["norm_ops"] < floor:
-            drop = 1.0 - cur["norm_ops"] / base["norm_ops"]
-            problems.append(
-                f"{policy}: norm_ops {cur['norm_ops']:.1f} is {drop:.0%} "
-                f"below baseline {base['norm_ops']:.1f} "
-                f"(tolerance {tolerance:.0%})")
+                    f"{name}: deterministic field {field!r} changed: "
+                    f"{base.get(field)!r} -> {cur.get(field)!r}")
+        throughput = spec["throughput"]
+        if throughput is not None:
+            floor = base[throughput] * (1.0 - tolerance)
+            if cur[throughput] < floor:
+                drop = 1.0 - cur[throughput] / base[throughput]
+                problems.append(
+                    f"{name}: {throughput} {cur[throughput]:.1f} is "
+                    f"{drop:.0%} below baseline {base[throughput]:.1f} "
+                    f"(tolerance {tolerance:.0%})")
     return problems
+
+
+def check_pair(baseline_path: str, current_path: str,
+               tolerance: float) -> list[str]:
+    """Gate one baseline/current pair; prints the per-row summary."""
+    baseline = _load(baseline_path)
+    current = _load(current_path)
+    spec = _spec(baseline, baseline_path)
+    problems = compare(baseline, current, tolerance, spec)
+    experiment = baseline["experiment"]
+    if problems:
+        print(f"{experiment} ({baseline_path}): FAIL")
+        for problem in problems:
+            print(f"  {problem}")
+        return problems
+    cur_rows = _index(current, spec)
+    for name, base in sorted(_index(baseline, spec).items()):
+        throughput = spec["throughput"]
+        if throughput is not None:
+            cur = cur_rows[name]
+            delta = cur[throughput] / base[throughput] - 1.0
+            print(f"  {name:>12}: {throughput} {cur[throughput]:.1f} "
+                  f"({delta:+.0%} vs baseline)")
+        else:
+            print(f"  {name:>12}: exact match")
+    print(f"{experiment} ({baseline_path}): ok")
+    return []
+
+
+def _parse_pair(text: str, default_tolerance: float) -> tuple[str, str, float]:
+    """``BASELINE:CURRENT[:TOLERANCE]`` → (baseline, current, tolerance)."""
+    parts = text.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], default_tolerance
+    if len(parts) == 3:
+        try:
+            return parts[0], parts[1], float(parts[2])
+        except ValueError:
+            pass
+    raise SystemExit(
+        f"perf gate: bad --pair {text!r} "
+        f"(expected BASELINE:CURRENT[:TOLERANCE])")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
-                        help="committed BENCH_e18.json")
-    parser.add_argument("--current", required=True,
-                        help="fresh bench record to check")
+    parser.add_argument("--pair", action="append", default=[],
+                        metavar="BASELINE:CURRENT[:TOLERANCE]",
+                        help="a baseline/current file pair to gate; "
+                             "repeatable, one per experiment")
+    parser.add_argument("--baseline", default=None,
+                        help="committed baseline (single-pair form)")
+    parser.add_argument("--current", default=None,
+                        help="fresh bench record (single-pair form)")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="max allowed fractional norm_ops drop "
-                             "(default 0.25)")
+                        help="default max fractional throughput drop for "
+                             "pairs without their own (default 0.25)")
     args = parser.parse_args(argv)
-    with open(args.baseline, encoding="utf-8") as handle:
-        baseline = json.load(handle)
-    with open(args.current, encoding="utf-8") as handle:
-        current = json.load(handle)
-    problems = compare(baseline, current, args.tolerance)
-    if problems:
-        print("perf gate: FAIL")
-        for problem in problems:
-            print(f"  {problem}")
-        return 1
-    for policy, base in sorted(_index(baseline).items()):
-        cur = _index(current)[policy]
-        delta = cur["norm_ops"] / base["norm_ops"] - 1.0
-        print(f"  {policy:>12}: norm_ops {cur['norm_ops']:.1f} "
-              f"({delta:+.0%} vs baseline)")
-    print("perf gate: ok")
-    return 0
+    pairs = [_parse_pair(text, args.tolerance) for text in args.pair]
+    if args.baseline or args.current:
+        if not (args.baseline and args.current):
+            raise SystemExit(
+                "perf gate: --baseline and --current go together")
+        pairs.append((args.baseline, args.current, args.tolerance))
+    if not pairs:
+        raise SystemExit("perf gate: nothing to gate "
+                         "(give --pair or --baseline/--current)")
+    failed = False
+    for baseline_path, current_path, tolerance in pairs:
+        if check_pair(baseline_path, current_path, tolerance):
+            failed = True
+    print("perf gate: FAIL" if failed else "perf gate: ok")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
