@@ -1,0 +1,52 @@
+"""E20 bench: admission control — goodput collapse vs protected plateau."""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e20_admission
+
+
+def test_e20_admission(benchmark):
+    rows = run_experiment(benchmark, e20_admission)
+    by_scenario = {row["scenario"]: row for row in rows}
+    expected = {f"{stack}@{load:g}x" for stack in e20_admission.STACKS
+                for load in e20_admission.LOADS}
+    assert set(by_scenario) == expected
+
+    def cell(stack, load):
+        return by_scenario[f"{stack}@{load:g}x"]
+
+    def peak(stack):
+        return max(cell(stack, load)["goodput"]
+                   for load in e20_admission.LOADS)
+
+    # The collapse claim: without protection, goodput at 2× saturation
+    # falls off a cliff — the server answers, but far past the SLO.
+    assert cell("none", 2.0)["goodput"] < 0.5 * peak("none"), \
+        "unprotected overload must collapse goodput"
+    slo_ms = e20_admission.SLO * 1e3
+    assert cell("none", 3.0)["p99_ms"] > slo_ms
+
+    # The plateau claim (the PR's acceptance bar): with shedding the
+    # goodput at 2× stays within 10% of the stack's peak, and p99 stays
+    # bounded by the SLO — overload becomes a horizontal line.
+    for stack in ("queue+shed", "queue+shed+bulkhead"):
+        assert cell(stack, 2.0)["goodput"] >= 0.9 * peak(stack), \
+            f"{stack} must hold >= 90% of peak goodput at 2x saturation"
+        assert cell(stack, 3.0)["p99_ms"] < slo_ms
+        assert cell(stack, 2.0)["shed_throttle"] > 0
+
+    # The bulkhead claim: the calm lane's goodput is flat at every load —
+    # the hot lane's storm cannot take its compartment or its tokens.
+    calm = [cell("queue+shed+bulkhead", load)["calm_goodput"]
+            for load in e20_admission.LOADS]
+    assert min(calm) == max(calm), \
+        f"bulkhead must hold the calm lane flat, got {calm}"
+    assert min(calm) > 0.9 * cell("none", 0.5)["calm_goodput"]
+
+    # The honest queue-alone finding: a bounded queue without shedding
+    # relocates the wait but cannot change departure times — its latency
+    # numbers are identical to no protection at all.
+    for load in e20_admission.LOADS:
+        assert cell("queue", load)["p99_ms"] == cell("none", load)["p99_ms"]
+        assert cell("queue", load)["goodput"] == cell("none", load)["goodput"]
+    assert cell("queue", 2.0)["shed_queue"] > 0

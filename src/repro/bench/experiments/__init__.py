@@ -22,6 +22,7 @@ from . import (
     e17_wan_placement,
     e18_fastpath,
     e19_sharding,
+    e20_admission,
 )
 
 #: Every experiment module, in presentation order.
@@ -31,7 +32,7 @@ ALL = [
     e7c_hedging, e8_lrpc,
     e9_replication, e10_marshalling, e11_ablation, e12_pipelining,
     e13_persistence, e14_transactions, e15_weak_dsm, e16_events,
-    e17_wan_placement, e18_fastpath, e19_sharding,
+    e17_wan_placement, e18_fastpath, e19_sharding, e20_admission,
 ]
 
 __all__ = ["ALL"] + [module.__name__.rsplit(".", 1)[-1] for module in ALL]

@@ -89,8 +89,8 @@ def _bench_registry() -> dict:
     machine-readable BENCH record), ``bench_rows(payload) -> list`` (its
     table form), and optionally ``bench_footer(payload) -> str``.
     """
-    from .bench.experiments import e18_fastpath, e19_sharding
-    return {"e18": e18_fastpath, "e19": e19_sharding}
+    from .bench.experiments import e18_fastpath, e19_sharding, e20_admission
+    return {"e18": e18_fastpath, "e19": e19_sharding, "e20": e20_admission}
 
 
 def cmd_bench(args) -> int:
@@ -257,7 +257,8 @@ def main(argv: list[str] | None = None) -> int:
         func=cmd_all)
     bench_parser = commands.add_parser(
         "bench", help="host throughput benchmark (wall clock)")
-    bench_parser.add_argument("benchmark", help="benchmark id: e18 or e19")
+    bench_parser.add_argument("benchmark",
+                              help="benchmark id: e18, e19 or e20")
     bench_parser.add_argument("--ops", type=int, default=None)
     bench_parser.add_argument("--seed", type=int, default=None)
     bench_parser.add_argument("--json", action="store_true",
@@ -272,7 +273,8 @@ def main(argv: list[str] | None = None) -> int:
     sim_parser.add_argument("--ops", type=int, default=30)
     sim_parser.add_argument("--clients", type=int, default=3)
     sim_parser.add_argument("--policy", default="all",
-                            help='policy name or "all" (the shipped five)')
+                            help='policy name or "all" (every shipped '
+                                 'policy)')
     sim_parser.add_argument("--service", default=None,
                             help="kv|counter|lock|queue (default: by seed)")
     sim_parser.add_argument("--json", action="store_true",

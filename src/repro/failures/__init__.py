@@ -12,6 +12,7 @@ from .injectors import (
     begin_crash,
     begin_latency_spike,
     begin_message_loss,
+    begin_overload,
     begin_partition,
     degraded_link,
     latency_spike,
@@ -24,6 +25,6 @@ __all__ = [
     "ALIVE", "ChaosSchedule", "CrashPlan", "DEFAULT_SUSPICION_THRESHOLD",
     "FAULT_KINDS", "FailureDetector", "Fault", "PeerState", "SUSPECTED",
     "begin_crash", "begin_latency_spike", "begin_message_loss",
-    "begin_partition", "degraded_link", "latency_spike", "message_loss",
-    "partitioned",
+    "begin_overload", "begin_partition", "degraded_link", "latency_spike",
+    "message_loss", "partitioned",
 ]

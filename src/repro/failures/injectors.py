@@ -11,9 +11,10 @@ Two shapes of the same primitives are exported:
   workload phase in one fault, and
 * **paired begin/restore** functions (:func:`begin_message_loss`,
   :func:`begin_latency_spike`, :func:`begin_partition`,
-  :func:`begin_crash`), each returning a zero-argument undo closure, for
-  schedulers that must start and stop overlapping faults out of LIFO order
-  — the :class:`~repro.failures.schedule.ChaosSchedule` of the simulation
+  :func:`begin_crash`, :func:`begin_overload`), each returning a
+  zero-argument undo closure, for schedulers that must start and stop
+  overlapping faults out of LIFO order — the
+  :class:`~repro.failures.schedule.ChaosSchedule` of the simulation
   harness is composed from exactly these.
 """
 
@@ -25,6 +26,11 @@ from typing import Callable
 
 from ..kernel.network import LinkSpec
 from ..kernel.system import System
+
+#: Modelled work per burst job when the victim node carries no admission
+#: control (and hence no configured service time): the whole burst lands
+#: on the busy line as backlog.
+BURST_SERVICE_TIME = 0.02
 
 
 # -- begin/restore primitives ------------------------------------------------
@@ -58,6 +64,49 @@ def begin_partition(system: System,
     """Split the network into islands; returns the undo (heal) closure."""
     system.network.partition(islands)
     return system.network.heal
+
+
+def begin_overload(system: System, node_name: str,
+                   jobs: int) -> Callable[[], None]:
+    """Slam a burst of ``jobs`` background requests into one node, *now*.
+
+    The burst models open-loop traffic from outside the measured workload
+    (a retry storm, a crawler, a neighbouring tenant) arriving at a single
+    virtual instant.  Each job is pushed through the node's admission
+    control exactly as the RPC dispatcher would push a real request: shed
+    jobs vanish for free, admitted jobs occupy the node's first context's
+    busy line for the configured service time and then release their run
+    queue slot.  A node with **no** admission control (``node.admission``
+    is ``None``) admits everything at :data:`BURST_SERVICE_TIME` per job —
+    the whole burst becomes busy-line backlog that every later request
+    must wait out, which is precisely the congestion collapse the
+    ``shedless`` simtest canary exists to exhibit.
+
+    The burst is instantaneous, so the returned undo closure is a no-op
+    (kept for uniformity with the other begin/restore primitives).
+    """
+    node = system.node(node_name)
+    if node.alive and node.contexts:
+        ctx = next(iter(node.contexts.values()))
+        admission = node.admission
+        arrive = max(ctx.clock.now, ctx.line.busy_until)
+        service = BURST_SERVICE_TIME if admission is None \
+            else (admission.service_time or BURST_SERVICE_TIME)
+        system.trace.emit(arrive, "overload", node_name, "",
+                          f"burst:{jobs}")
+        for _ in range(max(0, jobs)):
+            if admission is not None \
+                    and admission.admit("", arrive) is not None:
+                continue    # shed at the front door: costs nothing
+            start = max(arrive, ctx.line.busy_until)
+            ctx.line.occupy(start, service)
+            if admission is not None:
+                admission.finish("", start + service)
+
+    def restore() -> None:
+        pass    # a burst has no ongoing state to undo
+
+    return restore
 
 
 def begin_crash(system: System, node_name: str) -> Callable[[], None]:

@@ -14,6 +14,8 @@ primitives of :mod:`repro.failures.injectors`:
 ``primary_crash``     ``crash`` aimed at the first victim (a replica group's
                       bootstrap primary) instead of a sampled one
 ``primary_partition`` ``partition`` aimed the same way
+``overload``          a burst of ``factor`` background jobs slammed into the
+                      victim node's admission control at one virtual instant
 =================== ==========================================================
 
 The ``primary_*`` kinds exist because a random victim pick usually spares
@@ -42,10 +44,14 @@ from .injectors import (
     begin_crash,
     begin_latency_spike,
     begin_message_loss,
+    begin_overload,
     begin_partition,
 )
 
 #: Every basic fault kind a schedule may carry, in canonical order.
+#: ``overload`` is deliberately *not* here: it only makes sense against a
+#: deployment with (or deliberately without) admission control, so the
+#: menus that want it opt in explicitly (see ``repro.simtest.workload``).
 FAULT_KINDS = ("crash", "partition", "loss", "latency")
 
 #: Primary-targeted variants: same injectors, victim pinned to the first
@@ -61,9 +67,11 @@ class Fault:
         kind: one of :data:`FAULT_KINDS`.
         start: tick index at which the fault begins.
         duration: tick count after which it is undone (>= 1).
-        node: victim node name (``crash`` and ``partition`` kinds).
+        node: victim node name (``crash``, ``partition`` and ``overload``
+            kinds).
         probability: loss probability (``loss`` kind).
-        factor: latency multiplier (``latency`` kind).
+        factor: latency multiplier (``latency`` kind) or burst job count
+            (``overload`` kind).
     """
 
     kind: str
@@ -86,7 +94,7 @@ class Fault:
             out["node"] = self.node
         if self.kind == "loss":
             out["probability"] = self.probability
-        if self.kind == "latency":
+        if self.kind in ("latency", "overload"):
             out["factor"] = self.factor
         return out
 
@@ -140,6 +148,8 @@ class ChaosSchedule:
             return begin_message_loss(system, fault.probability)
         if fault.kind == "latency":
             return begin_latency_spike(system, fault.factor)
+        if fault.kind == "overload":
+            return begin_overload(system, fault.node, int(fault.factor))
         raise ValueError(f"unknown fault kind {fault.kind!r}")
 
     # -- construction --------------------------------------------------------
@@ -173,6 +183,14 @@ class ChaosSchedule:
                 if victims:
                     # Deterministically aim at the bootstrap primary.
                     fault = Fault(kind, start, duration, node=victims[0])
+            elif kind == "overload":
+                if victims:
+                    node = victims[rng.randrange(len(victims))]
+                    # 80–200 burst jobs: far beyond any sane run queue, so
+                    # an unprotected node drowns and a protected one sheds.
+                    factor = float(80 + 40 * rng.randrange(4))
+                    fault = Fault(kind, start, duration, node=node,
+                                  factor=factor)
             elif kind == "loss":
                 probability = round(0.05 + 0.25 * rng.random(), 3)
                 fault = Fault(kind, start, duration, probability=probability)

@@ -1,0 +1,308 @@
+"""Admission control: bounded run queues, token buckets, and bulkheads.
+
+Nothing in the base model ever says *no* to work: every request that
+reaches a dispatcher executes, so offered load beyond a node's service
+rate turns into an ever-growing busy-line backlog — congestion collapse,
+where the server stays 100% busy serving requests whose callers gave up
+long ago.  This module is the server-side overload stack.  Per the
+paper's thesis it lives entirely behind the proxy boundary: clients see
+only the interface, plus latency, rejection, or a retry-after hint.
+
+An :class:`AdmissionControl` is installed per **node** (``node.admission``;
+``None`` — the default — means "admit everything", byte-identical to a
+build without this module) and consulted by the RPC dispatcher *before*
+dispatch:
+
+* :class:`RunQueue` bounds the number of admitted-but-undrained requests.
+  Admitted calls still serialise through the context busy line — that
+  *is* the queue draining in virtual time — so the run queue is the cap
+  on how deep that backlog may grow.  Overflow is refused with a
+  **retry-after hint**: the virtual time at which the earliest admitted
+  request finishes and a slot frees.
+* :class:`TokenBucket` throttles per service class with a burst
+  allowance, shedding *earlier* than the queue (a refused call costs
+  nothing and holds no slot), which is what keeps a retry storm from
+  occupying every queue slot.  Its hint is the time the next token
+  accrues.
+* The **bulkhead** partitions the node's queue capacity into per-class
+  compartments (shares must sum to the node capacity, ``"*"`` being the
+  default compartment), so one hot service's backlog cannot occupy the
+  slots its neighbours need.
+
+Order matters for conservation: the bucket is *peeked* first, the queue
+checked second, and the token taken only once both admit — a queue
+refusal never consumes a token, and a throttle refusal never holds a
+queue slot.  Everything here is deterministic virtual-time arithmetic:
+no wall clock, no randomness, no background activity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+
+from ..metrics.counters import CounterSet
+from .errors import ConfigurationError
+
+#: The catch-all service class: targets never :meth:`~AdmissionControl.
+#: assign`-ed to a class land here, as does the shared queue/bucket when
+#: no bulkhead or per-class rates are configured.
+DEFAULT_CLASS = "*"
+
+#: Retry-after fallback when a full queue holds only still-running work
+#: with no recorded finish time yet: hint one (modelled) service time out.
+_FALLBACK_HINT = 1e-3
+
+
+class TokenBucket:
+    """A deterministic token bucket: ``rate`` tokens/s up to ``burst``.
+
+    The bucket starts full and refills continuously (fractional tokens),
+    so availability is pure arithmetic on the virtual clock — no timers.
+    :meth:`refusal` peeks without consuming; :meth:`take` consumes.  The
+    split lets callers compose the bucket with other admission checks
+    while conserving tokens: a call refused elsewhere never pays here.
+    """
+
+    __slots__ = ("rate", "burst", "level", "_refilled")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"token rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1 token, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.level = float(burst)
+        self._refilled = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._refilled:
+            self.level = min(self.burst,
+                             self.level + (now - self._refilled) * self.rate)
+            self._refilled = now
+
+    def available(self, now: float) -> float:
+        """Tokens on hand at virtual time ``now`` (after refill)."""
+        self._refill(now)
+        return self.level
+
+    def refusal(self, now: float, tokens: float = 1.0) -> float | None:
+        """``None`` if ``tokens`` are available now, else the retry-after.
+
+        The hint is the absolute virtual time at which the shortfall will
+        have accrued — exact, because refill is linear and nothing else
+        drains the bucket between now and then.
+        """
+        self._refill(now)
+        if self.level >= tokens:
+            return None
+        return now + (tokens - self.level) / self.rate
+
+    def take(self, now: float, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; returns whether it did."""
+        self._refill(now)
+        if self.level < tokens:
+            return False
+        self.level -= tokens
+        return True
+
+
+class RunQueue:
+    """A bounded count of admitted-but-undrained requests, in virtual time.
+
+    The queue tracks two populations: requests currently *running* (admitted,
+    finish time not yet known) and recorded *finish times* still in the
+    future.  Depth is their sum after expiring past finishes — requests
+    whose virtual end has passed no longer hold a slot.  ``capacity=None``
+    means unbounded (the ``shedless`` configuration: every request admits,
+    nothing sheds, the backlog is whatever the callers build).
+    """
+
+    __slots__ = ("capacity", "_running", "_ends")
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(
+                f"queue capacity must be >= 1 (or None), got {capacity}")
+        self.capacity = capacity
+        self._running = 0
+        self._ends: list[float] = []
+
+    def _expire(self, now: float) -> None:
+        done = bisect_right(self._ends, now)
+        if done:
+            del self._ends[:done]
+
+    def depth(self, now: float) -> int:
+        """Admitted requests still holding a slot at virtual time ``now``."""
+        self._expire(now)
+        return self._running + len(self._ends)
+
+    def offer(self, now: float) -> bool:
+        """Admit one request (and hold a slot) if a slot is free."""
+        if self.capacity is not None and self.depth(now) >= self.capacity:
+            return False
+        self._running += 1
+        return True
+
+    def free_at(self, now: float) -> float | None:
+        """Earliest known virtual time a slot frees (the retry-after hint).
+
+        ``None`` when every held slot belongs to still-running work whose
+        finish time is not yet recorded — the caller supplies a fallback.
+        """
+        self._expire(now)
+        return self._ends[0] if self._ends else None
+
+    def finish(self, end: float) -> None:
+        """Record an admitted request's drain time (its busy-line end)."""
+        if self._running <= 0:
+            raise ConfigurationError(
+                "RunQueue.finish without a matching offer")
+        self._running -= 1
+        insort(self._ends, end)
+
+
+class AdmissionControl:
+    """Per-node admission: run queue + token buckets + bulkhead.
+
+    Configuration (all keyword-only):
+
+    ``capacity``
+        Total run-queue slots for the node (``None`` = unbounded).
+    ``service_time``
+        Deterministic modelled work per admitted call, charged to the
+        serving context's busy line by the dispatcher.  This is what
+        makes calls *queue and drain in virtual time* rather than
+        executing instantaneously.
+    ``rate`` / ``burst``
+        The default token bucket applied to every class without its own
+        (``rate=None`` = no throttle; ``burst`` defaults to ``rate``).
+    ``bulkhead``
+        Class name → slot share.  Shares must sum to ``capacity`` and
+        include the ``"*"`` default compartment; each class then queues
+        in its own compartment and cannot starve the others.
+    ``rates``
+        Class name → ``(rate, burst)`` per-class token buckets.
+
+    Targets are mapped to classes with :meth:`assign` (by exported object
+    id); unassigned targets use :data:`DEFAULT_CLASS`.  :meth:`admit`
+    returns ``None`` to admit or the absolute virtual-time retry-after
+    hint to shed; every admitted call must be matched by :meth:`finish`
+    with its busy-line end so the slot drains.
+
+    Counters (a :class:`~repro.metrics.counters.CounterSet` under
+    ``.counters``): ``admitted``, ``shed_queue``, ``shed_throttle``, and
+    per-class ``admitted:<class>`` / ``shed_queue:<class>`` /
+    ``shed_throttle:<class>`` splits.
+    """
+
+    def __init__(self, *, capacity: int | None = None,
+                 service_time: float = 0.0,
+                 rate: float | None = None, burst: float | None = None,
+                 bulkhead: dict[str, int] | None = None,
+                 rates: dict[str, tuple[float, float]] | None = None) -> None:
+        if service_time < 0:
+            raise ConfigurationError(
+                f"service_time must be >= 0, got {service_time}")
+        self.service_time = float(service_time)
+        self.counters = CounterSet()
+        self._classes: dict[str, str] = {}
+        if bulkhead:
+            if capacity is None:
+                raise ConfigurationError(
+                    "a bulkhead needs a finite node capacity to partition")
+            if DEFAULT_CLASS not in bulkhead:
+                raise ConfigurationError(
+                    f"bulkhead must include the {DEFAULT_CLASS!r} default "
+                    f"compartment, got {sorted(bulkhead)}")
+            total = sum(bulkhead.values())
+            if total != capacity:
+                raise ConfigurationError(
+                    f"bulkhead shares must sum to the node capacity "
+                    f"{capacity}, got {total} from {sorted(bulkhead)}")
+            self._queues = {name: RunQueue(share)
+                            for name, share in bulkhead.items()}
+        else:
+            self._queues = {DEFAULT_CLASS: RunQueue(capacity)}
+        self._buckets: dict[str, TokenBucket] = {}
+        if rate is not None:
+            self._buckets[DEFAULT_CLASS] = TokenBucket(
+                rate, rate if burst is None else burst)
+        for name, (class_rate, class_burst) in (rates or {}).items():
+            self._buckets[name] = TokenBucket(class_rate, class_burst)
+
+    def assign(self, target: str, service_class: str) -> None:
+        """Map an exported object id to a service class (bulkhead lane)."""
+        if service_class not in self._queues \
+                and DEFAULT_CLASS not in self._queues:
+            raise ConfigurationError(
+                f"service class {service_class!r} has no bulkhead "
+                f"compartment (known: {sorted(self._queues)})")
+        self._classes[target] = service_class
+
+    def service_class(self, target: str) -> str:
+        """The class a target admits under (``"*"`` when unassigned)."""
+        return self._classes.get(target, DEFAULT_CLASS)
+
+    def _queue(self, service_class: str) -> RunQueue:
+        queue = self._queues.get(service_class)
+        return self._queues[DEFAULT_CLASS] if queue is None else queue
+
+    def _bucket(self, service_class: str) -> TokenBucket | None:
+        bucket = self._buckets.get(service_class)
+        return self._buckets.get(DEFAULT_CLASS) if bucket is None else bucket
+
+    def depth(self, target: str, now: float) -> int:
+        """Queue depth in the target's compartment at virtual ``now``."""
+        return self._queue(self.service_class(target)).depth(now)
+
+    def admit(self, target: str, now: float) -> float | None:
+        """``None`` to admit ``target``'s call, else the retry-after hint.
+
+        Peek the bucket, check the queue, and only then take the token:
+        a queue refusal must not consume a token (conservation), and a
+        throttle refusal must not hold a queue slot.
+        """
+        service_class = self.service_class(target)
+        bucket = self._bucket(service_class)
+        queue = self._queue(service_class)
+        if bucket is not None:
+            hint = bucket.refusal(now)
+            if hint is not None:
+                self.counters.incr("shed_throttle")
+                self.counters.incr(f"shed_throttle:{service_class}")
+                return hint
+        if not queue.offer(now):
+            self.counters.incr("shed_queue")
+            self.counters.incr(f"shed_queue:{service_class}")
+            free = queue.free_at(now)
+            if free is None or free <= now:
+                free = now + (self.service_time or _FALLBACK_HINT)
+            return free
+        if bucket is not None:
+            bucket.take(now)
+        self.counters.incr("admitted")
+        self.counters.incr(f"admitted:{service_class}")
+        return None
+
+    def finish(self, target: str, end: float) -> None:
+        """Release the slot held since :meth:`admit`; ``end`` is when the
+        call drains off the busy line (the slot frees then, not now)."""
+        self._queue(self.service_class(target)).finish(end)
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (for experiments and reports)."""
+        return self.counters.as_dict()
+
+
+def install_admission(node, **config) -> AdmissionControl:
+    """Build an :class:`AdmissionControl` and install it on ``node``.
+
+    Returns the control so callers can :meth:`~AdmissionControl.assign`
+    service classes and read counters.  Installing replaces any previous
+    control; ``node.admission = None`` uninstalls.
+    """
+    control = AdmissionControl(**config)
+    node.admission = control
+    return control

@@ -111,6 +111,28 @@ class StaleShardRing(DistributionError):
         self.ring_map = ring_map
 
 
+class Overloaded(DistributionError):
+    """The server shed the call at admission, before executing it.
+
+    Raised client-side when a request was refused by the target node's
+    admission control (queue full or token bucket empty — see
+    :mod:`repro.kernel.admission`) and the retry budget or deadline left
+    no room to honor the server's retry-after hint.  Shed calls are
+    *definitely not executed*: the refusal happens before dispatch and
+    is never cached by the at-most-once layer, so retrying is always
+    safe.
+
+    Attributes:
+        retry_after: the server's hint — the absolute virtual time at
+            which it expects capacity — or ``None`` when the exception
+            crossed a transport that kept no header.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 # --------------------------------------------------------------------------
 # Protocol / typing violations
 # --------------------------------------------------------------------------

@@ -25,6 +25,11 @@ class Node:
         self.alive = True
         self.contexts: dict[str, Context] = {}
         self._crash_count = 0
+        # Server-side overload stack (repro.kernel.admission), consulted
+        # by the RPC dispatcher before executing a request.  ``None`` —
+        # the default — admits everything: behaviour and wire bytes are
+        # identical to a build without admission control.
+        self.admission = None
 
     def create_context(self, name: str) -> Context:
         """Create a new context (address space) on this node."""

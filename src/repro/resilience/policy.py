@@ -56,7 +56,12 @@ from typing import Any, Callable
 
 from ..core.factory import register_policy
 from ..core.proxy import Proxy
-from ..kernel.errors import CircuitOpen, DistributionError, ObjectMoved
+from ..kernel.errors import (
+    CircuitOpen,
+    DistributionError,
+    ObjectMoved,
+    Overloaded,
+)
 from ..wire.refs import ObjectRef
 from .breaker import ensure_breakers
 from .deadline import Deadline
@@ -81,7 +86,7 @@ class ResilientProxy(Proxy):
         self.proxy_fallback: Callable | None = None
         self.proxy_stats.update(reads=0, writes=0, fast_fails=0,
                                 failovers=0, stale_serves=0, fallbacks=0,
-                                hedges=0, hedge_wins=0)
+                                hedges=0, hedge_wins=0, overloads=0)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -194,6 +199,12 @@ class ResilientProxy(Proxy):
             try:
                 result = self._call(candidate, verb, args, kwargs, deadline)
             except DistributionError as exc:
+                if isinstance(exc, Overloaded):
+                    # The destination shed the call at admission; the shed
+                    # is definitely-not-executed, so failover is safe even
+                    # for writes — but count it so operators can tell
+                    # "server said no" apart from "server went away".
+                    self.proxy_stats["overloads"] += 1
                 last_error = exc
                 continue
             if readonly:

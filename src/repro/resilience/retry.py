@@ -44,6 +44,14 @@ class RetryPolicy:
             ``costs.rpc_timeout``; a no-op until a
             :class:`~repro.resilience.latency.LatencyTracker` is installed
             and the link is warm.
+        honor_retry_after: when a server sheds a call at admission with a
+            retry-after hint (:mod:`repro.kernel.admission`), wait until
+            exactly the hinted virtual time before retransmitting instead
+            of running the backoff schedule — the server knows when it
+            will have capacity; backing off further just wastes budget,
+            and retrying sooner just gets shed again.  Disabled, the
+            rejection surfaces immediately as
+            :class:`~repro.kernel.errors.Overloaded`.
     """
 
     attempts: int | None = None
@@ -51,6 +59,7 @@ class RetryPolicy:
     jitter: float = 0.0
     max_interval: float | None = None
     adaptive: bool = False
+    honor_retry_after: bool = True
 
     def __post_init__(self):
         if self.attempts is not None and self.attempts < 1:
@@ -118,7 +127,8 @@ class RetryPolicy:
                    multiplier=config.get("multiplier", 2.0),
                    jitter=config.get("jitter", 0.1),
                    max_interval=config.get("max_interval"),
-                   adaptive=config.get("adaptive", False))
+                   adaptive=config.get("adaptive", False),
+                   honor_retry_after=config.get("retry_after", True))
 
 
 #: The protocol-wide default: the classic fixed-interval discipline.

@@ -10,6 +10,14 @@ the context's message handler.  It implements:
   (togglable, ablation E11),
 * migration redirects: a request for an object that moved away answers with
   an ``ObjectMoved`` exception carrying the forwarding reference,
+* admission control: when the node carries an
+  :class:`~repro.kernel.admission.AdmissionControl`, every request is
+  offered to it *before* dispatch (but after dedup, so retransmissions of
+  executed requests are never shed) — refused calls answer ``Overloaded``
+  with a retry-after hint in the :data:`~repro.wire.frames.K_OVERLOAD`
+  header and are never cached, admitted calls pay the control's modelled
+  service time on the busy line and release their queue slot when they
+  drain,
 * virtual-time accounting: queueing behind earlier requests, unmarshal,
   dispatch, declared per-operation compute, and reply marshalling.
 """
@@ -24,7 +32,7 @@ from ..kernel.context import Context
 from ..kernel.errors import DanglingReference, InterfaceError, ReproError
 from ..resilience.deadline import Deadline
 from ..wire import shards, versions
-from ..wire.frames import ONEWAY, REQUEST, Frame
+from ..wire.frames import K_OVERLOAD, ONEWAY, REQUEST, Frame
 from ..wire.refs import ObjectRef
 
 
@@ -87,7 +95,8 @@ class Dispatcher:
         self.replay_capacity = replay_capacity
         self._replay: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self.stats = {"requests": 0, "duplicates": 0, "exceptions": 0,
-                      "oneways": 0, "redirects": 0, "deadline_rejects": 0}
+                      "oneways": 0, "redirects": 0, "deadline_rejects": 0,
+                      "sheds": 0}
         context.handler = self.handle
 
     # -- entry point -----------------------------------------------------------
@@ -107,25 +116,69 @@ class Dispatcher:
         around.
         """
         ctx = self.context
+        frame = None
+        admitted_target = None
+        admission = ctx.node.admission
+        if admission is not None:
+            # Admission is a *front-door* check at the arrival instant —
+            # before the busy-line wait, because a server whose queue is
+            # full must refuse on arrival, not after the refused request
+            # waited out the very backlog it was refused to bound.  Dedup
+            # runs first so a retransmission of an executed request hits
+            # the replay cache (below) and is never shed.  Rejection is
+            # modelled free: a header peek, off the serving path.
+            frame = self.transport.decode_frame(data, ctx)
+            if frame.kind == REQUEST and not (
+                    self.at_most_once
+                    and (frame.src, frame.msg_id) in self._replay):
+                retry_at = admission.admit(frame.target, arrive)
+                if retry_at is not None:
+                    self.stats["sheds"] += 1
+                    reply = frame.exception_to(
+                        "Overloaded",
+                        f"{frame.verb!r} shed at admission on "
+                        f"{ctx.node.name!r}")
+                    reply.headers[K_OVERLOAD] = retry_at
+                    # Deliberately not remembered: the operation never
+                    # executed, so a retransmission must be re-admitted
+                    # (and may then succeed) rather than served the
+                    # stale refusal.
+                    return self.transport.encode_frame(reply, ctx), arrive
+                admitted_target = frame.target
         start = max(arrive, ctx.line.busy_until)
         resume_at = max(ctx.clock.now, start)
         ctx.clock.reset(start)
+        if admitted_target is not None and admission.service_time > 0.0:
+            # The modelled per-request work: this is what makes admitted
+            # calls queue and drain in virtual time on the context busy
+            # line instead of executing instantaneously.
+            ctx.charge(admission.service_time)
         try:
-            outcome = self._handle_at(data)
+            outcome = self._handle_at(data, frame)
         finally:
             end = ctx.clock.now
+            if admitted_target is not None:
+                # Release the queue slot at the call's busy-line end —
+                # the slot drains when the work does, not at dispatch.
+                admission.finish(admitted_target, end)
             if end > start:
                 ctx.line.occupy(start, end - start)
             ctx.clock.reset(max(resume_at, end))
         return outcome
 
-    def _handle_at(self, data: bytes) -> tuple[bytes, float] | None:
-        """Body of :meth:`handle`, running on the rebased context clock."""
+    def _handle_at(self, data: bytes,
+                   frame: Frame | None = None) -> tuple[bytes, float] | None:
+        """Body of :meth:`handle`, running on the rebased context clock.
+
+        ``frame`` is the already-decoded frame when the admission front
+        door ran (the unmarshal *cost* is still charged here, on the busy
+        line, where serving pays it)."""
         ctx = self.context
         system = ctx.system
         costs = system.costs
         ctx.charge(costs.marshal_fixed + len(data) * costs.marshal_byte_cost)
-        frame = self.transport.decode_frame(data, ctx)
+        if frame is None:
+            frame = self.transport.decode_frame(data, ctx)
         if frame.kind == ONEWAY:
             self.stats["oneways"] += 1
             ctx.charge(costs.dispatch_cost)

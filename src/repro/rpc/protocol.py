@@ -27,13 +27,22 @@ from ..kernel.errors import (
     DistributionError,
     InterfaceError,
     ObjectMoved,
+    Overloaded,
     ReproError,
     RpcTimeout,
     StaleShardRing,
 )
 from ..resilience.deadline import Deadline
 from ..resilience.retry import DEFAULT_RETRY, RetryPolicy
-from ..wire.frames import EXCEPTION, ONEWAY, REPLY, REQUEST, Frame, MessageIdMinter
+from ..wire.frames import (
+    EXCEPTION,
+    K_OVERLOAD,
+    ONEWAY,
+    REPLY,
+    REQUEST,
+    Frame,
+    MessageIdMinter,
+)
 from ..wire.refs import ObjectRef
 from .transport import Transport
 
@@ -97,7 +106,8 @@ class RpcProtocol:
         self._retry_rng = system.seeds.stream("rpc.retry.jitter")
         self.stats = {"calls": 0, "oneways": 0, "retries": 0, "timeouts": 0,
                       "local_fast_path": 0, "remote_exceptions": 0,
-                      "deadline_exceeded": 0}
+                      "deadline_exceeded": 0, "overload_sheds": 0,
+                      "retry_after_waits": 0}
         system.rpc = self
 
     # -- public API ---------------------------------------------------------
@@ -173,6 +183,29 @@ class RpcProtocol:
                 wait_until = None
             reply = self._attempt(src, frame, data, sent_at)
             if reply is not None:
+                hint = reply.headers.get(K_OVERLOAD) if reply.headers \
+                    else None
+                if hint is not None and policy.honor_retry_after:
+                    # The server shed this attempt at admission and said
+                    # when it expects capacity.  The shed reply was never
+                    # cached server-side, so retransmitting the same
+                    # frame is safe and will be re-admitted.  The server
+                    # answered, so the breaker sees a success either way.
+                    self.stats["overload_sheds"] += 1
+                    exhausted = attempt + 1 >= attempts
+                    beyond = deadline is not None \
+                        and hint >= deadline.expires_at
+                    if exhausted or beyond:
+                        # No attempt can land within the budget: surface
+                        # the rejection (``Overloaded``) rather than wait
+                        # out a hint the deadline already forbids.
+                        self._feed_breaker(src, ref, success=True)
+                        return self._accept(src, ref, reply)
+                    # Honor the hint exactly: wait until the server's
+                    # stated time, not the backoff schedule.
+                    self.stats["retry_after_waits"] += 1
+                    src.clock.advance_to(hint)
+                    continue
                 if tracker is not None:
                     # Karn's rule analogue: only successful attempts are
                     # sampled, each against its own send time.
@@ -308,6 +341,10 @@ class RpcProtocol:
                 raise ObjectMoved(message, forward=forward)
             if name == "StaleShardRing":
                 raise StaleShardRing(message, ring_map=detail)
+            if name == "Overloaded":
+                hint = reply.headers.get(K_OVERLOAD) if reply.headers \
+                    else None
+                raise Overloaded(message, retry_after=hint)
             raise remote_exception(name, message)
         raise kernel_errors.ProtocolError(f"unexpected reply kind {reply.kind!r}")
 

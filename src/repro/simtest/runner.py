@@ -24,6 +24,7 @@ from .history import History
 from .minimize import minimize_case
 from .models import MODELS
 from .workload import (
+    COLLAPSE_SLO,
     FAULT_MENUS,
     SERVICE_CYCLE,
     SHIPPED_POLICIES,
@@ -152,9 +153,44 @@ def execute(case: SimCase) -> tuple[History, object]:
     return history, deployment.system
 
 
+def _max_latency(history: History) -> float:
+    """The worst completed-op latency (invoke → complete) in the history."""
+    return max((op.complete - op.invoke for op in history
+                if op.complete is not None), default=0.0)
+
+
+def _collapse_violation(case: SimCase, history: History) -> Violation | None:
+    """Convict an overload deployment whose completions blew the SLO.
+
+    Only the policies in :data:`~repro.simtest.workload.COLLAPSE_SLO` are
+    graded.  The criterion is the worst *completed* operation's latency,
+    not the failure count: a shedless server under a burst still answers
+    everything — eventually — so its anomaly is never a wrong value, only
+    a departure time far beyond what a bounded queue permits.  The
+    synthetic :class:`Violation` carries the offending op so minimized
+    corpus records stay self-describing.
+    """
+    slo = COLLAPSE_SLO.get(case.policy)
+    if slo is None:
+        return None
+    worst = None
+    for op in history:
+        if op.complete is None:
+            continue
+        if worst is None or (op.complete - op.invoke
+                             > worst.complete - worst.invoke):
+            worst = op
+    if worst is None or worst.complete - worst.invoke <= slo:
+        return None
+    return Violation(partition="overload-collapse", ops=[worst.to_json()],
+                     longest_prefix=-1)
+
+
 def _violates(case: SimCase, max_nodes: int,
               consistency: str = "linearizable") -> bool:
     history, _ = execute(case)
+    if _collapse_violation(case, history) is not None:
+        return True
     model = MODELS[case.service]()
     return check_history(history, model, max_nodes,
                          consistency=consistency).verdict == "violation"
@@ -173,21 +209,30 @@ def run_case(case: SimCase, minimize: bool = True,
     history, system = execute(case)
     model = MODELS[case.service]()
     check = check_history(history, model, budget, consistency=consistency)
+    # The collapse SLO composes with the consistency verdict: a checker
+    # conviction wins (it names the stronger anomaly), else an overload
+    # deployment whose completions blew the latency bound is convicted too.
+    verdict, violation = check.verdict, check.violation
+    if verdict == "ok":
+        collapse = _collapse_violation(case, history)
+        if collapse is not None:
+            verdict, violation = "violation", collapse
     rpc = system.rpc.stats if system.rpc is not None else {}
     report = SimReport(
-        case=case, verdict=check.verdict, history=history,
+        case=case, verdict=verdict, history=history,
         consistency=consistency,
         fingerprint=system.trace.fingerprint(),
         streams=system.seeds.streams_used(), check=check,
-        violation=check.violation,
+        violation=violation,
         stats={"ops": len(history),
                "ok": sum(1 for op in history if op.status == "ok"),
                "maybe": sum(1 for op in history if op.status == "maybe"),
                "fail": sum(1 for op in history if op.status == "fail"),
+               "max_op_latency": round(_max_latency(history), 9),
                "rpc_calls": rpc.get("calls", 0),
                "rpc_retries": rpc.get("retries", 0),
                "rpc_timeouts": rpc.get("timeouts", 0)})
-    if check.verdict == "violation" and minimize:
+    if verdict == "violation" and minimize:
         minimized = minimize_case(
             case, lambda c: _violates(c, budget, consistency))
         report.minimized = minimized

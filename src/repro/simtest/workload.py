@@ -75,6 +75,20 @@ design*, and the menu documents each contract:
   *old* owner — whose handoff discarded the moved keys — and reads go
   stale (or writes land where nobody looks).  The checker must convict
   it; it is the ring-epoch counterpart of ``dirtycache``.
+* ``admitted`` is the stub deployment with the full admission stack
+  installed on its server node (bounded run queue + token bucket) and
+  the ``overload`` fault kind added to its menu: burst faults slam
+  background jobs into the node, the stack sheds them (and sometimes the
+  workload's own calls — an ``Overloaded`` rejection is a clean ``fail``:
+  shed calls are definitely never executed), and the grading adds a
+  **collapse SLO** (:data:`COLLAPSE_SLO`): no completed operation may
+  take longer than the bound, because a bounded queue caps the worst
+  admitted wait.
+* ``shedless`` is the same deployment with the *unbounded* queue — every
+  burst job admits, the backlog is whatever arrives, and the completed
+  operations behind a burst wait the whole backlog out.  It runs
+  ``overload``-only schedules *expecting conviction* by the collapse
+  SLO: the congestion-collapse counterpart of ``dirtycache``.
 """
 
 from __future__ import annotations
@@ -98,14 +112,20 @@ from ..failures.schedule import (
     ChaosSchedule,
 )
 from ..iface.interface import Interface
-from ..kernel.errors import CircuitOpen, DistributionError, ReproError
+from ..kernel.admission import install_admission
+from ..kernel.errors import (
+    CircuitOpen,
+    DistributionError,
+    Overloaded,
+    ReproError,
+)
 from ..rpc.protocol import RemoteError
 from .history import History, canonical
 from .models import MODELS, Model
 
 #: The shipped policies the battery must prove clean.
 SHIPPED_POLICIES = ("stub", "caching", "replicated", "resilient",
-                    "composite", "sharded")
+                    "composite", "sharded", "admitted")
 
 #: Per-policy fault menus (the consistency contracts — module docstring).
 FAULT_MENUS: dict[str, tuple[str, ...]] = {
@@ -119,7 +139,27 @@ FAULT_MENUS: dict[str, tuple[str, ...]] = {
     "composite": ("latency",),
     "sharded": FAULT_KINDS,
     "staleshard": FAULT_KINDS,
+    "admitted": FAULT_KINDS + ("overload",),
+    "shedless": ("overload",),
 }
+
+#: Admission stacks the overload deployments install on their server node.
+#: ``admitted`` bounds the run queue at 8 slots (worst admitted wait:
+#: 8 × 20 ms = 0.16 s) with a 200/s, burst-16 token bucket in front;
+#: ``shedless`` keeps the same per-call service time but an unbounded
+#: queue — every burst job admits and the backlog is the fault's size.
+_ADMISSION_CONFIGS: dict[str, dict] = {
+    "admitted": {"capacity": 8, "service_time": 0.02,
+                 "rate": 200.0, "burst": 16.0},
+    "shedless": {"capacity": None, "service_time": 0.02},
+}
+
+#: Collapse SLO per overload deployment: no *completed* operation may take
+#: longer than this (virtual seconds, invoke → complete).  A bounded queue
+#: caps the worst admitted wait far under the bound; an unbounded one lets
+#: a single burst push completions seconds out — that asymmetry is the
+#: conviction.
+COLLAPSE_SLO: dict[str, float] = {"admitted": 1.0, "shedless": 1.0}
 
 #: Policies deployed as a three-replica group (everything else: one server).
 _REPLICA_POLICIES = ("replicated", "underquorum", "splitbrain", "composite")
@@ -314,6 +354,11 @@ def deploy(case) -> Deployment:
                   case.service)
     clients = [(name, ctx, get_space(ctx).bind_ref(ref, handshake=True))
                for name, ctx in zip(client_names, client_ctxs)]
+    admission = _ADMISSION_CONFIGS.get(case.policy)
+    if admission is not None:
+        # Install *after* the bind handshakes: deployment traffic is not
+        # offered load and must not spend tokens or queue slots.
+        install_admission(server_ctxs[0].node, **admission)
     maintenance = None
     if case.policy == "replicated":
         # The first client's proxy doubles as the anti-entropy pump (the
@@ -368,7 +413,10 @@ def _export(policy: str, server_ctxs: list, service_cls, interface,
         return replicate(server_ctxs, service_cls, interface=interface,
                          read_policy="nearest", extra_layers=extra)
     obj = service_cls()
-    if policy == "stub":
+    if policy in ("stub", "admitted", "shedless"):
+        # The overload deployments are plain stub exports: the whole
+        # admission stack is node-side (installed in deploy()), invisible
+        # to the proxy policy — the paper's encapsulation claim on display.
         return get_space(primary).export(obj, interface=interface,
                                          policy="stub")
     if policy == "caching":
@@ -488,6 +536,13 @@ def drive(deployment: Deployment, case,
                                invoke=invoke, complete=ctx.clock.now,
                                status="ok",
                                result=f"!{exc.remote_type}")
+            except Overloaded as exc:
+                # Shed at admission before any execution: unlike a lost
+                # reply, the server *said so*, so even a mutator is a
+                # definite "fail" — never a "maybe".
+                history.record(client=name, verb=verb, args=list(args),
+                               invoke=invoke, complete=ctx.clock.now,
+                               status="fail", error=type(exc).__name__)
             except DistributionError as exc:
                 # Lost request or lost reply — indistinguishable.  A
                 # failed read cannot move state either way; a failed

@@ -23,6 +23,15 @@ ONEWAY = "one"       #: fire-and-forget notification (no reply)
 
 _KINDS = {REQUEST, REPLY, EXCEPTION, ONEWAY}
 
+#: Header key for the admission layer's retry-after hint (the PR-5/7
+#: envelope convention: extensions ride the ``headers`` dict, and empty
+#: headers are elided by the codec).  Stamped only on the ``Overloaded``
+#: exception reply a shedding server returns, carrying the absolute
+#: virtual time at which it expects capacity — so every frame of a
+#: deployment that never sheds encodes byte-identically to a build
+#: without admission control.
+K_OVERLOAD = "o.ra"
+
 
 @dataclass(slots=True)
 class Frame:

@@ -1,5 +1,15 @@
-"""Workload generation: key distributions, sessions, interleaving driver."""
+"""Workload generation: key distributions, sessions, interleaving driver,
+and open-loop arrival processes."""
 
+from .arrivals import (
+    DiurnalShape,
+    OpenLoopResult,
+    SpikeShape,
+    merge_arrivals,
+    poisson_arrivals,
+    run_open_loop,
+    shaped_arrivals,
+)
 from .distributions import (
     HotspotSampler,
     SingleKeySampler,
@@ -18,7 +28,9 @@ from .sessions import (
 )
 
 __all__ = [
-    "HotspotSampler", "OpMix", "RunResult", "Session", "SingleKeySampler",
-    "UniformSampler", "ZipfSampler", "dsm_session", "key_name", "payload",
-    "proxy_session", "run_interleaved",
+    "DiurnalShape", "HotspotSampler", "OpMix", "OpenLoopResult", "RunResult",
+    "Session", "SingleKeySampler", "SpikeShape", "UniformSampler",
+    "ZipfSampler", "dsm_session", "key_name", "merge_arrivals", "payload",
+    "poisson_arrivals", "proxy_session", "run_interleaved", "run_open_loop",
+    "shaped_arrivals",
 ]

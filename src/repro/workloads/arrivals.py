@@ -1,0 +1,220 @@
+"""Open-loop arrival processes: offered load decoupled from completions.
+
+The closed-loop drivers (:func:`~repro.workloads.sessions.run_interleaved`)
+can never create a backlog: each client has at most one call outstanding,
+so the offered rate sags to whatever the servers sustain and overload is
+unobservable.  Worse, measuring latency from the *issue* time of a client
+that was itself stuck behind a slow reply hides the stall entirely — the
+coordinated-omission trap.
+
+An **open-loop** workload fixes the arrival schedule in advance: requests
+arrive at seeded, rate-controlled virtual times whether or not earlier
+ones finished, and every latency is measured from the *scheduled* arrival.
+A drowning server therefore shows up as it should — per-op latency that
+grows with the backlog — instead of as a politely reduced throughput.
+
+Three generators (all drawing from seeded streams, so a schedule is a pure
+function of its seed):
+
+* :func:`poisson_arrivals` — homogeneous Poisson at a fixed rate,
+* :class:`DiurnalShape` / :class:`SpikeShape` — time-varying rate curves,
+* :func:`shaped_arrivals` — an inhomogeneous process from any rate curve,
+  by thinning a Poisson process at the curve's peak rate.
+
+:func:`run_open_loop` drives one or more client *lanes* (pools sharing an
+arrival stream and an issue function) through a merged schedule, assigning
+each arrival to the lane's least-advanced client — min-clock, like the
+closed-loop driver, but paced by the schedule rather than the replies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from math import log
+from typing import Any, Callable
+
+from ..kernel.errors import ConfigurationError, DistributionError, Overloaded
+
+
+def poisson_arrivals(rate: float, count: int, rng: random.Random,
+                     start: float = 0.0) -> list[float]:
+    """``count`` Poisson arrival times at ``rate`` per virtual second.
+
+    Exponential inter-arrival gaps drawn from the seeded ``rng`` via
+    inverse transform — deterministic given the stream.
+    """
+    if rate <= 0:
+        raise ConfigurationError(f"arrival rate must be > 0, got {rate}")
+    times = []
+    now = start
+    for _ in range(count):
+        now += -log(1.0 - rng.random()) / rate
+        times.append(now)
+    return times
+
+
+class DiurnalShape:
+    """A raised-cosine day/night rate curve (one period = one "day").
+
+    Rate swings sinusoidally between ``base_rate`` (the trough, at t=0)
+    and ``peak_rate`` (the crest, half a period in).
+    """
+
+    def __init__(self, base_rate: float, peak_rate: float,
+                 period: float) -> None:
+        if not 0 < base_rate <= peak_rate:
+            raise ConfigurationError(
+                f"need 0 < base_rate <= peak_rate, got "
+                f"{base_rate} / {peak_rate}")
+        if period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {period}")
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.period = period
+
+    def __call__(self, t: float) -> float:
+        from math import cos, pi
+        swing = (self.peak_rate - self.base_rate) / 2.0
+        return self.base_rate + swing * (1.0 - cos(2.0 * pi * t / self.period))
+
+
+class SpikeShape:
+    """A flash crowd: ``base_rate`` with a ``spike_rate`` burst window."""
+
+    def __init__(self, base_rate: float, spike_rate: float,
+                 at: float, duration: float) -> None:
+        if not 0 < base_rate <= spike_rate:
+            raise ConfigurationError(
+                f"need 0 < base_rate <= spike_rate, got "
+                f"{base_rate} / {spike_rate}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {duration}")
+        self.base_rate = base_rate
+        self.spike_rate = spike_rate
+        self.at = at
+        self.duration = duration
+
+    def __call__(self, t: float) -> float:
+        if self.at <= t < self.at + self.duration:
+            return self.spike_rate
+        return self.base_rate
+
+
+def shaped_arrivals(shape: Callable[[float], float], peak_rate: float,
+                    count: int, rng: random.Random,
+                    start: float = 0.0) -> list[float]:
+    """``count`` arrivals from a time-varying rate curve, by thinning.
+
+    Candidates are generated at the constant ``peak_rate`` and each kept
+    with probability ``shape(t) / peak_rate`` (Lewis–Shedler thinning), so
+    ``peak_rate`` must dominate the curve everywhere.  Both draws come
+    from the one seeded ``rng``, keeping the schedule deterministic.
+    """
+    if peak_rate <= 0:
+        raise ConfigurationError(f"peak rate must be > 0, got {peak_rate}")
+    times = []
+    now = start
+    while len(times) < count:
+        now += -log(1.0 - rng.random()) / peak_rate
+        rate = shape(now - start)
+        if rate > peak_rate:
+            raise ConfigurationError(
+                f"shape rate {rate} at t={now - start:.3f} exceeds the "
+                f"thinning peak {peak_rate}")
+        if rng.random() < rate / peak_rate:
+            times.append(now)
+    return times
+
+
+def merge_arrivals(streams: dict[str, list[float]]) -> list[tuple[float, str]]:
+    """Interleave per-lane schedules into one ``(when, lane)`` timeline.
+
+    Ties break on the lane name so the merged order is deterministic.
+    """
+    merged = [(when, lane)
+              for lane, times in streams.items() for when in times]
+    merged.sort()
+    return merged
+
+
+@dataclass
+class OpenLoopResult:
+    """Per-lane outcome counts and schedule-anchored latencies.
+
+    ``latencies[i]`` is completion time minus *scheduled* arrival time for
+    the i-th completed op — client queueing (a busy min-clock client
+    issuing late) and server queueing both count, which is the point.
+    """
+
+    attempted: int = 0
+    completed: int = 0
+    shed: int = 0          #: ``Overloaded`` — refused at admission
+    failed: int = 0        #: other ``DistributionError`` outcomes
+    latencies: list[float] = field(default_factory=list)
+    first_arrival: float | None = None
+    last_done: float = 0.0
+
+    @property
+    def span(self) -> float:
+        """Virtual seconds from the first scheduled arrival to the last
+        client finishing (however that op ended)."""
+        if self.first_arrival is None:
+            return 0.0
+        return self.last_done - self.first_arrival
+
+    def goodput(self, slo: float | None = None) -> float:
+        """Completions per virtual second over the lane's span — counting
+        only ops within ``slo`` when one is given (a late answer is not
+        *good* throughput, it's a liability that kept a slot busy)."""
+        if self.span <= 0:
+            return 0.0
+        good = self.completed if slo is None else sum(
+            1 for latency in self.latencies if latency <= slo)
+        return good / self.span
+
+
+def run_open_loop(lanes: dict[str, tuple[list, Callable[[Any, int], Any]]],
+                  arrivals: list[tuple[float, str]],
+                  ) -> dict[str, OpenLoopResult]:
+    """Drive scheduled arrivals through per-lane client pools.
+
+    ``lanes`` maps a lane name to ``(clients, issue)`` where ``clients``
+    is a list of ``(name, context, slot)`` triples (``slot`` is whatever
+    ``issue`` needs — typically a bound proxy) and ``issue(slot, index)``
+    performs the lane's ``index``-th operation.  ``arrivals`` is the
+    merged ``(when, lane)`` timeline (see :func:`merge_arrivals`; a single
+    lane just tags every time with its name).
+
+    Each arrival goes to its lane's least-advanced client (ties by name).
+    An on-time client waits for the scheduled instant; a *late* client —
+    still digesting an earlier reply — issues immediately, and the lost
+    time lands in the op's latency, as coordinated-omission correction
+    demands.  Outcomes: :class:`~repro.kernel.errors.Overloaded` counts as
+    shed, other :class:`~repro.kernel.errors.DistributionError` as failed,
+    anything returned as completed.
+    """
+    results = {lane: OpenLoopResult() for lane in lanes}
+    counts = dict.fromkeys(lanes, 0)
+    for when, lane in arrivals:
+        clients, issue = lanes[lane]
+        result = results[lane]
+        name, ctx, slot = min(clients, key=lambda c: (c[1].clock.now, c[0]))
+        ctx.clock.advance_to(when)
+        index = counts[lane]
+        counts[lane] += 1
+        result.attempted += 1
+        if result.first_arrival is None:
+            result.first_arrival = when
+        try:
+            issue(slot, index)
+        except Overloaded:
+            result.shed += 1
+        except DistributionError:
+            result.failed += 1
+        else:
+            result.completed += 1
+            result.latencies.append(ctx.clock.now - when)
+        if ctx.clock.now > result.last_done:
+            result.last_done = ctx.clock.now
+    return results

@@ -1,0 +1,234 @@
+"""Tests for the server-side overload stack (repro.kernel.admission)."""
+
+import pytest
+
+import repro
+from repro.kernel.admission import (
+    AdmissionControl,
+    RunQueue,
+    TokenBucket,
+    install_admission,
+)
+from repro.kernel.errors import ConfigurationError, Overloaded
+from repro.naming.bootstrap import bind, install_name_service, register
+from repro.resilience.retry import RetryPolicy
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert bucket.available(0.0) == 3.0
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+
+    def test_refill_is_linear_and_capped_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.take(0.0)
+        bucket.take(0.0)
+        assert bucket.available(0.05) == pytest.approx(0.5)
+        # Far in the future the level saturates at the burst, not beyond.
+        assert bucket.available(100.0) == 2.0
+
+    def test_refusal_peeks_without_consuming(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        assert bucket.refusal(0.0) is None
+        assert bucket.available(0.0) == 1.0, "a peek must not spend tokens"
+        bucket.take(0.0)
+        hint = bucket.refusal(0.0)
+        # The hint is exact: one token accrues in exactly 1/rate seconds.
+        assert hint == pytest.approx(0.1)
+        assert bucket.take(hint)
+
+    def test_backwards_time_never_refills(self):
+        bucket = TokenBucket(rate=10.0, burst=1.0)
+        bucket.take(5.0)
+        # Arrival times interleave across client clocks; an earlier
+        # timestamp must not mint tokens (or raise).
+        assert bucket.available(1.0) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRunQueue:
+    def test_capacity_bounds_admission(self):
+        queue = RunQueue(capacity=2)
+        assert queue.offer(0.0)
+        assert queue.offer(0.0)
+        assert not queue.offer(0.0)
+        assert queue.depth(0.0) == 2
+
+    def test_unbounded_always_admits(self):
+        queue = RunQueue(capacity=None)
+        for _ in range(1000):
+            assert queue.offer(0.0)
+
+    def test_slots_drain_at_their_recorded_finish_time(self):
+        queue = RunQueue(capacity=1)
+        assert queue.offer(0.0)
+        queue.finish(1.0)
+        assert queue.depth(0.5) == 1, "the slot is held until its end"
+        assert not queue.offer(0.5)
+        assert queue.depth(1.5) == 0
+        assert queue.offer(1.5)
+
+    def test_free_at_names_the_earliest_end(self):
+        queue = RunQueue(capacity=3)
+        for _ in range(3):
+            queue.offer(0.0)
+        queue.finish(3.0)
+        queue.finish(2.0)
+        assert queue.free_at(0.0) == 2.0
+        # Still-running work has no recorded end: no hint to give.
+        assert RunQueue(capacity=1).free_at(0.0) is None
+
+    def test_finish_without_offer_raises(self):
+        with pytest.raises(ConfigurationError):
+            RunQueue(capacity=1).finish(1.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunQueue(capacity=0)
+
+
+class TestAdmissionControl:
+    def test_queue_refusal_conserves_tokens(self):
+        control = AdmissionControl(capacity=1, rate=100.0, burst=5.0)
+        assert control.admit("svc", 0.0) is None
+        # The queue is now full: the refusal must not spend a token.
+        before = control._bucket("*").available(0.0)
+        assert control.admit("svc", 0.0) is not None
+        assert control._bucket("*").available(0.0) == before
+        assert control.snapshot()["shed_queue"] == 1
+
+    def test_throttle_refusal_holds_no_queue_slot(self):
+        control = AdmissionControl(capacity=4, rate=1.0, burst=1.0)
+        assert control.admit("svc", 0.0) is None
+        assert control.admit("svc", 0.0) is not None   # bucket empty
+        assert control.depth("svc", 0.0) == 1, \
+            "a throttle shed must not occupy a queue slot"
+        counters = control.snapshot()
+        assert counters["shed_throttle"] == 1
+        assert counters["admitted"] == 1
+
+    def test_queue_hint_is_the_earliest_free_slot(self):
+        control = AdmissionControl(capacity=1, service_time=0.5)
+        assert control.admit("svc", 0.0) is None
+        control.finish("svc", 2.0)
+        assert control.admit("svc", 1.0) == 2.0
+
+    def test_bulkhead_partitions_per_class(self):
+        control = AdmissionControl(
+            capacity=3, bulkhead={"hot": 2, "*": 1})
+        control.assign("h", "hot")
+        assert control.admit("h", 0.0) is None
+        assert control.admit("h", 0.0) is None
+        assert control.admit("h", 0.0) is not None, "hot compartment full"
+        # The default compartment still has its slot: hot cannot starve it.
+        assert control.admit("other", 0.0) is None
+        counters = control.snapshot()
+        assert counters["admitted:hot"] == 2
+        assert counters["shed_queue:hot"] == 1
+        assert counters["admitted:*"] == 1
+
+    def test_bulkhead_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(bulkhead={"*": 2})    # no capacity to split
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(capacity=4, bulkhead={"hot": 4})   # no default
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(capacity=4, bulkhead={"hot": 2, "*": 1})
+
+    def test_per_class_rates(self):
+        control = AdmissionControl(rates={"hot": (1.0, 1.0)})
+        control.assign("h", "hot")
+        assert control.admit("h", 0.0) is None
+        assert control.admit("h", 0.0) is not None
+        # A class without its own bucket (and no default) is unthrottled.
+        for _ in range(10):
+            assert control.admit("cold", 0.0) is None
+
+
+def _small_system(seed=7):
+    system = repro.make_system(seed=seed)
+    server = system.add_node("server").create_context("main")
+    alice = system.add_node("alice").create_context("main")
+    bob = system.add_node("bob").create_context("main")
+    install_name_service(server)
+    from repro.apps.kv import KVStore
+    register(server, "kv", KVStore())
+    proxies = (bind(alice, "kv"), bind(bob, "kv"))
+    return system, server, (alice, bob), proxies
+
+
+class TestDispatcherIntegration:
+    def test_full_queue_sheds_with_retry_after(self):
+        system, server, (alice, bob), (kv_a, kv_b) = _small_system()
+        install_admission(server.node, capacity=1, service_time=1.0)
+        system.rpc.retry_policy = RetryPolicy(attempts=1)
+        kv_a.put("x", 1)    # admitted; drains over 1 s of virtual time
+        invoke = bob.clock.now
+        with pytest.raises(Overloaded) as err:
+            kv_b.put("y", 2)
+        assert err.value.retry_after is not None
+        assert err.value.retry_after > invoke, \
+            "the hint is an absolute future virtual time"
+        admission = server.node.admission
+        counters = admission.snapshot()
+        assert counters["admitted"] == 1
+        assert counters["shed_queue"] == 1
+        assert system.rpc.stats["overload_sheds"] == 1
+
+    def test_shed_calls_never_execute(self):
+        system, server, (alice, bob), (kv_a, kv_b) = _small_system()
+        install_admission(server.node, rate=1.0, burst=1.0)
+        system.rpc.retry_policy = RetryPolicy(attempts=1)
+        kv_a.put("x", 1)
+        with pytest.raises(Overloaded):
+            kv_b.put("x", 2)
+        # The shed write left no trace server-side; once a token accrues,
+        # a read still sees the admitted value.
+        bob.clock.advance_to(bob.clock.now + 2.0)
+        assert kv_b.get("x") == 1
+
+    def test_shed_replies_are_not_remembered(self):
+        """A retransmission of a shed request is re-admitted, not replayed.
+
+        Shedding happens before execution, so the at-most-once cache must
+        not capture the refusal — otherwise the client's honored-hint
+        retransmission (same msg_id) would be served the stale rejection
+        forever.
+        """
+        system, server, (alice, bob), (kv_a, kv_b) = _small_system()
+        install_admission(server.node, rate=1.0, burst=1.0)
+        kv_a.put("x", 1)    # spends the only token
+        # Default policy honors the hint: the same frame is retransmitted
+        # once the token has accrued, and the call succeeds.
+        kv_b.put("x", 2)
+        assert system.rpc.stats["retry_after_waits"] == 1
+        assert kv_a.get("x") == 2
+
+    def test_idle_admission_is_byte_identical(self):
+        """An installed-but-never-shedding stack changes nothing observable.
+
+        Same seed, same workload, with and without admission (zero service
+        time, ample capacity): the traces must be fingerprint-identical —
+        the PR-5 envelope convention extended to the whole admission layer.
+        """
+        def run(with_admission):
+            system, server, (alice, bob), (kv_a, kv_b) = _small_system()
+            if with_admission:
+                install_admission(server.node, capacity=10 ** 6,
+                                  service_time=0.0)
+            kv_a.put("x", 1)
+            kv_b.put("y", 2)
+            assert kv_b.get("x") == 1
+            assert kv_a.get("y") == 2
+            return system.trace.fingerprint()
+
+        assert run(True) == run(False)

@@ -63,10 +63,12 @@ class TestShippedPoliciesAreClean:
 
 class TestFaultMenus:
     def test_every_shipped_policy_has_a_menu(self):
+        # ``overload`` is an opt-in kind (not in FAULT_KINDS): only the
+        # admission-aware deployments put it on their menus.
+        known = set(FAULT_KINDS) | set(PRIMARY_FAULT_KINDS) | {"overload"}
         for policy in SHIPPED_POLICIES:
             assert policy in FAULT_MENUS
-            assert set(FAULT_MENUS[policy]) <= \
-                set(FAULT_KINDS) | set(PRIMARY_FAULT_KINDS)
+            assert set(FAULT_MENUS[policy]) <= known
 
     def test_stub_and_resilient_take_the_full_menu(self):
         assert FAULT_MENUS["stub"] == FAULT_KINDS
@@ -105,3 +107,36 @@ class TestFaultMenus:
         # *diverged* logs; crash or latency would only slow the canary
         # down without exercising the election bug.
         assert FAULT_MENUS["splitbrain"] == ("partition", "loss")
+
+    def test_admitted_takes_the_full_menu_plus_overload(self):
+        # The admission stack must survive ordinary chaos *and* bursts;
+        # its shedless canary runs overload-only schedules, so every
+        # conviction is attributable to the missing queue bound.
+        assert FAULT_MENUS["admitted"] == FAULT_KINDS + ("overload",)
+        assert FAULT_MENUS["shedless"] == ("overload",)
+
+
+class TestShedlessIsConvicted:
+    def test_burst_collapse_is_found_minimized_and_confirmed(self):
+        # Seed 2 draws a single 80-job burst (the pinned corpus record's
+        # parent case): the unbounded queue turns it into seconds of
+        # busy-line backlog and the collapse SLO convicts.
+        case = build_case(2, "shedless", ops=30)
+        assert any(f.kind == "overload" for f in case.faults)
+        report = run_case(case)
+        assert report.verdict == "violation"
+        assert report.violation.partition == "overload-collapse"
+        assert report.violation.ops, "conviction must cite the slow op"
+        assert report.stats["max_op_latency"] > 1.0
+        assert report.minimized is not None and report.confirmed
+
+    def test_admitted_survives_the_same_burst(self):
+        # The identical schedule against the bounded-queue stack: sheds
+        # happen (clean ``fail``s), but no completion blows the SLO.
+        case = build_case(2, "shedless", ops=30)
+        shielded = SimCase(seed=case.seed, policy="admitted",
+                           service=case.service, ops=case.ops,
+                           clients=case.clients, faults=case.faults)
+        report = run_case(shielded, minimize=False)
+        assert report.verdict == "ok"
+        assert report.stats["max_op_latency"] <= 1.0

@@ -94,6 +94,27 @@ class TestCli:
         with pytest.raises(ConfigurationError):
             main(["bench", "e19", "--ops", "60"])
 
+    def test_bench_e20_json_is_deterministic(self, capsys):
+        import json
+        assert main(["bench", "e20", "--ops", "256", "--json"]) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["experiment"] == "e20"
+        for row in payload["scenarios"]:
+            for field in ("scenario", "stack", "load_x", "goodput",
+                          "p99_ms", "shed_queue", "shed_throttle",
+                          "messages", "fingerprint"):
+                assert field in row
+        assert main(["bench", "e20", "--ops", "256", "--json"]) == 0
+        assert capsys.readouterr().out == first, \
+            "e20 is virtual-only; its record must be byte-stable"
+
+    def test_bench_e20_rejects_too_few_ops(self):
+        from repro.kernel.errors import ConfigurationError
+        import pytest
+        with pytest.raises(ConfigurationError):
+            main(["bench", "e20", "--ops", "10"])
+
     def test_bench_unknown_benchmark_fails(self, capsys):
         assert main(["bench", "e99"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err

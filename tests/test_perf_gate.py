@@ -51,6 +51,20 @@ class TestPerfGate:
         assert "deterministic field 'p99_us' changed" in result.stdout
         assert "perf gate: FAIL" in result.stdout
 
+    def test_e20_identical_pair_passes(self):
+        result = run_gate("--pair", "BENCH_e20.json:BENCH_e20.json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "e20 (BENCH_e20.json): ok" in result.stdout
+
+    def test_e20_is_gated_exactly_on_every_field(self, tmp_path):
+        record = _record("BENCH_e20.json")
+        record["scenarios"][0]["goodput"] += 0.1
+        current = tmp_path / "e20.json"
+        current.write_text(json.dumps(record))
+        result = run_gate("--pair", f"BENCH_e20.json:{current}")
+        assert result.returncode == 1
+        assert "deterministic field 'goodput' changed" in result.stdout
+
     def test_e18_throughput_tolerance_band(self, tmp_path):
         record = _record("BENCH_e18.json")
         for row in record["policies"]:

@@ -2,8 +2,9 @@
 """Perf gate: fail CI when a gated benchmark regresses.
 
 Compares fresh ``python -m repro bench <id> --json`` records against the
-committed baselines (``BENCH_e18.json``, ``BENCH_e19.json``).  Each
-experiment declares its own comparison contract in ``EXPERIMENTS``:
+committed baselines (``BENCH_e18.json``, ``BENCH_e19.json``,
+``BENCH_e20.json``).  Each experiment declares its own comparison
+contract in ``EXPERIMENTS``:
 
 * **e18** (wall-clock fast path) — per-policy virtual µs/op, message
   counts, and trace fingerprints are machine-independent: same seed ⇒
@@ -12,9 +13,9 @@ experiment declares its own comparison contract in ``EXPERIMENTS``:
   meaningless across machines, so throughput is compared via ``norm_ops``
   (ops/sec divided by the host calibration rate; see
   ``repro.bench.timing``), with a per-pair tolerance band.
-* **e19** (virtual-time shard scaling) — carries no wall numbers at all,
-  so *every* scenario field must match the baseline exactly; the
-  tolerance does not apply.
+* **e19** (virtual-time shard scaling) and **e20** (virtual-time overload
+  goodput) — carry no wall numbers at all, so *every* scenario field must
+  match the baseline exactly; the tolerance does not apply.
 
 A named baseline or current file that cannot be read is a loud failure
 (exit 2), never a silent skip: a gate that "passes" because its baseline
@@ -54,6 +55,14 @@ EXPERIMENTS = {
         "key": "scenario",
         # Virtual-time record: every field is deterministic.  ``None``
         # means "all of them", so new row fields are gated automatically.
+        "deterministic": None,
+        "throughput": None,
+    },
+    "e20": {
+        "rows": "scenarios",
+        "key": "scenario",
+        # Same discipline as e19: pure virtual-time goodput/latency rows,
+        # compared exactly with no tolerance band.
         "deterministic": None,
         "throughput": None,
     },
