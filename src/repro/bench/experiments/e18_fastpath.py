@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from ...simtest.runner import SimCase
 from ...simtest.workload import deploy
-from ..timing import calibration_rate, wall_clock
+from ..timing import CalibrationBracket, wall_clock
 
 TITLE = "E18: invocation fast path — end-to-end throughput by policy"
 COLUMNS = ["policy", "kops_per_sec", "wall_us_per_op", "norm_ops",
@@ -111,13 +111,16 @@ def bench_payload(ops: int = OPS, seed: int = SEED) -> dict:
     deterministic fields (virtual µs/op, message count, trace fingerprint)
     which must match the committed baseline *exactly* on any machine.
     """
-    calibration = calibration_rate()
-    rows = []
-    for policy in POLICIES:
-        measured = measure_policy(policy, ops=ops, seed=seed)
+    bracket = CalibrationBracket()
+    rows = [measure_policy(policy, ops=ops, seed=seed)
+            for policy in POLICIES]
+    # Close the bracket after the sweep: host noise during the runs also
+    # taints a one-shot calibration, so normalise by the better of the
+    # before/after samples.
+    calibration = bracket.close()
+    for measured in rows:
         measured["norm_ops"] = round(
             measured["ops_per_sec"] / calibration * 1e6, 1)
-        rows.append(measured)
     return {
         "experiment": "e18",
         "ops": ops,

@@ -53,3 +53,31 @@ def calibration_rate(repeats: int = 3) -> float:
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     return CALIBRATION_ITERATIONS / best
+
+
+class CalibrationBracket:
+    """Calibration sampled *around* a measurement, not just before it.
+
+    A single calibration read taken before a multi-second sweep can land
+    in a different host-noise regime than the sweep itself, skewing every
+    normalised number it divides.  Sampling again after the sweep and
+    keeping the **maximum** tightens this: contention only ever slows the
+    calibration loop down, so the larger reading is the better estimate
+    of the host's true speed, and bracketing gives noise two chances to
+    miss instead of one.
+
+    Usage::
+
+        bracket = CalibrationBracket()   # first sample, before the sweep
+        ...measure...
+        rate = bracket.close()           # second sample; max of the two
+    """
+
+    def __init__(self, repeats: int = 3):
+        self._repeats = repeats
+        self._rate = calibration_rate(repeats)
+
+    def close(self) -> float:
+        """Take the closing sample and return the bracket's best rate."""
+        self._rate = max(self._rate, calibration_rate(self._repeats))
+        return self._rate

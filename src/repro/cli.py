@@ -89,8 +89,15 @@ def _bench_registry() -> dict:
     machine-readable BENCH record), ``bench_rows(payload) -> list`` (its
     table form), and optionally ``bench_footer(payload) -> str``.
     """
-    from .bench.experiments import e18_fastpath, e19_sharding, e20_admission
-    return {"e18": e18_fastpath, "e19": e19_sharding, "e20": e20_admission}
+    from .bench import simwall
+    from .bench.experiments import (
+        e10_marshalling,
+        e18_fastpath,
+        e19_sharding,
+        e20_admission,
+    )
+    return {"e10": e10_marshalling, "e18": e18_fastpath,
+            "e19": e19_sharding, "e20": e20_admission, "simwall": simwall}
 
 
 def cmd_bench(args) -> int:
@@ -258,7 +265,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser = commands.add_parser(
         "bench", help="host throughput benchmark (wall clock)")
     bench_parser.add_argument("benchmark",
-                              help="benchmark id: e18, e19 or e20")
+                              help="benchmark id: e10, e18, e19, e20 "
+                                   "or simwall")
     bench_parser.add_argument("--ops", type=int, default=None)
     bench_parser.add_argument("--seed", type=int, default=None)
     bench_parser.add_argument("--json", action="store_true",

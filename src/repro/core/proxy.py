@@ -162,9 +162,25 @@ class Proxy:
         if self.proxy_next is not None:
             self.proxy_stats["remote_calls"] += 1
             return self.proxy_next.invoke(verb, args, kwargs)
-        max_forwards = int(self.proxy_config.get("max_forwards", 4))
         op = self.proxy_operation(verb)
-        for _ in range(1 + max_forwards):
+        # First attempt straight away: the redirect budget only matters
+        # once an ObjectMoved actually arrives, so its computation stays
+        # off the no-migration path.
+        self.proxy_stats["remote_calls"] += 1
+        try:
+            if op.oneway:
+                self.proxy_protocol.send_oneway(
+                    self.proxy_context, self.proxy_ref, verb, args, kwargs)
+                return None
+            return self.proxy_protocol.call(
+                self.proxy_context, self.proxy_ref, verb, args, kwargs,
+                retry=retry, deadline=deadline)
+        except ObjectMoved as moved:
+            if moved.forward is None:
+                raise
+            self.proxy_rebind(moved.forward)
+        max_forwards = int(self.proxy_config.get("max_forwards", 4))
+        for _ in range(max_forwards):
             self.proxy_stats["remote_calls"] += 1
             try:
                 if op.oneway:

@@ -1,11 +1,17 @@
 """Metrics: latency recording, counters, windowed message accounting."""
 
-from .counters import CounterSet, MessageWindow, WindowReport
+from .counters import (
+    CounterSet,
+    MessageWindow,
+    WindowReport,
+    marshal_memo_stats,
+    reset_marshal_memo_stats,
+)
 from .latency import LatencyRecorder, LatencySummary, percentile
 from .report import SystemSnapshot, render, report, snapshot
 
 __all__ = [
     "CounterSet", "LatencyRecorder", "LatencySummary", "MessageWindow",
-    "SystemSnapshot", "WindowReport", "percentile", "render", "report",
-    "snapshot",
+    "SystemSnapshot", "WindowReport", "marshal_memo_stats", "percentile",
+    "render", "report", "reset_marshal_memo_stats", "snapshot",
 ]

@@ -91,6 +91,10 @@ class Dispatcher:
     def __init__(self, context: Context, transport, replay_capacity: int = 4096):
         self.context = context
         self.transport = transport
+        # Fixed for the context's lifetime; cached off the per-frame path
+        # (ctx.system is two attribute hops per read).
+        self._system = context.system
+        self._costs = self._system.costs
         self.at_most_once = True
         self.replay_capacity = replay_capacity
         self._replay: OrderedDict[tuple[str, int], bytes] = OrderedDict()
@@ -153,9 +157,20 @@ class Dispatcher:
             # calls queue and drain in virtual time on the context busy
             # line instead of executing instantaneously.
             ctx.charge(admission.service_time)
+        # One staging window per dispatch tick: oneways the handler fans
+        # out (event publishes, cache invalidations) coalesce per link
+        # and flush when the tick ends (or earlier, if program order
+        # demands it — see RpcProtocol._maybe_stage).
+        rpc = self._system.rpc
+        if rpc is not None and rpc.reply_batching:
+            rpc.open_reply_window()
+        else:
+            rpc = None
         try:
             outcome = self._handle_at(data, frame)
         finally:
+            if rpc is not None:
+                rpc.close_reply_window()
             end = ctx.clock.now
             if admitted_target is not None:
                 # Release the queue slot at the call's busy-line end —
@@ -174,8 +189,8 @@ class Dispatcher:
         door ran (the unmarshal *cost* is still charged here, on the busy
         line, where serving pays it)."""
         ctx = self.context
-        system = ctx.system
-        costs = system.costs
+        system = self._system
+        costs = self._costs
         ctx.charge(costs.marshal_fixed + len(data) * costs.marshal_byte_cost)
         if frame is None:
             frame = self.transport.decode_frame(data, ctx)
@@ -215,9 +230,20 @@ class Dispatcher:
             reply = self._dispatch(frame)
         finally:
             ctx.current_deadline = enclosing
+        rpc = system.rpc
+        if rpc is not None and rpc._windows and rpc._windows[-1]:
+            # Oneways the handler fanned out (mutation hooks) preceded
+            # this event inline; flush staged ones now so the trace keeps
+            # the original emission order.
+            rpc.flush_reply_window()
         system.trace.emit(ctx.clock.now, "invoke", frame.src, ctx.context_id,
                           frame.verb)
         reply_data = self.transport.encode_frame(reply, ctx)
+        if reply_data.__class__ is not bytes:
+            # A zero-copy reply may hold mutable segments the service still
+            # owns; snapshot them now so the wire (and the replay cache)
+            # carries what was sent, not what the buffer later becomes.
+            reply_data = reply_data.freeze()
         if self.at_most_once:
             self._remember(dedup_key, reply_data)
         return reply_data, ctx.clock.now
@@ -239,17 +265,19 @@ class Dispatcher:
                 f"object {frame.target!r} migrated to {fwd.context_id!r}",
                 detail=(fwd.context_id, fwd.oid, fwd.interface, fwd.epoch,
                         fwd.policy))
-        if versions.has_envelope(frame.headers):
-            # Quorum-enveloped request (replicated policy, versioned mode):
-            # the protocol steps in repro.wire.versions wrap the result and
-            # run the mutation hooks themselves.  Control frames (repair
-            # log transfers) are verb-less, so this must precede the
-            # interface check.
-            return self._dispatch_versioned(entry, frame)
-        if shards.has_envelope(frame.headers):
-            # Shard-enveloped request (sharded policy): epoch fencing and
-            # ring controls, same shape as the quorum path above.
-            return self._dispatch_sharded(entry, frame)
+        headers = frame.headers
+        if headers:
+            if versions.has_envelope(headers):
+                # Quorum-enveloped request (replicated policy, versioned
+                # mode): the protocol steps in repro.wire.versions wrap the
+                # result and run the mutation hooks themselves.  Control
+                # frames (repair log transfers) are verb-less, so this must
+                # precede the interface check.
+                return self._dispatch_versioned(entry, frame)
+            if shards.has_envelope(headers):
+                # Shard-enveloped request (sharded policy): epoch fencing
+                # and ring controls, same shape as the quorum path above.
+                return self._dispatch_sharded(entry, frame)
         if entry.sharding is not None and entry.sharding.epoch > 1:
             # A plain call on a shard whose ring has been rebalanced: the
             # caller routed without (or with a pre-rebalance) ring, so it

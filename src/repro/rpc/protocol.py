@@ -98,16 +98,25 @@ class RpcProtocol:
         self._costs = system.costs
         self._network = system.network
         self.lrpc_enabled = True
+        #: Coalesce same-window oneways per link into multi-reply frames.
+        self.reply_batching = True
         #: Send time of the most recent call's first attempt (promise layer).
         self.last_sent_at: float | None = None
         #: Retry engine used when a call names no policy of its own.
         self.retry_policy: RetryPolicy = DEFAULT_RETRY
         self._minters: dict[str, MessageIdMinter] = {}
         self._retry_rng = system.seeds.stream("rpc.retry.jitter")
+        # Attempt budget of the last policy seen (RetryPolicy is frozen
+        # and the cost model is fixed, so the pair fully determines it).
+        self._budget_policy: RetryPolicy | None = None
+        self._budget_attempts = 0
+        #: Stack of open staging windows (one per in-flight dispatch).
+        self._windows: list[list] = []
         self.stats = {"calls": 0, "oneways": 0, "retries": 0, "timeouts": 0,
                       "local_fast_path": 0, "remote_exceptions": 0,
                       "deadline_exceeded": 0, "overload_sheds": 0,
-                      "retry_after_waits": 0}
+                      "retry_after_waits": 0, "reply_batches": 0,
+                      "coalesced_oneways": 0}
         system.rpc = self
 
     # -- public API ---------------------------------------------------------
@@ -134,6 +143,12 @@ class RpcProtocol:
         """
         kwargs = kwargs or {}
         self.stats["calls"] += 1
+        if self._windows and self._windows[-1]:
+            # Staged oneways precede this call in program order; their
+            # handlers (and any RNG they draw) must run before the
+            # synchronous round trip below, exactly as the inline sends
+            # did.
+            self.flush_reply_window()
         enclosing = src.current_deadline
         if deadline is not None or enclosing is not None:
             deadline = Deadline.merge(deadline, enclosing)
@@ -151,7 +166,12 @@ class RpcProtocol:
         if deadline is not None:
             deadline.to_headers(frame.headers)
         data = self.transport.encode_frame(frame, src)
-        attempts = policy.budget(self._costs)
+        if policy is self._budget_policy:
+            attempts = self._budget_attempts
+        else:
+            attempts = policy.budget(self._costs)
+            self._budget_policy = policy
+            self._budget_attempts = attempts
         tracker = self.system.latency
         # The retransmission-timer interval is pure arithmetic for
         # jitter-free policies, and an attempt that gets its reply never
@@ -259,6 +279,10 @@ class RpcProtocol:
         self.stats["oneways"] += 1
         kwargs = kwargs or {}
         if self.lrpc_enabled and ref.context_id == src.context_id:
+            if self._windows and self._windows[-1]:
+                # Keep program order: earlier staged oneways ran before
+                # this local invocation when sends were inline.
+                self.flush_reply_window()
             try:
                 self._local_call(src, ref, verb, args, kwargs)
             except ReproError:
@@ -267,6 +291,8 @@ class RpcProtocol:
         frame = Frame(ONEWAY, self._mint(src), src.context_id, ref.context_id,
                       target=ref.oid, verb=verb, body=(tuple(args), kwargs))
         data = self.transport.encode_frame(frame, src)
+        if self._windows and self._maybe_stage(src, frame, data):
+            return
         delivery = self.transport.transmit(frame, data, src.clock.now)
         if delivery.delivered:
             try:
@@ -278,6 +304,116 @@ class RpcProtocol:
             # flight when the crash hit.
             if dst.handler is not None and dst.alive:
                 dst.handler(data, delivery.arrive_time)
+
+    # -- reply batching ------------------------------------------------------
+
+    def open_reply_window(self) -> None:
+        """Begin a staging window (one per in-flight dispatch tick)."""
+        self._windows.append([])
+
+    def close_reply_window(self) -> None:
+        """End the current window, flushing anything still staged."""
+        staged = self._windows.pop()
+        if staged:
+            self._flush_staged(staged)
+
+    def flush_reply_window(self) -> None:
+        """Deliver everything staged in the current window, keeping it
+        open."""
+        stack = self._windows
+        if not stack:
+            return
+        staged = stack[-1]
+        if staged:
+            stack[-1] = []
+            self._flush_staged(staged)
+
+    def _maybe_stage(self, src: Context, frame: Frame, data) -> bool:
+        """Stage an encoded oneway for the window flush, when safe.
+
+        Safe means: the link is :meth:`~repro.kernel.network.Network.
+        reliable` right now (delivery certain, no RNG draw to preserve)
+        and the destination would accept the frame right now (same
+        liveness discipline as the inline send).  Everything observable
+        is pinned at stage time — the arrival instant uses the same
+        float arithmetic as ``Network.transmit``, so deferring the
+        handler call to the flush changes nothing in virtual time.
+        Returns ``False`` when the caller must take the inline path,
+        after flushing so program order survives (a lossy link's RNG
+        draw has to happen after the staged handlers ran, exactly as it
+        would have inline).
+        """
+        transport = self.transport
+        src_node = src.node.name
+        dst_node = transport.node_of(frame.dst)
+        if not self._network.reliable(src_node, dst_node):
+            if self._windows[-1]:
+                self.flush_reply_window()
+            return False
+        try:
+            dst = self.system.context(frame.dst)
+        except kernel_errors.ConfigurationError:
+            # Inline delivery would have been a silent no-op; staging it
+            # would only inflate the batch.  Emit the send and move on.
+            if self._windows[-1]:
+                self.flush_reply_window()
+            return False
+        if dst.handler is None or not dst.alive:
+            if self._windows[-1]:
+                self.flush_reply_window()
+            return False
+        sent_at = src.clock.now
+        arrive = sent_at + self._network.transit_time(src_node, dst_node,
+                                                      len(data))
+        if data.__class__ is not bytes:
+            # A zero-copy message may hold mutable segments the caller
+            # still owns; snapshot them once at stage time.
+            data = data.freeze()
+        self._windows[-1].append(
+            (frame, data, sent_at, arrive, dst.handler, src, dst_node))
+        return True
+
+    def _flush_staged(self, staged: list) -> None:
+        """Deliver staged oneways in program order, coalescing runs.
+
+        Consecutive frames sharing one ``(src context, dst node)`` link
+        collapse into a single multi-reply frame — one ``send`` event,
+        one wire header, message count down by ``run - 1``.  A frame
+        with no same-link neighbour replays the exact inline send (same
+        trace event, same arrival).  Handlers run strictly in staging
+        order either way, so cross-node interleavings — busy-line
+        occupancy, seeded RNG consumers — are untouched.
+        """
+        transport = self.transport
+        stats = self.stats
+        n = len(staged)
+        i = 0
+        while i < n:
+            frame, data, sent_at, arrive, handler, src, dst_node = staged[i]
+            j = i + 1
+            src_id = frame.src
+            while j < n and staged[j][0].src == src_id \
+                    and staged[j][6] == dst_node:
+                j += 1
+            if j - i == 1:
+                transport.trace_send(frame, len(data), sent_at)
+                handler(data, arrive)
+            else:
+                run = staged[i:j]
+                subs = tuple(
+                    (d if d.__class__ is bytes else d.to_bytes(), arr)
+                    for _, d, _, arr, _, _, _ in run)
+                batch = transport.encode_batch(src, dst_node, subs)
+                # The sender already paid full marshal cost per sub-frame;
+                # the batch header is free framing, so encode without a
+                # charge.  Sent when its last member was produced.
+                batch_data = batch.encode_message(transport.encoder_for(src))
+                transport.trace_send(batch, len(batch_data), run[-1][2])
+                stats["reply_batches"] += 1
+                stats["coalesced_oneways"] += j - i
+                for _, d, _, arr, h, _, _ in run:
+                    h(d, arr)
+            i = j
 
     def _feed_breaker(self, src: Context, ref: ObjectRef,
                       success: bool) -> None:
@@ -297,7 +433,8 @@ class RpcProtocol:
     def _attempt(self, src: Context, frame: Frame, data: bytes,
                  sent_at: float):
         """One request transmission; returns the decoded reply frame or None."""
-        delivery = self.transport.transmit(frame, data, sent_at)
+        transport = self.transport
+        delivery = transport.transmit(frame, data, sent_at)
         if not delivery.delivered:
             return None
         try:
@@ -310,8 +447,8 @@ class RpcProtocol:
         if outcome is None:
             return None
         reply_data, ready = outcome
-        back = self.transport.transmit_reply(frame.dst, frame.src,
-                                             reply_data, ready)
+        back = transport.transmit_reply(frame.dst, frame.src,
+                                        reply_data, ready)
         if not back.delivered:
             return None
         # Birrell-Nelson semantics: the retransmission timer exists to
@@ -324,7 +461,7 @@ class RpcProtocol:
         src.clock.advance_to(back.arrive_time)
         costs = self._costs
         src.charge(costs.marshal_fixed + len(reply_data) * costs.marshal_byte_cost)
-        return self.transport.decode_frame(reply_data, src)
+        return transport.decode_frame(reply_data, src)
 
     def _accept(self, src: Context, ref: ObjectRef, reply: Frame) -> Any:
         """Turn a reply frame into a return value or a raised exception."""

@@ -20,7 +20,7 @@ stale marshaller can never be applied.
 from __future__ import annotations
 
 from ..kernel.system import System
-from ..wire.frames import Frame
+from ..wire.frames import MREPLY, Frame
 from ..wire.marshal import Marshaller
 
 
@@ -32,6 +32,7 @@ class Transport:
         # Fixed for the system's lifetime; cached off the per-frame path.
         self._trace = system.trace
         self._network = system.network
+        self._costs = system.costs
         self._encoders: dict[str, Marshaller] = {}
         self._decoders: dict[str, Marshaller] = {}
         self._labels: dict[tuple[str, str], str] = {}
@@ -66,22 +67,43 @@ class Transport:
         """
         if src_ctx is None:
             src_ctx = self.system.context(frame.src)
-        data = frame.encode(self.encoder_for(src_ctx))
-        costs = self.system.costs
+        data = frame.encode_message(self.encoder_for(src_ctx))
+        costs = self._costs
         src_ctx.charge(costs.marshal_fixed + len(data) * costs.marshal_byte_cost)
         return data
 
-    def decode_frame(self, data: bytes, dst_context) -> Frame:
-        """Decode wire bytes with the receiving context's hooks.
+    def decode_frame(self, data, dst_context) -> Frame:
+        """Decode wire bytes (or a ``WireMessage``) with the receiving
+        context's hooks.
 
         CPU is charged by the caller (the dispatcher), which knows the
         receiving activity's time cursor.
         """
-        return Frame.decode(data, self.decoder_for(dst_context))
+        return Frame.decode_message(data, self.decoder_for(dst_context))
+
+    # -- reply batching --------------------------------------------------------
+
+    def encode_batch(self, src_ctx, dst_node: str, subs: tuple) -> Frame:
+        """Build the multi-reply frame carrying ``subs`` to ``dst_node``.
+
+        ``subs`` is a tuple of ``(wire_image, arrive)`` pairs — each the
+        contiguous bytes of an already-encoded (and already-charged)
+        sub-frame plus its original arrival instant.  The batch frame
+        itself is *not* charged: the sender paid full marshal cost per
+        sub-frame when it encoded them, and coalescing is pure framing.
+        The frame is unminted (``msg_id == 0``) — nothing replies to it.
+        """
+        return Frame(MREPLY, 0, src_ctx.context_id, dst_node, body=subs)
+
+    @staticmethod
+    def unbatch(frame: Frame) -> tuple:
+        """The ``(wire_image, arrive)`` pairs carried by a multi-reply
+        frame."""
+        return frame.body
 
     def unmarshal_cost(self, nbytes: int) -> float:
         """CPU seconds to unmarshal an ``nbytes`` frame."""
-        costs = self.system.costs
+        costs = self._costs
         return costs.marshal_fixed + nbytes * costs.marshal_byte_cost
 
     # -- transmission ----------------------------------------------------------
@@ -109,6 +131,32 @@ class Transport:
         if dst_node is None:
             dst_node = names[dst] = dst.split("/", 1)[0]
         return self._network.transmit(src_node, dst_node, nbytes, at)
+
+    def trace_send(self, frame: Frame, nbytes: int, at: float) -> None:
+        """Record the ``send`` trace event of :meth:`transmit` without
+        touching the network.
+
+        Used by the reply-batching flush for frames whose delivery was
+        already committed at stage time over a link that
+        :meth:`~repro.kernel.network.Network.reliable` vouched for — on
+        such a link :meth:`transmit` has no observable effect beyond
+        this event (no drop, no RNG draw), so the flush replays exactly
+        the event the inline send would have produced.
+        """
+        key = (frame.kind, frame.verb)
+        label = self._labels.get(key)
+        if label is None:
+            label = f"{frame.kind}:{frame.verb}" if frame.verb else frame.kind
+            self._labels[key] = label
+        self._trace.emit(at, "send", frame.src, frame.dst, label, nbytes)
+
+    def node_of(self, context_id: str) -> str:
+        """Node name of a context id (memoised split)."""
+        names = self._node_names
+        node = names.get(context_id)
+        if node is None:
+            node = names[context_id] = context_id.split("/", 1)[0]
+        return node
 
     def transmit_reply(self, src: str, dst: str, data: bytes, at: float):
         """Send reply bytes back to the caller.

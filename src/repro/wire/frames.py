@@ -20,8 +20,9 @@ REQUEST = "req"      #: call expecting a reply
 REPLY = "rep"        #: successful result
 EXCEPTION = "exc"    #: error result (body: (error_class_name, message, detail))
 ONEWAY = "one"       #: fire-and-forget notification (no reply)
+MREPLY = "mrp"       #: batch of same-tick frames coalesced onto one link
 
-_KINDS = {REQUEST, REPLY, EXCEPTION, ONEWAY}
+_KINDS = {REQUEST, REPLY, EXCEPTION, ONEWAY, MREPLY}
 
 #: Header key for the admission layer's retry-after hint (the PR-5/7
 #: envelope convention: extensions ride the ``headers`` dict, and empty
@@ -67,6 +68,18 @@ class Frame:
             self.kind, self.msg_id, self.src, self.dst,
             self.target, self.verb, self.body, self.headers)
 
+    def encode_message(self, marshaller: Marshaller):
+        """Encode via the message fast path: returns a
+        :class:`~repro.wire.segments.WireMessage` (zero-copy segments,
+        frame-template memo, carried fields for pure frames) or plain
+        bytes when nothing applies.  ``len()`` of either is the honest
+        wire size, so everything charged by length is unchanged."""
+        if self.kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {self.kind!r}")
+        return marshaller.encode_frame_message(
+            self.kind, self.msg_id, self.src, self.dst,
+            self.target, self.verb, self.body, self.headers)
+
     @classmethod
     def decode(cls, data: bytes, marshaller: Marshaller) -> "Frame":
         """Decode wire bytes into a frame (hooks apply to the body)."""
@@ -77,6 +90,32 @@ class Frame:
             fields = marshaller.decode(data)
             if not isinstance(fields, list) or len(fields) != 8:
                 raise ProtocolError("malformed frame")
+        kind, msg_id, src, dst, target, verb, body, headers = fields
+        if kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {kind!r}")
+        return cls(kind, msg_id, src, dst, target, verb, body, headers)
+
+    @classmethod
+    def decode_message(cls, msg, marshaller: Marshaller) -> "Frame":
+        """Decode a :class:`WireMessage` (or plain bytes) into a frame.
+
+        Carried frames skip the decoder entirely: the sender proved the
+        fields deeply immutable and parked them on the message, so the
+        receiver only fabricates fresh mutable shells (``headers`` dict,
+        request ``(args, kwargs)`` pair).  Everything else goes through
+        the segment-aware decoder, which hands raw payloads back
+        without copying.
+        """
+        if msg.__class__ is bytes or msg.__class__ is bytearray:
+            return cls.decode(msg, marshaller)
+        carried = msg.carried
+        if carried is not None:
+            kind, msg_id, src, dst, target, verb, payload, is_pair = carried
+            body = (payload, {}) if is_pair else payload
+            return cls(kind, msg_id, src, dst, target, verb, body, {})
+        fields = marshaller.decode_frame_message(msg)
+        if not isinstance(fields, list) or len(fields) != 8:
+            raise ProtocolError("malformed frame")
         kind, msg_id, src, dst, target, verb, body, headers = fields
         if kind not in _KINDS:
             raise ProtocolError(f"unknown frame kind {kind!r}")

@@ -25,7 +25,23 @@ the reference implementation and asserts exactly that).  Small immutable
 payloads — interned strings such as verbs, context ids and hot keys, and
 small ints — additionally hit a bounded encode/decode memo, which is safe
 precisely because the encoding of a primitive is a pure function of its
-value.
+value.  The memos evict FIFO at capacity and export hit/size counters
+(:func:`memo_stats`, surfaced via :mod:`repro.metrics`).
+
+Two message-level fast paths sit on top (both byte-transparent on the
+wire — see ``wire/segments.py`` and DESIGN.md's zero-copy subsection):
+
+* **raw segments** — a ``bytes``/``bytearray``/``memoryview`` payload of
+  at least :data:`RAW_THRESHOLD` bytes encodes as a 5-byte marker (same
+  overhead as the inline bytes tag, so wire sizes and therefore virtual
+  timings are unchanged) while the payload object rides a segment list,
+  uncopied.  Exact built-in types only: subclasses keep the legacy
+  hook-first copying path, so swizzle semantics are untouched.
+* **frame templates + carried decode** — a *pure* frame (empty headers,
+  deeply-immutable body) has a hook-independent encoding, so the encoded
+  suffix is memoised per ``(kind, src, dst, target, verb, body)`` and
+  the decoded fields ride along with the message; the receiver rebuilds
+  the frame without running the decoder at all.
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ from typing import Any, Callable
 
 from ..kernel.errors import MarshalError
 from .refs import ObjectRef
+from .segments import WireMessage
 
 _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
@@ -54,6 +71,7 @@ _TAG_DICT = b"d"
 _TAG_SET = b"S"
 _TAG_FROZENSET = b"Z"
 _TAG_REF = b"R"
+_TAG_RAW = b"r"
 
 # Integer tag values for the decoder (indexing bytes yields ints; comparing
 # ints beats slicing one-byte substrings on the hot path).
@@ -71,6 +89,14 @@ _ORD_DICT = _TAG_DICT[0]
 _ORD_SET = _TAG_SET[0]
 _ORD_FROZENSET = _TAG_FROZENSET[0]
 _ORD_REF = _TAG_REF[0]
+_ORD_RAW = _TAG_RAW[0]
+
+#: Bulk payloads at least this long take the zero-copy raw-segment path
+#: when encoding through :meth:`Marshaller.encode_frame_message`.  Below
+#: it the inline bytes encoding is byte-identical to the legacy path.
+#: The marker costs exactly as many wire bytes as the inline tag (1 tag
+#: + 4 length), so the threshold is invisible to the cost model.
+RAW_THRESHOLD = 4096
 
 # Precomputed fragments for the frame fast path: every frame is an 8-element
 # list, and its headers dict is empty on all but protocol-extension frames.
@@ -91,7 +117,10 @@ DecoderHook = Callable[[ObjectRef], Any]
 # Verbs, context ids, frame kinds and hot application keys repeat endlessly;
 # their encodings are pure functions of the value, so a bounded memo turns
 # "utf-8 encode + length pack + two appends" into one dict hit.  Bounded so a
-# pathological workload of unique strings cannot grow them without limit.
+# pathological workload of unique strings cannot grow them without limit:
+# at capacity the oldest entry is evicted FIFO (dicts iterate in insertion
+# order), so a churning workload recycles slots instead of freezing the
+# memo with its first 4096 values.
 
 _MEMO_MAX_ENTRIES = 4096
 _MEMO_MAX_STR = 64
@@ -100,14 +129,173 @@ _STR_ENC: dict[str, bytes] = {}
 _STR_DEC: dict[bytes, str] = {}
 _INT_ENC: dict[int, bytes] = {}
 
+#: Encoded-suffix memo for pure frames, keyed
+#: ``(kind, src, dst, target, verb, payload, is_pair)`` — see
+#: :meth:`Marshaller.encode_frame_message`.  Safe globally (across all
+#: marshaller instances) because a pure frame's encoding is
+#: hook-independent by construction.
+_TMPL_ENC: dict[tuple, tuple] = {}
+
+
+class MemoStats:
+    """Hit/miss/eviction counters for the marshalling memos.
+
+    Monotonic since process start (or the last :func:`reset_memo_stats`);
+    surfaced through :func:`memo_stats` and re-exported by
+    :mod:`repro.metrics`.  Counters live off the trace/cost model — they
+    observe the simulator, they never feed it.
+    """
+
+    __slots__ = ("str_enc_hits", "str_enc_misses", "str_dec_hits",
+                 "str_dec_misses", "int_enc_hits", "int_enc_misses",
+                 "tmpl_hits", "tmpl_misses", "evictions")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.str_enc_hits = 0
+        self.str_enc_misses = 0
+        self.str_dec_hits = 0
+        self.str_dec_misses = 0
+        self.int_enc_hits = 0
+        self.int_enc_misses = 0
+        self.tmpl_hits = 0
+        self.tmpl_misses = 0
+        self.evictions = 0
+
+
+_MEMO_STATS = MemoStats()
+
+
+def _memo_put(memo: dict, key, value) -> None:
+    """Insert with FIFO eviction at capacity (all memos share the bound)."""
+    if len(memo) >= _MEMO_MAX_ENTRIES:
+        del memo[next(iter(memo))]
+        _MEMO_STATS.evictions += 1
+    memo[key] = value
+
+
+def memo_stats() -> dict:
+    """Counter snapshot plus live sizes of every marshalling memo."""
+    stats = _MEMO_STATS
+    return {
+        "str_enc_hits": stats.str_enc_hits,
+        "str_enc_misses": stats.str_enc_misses,
+        "str_dec_hits": stats.str_dec_hits,
+        "str_dec_misses": stats.str_dec_misses,
+        "int_enc_hits": stats.int_enc_hits,
+        "int_enc_misses": stats.int_enc_misses,
+        "tmpl_hits": stats.tmpl_hits,
+        "tmpl_misses": stats.tmpl_misses,
+        "evictions": stats.evictions,
+        "str_enc_size": len(_STR_ENC),
+        "str_dec_size": len(_STR_DEC),
+        "int_enc_size": len(_INT_ENC),
+        "tmpl_size": len(_TMPL_ENC),
+        "max_entries": _MEMO_MAX_ENTRIES,
+    }
+
+
+def reset_memo_stats() -> None:
+    """Zero the counters (test isolation; the memos themselves persist)."""
+    _MEMO_STATS.reset()
+
+
+def clear_memos() -> None:
+    """Empty every memo (tests that probe cold-cache behaviour)."""
+    _STR_ENC.clear()
+    _STR_DEC.clear()
+    _INT_ENC.clear()
+    _TMPL_ENC.clear()
+
+
+#: Leaf types whose values the swizzle hooks can never replace and whose
+#: identity may be shared safely across context boundaries.
+_IMMUTABLE_LEAVES = frozenset(
+    {type(None), bool, int, float, str, bytes})
+
+
+def deeply_immutable(value) -> bool:
+    """Exact-type deep immutability: scalars/bytes/str and tuples thereof.
+
+    Deliberately strict — subclasses fail the test so hook-eligible
+    values never ride the carried-decode path, and mutable containers
+    fail it so no mutable object is ever shared between contexts.
+    """
+    cls = value.__class__
+    if cls in _IMMUTABLE_LEAVES:
+        return True
+    if cls is tuple:
+        for item in value:
+            icls = item.__class__
+            if icls in _IMMUTABLE_LEAVES:
+                continue
+            if icls is not tuple or not deeply_immutable(item):
+                return False
+        return True
+    return False
+
+
+def _typed_key(value):
+    """Hashable exact-type memo key for a deeply-immutable value, or
+    ``None`` when the value is not deeply immutable.
+
+    Plain values are unusable as template keys directly: Python dicts
+    treat ``True``, ``1`` and ``1.0`` as the same key (and ``0.0`` as
+    ``-0.0``), so a template recorded for one would silently serve the
+    others — wrong tag on the wire, wrong carried value at the receiver.
+    Every leaf is therefore paired with its exact class, and floats are
+    keyed by their bit pattern.
+    """
+    cls = value.__class__
+    if cls is tuple:
+        # Iterative walk of the overwhelmingly common shape — a flat
+        # tuple of leaves — recursing only for nested tuples.
+        leaves = _IMMUTABLE_LEAVES
+        parts = []
+        for item in value:
+            icls = item.__class__
+            if icls in leaves:
+                if icls is float:
+                    parts.append((icls, _F64.pack(item)))
+                else:
+                    parts.append((icls, item))
+            elif icls is tuple:
+                k = _typed_key(item)
+                if k is None:
+                    return None
+                parts.append(k)
+            else:
+                return None
+        return (tuple, tuple(parts))
+    if cls in _IMMUTABLE_LEAVES:
+        if cls is float:
+            return (cls, _F64.pack(value))
+        return (cls, value)
+    return None
+
 
 class Marshaller:
     """Encodes and decodes wire values, applying optional swizzle hooks."""
 
     def __init__(self, encoder_hook: EncoderHook | None = None,
-                 decoder_hook: DecoderHook | None = None):
+                 decoder_hook: DecoderHook | None = None,
+                 raw_threshold: int | None = None):
         self.encoder_hook = encoder_hook
         self.decoder_hook = decoder_hook
+        #: Minimum payload size for the zero-copy raw-segment path; only
+        #: consulted while :meth:`encode_frame_message` is active.
+        self._raw_min = RAW_THRESHOLD if raw_threshold is None \
+            else raw_threshold
+        # Per-message codec state.  ``_segs`` collects (offset, payload)
+        # pairs while a message encode is in flight (None otherwise —
+        # plain ``encode`` never emits raw markers, keeping its output
+        # byte-identical to the legacy format).  ``_split`` holds the
+        # inbound segment tuple while a message decode is in flight.
+        self._segs: list | None = None
+        self._split: tuple | None = None
+        self._split_idx = 0
 
     # -- encoding ------------------------------------------------------------
 
@@ -182,20 +370,29 @@ class Marshaller:
         own path: five memo-hit strings, one small int, the body, and an
         almost-always-empty headers dict.
         """
+        stats = _MEMO_STATS
         out = bytearray(_LIST8_HEAD)
         cached = _STR_ENC.get(kind)
         if cached is not None:
+            stats.str_enc_hits += 1
             out += cached
         else:
             _enc_str(self, kind, out)
         cached = _INT_ENC.get(msg_id)
         if cached is not None:
+            stats.int_enc_hits += 1
             out += cached
+        elif 0 <= msg_id < 2**63:
+            # Minted message ids are sequential and never repeat, so
+            # memoising them would be pure churn: pack without inserting.
+            out += _TAG_INT
+            out += _I64.pack(msg_id)
         else:
             _enc_int(self, msg_id, out)
         for text in (src, dst, target, verb):
             cached = _STR_ENC.get(text)
             if cached is not None:
+                stats.str_enc_hits += 1
                 out += cached
             else:
                 _enc_str(self, text, out)
@@ -232,10 +429,12 @@ class Marshaller:
                         raise MarshalError("truncated string")
                     item = _STR_DEC.get(raw)
                     if item is None:
+                        _MEMO_STATS.str_dec_misses += 1
                         item = raw.decode("utf-8")
-                        if slen <= _MEMO_MAX_STR and \
-                                len(_STR_DEC) < _MEMO_MAX_ENTRIES:
-                            _STR_DEC[raw] = item
+                        if slen <= _MEMO_MAX_STR:
+                            _memo_put(_STR_DEC, raw, item)
+                    else:
+                        _MEMO_STATS.str_dec_hits += 1
                     offset = start + slen
                 elif sub == _ORD_INT:
                     (item,) = _I64.unpack_from(data, offset + 1)
@@ -255,6 +454,109 @@ class Marshaller:
                 f"truncated wire data at offset {offset}") from exc
         if offset != len(data):
             raise MarshalError(f"trailing garbage: {len(data) - offset} bytes")
+        return fields
+
+    # -- the message fast path (zero-copy + carried decode) --------------------
+
+    def encode_frame_message(self, kind: str, msg_id: int, src: str,
+                             dst: str, target: str, verb: str, body: Any,
+                             headers: dict):
+        """Encode one frame, returning ``bytes`` or a :class:`WireMessage`.
+
+        Three outcomes, all carrying byte-identical wire images:
+
+        * no bulk payloads, impure frame → plain ``bytes``, exactly what
+          :meth:`encode_frame_fields` produces;
+        * bulk payloads → a :class:`WireMessage` whose segments hold the
+          payload objects uncopied;
+        * *pure* frame (empty headers, deeply-immutable body) → a
+          :class:`WireMessage` whose ``carried`` tuple lets the receiver
+          skip the decoder; the encoded suffix is memoised so repeat
+          sends of the same logical frame cost one concatenation.
+        """
+        pure = None
+        pkey = None
+        if headers.__class__ is dict and not headers:
+            if body.__class__ is tuple and len(body) == 2 \
+                    and body[0].__class__ is tuple \
+                    and body[1].__class__ is dict and not body[1]:
+                # A request/oneway body ``(args, {})``: carry the args
+                # tuple alone and let the receiver pair it with a fresh
+                # kwargs dict, so no mutable object is ever shared.
+                pkey = _typed_key(body[0])
+                if pkey is not None:
+                    pure = (body[0], True)
+            else:
+                pkey = _typed_key(body)
+                if pkey is not None:
+                    pure = (body, False)
+        key = None
+        if pure is not None and 0 <= msg_id < 2**63:
+            payload, is_pair = pure
+            key = (kind, src, dst, target, verb, pkey, is_pair)
+            tmpl = _TMPL_ENC.get(key)
+            if tmpl is not None:
+                _MEMO_STATS.tmpl_hits += 1
+                prefix, suffix, segments, nbytes = tmpl
+                # Minted ids are sequential and mostly cold in _INT_ENC;
+                # packing outright beats probing the memo first.
+                mid = _TAG_INT + _I64.pack(msg_id)
+                return WireMessage(
+                    prefix + mid + suffix, segments, nbytes,
+                    (kind, msg_id, src, dst, target, verb, payload,
+                     is_pair))
+            _MEMO_STATS.tmpl_misses += 1
+        self._segs = segs = []
+        try:
+            head = self.encode_frame_fields(kind, msg_id, src, dst,
+                                            target, verb, body, headers)
+        finally:
+            self._segs = None
+        if pure is None:
+            if not segs:
+                return head
+            segments = tuple(segs)
+            nbytes = len(head) + sum(
+                p.nbytes if p.__class__ is memoryview else len(p)
+                for _, p in segments)
+            return WireMessage(head, segments, nbytes, None)
+        payload, is_pair = pure
+        segments = tuple(segs)
+        nbytes = len(head) + sum(len(p) for _, p in segments)
+        carried = (kind, msg_id, src, dst, target, verb, payload, is_pair)
+        if key is not None and 0 <= msg_id < 2**63:
+            # Split the head around the (fixed-width) msg_id so a
+            # template hit only re-encodes that one field.  Segment
+            # offsets stay valid across hits: the prefix and the 9-byte
+            # int field never change length.
+            cached = _STR_ENC.get(kind)
+            if cached is None:
+                raw = kind.encode("utf-8")
+                cached = _TAG_STR + _U32.pack(len(raw)) + raw
+            plen = len(_LIST8_HEAD) + len(cached)
+            _memo_put(_TMPL_ENC, key,
+                      (head[:plen], head[plen + 9:], segments, nbytes))
+        return WireMessage(head, segments, nbytes, carried)
+
+    def decode_frame_message(self, msg: WireMessage):
+        """Decode a :class:`WireMessage` produced by
+        :meth:`encode_frame_message`; returns the frame field list (or
+        whatever the generic decoder yields for a non-frame head, so the
+        framing layer's error behaviour is preserved).
+        """
+        self._split = msg.segments
+        self._split_idx = 0
+        try:
+            fields = self.decode_frame_fields(msg.head)
+            if fields is None:
+                fields = self.decode(msg.head)
+            if self._split_idx != len(msg.segments):
+                raise MarshalError(
+                    f"{len(msg.segments) - self._split_idx} raw "
+                    f"segments unconsumed after decode")
+        finally:
+            self._split = None
+            self._split_idx = 0
         return fields
 
     def _encode_ref(self, ref: ObjectRef, out: bytearray) -> None:
@@ -288,10 +590,12 @@ class Marshaller:
                     raise MarshalError("truncated string")
                 value = _STR_DEC.get(raw)
                 if value is None:
+                    _MEMO_STATS.str_dec_misses += 1
                     value = raw.decode("utf-8")
-                    if length <= _MEMO_MAX_STR and \
-                            len(_STR_DEC) < _MEMO_MAX_ENTRIES:
-                        _STR_DEC[raw] = value
+                    if length <= _MEMO_MAX_STR:
+                        _memo_put(_STR_DEC, raw, value)
+                else:
+                    _MEMO_STATS.str_dec_hits += 1
                 return value, offset + length
             if tag == _ORD_INT:
                 (value,) = _I64.unpack_from(data, offset)
@@ -317,10 +621,12 @@ class Marshaller:
                             raise MarshalError("truncated string")
                         item = _STR_DEC.get(raw)
                         if item is None:
+                            _MEMO_STATS.str_dec_misses += 1
                             item = raw.decode("utf-8")
-                            if slen <= _MEMO_MAX_STR and \
-                                    len(_STR_DEC) < _MEMO_MAX_ENTRIES:
-                                _STR_DEC[raw] = item
+                            if slen <= _MEMO_MAX_STR:
+                                _memo_put(_STR_DEC, raw, item)
+                        else:
+                            _MEMO_STATS.str_dec_hits += 1
                         offset = start + slen
                     elif sub == _ORD_INT:
                         (item,) = _I64.unpack_from(data, offset + 1)
@@ -363,10 +669,12 @@ class Marshaller:
                             raise MarshalError("truncated string")
                         key = _STR_DEC.get(raw)
                         if key is None:
+                            _MEMO_STATS.str_dec_misses += 1
                             key = raw.decode("utf-8")
-                            if slen <= _MEMO_MAX_STR and \
-                                    len(_STR_DEC) < _MEMO_MAX_ENTRIES:
-                                _STR_DEC[raw] = key
+                            if slen <= _MEMO_MAX_STR:
+                                _memo_put(_STR_DEC, raw, key)
+                        else:
+                            _MEMO_STATS.str_dec_hits += 1
                         offset = start + slen
                     else:
                         key, offset = decode_from(data, offset)
@@ -389,6 +697,34 @@ class Marshaller:
                 if len(raw) != length:
                     raise MarshalError("truncated bytes")
                 return raw, offset + length
+            if tag == _ORD_RAW:
+                (length,) = _U32.unpack_from(data, offset)
+                offset += 4
+                split = self._split
+                if split is None:
+                    # Contiguous wire image (``WireMessage.to_bytes``):
+                    # the payload sits inline after its marker, exactly
+                    # like the bytes tag.
+                    raw = data[offset:offset + length]
+                    if len(raw) != length:
+                        raise MarshalError("truncated raw segment")
+                    return raw, offset + length
+                idx = self._split_idx
+                if idx >= len(split):
+                    raise MarshalError(
+                        "raw marker without a matching segment")
+                self._split_idx = idx + 1
+                seg = split[idx][1]
+                if seg.__class__ is not bytes:
+                    # Mutable payloads (bytearray/memoryview) materialise
+                    # exactly once, here, so the receiver never aliases a
+                    # buffer the sender could still write.
+                    seg = bytes(seg)
+                if len(seg) != length:
+                    raise MarshalError(
+                        f"raw segment length mismatch: marker says "
+                        f"{length}, segment has {len(seg)}")
+                return seg, offset
             if tag == _ORD_REF:
                 return self._decode_ref(data, offset)
             if tag == _ORD_BIGINT:
@@ -411,10 +747,12 @@ class Marshaller:
                 raise MarshalError("truncated ref")
             value = _STR_DEC.get(raw)
             if value is None:
+                _MEMO_STATS.str_dec_misses += 1
                 value = raw.decode("utf-8")
-                if length <= _MEMO_MAX_STR and \
-                        len(_STR_DEC) < _MEMO_MAX_ENTRIES:
-                    _STR_DEC[raw] = value
+                if length <= _MEMO_MAX_STR:
+                    _memo_put(_STR_DEC, raw, value)
+            else:
+                _MEMO_STATS.str_dec_hits += 1
             fields.append(value)
             offset += length
         (epoch,) = _I64.unpack_from(data, offset)
@@ -442,16 +780,17 @@ def _enc_bool(m: Marshaller, value, out: bytearray) -> None:
 def _enc_int(m: Marshaller, value: int, out: bytearray) -> None:
     cached = _INT_ENC.get(value)
     if cached is not None:
+        _MEMO_STATS.int_enc_hits += 1
         out += cached
         return
+    _MEMO_STATS.int_enc_misses += 1
     if -(2**63) <= value < 2**63:
         enc = _TAG_INT + _I64.pack(value)
     else:
         raw = value.to_bytes((value.bit_length() + 8) // 8 + 1,
                              "big", signed=True)
         enc = _TAG_BIGINT + _U32.pack(len(raw)) + raw
-    if len(_INT_ENC) < _MEMO_MAX_ENTRIES:
-        _INT_ENC[value] = enc
+    _memo_put(_INT_ENC, value, enc)
     out += enc
 
 
@@ -463,20 +802,39 @@ def _enc_float(m: Marshaller, value: float, out: bytearray) -> None:
 def _enc_str(m: Marshaller, value: str, out: bytearray) -> None:
     cached = _STR_ENC.get(value)
     if cached is None:
+        _MEMO_STATS.str_enc_misses += 1
         raw = value.encode("utf-8")
         cached = _TAG_STR + _U32.pack(len(raw)) + raw
-        if len(value) <= _MEMO_MAX_STR and len(_STR_ENC) < _MEMO_MAX_ENTRIES:
-            _STR_ENC[value] = cached
+        if len(value) <= _MEMO_MAX_STR:
+            _memo_put(_STR_ENC, value, cached)
+    else:
+        _MEMO_STATS.str_enc_hits += 1
     out += cached
 
 
 def _enc_bytes(m: Marshaller, value: bytes, out: bytearray) -> None:
+    size = len(value)
+    segs = m._segs
+    if segs is not None and size >= m._raw_min:
+        # Zero-copy bulk path: 5-byte marker in the head (identical wire
+        # cost to the inline tag), payload object parked uncopied.
+        out += _TAG_RAW
+        out += _U32.pack(size)
+        segs.append((len(out), value))
+        return
     out += _TAG_BYTES
-    out += _U32.pack(len(value))
+    out += _U32.pack(size)
     out += value
 
 
 def _enc_bytelike(m: Marshaller, value, out: bytearray) -> None:
+    size = value.nbytes if value.__class__ is memoryview else len(value)
+    segs = m._segs
+    if segs is not None and size >= m._raw_min:
+        out += _TAG_RAW
+        out += _U32.pack(size)
+        segs.append((len(out), value))
+        return
     raw = bytes(value)
     out += _TAG_BYTES
     out += _U32.pack(len(raw))
@@ -489,17 +847,20 @@ def _enc_list(m: Marshaller, value: list, out: bytearray) -> None:
     # Memo-hit strings and ints are appended inline: container elements are
     # overwhelmingly repeated short strings (verbs, context ids, keys) and
     # small ints, and the dispatch call per element dwarfs the append.
+    stats = _MEMO_STATS
     for item in value:
         cls = item.__class__
         if cls is str:
             cached = _STR_ENC.get(item)
             if cached is not None:
+                stats.str_enc_hits += 1
                 out += cached
             else:
                 _enc_str(m, item, out)
         elif cls is int:
             cached = _INT_ENC.get(item)
             if cached is not None:
+                stats.int_enc_hits += 1
                 out += cached
             else:
                 _enc_int(m, item, out)
@@ -518,17 +879,20 @@ def _enc_list(m: Marshaller, value: list, out: bytearray) -> None:
 def _enc_tuple(m: Marshaller, value: tuple, out: bytearray) -> None:
     out += _TAG_TUPLE
     out += _U32.pack(len(value))
+    stats = _MEMO_STATS
     for item in value:
         cls = item.__class__
         if cls is str:
             cached = _STR_ENC.get(item)
             if cached is not None:
+                stats.str_enc_hits += 1
                 out += cached
             else:
                 _enc_str(m, item, out)
         elif cls is int:
             cached = _INT_ENC.get(item)
             if cached is not None:
+                stats.int_enc_hits += 1
                 out += cached
             else:
                 _enc_int(m, item, out)
@@ -548,10 +912,12 @@ def _enc_dict(m: Marshaller, value: dict, out: bytearray) -> None:
     out += _TAG_DICT
     out += _U32.pack(len(value))
     encode_into = m._encode_into
+    stats = _MEMO_STATS
     for key, val in value.items():
         if key.__class__ is str:
             cached = _STR_ENC.get(key)
             if cached is not None:
+                stats.str_enc_hits += 1
                 out += cached
             else:
                 _enc_str(m, key, out)
@@ -561,12 +927,14 @@ def _enc_dict(m: Marshaller, value: dict, out: bytearray) -> None:
         if cls is str:
             cached = _STR_ENC.get(val)
             if cached is not None:
+                stats.str_enc_hits += 1
                 out += cached
             else:
                 _enc_str(m, val, out)
         elif cls is int:
             cached = _INT_ENC.get(val)
             if cached is not None:
+                stats.int_enc_hits += 1
                 out += cached
             else:
                 _enc_int(m, val, out)

@@ -1,0 +1,96 @@
+"""Zero-copy wire messages: an encoded head plus raw payload segments.
+
+The marshaller's bulk fast path (see ``wire/marshal.py``) does not copy
+large ``bytes``/``bytearray``/``memoryview`` payloads into the encoded
+stream.  Instead it writes a 5-byte raw marker (tag + u32 length — the
+same overhead as the inline bytes encoding, so the wire byte count and
+therefore every virtual-time figure is unchanged) and parks the payload
+object itself in a segment list.  The result is a :class:`WireMessage`:
+the contiguous *head* with markers inline, and the *segments* that
+splice in at recorded offsets.
+
+A ``WireMessage`` travels the simulated transport wherever plain frame
+bytes travel; ``len()`` reports the honest wire size (head plus segment
+payloads), which is what the cost model and the trace consume.  Nothing
+downstream mutates one, so a single instance may be shared freely — the
+frame template memo returns cached segment tuples, and ``bytes``
+payloads cross the boundary without ever being copied.
+
+``to_bytes()`` produces the contiguous wire image (markers followed by
+their payloads), which the ordinary decoder accepts — the format is
+self-describing with or without the segment list.
+"""
+
+from __future__ import annotations
+
+
+class WireMessage:
+    """One encoded message: contiguous head + zero-copy payload segments.
+
+    Attributes:
+        head: the encoded stream; raw markers (tag + length) sit inline
+            where the payload content would be.
+        segments: tuple of ``(offset, payload)`` pairs — ``offset`` is
+            the position in ``head`` immediately after the payload's
+            marker, i.e. where the content splices into the wire image;
+            ``payload`` is the original bytes-like object, uncopied.
+        nbytes: honest wire size — ``len(head)`` plus every segment's
+            byte length.  This equals what the inline encoding would
+            have produced, so marshal charges and network transit times
+            are bit-identical to the copying path.
+        carried: for *pure* frames (empty headers, deeply-immutable
+            body), the decoded field tuple ``(kind, msg_id, src, dst,
+            target, verb, payload, is_request_pair)`` — the receiver
+            rebuilds the frame from it without touching the decoder at
+            all.  ``None`` when the frame must be decoded for real.
+    """
+
+    __slots__ = ("head", "segments", "nbytes", "carried")
+
+    def __init__(self, head: bytes, segments: tuple, nbytes: int,
+                 carried: tuple | None = None):
+        self.head = head
+        self.segments = segments
+        self.nbytes = nbytes
+        self.carried = carried
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def to_bytes(self) -> bytes:
+        """The contiguous wire image (segments spliced after their
+        markers).  Decodable by the plain byte-stream decoder; used when
+        a message is embedded inside another frame (reply batching)."""
+        if not self.segments:
+            return self.head
+        head = self.head
+        parts = []
+        prev = 0
+        for offset, payload in self.segments:
+            parts.append(head[prev:offset])
+            if payload.__class__ is not bytes:
+                payload = bytes(payload)
+            parts.append(payload)
+            prev = offset
+        parts.append(head[prev:])
+        return b"".join(parts)
+
+    def freeze(self) -> "WireMessage":
+        """A message whose segments are all immutable ``bytes``.
+
+        Returns ``self`` when nothing needs materialising.  Used when a
+        message is staged for deferred delivery (reply batching): a
+        ``bytearray``/``memoryview`` payload could legally be mutated by
+        its owner between staging and the flush, so mutable segments are
+        snapshotted exactly once here.
+        """
+        if all(p.__class__ is bytes for _, p in self.segments):
+            return self
+        frozen = tuple((offset, bytes(payload))
+                       for offset, payload in self.segments)
+        return WireMessage(self.head, frozen, self.nbytes, self.carried)
+
+    def __repr__(self) -> str:
+        return (f"WireMessage({self.nbytes} bytes, "
+                f"{len(self.segments)} segments"
+                f"{', carried' if self.carried is not None else ''})")

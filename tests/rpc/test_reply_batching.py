@@ -1,0 +1,145 @@
+"""Server-side reply batching: coalescing, equivalence, fall-through.
+
+The contract under test (perf round 2's tentpole): same-tick oneways to
+one (source context, destination node) link may collapse into a single
+``mrp`` frame, and **nothing else may change** — client-visible results,
+virtual-time instants, and every RNG draw are identical with batching
+on, off, or structurally impossible.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.export import get_space
+from repro.failures.injectors import message_loss
+from repro.metrics.counters import MessageWindow
+
+
+def _fanout_system(batching: bool):
+    """A caching service with two subscriber contexts on ONE node (the
+    coalescible shape) plus a writer on its own node."""
+    sys_ = repro.make_system(seed=77)
+    server = sys_.add_node("server").create_context("main")
+    shared = sys_.add_node("shared")
+    sub_a = shared.create_context("a")
+    sub_b = shared.create_context("b")
+    writer = sys_.add_node("writer").create_context("main")
+    sys_.rpc.reply_batching = batching
+    ref = get_space(server).export(KVStore(), policy="caching")
+    proxy_a = get_space(sub_a).bind_ref(ref, handshake=True)
+    proxy_b = get_space(sub_b).bind_ref(ref, handshake=True)
+    writer_proxy = get_space(writer).bind_ref(ref, handshake=True)
+    return sys_, (proxy_a, proxy_b, writer_proxy)
+
+
+def _run_fanout(batching: bool) -> dict:
+    sys_, (proxy_a, proxy_b, writer_proxy) = _fanout_system(batching)
+    writer_proxy.put("k", 1)
+    # Warm both subscriber caches so the next write must invalidate both.
+    assert proxy_a.get("k") == 1
+    assert proxy_b.get("k") == 1
+    before = dict(sys_.rpc.stats)
+    with MessageWindow(sys_) as window:
+        writer_proxy.put("k", 2)
+    reads = (proxy_a.get("k"), proxy_b.get("k"))
+    stats = sys_.rpc.stats
+    return {
+        "reads": reads,
+        "messages": window.report.messages,
+        "clock": sys_.max_time(),
+        "batches": stats["reply_batches"] - before["reply_batches"],
+        "coalesced": (stats["coalesced_oneways"]
+                      - before["coalesced_oneways"]),
+        "fingerprint": sys_.trace.fingerprint(),
+    }
+
+
+class TestCoalescing:
+    def test_same_node_subscribers_coalesce_into_one_frame(self):
+        # Three caches subscribe (two on the shared node, the writer's
+        # own); one put coalesces exactly the shared pair.
+        run = _run_fanout(batching=True)
+        assert run["batches"] == 1
+        assert run["coalesced"] == 2
+        assert run["reads"] == (2, 2)
+
+    def test_coalescing_drops_message_count_only(self):
+        on = _run_fanout(batching=True)
+        off = _run_fanout(batching=False)
+        assert off["batches"] == 0
+        # Two invalidate sends collapse into one mrp send.
+        assert on["messages"] == off["messages"] - 1
+        # Everything the application can observe is untouched.
+        assert on["reads"] == off["reads"]
+        assert on["clock"] == off["clock"]
+
+    def test_batch_frame_appears_in_the_trace(self):
+        sys_, (proxy_a, proxy_b, writer_proxy) = _fanout_system(True)
+        writer_proxy.put("k", 1)
+        proxy_a.get("k")
+        proxy_b.get("k")
+        mark = sys_.trace.mark()
+        writer_proxy.put("k", 2)
+        lines = [event for event in sys_.trace.since(mark)
+                 if event.kind == "send"]
+        labels = [event.label for event in lines]
+        # The shared-node pair collapsed into one batch; the writer's own
+        # cache sits alone on its node, so its invalidate replays the
+        # exact inline send beside the batch.
+        assert labels.count("mrp") == 1
+        assert labels.count("one:invalidate") == 1
+
+
+class TestEquivalence:
+    def test_no_fanout_means_byte_identical_traces(self):
+        # One subscriber: no run of length ≥ 2 can form, so batching on
+        # must replay the exact inline sends — fingerprint included.
+        def run(batching):
+            sys_ = repro.make_system(seed=31)
+            server = sys_.add_node("server").create_context("main")
+            client = sys_.add_node("client").create_context("main")
+            sys_.rpc.reply_batching = batching
+            ref = get_space(server).export(KVStore(), policy="caching")
+            proxy = get_space(client).bind_ref(ref, handshake=True)
+            proxy.put("k", 1)
+            proxy.get("k")
+            proxy.put("k", 2)
+            assert proxy.get("k") == 2
+            return sys_.trace.fingerprint(), sys_.rpc.stats["reply_batches"]
+
+        fp_on, batches = run(True)
+        fp_off, _ = run(False)
+        assert batches == 0
+        assert fp_on == fp_off
+
+    def test_lossy_links_fall_through_to_inline_sends(self):
+        # An unreliable link has an RNG draw per transmission; staging
+        # would reorder it.  The stage guard must refuse, leaving the
+        # whole run — draws, retries, trace — identical to batching off.
+        def run(batching):
+            sys_, (proxy_a, proxy_b, writer_proxy) = _fanout_system(
+                batching)
+            writer_proxy.put("k", 1)
+            proxy_a.get("k")
+            proxy_b.get("k")
+            before = sys_.rpc.stats["reply_batches"]
+            mark = sys_.trace.mark()
+            with message_loss(sys_, 0.2):
+                writer_proxy.put("k", 2)
+                reads = (proxy_a.get("k"), proxy_b.get("k"))
+            return (reads, list(sys_.trace.since(mark)),
+                    sys_.rpc.stats["reply_batches"] - before)
+
+        reads_on, events_on, batches_on = run(True)
+        reads_off, events_off, _ = run(False)
+        assert batches_on == 0
+        assert reads_on == reads_off
+        assert events_on == events_off
+
+    def test_batching_is_an_instance_toggle(self):
+        sys_ = repro.make_system(seed=5)
+        assert sys_.rpc.reply_batching is True
+        sys_.rpc.reply_batching = False
+        other = repro.make_system(seed=5)
+        assert other.rpc.reply_batching is True  # per-system, not global

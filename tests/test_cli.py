@@ -118,3 +118,29 @@ class TestCli:
     def test_bench_unknown_benchmark_fails(self, capsys):
         assert main(["bench", "e99"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bench_e10_json_has_perf_gate_fields(self, capsys):
+        import json
+        assert main(["bench", "e10", "--ops", "20", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "e10"
+        scenarios = {row["scenario"] for row in payload["scenarios"]}
+        assert any(name.startswith("wire-") for name in scenarios)
+        assert any(name.startswith("e2e-") for name in scenarios)
+        for row in payload["scenarios"]:
+            assert "norm_fast" in row
+            if row["scenario"].startswith("wire-"):
+                assert row["lossless"] is True
+                assert "nbytes" in row
+
+    def test_bench_simwall_json_has_perf_gate_fields(self, capsys):
+        import json
+        assert main(["bench", "simwall", "--ops", "8",
+                     "--seed", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "simwall"
+        for row in payload["scenarios"]:
+            for field in ("scenario", "cases", "ok", "digest",
+                          "norm_rate"):
+                assert field in row
+            assert len(row["digest"]) == 64

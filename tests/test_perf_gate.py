@@ -103,3 +103,56 @@ class TestPerfGate:
         result = run_gate()
         assert result.returncode != 0
         assert "nothing to gate" in result.stderr
+
+    def test_e10_identical_pair_passes(self):
+        result = run_gate("--pair", "BENCH_e10.json:BENCH_e10.json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "e10 (BENCH_e10.json): ok" in result.stdout
+
+    def test_e10_gates_losslessness_and_wire_bytes(self, tmp_path):
+        record = _record("BENCH_e10.json")
+        wire = next(row for row in record["scenarios"]
+                    if row["scenario"].startswith("wire-"))
+        wire["nbytes"] += 1
+        current = tmp_path / "e10.json"
+        current.write_text(json.dumps(record))
+        result = run_gate("--pair", f"BENCH_e10.json:{current}")
+        assert result.returncode == 1
+        assert "deterministic field 'nbytes' changed" in result.stdout
+
+    def test_e10_norm_fast_is_tolerance_banded(self, tmp_path):
+        record = _record("BENCH_e10.json")
+        for row in record["scenarios"]:
+            row["norm_fast"] = round(row["norm_fast"] * 0.5, 1)
+        current = tmp_path / "e10.json"
+        current.write_text(json.dumps(record))
+        assert run_gate("--pair",
+                        f"BENCH_e10.json:{current}:0.6").returncode == 0
+        result = run_gate("--pair", f"BENCH_e10.json:{current}:0.4")
+        assert result.returncode == 1
+        assert "below baseline" in result.stdout
+
+    def test_simwall_identical_pair_passes(self):
+        result = run_gate(
+            "--pair", "BENCH_simwall.json:BENCH_simwall.json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "simwall (BENCH_simwall.json): ok" in result.stdout
+
+    def test_simwall_gates_the_battery_digest_exactly(self, tmp_path):
+        record = _record("BENCH_simwall.json")
+        record["scenarios"][0]["digest"] = "0" * 64
+        current = tmp_path / "simwall.json"
+        current.write_text(json.dumps(record))
+        result = run_gate("--pair", f"BENCH_simwall.json:{current}")
+        assert result.returncode == 1
+        assert "deterministic field 'digest' changed" in result.stdout
+
+    def test_simwall_wall_budget_is_the_norm_rate_floor(self, tmp_path):
+        record = _record("BENCH_simwall.json")
+        for row in record["scenarios"]:
+            row["norm_rate"] = round(row["norm_rate"] * 0.5, 2)
+        current = tmp_path / "simwall.json"
+        current.write_text(json.dumps(record))
+        result = run_gate("--pair", f"BENCH_simwall.json:{current}:0.4")
+        assert result.returncode == 1
+        assert "below baseline" in result.stdout

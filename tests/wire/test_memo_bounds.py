@@ -1,0 +1,127 @@
+"""Marshaller memo caches: bounded size, visible counters (satellite of
+the raw-speed round).
+
+The string/int/template memos are process-global, so they must be
+bounded (FIFO eviction at ``_MEMO_MAX_ENTRIES``) and observable — the
+hit/size counters surface through :func:`repro.wire.marshal.memo_stats`
+and are re-exported by :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import marshal_memo_stats, reset_marshal_memo_stats
+from repro.wire import marshal
+from repro.wire.marshal import (
+    Marshaller,
+    clear_memos,
+    memo_stats,
+    reset_memo_stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    """Cold caches and zeroed counters around every test here."""
+    clear_memos()
+    reset_memo_stats()
+    yield
+    clear_memos()
+    reset_memo_stats()
+
+
+def test_string_memo_counts_misses_then_hits():
+    plain = Marshaller()
+    plain.encode("motd")
+    first = memo_stats()
+    assert first["str_enc_misses"] == 1
+    assert first["str_enc_hits"] == 0
+    plain.encode("motd")
+    second = memo_stats()
+    assert second["str_enc_hits"] == 1
+    assert second["str_enc_size"] == 1
+
+
+def test_decode_memo_counts_separately():
+    plain = Marshaller()
+    image = plain.encode("payload-key")
+    plain.decode(image)
+    plain.decode(image)
+    stats = memo_stats()
+    assert stats["str_dec_misses"] == 1
+    assert stats["str_dec_hits"] == 1
+
+
+def test_memos_stay_bounded_under_churn():
+    cap = marshal._MEMO_MAX_ENTRIES
+    plain = Marshaller()
+    for i in range(cap + 500):
+        plain.encode(f"churn-key-{i}")
+    stats = memo_stats()
+    assert stats["str_enc_size"] <= cap
+    assert stats["evictions"] >= 500
+    assert stats["max_entries"] == cap
+
+
+def test_eviction_is_fifo_oldest_first():
+    cap = marshal._MEMO_MAX_ENTRIES
+    plain = Marshaller()
+    plain.encode("the-first-key")
+    for i in range(cap):  # push exactly past capacity
+        plain.encode(f"filler-{i}")
+    assert "the-first-key" not in marshal._STR_ENC
+    assert f"filler-{cap - 1}" in marshal._STR_ENC
+
+
+def test_template_memo_bounded_and_counted():
+    from repro.wire.frames import Frame, ONEWAY
+
+    plain = Marshaller()
+    cap = marshal._MEMO_MAX_ENTRIES
+    for i in range(cap + 10):
+        frame = Frame(ONEWAY, 1, "c0/main", "s0/main", target=f"t{i}",
+                      verb="poke", body=((), {}))
+        frame.encode_message(plain)
+    stats = memo_stats()
+    assert stats["tmpl_size"] <= cap
+    assert stats["tmpl_misses"] >= cap + 10
+    # A repeat of the *last* frame hits the surviving template.
+    frame.encode_message(plain)
+    assert memo_stats()["tmpl_hits"] >= 1
+
+
+def test_reset_zeroes_counters_but_keeps_entries():
+    plain = Marshaller()
+    plain.encode("sticky")
+    reset_memo_stats()
+    stats = memo_stats()
+    assert stats["str_enc_misses"] == 0
+    assert stats["str_enc_size"] == 1  # the cache itself survives
+
+
+def test_clear_empties_every_memo():
+    plain = Marshaller()
+    plain.encode("gone")
+    plain.decode(plain.encode("gone-too"))
+    clear_memos()
+    stats = memo_stats()
+    assert stats["str_enc_size"] == 0
+    assert stats["str_dec_size"] == 0
+    assert stats["int_enc_size"] == 0
+    assert stats["tmpl_size"] == 0
+
+
+def test_metrics_reexport_is_the_same_snapshot():
+    plain = Marshaller()
+    plain.encode("via-metrics")
+    assert marshal_memo_stats() == memo_stats()
+    reset_marshal_memo_stats()
+    assert memo_stats()["str_enc_misses"] == 0
+
+
+def test_reading_stats_never_warms_the_caches():
+    before = memo_stats()
+    after = memo_stats()
+    assert before == after
+    assert after["str_enc_size"] == 0

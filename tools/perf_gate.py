@@ -44,6 +44,16 @@ import sys
 #: baseline byte for byte; ``throughput`` (optional) is the single
 #: machine-dependent field allowed to drop by at most the tolerance.
 EXPERIMENTS = {
+    "e10": {
+        "rows": "scenarios",
+        "key": "scenario",
+        # Mixed rows: wire-* rows carry nbytes/lossless, e2e-* rows carry
+        # the virtual-time fields.  Absent fields compare as None on both
+        # sides, so one tuple covers both shapes.
+        "deterministic": ("size", "nbytes", "lossless", "sim_mean_ms",
+                          "bytes_per_op"),
+        "throughput": "norm_fast",
+    },
     "e18": {
         "rows": "policies",
         "key": "policy",
@@ -65,6 +75,14 @@ EXPERIMENTS = {
         # compared exactly with no tolerance band.
         "deterministic": None,
         "throughput": None,
+    },
+    "simwall": {
+        "rows": "scenarios",
+        "key": "scenario",
+        # The digest pins the whole battery summary byte-for-byte; the
+        # normalised case rate is the calibrated wall-time budget.
+        "deterministic": ("cases", "ok", "digest"),
+        "throughput": "norm_rate",
     },
 }
 
