@@ -23,6 +23,7 @@ from . import (
     e18_fastpath,
     e19_sharding,
     e20_admission,
+    e21_regions,
 )
 
 #: Every experiment module, in presentation order.
@@ -33,6 +34,7 @@ ALL = [
     e9_replication, e10_marshalling, e11_ablation, e12_pipelining,
     e13_persistence, e14_transactions, e15_weak_dsm, e16_events,
     e17_wan_placement, e18_fastpath, e19_sharding, e20_admission,
+    e21_regions,
 ]
 
 __all__ = ["ALL"] + [module.__name__.rsplit(".", 1)[-1] for module in ALL]

@@ -95,9 +95,11 @@ def _bench_registry() -> dict:
         e18_fastpath,
         e19_sharding,
         e20_admission,
+        e21_regions,
     )
     return {"e10": e10_marshalling, "e18": e18_fastpath,
-            "e19": e19_sharding, "e20": e20_admission, "simwall": simwall}
+            "e19": e19_sharding, "e20": e20_admission,
+            "e21": e21_regions, "simwall": simwall}
 
 
 def cmd_bench(args) -> int:
@@ -265,8 +267,8 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser = commands.add_parser(
         "bench", help="host throughput benchmark (wall clock)")
     bench_parser.add_argument("benchmark",
-                              help="benchmark id: e10, e18, e19, e20 "
-                                   "or simwall")
+                              help="benchmark id: e10, e18, e19, e20, "
+                                   "e21 or simwall")
     bench_parser.add_argument("--ops", type=int, default=None)
     bench_parser.add_argument("--seed", type=int, default=None)
     bench_parser.add_argument("--json", action="store_true",
@@ -284,7 +286,9 @@ def main(argv: list[str] | None = None) -> int:
                             help='policy name or "all" (every shipped '
                                  'policy)')
     sim_parser.add_argument("--service", default=None,
-                            help="kv|counter|lock|queue (default: by seed)")
+                            help="kv|counter|lock|queue|bank (default: by "
+                                 "seed; bank is pinned for the bank "
+                                 "policies)")
     sim_parser.add_argument("--json", action="store_true",
                             help="emit the full report as sorted JSON")
     sim_parser.add_argument(

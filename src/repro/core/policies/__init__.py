@@ -9,6 +9,7 @@ codebase:
 ``batching``    client-side buffering of mutating operations
 ``migrating``   pulls a hot object into the caller's context
 ``replicated``  read-one/write-all routing over a replica group
+``regional``    replication with region-aware, breaker-admitted reads
 ``sharded``     consistent-hash routing over a partitioned key space
 ``tracing``     client-side latency metering, reported to a collector
 ``leased``      maintains a GC lease on the target (repro.core.leases)
@@ -33,6 +34,7 @@ from .caching import (
 )
 from .composite import CompositeProxy
 from .migrating import DEFAULT_MIGRATE_AFTER, MigratingProxy
+from .regional import RegionalProxy
 from .replicating import ReplicatedProxy, replicate
 from .sharding import ShardedProxy, shard
 from .stub import ForwardingProxy
@@ -44,7 +46,8 @@ __all__ = [
     "BatchControl", "BatchingProxy", "CacheCallback", "CacheCoherence",
     "CacheControl", "CachingProxy", "CompositeProxy", "DEFAULT_BATCH_SIZE",
     "DEFAULT_MIGRATE_AFTER", "DEFAULT_TTL", "ForwardingProxy", "LeasedProxy",
-    "MigratingProxy", "ReplicatedProxy", "ResilientProxy", "ShardedProxy",
+    "MigratingProxy", "RegionalProxy", "ReplicatedProxy", "ResilientProxy",
+    "ShardedProxy",
     "TraceCollector", "TracingProxy", "invalidated_values", "replicate",
     "resilient_group", "shard",
 ]

@@ -1055,7 +1055,8 @@ def replicate(contexts: list, factory: Callable[[], object],
               extra_layers: list[str] | None = None,
               elect: bool = False,
               lease_ttl: float | None = None,
-              policy: str = "replicated") -> ObjectRef:
+              policy: str = "replicated",
+              extra_config: dict | None = None) -> ObjectRef:
     """Deploy a replica group and return the client-facing reference.
 
     One instance from ``factory`` is exported (under the plain ``stub``
@@ -1082,6 +1083,9 @@ def replicate(contexts: list, factory: Callable[[], object],
     group is then exported under the ``composite`` policy.  ``policy``
     overrides the group's registered policy name (the simtest canaries
     deploy buggy :class:`ReplicatedProxy` subclasses this way).
+    ``extra_config`` merges additional keys into the group configuration —
+    policy subclasses (e.g. ``regional``, which needs the replicas'
+    region labels) receive them through ``proxy_config``.
     """
     from ...iface.adapters import make_delegate
     from ...iface.interface import Interface
@@ -1120,6 +1124,8 @@ def replicate(contexts: list, factory: Callable[[], object],
                 "elect=True requires the versioned quorum mode "
                 "(pass read_quorum or versioned=True)")
         config["elect"] = True
+    if extra_config:
+        config.update(extra_config)
     if extra_layers:
         config["layers"] = list(extra_layers) + [policy]
         policy = "composite"

@@ -133,6 +133,19 @@ class Overloaded(DistributionError):
         self.retry_after = retry_after
 
 
+class TransactionBlocked(DistributionError):
+    """The key is wedged under a prepared (in-doubt) two-phase transaction.
+
+    Raised by a versioned store when a read or write lands on a key that a
+    2PC ``prepare`` locked and whose coordinator has not yet delivered the
+    commit/abort decision.  This is the blocking 2PC is famous for: the
+    store cannot safely answer until the in-doubt transaction resolves, so
+    it refuses rather than guess.  It lives in the distribution subtree —
+    the caller experiences it exactly like an unreachable dependency, and
+    retrying after recovery is always safe.
+    """
+
+
 # --------------------------------------------------------------------------
 # Protocol / typing violations
 # --------------------------------------------------------------------------

@@ -25,6 +25,11 @@ class Node:
         self.alive = True
         self.contexts: dict[str, Context] = {}
         self._crash_count = 0
+        # Region label for geo-aware policies (see repro.kernel.topology
+        # build_regions and the "regional" proxy policy).  The empty
+        # default means "no region": region-oblivious deployments are
+        # byte-identical to a build without the attribute.
+        self.region = ""
         # Server-side overload stack (repro.kernel.admission), consulted
         # by the RPC dispatcher before executing a request.  ``None`` —
         # the default — admits everything: behaviour and wire bytes are

@@ -1,0 +1,262 @@
+"""The bank workload: transactional transfers graded for atomicity.
+
+Four accounts across **two** versioned stores on different nodes, one
+facade service the clients call — ``transfer`` moves money between
+accounts (usually across stores), ``balance``/``total`` observe it.  The
+facade exists so one deployment knob swaps the *transaction discipline*
+underneath an identical client API, which is the comparison the harness
+grades:
+
+* ``txn2pc`` — :class:`TwoPhaseBank` runs every transfer through
+  :meth:`~repro.transactions.coordinator.TransactionCoordinator.commit_2pc`.
+  Atomic and linearizable, but **blocking**: a partition between prepare
+  and decision leaves keys wedged, and every read touching them refuses
+  (:class:`~repro.kernel.errors.TransactionBlocked`) until the recovery
+  pump redelivers the decision.
+* ``saga`` — :class:`SagaBank` runs every transfer as a two-step saga
+  (debit, credit) with compensations.  Never blocks — every call gets an
+  answer — but intermediate states are visible, so it is *not* graded for
+  linearizability; it is graded by the **atomicity audit** below.
+* ``sagaskip`` — the saga deployment with compensation *recording without
+  executing* (:class:`SkipCompensationSaga`).  Money leaks whenever a
+  partially-applied transfer aborts, and the audit must convict it: the
+  saga-pattern counterpart of ``dirtycache``.
+
+The atomicity audit (:func:`grade_bank`) runs after the fault schedule has
+healed: it pumps ``settle`` until no parked work remains, then demands
+(1) nothing is left unresolved or wedged, (2) **conservation** — the total
+observed through *every client's own proxy* equals the seeded total, so
+each client sees either all of a transfer's forward effects or all of its
+compensations, and (3) the coordinator's ledger holds no saga that ended
+half-applied.  A failure is reported as a synthetic
+:class:`~repro.simtest.checker.Violation`, same shape as a checker
+conviction, so corpus records and minimization work unchanged.
+"""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+from ..kernel.errors import DistributionError, TransactionBlocked
+from ..transactions import SagaCoordinator, TransactionCoordinator
+from .checker import Violation
+
+#: The four account keys; the first half lives on store 0, the rest on
+#: store 1 — most transfers cross stores, which is the interesting case.
+ACCOUNTS = ("a0", "a1", "b0", "b1")
+
+#: Seeded opening balance per account (conservation audits against
+#: ``INITIAL * len(ACCOUNTS)``).
+INITIAL = 8
+
+#: Per-account ceiling: a credit pushing past it is *refused* by the
+#: participant, which is the business-refusal path that forces the saga
+#: to compensate an already-applied debit (and the skipping canary to
+#: leak money) even on fault-free runs.
+CAP = 12
+
+#: The policy labels deployed over this workload.
+BANK_POLICIES = ("txn2pc", "saga", "sagaskip")
+
+
+def store_index(account: str) -> int:
+    """Which of the two stores an account lives on."""
+    return 0 if account.startswith("a") else 1
+
+
+class BankFacade(Service):
+    """Client-facing API; subclasses supply the transfer discipline.
+
+    ``stores`` are the two :class:`~repro.transactions.participant.
+    VersionedKVStore` proxies (bound in the facade's own context — the
+    facade pays the store hops in virtual time like any other caller).
+    """
+
+    default_policy = "stub"
+
+    def __init__(self, stores):
+        self.stores = list(stores)
+
+    def _store(self, account: str):
+        return self.stores[store_index(account)]
+
+    @operation(readonly=True, compute=5e-6)
+    def balance(self, account: str) -> int:
+        """The account's current balance (refuses while the key is wedged)."""
+        value, _ = self._store(account).read(account)
+        return int(value or 0)
+
+    @operation(readonly=True, compute=8e-6)
+    def total(self) -> int:
+        """Sum over every account (refuses while any key is wedged)."""
+        amount = 0
+        for account in ACCOUNTS:
+            value, _ = self._store(account).read(account)
+            amount += int(value or 0)
+        return amount
+
+    @operation(compute=1e-5)
+    def settle(self) -> int:
+        """Re-drive parked recovery work; returns actions resolved."""
+        raise NotImplementedError
+
+    @operation(readonly=True, compute=3e-6)
+    def unresolved(self) -> int:
+        """Transactions/sagas still awaiting delivery."""
+        raise NotImplementedError
+
+
+class TwoPhaseBank(BankFacade):
+    """Transfers as strict two-phase commits: atomic, blocking."""
+
+    def __init__(self, stores):
+        super().__init__(stores)
+        self.txn = TransactionCoordinator()
+
+    @operation(compute=2e-5)
+    def transfer(self, src: str, dst: str, amount: int) -> str:
+        """``"committed"``, ``"insufficient"``, or ``"capped"``.
+
+        Business checks run on freshly-read balances *before* any 2PC
+        traffic, in that order (the model mirrors it).  Reads on wedged
+        keys raise; a prepare refusal can only mean a wedged key appeared
+        mid-transfer, so it raises :class:`TransactionBlocked` too.
+        """
+        src_store, dst_store = self._store(src), self._store(dst)
+        src_balance, src_version = src_store.read(src)
+        dst_balance, dst_version = dst_store.read(dst)
+        src_balance = int(src_balance or 0)
+        dst_balance = int(dst_balance or 0)
+        if src_balance < amount:
+            return "insufficient"
+        if dst_balance + amount > CAP:
+            return "capped"
+        txid = self.txn.begin()
+        committed = self.txn.commit_2pc(
+            txid,
+            [[src_store, src, src_version], [dst_store, dst, dst_version]],
+            [[src_store, src, src_balance - amount],
+             [dst_store, dst, dst_balance + amount]])
+        if not committed:
+            raise TransactionBlocked(
+                f"transfer {src}->{dst} refused at prepare: key in doubt")
+        return "committed"
+
+    @operation(compute=1e-5)
+    def settle(self) -> int:
+        return self.txn.recover()
+
+    @operation(readonly=True, compute=3e-6)
+    def unresolved(self) -> int:
+        return self.txn.in_doubt()
+
+
+class SagaBank(BankFacade):
+    """Transfers as debit/credit sagas: non-blocking, compensating."""
+
+    saga_class = SagaCoordinator
+
+    def __init__(self, stores):
+        super().__init__(stores)
+        self.saga = self.saga_class()
+
+    @operation(compute=2e-5)
+    def transfer(self, src: str, dst: str, amount: int) -> str:
+        """``"committed"``, ``"insufficient"``, ``"capped"``, or
+        ``"aborted"`` (an in-doubt step decided abort) — always an
+        answer, never a wedged key."""
+        outcome = self.saga.run(
+            [[self._store(src), src, -amount, 0, None],
+             [self._store(dst), dst, amount, None, CAP]])
+        if outcome[0] == "committed":
+            return "committed"
+        if outcome[0] == "aborted":
+            return "aborted"
+        return "insufficient" if outcome[1] == 0 else "capped"
+
+    @operation(compute=1e-5)
+    def settle(self) -> int:
+        return self.saga.settle()
+
+    @operation(readonly=True, compute=3e-6)
+    def unresolved(self) -> int:
+        return self.saga.unresolved()
+
+
+class SkipCompensationSaga(SagaCoordinator):
+    """The canary: compensations are *recorded as done* but never sent.
+
+    Every bookkeeping path is the honest coordinator's — the ledger
+    believes each aborted saga was fully compensated — yet the undo
+    adjustments never reach the stores, so an applied debit whose credit
+    refused (or aborted in doubt) simply vanishes from the system.  The
+    atomicity audit must convict this via conservation.
+    """
+
+    def _compensate(self, saga_id, entry, steps, index) -> None:
+        self.stats["settled_actions"] += 0    # pretend it happened
+
+
+class SkipCompensationBank(SagaBank):
+    """The ``sagaskip`` facade: honest saga plumbing, leaking undo."""
+
+    saga_class = SkipCompensationSaga
+
+
+#: Policy label → facade class.
+BANK_FACADES = {"txn2pc": TwoPhaseBank, "saga": SagaBank,
+                "sagaskip": SkipCompensationBank}
+
+
+def grade_bank(facade, clients, settle_rounds: int = 12) -> Violation | None:
+    """The atomicity audit; ``None`` means the invariant held.
+
+    ``facade`` is the raw facade object (ledger introspection);
+    ``clients`` the driver's ``(name, context, proxy)`` triples —
+    conservation is observed through every client's own proxy, which is
+    what makes this a *per-client* invariant.  Call after the fault
+    schedule has healed.
+    """
+    proxy = clients[0][2]
+    pending = None
+    for _ in range(settle_rounds):
+        try:
+            moved = proxy.invoke("settle", (), {})
+            pending = proxy.invoke("unresolved", (), {})
+        except DistributionError as exc:
+            pending = f"!{type(exc).__name__}"
+            continue
+        if not moved and not pending:
+            break
+    if pending:
+        return Violation(
+            partition="bank-atomicity",
+            ops=[{"client": clients[0][0], "verb": "settle",
+                  "unresolved": pending,
+                  "note": "parked recovery work never drained"}],
+            longest_prefix=-1)
+    expected = INITIAL * len(ACCOUNTS)
+    for name, _, client_proxy in clients:
+        try:
+            observed = client_proxy.invoke("total", (), {})
+        except DistributionError as exc:
+            observed = f"!{type(exc).__name__}"
+        if observed != expected:
+            return Violation(
+                partition="bank-atomicity",
+                ops=[{"client": name, "verb": "total", "result": observed,
+                      "expected": expected,
+                      "note": "conservation broken: some transfer was "
+                              "neither completed nor compensated"}],
+                longest_prefix=-1)
+    saga = getattr(facade, "saga", None)
+    if saga is not None:
+        half_applied = [saga_id for saga_id, entry in saga.ledger.items()
+                        if entry["parked"]]
+        if half_applied:
+            return Violation(
+                partition="bank-atomicity",
+                ops=[{"verb": "ledger", "sagas": half_applied,
+                      "note": "sagas left half-applied after settlement"}],
+                longest_prefix=-1)
+    return None

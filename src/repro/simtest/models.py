@@ -190,10 +190,48 @@ class QueueModel(Model):
         raise ValueError(f"QueueModel cannot step {verb!r}")
 
 
+class BankModel(Model):
+    """Oracle for the bank facade (:mod:`repro.simtest.bank`).
+
+    One partition — transfers span accounts, so nothing commutes.  State
+    is the sorted ``((account, balance), ...)`` tuple.  ``transfer``
+    mirrors the facade's check order exactly: insufficient funds first,
+    then the per-account cap, then the atomic move.  Only the blocking
+    (``txn2pc``) deployment is graded against this model — the saga
+    deployments expose intermediate states by design and are graded by
+    the atomicity audit instead (:func:`repro.simtest.bank.grade_bank`).
+    """
+
+    name = "bank"
+    readonly_verbs = frozenset({"balance", "total"})
+
+    def initial(self) -> Hashable:
+        from .bank import ACCOUNTS, INITIAL
+        return tuple(sorted((account, INITIAL) for account in ACCOUNTS))
+
+    def step(self, state, verb, args):
+        from .bank import CAP
+        balances = dict(state)
+        if verb == "transfer":
+            src, dst, amount = args
+            if balances[src] < amount:
+                return "insufficient", state
+            if balances[dst] + amount > CAP:
+                return "capped", state
+            balances[src] -= amount
+            balances[dst] += amount
+            return "committed", tuple(sorted(balances.items()))
+        if verb == "balance":
+            return balances[args[0]], state
+        if verb == "total":
+            return sum(balances.values()), state
+        raise ValueError(f"BankModel cannot step {verb!r}")
+
+
 #: Service name → model factory (the workload and checker share this).
 MODELS: dict[str, type[Model]] = {
     model.name: model for model in (KVModel, CounterModel, LockModel,
-                                    QueueModel)
+                                    QueueModel, BankModel)
 }
 
 

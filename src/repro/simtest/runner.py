@@ -24,6 +24,8 @@ from .history import History
 from .minimize import minimize_case
 from .models import MODELS
 from .workload import (
+    AUDIT_ONLY_POLICIES,
+    BANK_POLICIES,
     COLLAPSE_SLO,
     FAULT_MENUS,
     SERVICE_CYCLE,
@@ -96,7 +98,12 @@ def build_case(seed: int, policy: str, service: str | None = None,
     arguments always yield the same case.
     """
     if service is None:
-        service = SERVICE_CYCLE[seed % len(SERVICE_CYCLE)]
+        # The bank policies only make sense over the bank workload; every
+        # other policy rotates through the ordinary services.
+        if policy in BANK_POLICIES:
+            service = "bank"
+        else:
+            service = SERVICE_CYCLE[seed % len(SERVICE_CYCLE)]
     faults: tuple[Fault, ...] = ()
     if chaos:
         servers, client_names = topology(policy, clients)
@@ -147,10 +154,15 @@ class SimReport:
 
 
 def execute(case: SimCase) -> tuple[History, object]:
-    """Deploy and drive one case; returns ``(history, system)``."""
+    """Deploy and drive one case; returns ``(history, deployment)``.
+
+    The deployment rides along because grading can need more than the
+    history: the bank policies carry a post-run atomicity audit
+    (``deployment.grade``) that inspects the healed system.
+    """
     deployment = deploy(case)
     history = drive(deployment, case, case.schedule())
-    return history, deployment.system
+    return history, deployment
 
 
 def _max_latency(history: History) -> float:
@@ -188,9 +200,13 @@ def _collapse_violation(case: SimCase, history: History) -> Violation | None:
 
 def _violates(case: SimCase, max_nodes: int,
               consistency: str = "linearizable") -> bool:
-    history, _ = execute(case)
+    history, deployment = execute(case)
     if _collapse_violation(case, history) is not None:
         return True
+    if deployment.grade is not None and deployment.grade() is not None:
+        return True
+    if case.policy in AUDIT_ONLY_POLICIES:
+        return False
     model = MODELS[case.service]()
     return check_history(history, model, max_nodes,
                          consistency=consistency).verdict == "violation"
@@ -206,17 +222,30 @@ def run_case(case: SimCase, minimize: bool = True,
     """
     from .checker import DEFAULT_MAX_NODES
     budget = max_nodes if max_nodes is not None else DEFAULT_MAX_NODES
-    history, system = execute(case)
-    model = MODELS[case.service]()
-    check = check_history(history, model, budget, consistency=consistency)
-    # The collapse SLO composes with the consistency verdict: a checker
-    # conviction wins (it names the stronger anomaly), else an overload
-    # deployment whose completions blew the latency bound is convicted too.
+    history, deployment = execute(case)
+    system = deployment.system
+    if case.policy in AUDIT_ONLY_POLICIES:
+        # Sagas expose intermediate states by contract; their verdict is
+        # the atomicity audit alone (see AUDIT_ONLY_POLICIES).
+        check = CheckResult(True)
+    else:
+        model = MODELS[case.service]()
+        check = check_history(history, model, budget,
+                              consistency=consistency)
+    # The collapse SLO and the atomicity audit compose with the
+    # consistency verdict: a checker conviction wins (it names the
+    # stronger anomaly), else an overload deployment whose completions
+    # blew the latency bound — or a bank deployment that failed the
+    # completes-or-compensates audit — is convicted too.
     verdict, violation = check.verdict, check.violation
     if verdict == "ok":
         collapse = _collapse_violation(case, history)
         if collapse is not None:
             verdict, violation = "violation", collapse
+    if verdict == "ok" and deployment.grade is not None:
+        atomicity = deployment.grade()
+        if atomicity is not None:
+            verdict, violation = "violation", atomicity
     rpc = system.rpc.stats if system.rpc is not None else {}
     report = SimReport(
         case=case, verdict=verdict, history=history,

@@ -119,13 +119,24 @@ from ..kernel.errors import (
     Overloaded,
     ReproError,
 )
+from ..kernel.network import LinkSpec
 from ..rpc.protocol import RemoteError
+from ..transactions import VersionedKVStore
+from .bank import (
+    ACCOUNTS,
+    BANK_FACADES,
+    BANK_POLICIES,
+    INITIAL,
+    grade_bank,
+    store_index,
+)
 from .history import History, canonical
 from .models import MODELS, Model
 
 #: The shipped policies the battery must prove clean.
 SHIPPED_POLICIES = ("stub", "caching", "replicated", "resilient",
-                    "composite", "sharded", "admitted")
+                    "composite", "sharded", "admitted", "regional",
+                    "txn2pc", "saga")
 
 #: Per-policy fault menus (the consistency contracts — module docstring).
 FAULT_MENUS: dict[str, tuple[str, ...]] = {
@@ -141,7 +152,25 @@ FAULT_MENUS: dict[str, tuple[str, ...]] = {
     "staleshard": FAULT_KINDS,
     "admitted": FAULT_KINDS + ("overload",),
     "shedless": ("overload",),
+    "regional": FAULT_KINDS,
+    "txn2pc": FAULT_KINDS,
+    "saga": FAULT_KINDS,
+    "sagaskip": ("partition", "loss"),
 }
+
+#: Policies graded by the bank atomicity audit *instead of* the
+#: linearizability checker: an honest saga exposes intermediate states by
+#: design (debit visible before credit), so a strict atomic-transfer model
+#: would convict it — its contract is completes-or-compensates, which is
+#: exactly what :func:`repro.simtest.bank.grade_bank` demands.  ``txn2pc``
+#: is *not* here: blocking 2PC never exposes a half-applied state (wedged
+#: keys refuse reads), so it is held to full linearizability on top of
+#: the audit.
+AUDIT_ONLY_POLICIES = ("saga", "sagaskip")
+
+#: WAN latency multiplier for the ``regional`` deployment's two regions
+#: (modest next to E21's 20× so fault-menu retries stay inside budgets).
+_REGION_WAN_FACTOR = 4.0
 
 #: Admission stacks the overload deployments install on their server node.
 #: ``admitted`` bounds the run queue at 8 slots (worst admitted wait:
@@ -162,7 +191,8 @@ _ADMISSION_CONFIGS: dict[str, dict] = {
 COLLAPSE_SLO: dict[str, float] = {"admitted": 1.0, "shedless": 1.0}
 
 #: Policies deployed as a three-replica group (everything else: one server).
-_REPLICA_POLICIES = ("replicated", "underquorum", "splitbrain", "composite")
+_REPLICA_POLICIES = ("replicated", "underquorum", "splitbrain", "composite",
+                     "regional")
 
 #: Policies deployed as a three-shard consistent-hash group.
 _SHARD_POLICIES = ("sharded", "staleshard")
@@ -178,6 +208,9 @@ _QUORUM_CONFIGS = {
     "replicated": (2, 2, "nearest"),
     "underquorum": (1, 1, "roundrobin"),
     "splitbrain": (2, 2, "roundrobin"),
+    # R + W > N with the region-aware read order: reads make first contact
+    # in-region, the quorum overlap keeps them linearizable anyway.
+    "regional": (2, 2, "regional"),
 }
 
 #: The driver runs one anti-entropy sweep every this many operations for
@@ -319,8 +352,14 @@ class StaleShardProxy(ShardedProxy):
 
 
 def topology(policy: str, clients: int) -> tuple[list[str], list[str]]:
-    """Node names for a case: ``(server_names, client_names)``."""
-    servers = 3 if policy in _REPLICA_POLICIES + _SHARD_POLICIES else 1
+    """Node names for a case: ``(server_names, client_names)``.
+
+    Replica/shard groups get three servers; so do the bank deployments
+    (``s0`` the facade, ``s1``/``s2`` the two stores — the fault menu
+    aims at all three, so partitions genuinely strand a participant).
+    """
+    multi = _REPLICA_POLICIES + _SHARD_POLICIES + BANK_POLICIES
+    servers = 3 if policy in multi else 1
     return ([f"s{i}" for i in range(servers)],
             [f"c{i}" for i in range(clients)])
 
@@ -334,21 +373,31 @@ class Deployment:
     model: Model
     clients: list    # (name, context, proxy) triples, driver order
     maintenance: object = None    # background sweep thunk, or None
+    grade: object = None    # post-run invariant hook -> Violation | None
 
 
 def deploy(case) -> Deployment:
     """Build the case's system and deployment (no faults active yet)."""
     if case.policy not in FAULT_MENUS:
         raise ValueError(f"unknown policy {case.policy!r}")
-    service_cls = _SERVICE_CLASSES.get(case.service)
-    if service_cls is None:
-        raise ValueError(f"unknown service {case.service!r}")
+    if (case.service == "bank") != (case.policy in BANK_POLICIES):
+        raise ValueError(
+            f"service {case.service!r} does not fit policy {case.policy!r}: "
+            f"the bank workload and the bank policies go together")
     system = make_system(seed=case.seed)
     server_names, client_names = topology(case.policy, case.clients)
     server_ctxs = [system.add_node(name).create_context("main")
                    for name in server_names]
     client_ctxs = [system.add_node(name).create_context("main")
                    for name in client_names]
+    if case.policy == "regional":
+        _regionalise(system, server_ctxs, client_ctxs)
+    if case.policy in BANK_POLICIES:
+        return _deploy_bank(case, system, server_ctxs, client_ctxs,
+                            client_names)
+    service_cls = _SERVICE_CLASSES.get(case.service)
+    if service_cls is None:
+        raise ValueError(f"unknown service {case.service!r}")
     interface = Interface.of(service_cls)
     ref = _export(case.policy, server_ctxs, service_cls, interface,
                   case.service)
@@ -377,6 +426,74 @@ def deploy(case) -> Deployment:
                       maintenance=maintenance)
 
 
+def _regionalise(system, server_ctxs: list, client_ctxs: list) -> None:
+    """Split the case's nodes into two regions with WAN links between.
+
+    ``s0``/``s1`` and the even clients are *east* (so the home region
+    holds a write quorum by itself); ``s2`` and the odd clients are
+    *west* — a west client's region-aware reads stay on ``s2`` while its
+    writes pay the WAN to the east primary.
+    """
+    east = server_ctxs[:2] + client_ctxs[0::2]
+    west = server_ctxs[2:] + client_ctxs[1::2]
+    for ctx in east:
+        ctx.node.region = "east"
+    for ctx in west:
+        ctx.node.region = "west"
+    costs = system.costs
+    wan = LinkSpec(latency=costs.remote_latency * _REGION_WAN_FACTOR,
+                   byte_cost=costs.byte_cost)
+    for ctx_a in east:
+        for ctx_b in west:
+            system.network.set_link(ctx_a.node.name, ctx_b.node.name, wan)
+
+
+def _deploy_bank(case, system, server_ctxs: list, client_ctxs: list,
+                 client_names: list) -> Deployment:
+    """The bank deployment: facade on ``s0``, one store each on ``s1``/``s2``.
+
+    The stores are exported as plain stubs and seeded *before* any client
+    traffic (direct object writes: no virtual time, no wire bytes); the
+    facade binds store proxies in its own context, so every hop it takes
+    on a client's behalf is charged honestly.  The returned deployment
+    carries the :func:`~repro.simtest.bank.grade_bank` audit as its
+    ``grade`` hook and a fault-guarded ``settle`` pump as maintenance.
+    """
+    facade_ctx, store_ctxs = server_ctxs[0], server_ctxs[1:]
+    store_interface = Interface.of(VersionedKVStore)
+    store_refs = []
+    for ctx in store_ctxs:
+        store = VersionedKVStore()
+        store_refs.append(get_space(ctx).export(
+            store, interface=store_interface, policy="stub"))
+        for account in ACCOUNTS:
+            if store_ctxs[store_index(account)] is ctx:
+                store.write(account, INITIAL)
+    store_proxies = [get_space(facade_ctx).bind_ref(ref, handshake=True)
+                     for ref in store_refs]
+    facade_cls = BANK_FACADES[case.policy]
+    facade = facade_cls(store_proxies)
+    interface = Interface.of(facade_cls)
+    facade_ref = get_space(facade_ctx).export(facade, interface=interface,
+                                              policy="stub")
+    clients = [(name, ctx, get_space(ctx).bind_ref(facade_ref,
+                                                   handshake=True))
+               for name, ctx in zip(client_names, client_ctxs)]
+
+    def pump():
+        # The settle pump rides the first client like the anti-entropy
+        # sweep; a pump that lands mid-partition must not kill the driver.
+        try:
+            clients[0][2].invoke("settle", (), {})
+        except DistributionError:
+            pass
+
+    return Deployment(system=system, interface=interface,
+                      model=MODELS["bank"](), clients=clients,
+                      maintenance=pump,
+                      grade=lambda: grade_bank(facade, clients))
+
+
 def _export(policy: str, server_ctxs: list, service_cls, interface,
             service: str):
     primary = server_ctxs[0]
@@ -398,6 +515,13 @@ def _export(policy: str, server_ctxs: list, service_cls, interface,
         extra = {}
         if policy == "replicated":
             extra = {"elect": True}
+        elif policy == "regional":
+            # Fixed primary in the home region; the config carries each
+            # replica's region label so the proxy can rank by it.
+            extra = {"policy": "regional",
+                     "extra_config": {
+                         "regions": [ctx.node.region
+                                     for ctx in server_ctxs]}}
         elif policy == "splitbrain":
             # A practically-infinite lease keeps the legitimate election
             # machinery quiet; only the canary's vote-free coronations
@@ -487,8 +611,21 @@ def _queue_op(rng, client: str, index: int) -> tuple[str, tuple]:
     return "stats", ()
 
 
+def _bank_op(rng, client: str, index: int) -> tuple[str, tuple]:
+    r = rng.random()
+    if r < 0.45:
+        src = ACCOUNTS[rng.randrange(len(ACCOUNTS))]
+        dst = ACCOUNTS[rng.randrange(len(ACCOUNTS))]
+        while dst == src:
+            dst = ACCOUNTS[rng.randrange(len(ACCOUNTS))]
+        return "transfer", (src, dst, 1 + rng.randrange(3))
+    if r < 0.85:
+        return "balance", (ACCOUNTS[rng.randrange(len(ACCOUNTS))],)
+    return "total", ()
+
+
 _OPGENS = {"kv": _kv_op, "counter": _counter_op, "lock": _lock_op,
-           "queue": _queue_op}
+           "queue": _queue_op, "bank": _bank_op}
 
 
 # -- the driver ----------------------------------------------------------------

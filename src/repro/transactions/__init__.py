@@ -1,10 +1,11 @@
 """Transactions: optimistic concurrency control behind proxies (extension)."""
 
-from .client import Transaction, run_transaction
+from .client import Transaction, run_transaction, store_key
 from .coordinator import TransactionCoordinator
 from .participant import VersionedKVStore
+from .saga import SagaCoordinator
 
 __all__ = [
-    "Transaction", "TransactionCoordinator", "VersionedKVStore",
-    "run_transaction",
+    "SagaCoordinator", "Transaction", "TransactionCoordinator",
+    "VersionedKVStore", "run_transaction", "store_key",
 ]

@@ -14,6 +14,20 @@ from typing import Any, Callable
 from ..kernel.errors import ProtocolError
 
 
+def store_key(store) -> Any:
+    """A stable identity for a store across proxy objects.
+
+    Two wire references to the same remote store can swizzle into distinct
+    proxy objects, so ``id(store)`` is not an identity — but the underlying
+    :class:`~repro.wire.refs.ObjectRef` key is.  Local (non-proxy) stores
+    fall back to object identity, which is exact for them.
+    """
+    ref = getattr(store, "proxy_ref", None)
+    if ref is not None:
+        return ref.key
+    return id(store)
+
+
 class Transaction:
     """One optimistic transaction over any number of versioned stores."""
 
@@ -21,16 +35,18 @@ class Transaction:
         self.coordinator = coordinator
         self.txid = coordinator.begin()
         self._reads: list[tuple[Any, str, int]] = []
-        self._writes: dict[tuple[int, str], tuple[Any, Any]] = {}
+        self._writes: dict[tuple[Any, str], tuple[Any, Any]] = {}
         self._finished = False
 
     def read(self, store, key: str) -> Any:
         """Transactional read: buffered value if this transaction wrote the
         key, else the store's current value (version recorded)."""
         self._check_open()
-        buffered = self._writes.get((id(store), key))
-        if buffered is not None:
-            return buffered[1]
+        slot = (store_key(store), key)
+        # Key-presence, not a None test: a buffered write of ``None`` is a
+        # real write and must shadow the store (no spurious read-set entry).
+        if slot in self._writes:
+            return self._writes[slot][1]
         value, version = store.read(key)
         self._reads.append((store, key, version))
         return value
@@ -38,7 +54,7 @@ class Transaction:
     def write(self, store, key: str, value: Any) -> None:
         """Transactional write: buffered until commit."""
         self._check_open()
-        self._writes[(id(store), key)] = (store, value)
+        self._writes[(store_key(store), key)] = (store, value)
 
     def commit(self) -> bool:
         """Validate and apply through the coordinator; one round trip."""
@@ -70,6 +86,11 @@ class Transaction:
         """Number of buffered writes."""
         return len(self._writes)
 
+    @property
+    def finished(self) -> bool:
+        """Whether the transaction has committed or aborted."""
+        return self._finished
+
     def _check_open(self) -> None:
         if self._finished:
             raise ProtocolError("transaction already committed or aborted")
@@ -80,11 +101,22 @@ def run_transaction(coordinator, body: Callable[[Transaction], Any],
     """Run ``body`` under a transaction, retrying on conflict.
 
     Returns ``(body_result, attempts)``.  Raises ``ProtocolError`` when the
-    retry budget is exhausted (persistent contention).
+    retry budget is exhausted (persistent contention).  When ``body``
+    raises, the open transaction is aborted before the exception
+    propagates — nothing leaks a half-built read/write set.
     """
     for attempt in range(1, max_attempts + 1):
         txn = Transaction(coordinator)
-        result = body(txn)
+        try:
+            result = body(txn)
+        except BaseException:
+            if not txn.finished:
+                txn.abort()
+            raise
+        if txn.finished:
+            # The body committed or aborted explicitly; honor its outcome
+            # rather than double-committing.
+            return result, attempt
         if txn.commit():
             return result, attempt
     raise ProtocolError(

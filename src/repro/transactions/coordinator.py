@@ -17,13 +17,27 @@ to the participants) is charged within it.
 
 The participant references inside a commit request swizzle into proxies on
 arrival, so the coordinator talks to stores it has never heard of before —
-the proxy principle doing the plumbing.
+the proxy principle doing the plumbing.  Batches are keyed by each proxy's
+*stable remote reference* (``ObjectRef.key``), never by ``id()``: two wire
+references to one store may swizzle into distinct proxy objects, and
+splitting their batches would silently defeat the documented
+last-write-wins dedup.
+
+``commit_2pc`` is the strict two-phase variant for multi-store writes:
+prepare locks every touched key at every participant, the coordinator logs
+the decision, then pushes commit/abort.  Between prepare and decision
+delivery the keys are *in doubt* — participants refuse reads and writes on
+them (:class:`~repro.kernel.errors.TransactionBlocked`), which is exactly
+the blocking window sagas exist to avoid (see
+:mod:`repro.transactions.saga`).
 """
 
 from __future__ import annotations
 
 from ..core.service import Service
 from ..iface.interface import operation
+from ..kernel.errors import DistributionError
+from .client import store_key
 
 
 class TransactionCoordinator(Service):
@@ -34,7 +48,14 @@ class TransactionCoordinator(Service):
     def __init__(self):
         self._next_txid = 1
         self.stats = {"begun": 0, "committed": 0, "aborted": 0,
-                      "validated_reads": 0, "applied_writes": 0}
+                      "validated_reads": 0, "applied_writes": 0,
+                      "prepared": 0, "recovered": 0}
+        #: txid -> ("commit" | "abort", [store proxies with undelivered
+        #: decisions]).  A durable decision log in spirit: once the decision
+        #: is recorded here the transaction's outcome is fixed, and
+        #: :meth:`recover` re-pushes it to participants that were
+        #: unreachable when it was first made.
+        self._decisions: dict[int, tuple[str, list]] = {}
 
     @operation(compute=2e-6)
     def begin(self) -> int:
@@ -57,7 +78,8 @@ class TransactionCoordinator(Service):
         # -- validate every read against current versions, batched per store
         by_store: dict = {}
         for store, key, version in reads:
-            by_store.setdefault(id(store), (store, []))[1].append((key, version))
+            slot = by_store.setdefault(store_key(store), (store, []))
+            slot[1].append((key, version))
         for store, pairs in by_store.values():
             keys = [key for key, _ in pairs]
             current = store.versions(keys)
@@ -69,10 +91,104 @@ class TransactionCoordinator(Service):
         # -- apply writes, batched per store, last-write-wins within the tx
         pending: dict = {}
         for store, key, value in writes:
-            slot = pending.setdefault(id(store), (store, {}))
+            slot = pending.setdefault(store_key(store), (store, {}))
             slot[1][key] = value
         for store, kv in pending.values():
             store.apply([[key, value] for key, value in kv.items()])
             self.stats["applied_writes"] += len(kv)
         self.stats["committed"] += 1
         return True
+
+    @operation(compute=2e-5)
+    def commit_2pc(self, txid: int, reads: list, writes: list) -> bool:
+        """Two-phase commit: prepare everywhere, decide, push the decision.
+
+        Same request shape as :meth:`commit`.  Returns ``True`` on commit,
+        ``False`` when any participant refused prepare (version conflict or
+        a key already wedged by another in-doubt transaction).  Raises
+        :class:`DistributionError` when a participant is unreachable during
+        prepare — the touched keys stay locked until :meth:`recover`
+        delivers the logged decision, which is the 2PC blocking window.
+        """
+        groups = self._group(reads, writes)
+        prepared: list = []
+        try:
+            for store, pairs, kv in groups.values():
+                ok = store.prepare(
+                    txid, [[key, version] for key, version in pairs],
+                    [[key, value] for key, value in kv.items()])
+                if not ok:
+                    self._decide(txid, "abort", prepared)
+                    self.stats["aborted"] += 1
+                    return False
+                prepared.append(store)
+                self.stats["prepared"] += 1
+        except DistributionError:
+            # Unreachable participant mid-prepare: the decision is abort,
+            # but stores we cannot reach stay wedged until recovery.
+            self._decide(txid, "abort", prepared)
+            self.stats["aborted"] += 1
+            raise
+        self._decide(txid, "commit", prepared)
+        self.stats["committed"] += 1
+        for _, _, kv in groups.values():
+            self.stats["applied_writes"] += len(kv)
+        return True
+
+    @operation(compute=1e-5)
+    def recover(self) -> int:
+        """Re-push logged decisions to participants that missed them.
+
+        Returns how many participant deliveries succeeded this sweep.
+        Call after a partition heals; idempotent (participants remember
+        decided txids).
+        """
+        delivered = 0
+        for txid in list(self._decisions):
+            verdict, parked = self._decisions[txid]
+            still: list = []
+            for store in parked:
+                try:
+                    if verdict == "commit":
+                        store.commit_prepared(txid)
+                    else:
+                        store.abort_prepared(txid)
+                    delivered += 1
+                except DistributionError:
+                    still.append(store)
+            if still:
+                self._decisions[txid] = (verdict, still)
+            else:
+                del self._decisions[txid]
+        self.stats["recovered"] += delivered
+        return delivered
+
+    @operation(readonly=True, compute=2e-6)
+    def in_doubt(self) -> int:
+        """Number of transactions with undelivered decisions."""
+        return len(self._decisions)
+
+    def _group(self, reads: list, writes: list) -> dict:
+        """Per-store ``(store, read pairs, write kv)`` keyed by stable ref."""
+        groups: dict = {}
+        for store, key, version in reads:
+            slot = groups.setdefault(store_key(store), (store, [], {}))
+            slot[1].append((key, version))
+        for store, key, value in writes:
+            slot = groups.setdefault(store_key(store), (store, [], {}))
+            slot[2][key] = value
+        return groups
+
+    def _decide(self, txid: int, verdict: str, prepared: list) -> None:
+        """Log the decision, then best-effort push it to ``prepared``."""
+        parked: list = []
+        for store in prepared:
+            try:
+                if verdict == "commit":
+                    store.commit_prepared(txid)
+                else:
+                    store.abort_prepared(txid)
+            except DistributionError:
+                parked.append(store)
+        if parked:
+            self._decisions[txid] = (verdict, parked)

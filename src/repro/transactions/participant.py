@@ -4,6 +4,22 @@ A participant is an ordinary service — reachable only through proxies, like
 everything else — whose state carries per-key versions, giving the
 coordinator something to validate against (backward-validation optimistic
 concurrency control, the style Argus-era systems explored).
+
+Beyond the optimistic path, the store speaks two more protocols:
+
+* **Two-phase commit** (:meth:`prepare` / :meth:`commit_prepared` /
+  :meth:`abort_prepared`): prepare validates and *locks* the touched keys;
+  until the coordinator's decision arrives, reads and writes on those keys
+  refuse with :class:`~repro.kernel.errors.TransactionBlocked` — the store
+  cannot answer without guessing the in-doubt outcome.  Decisions are
+  idempotent: a decided txid is remembered, so recovery retries are safe.
+
+* **Idempotent saga steps** (:meth:`adjust_once` / :meth:`cancel_once`):
+  each carries an idempotency key; the outcome of the first application is
+  recorded and replayed verbatim on retries, so a saga coordinator that
+  lost the reply can resend without double-applying.  ``cancel_once``
+  writes a *tombstone*: if the forward step never ran, the tombstone wins
+  and a late-arriving retry of the forward step is refused as cancelled.
 """
 
 from __future__ import annotations
@@ -12,6 +28,7 @@ from typing import Any
 
 from ..core.service import Service
 from ..iface.interface import operation
+from ..kernel.errors import TransactionBlocked
 
 
 class VersionedKVStore(Service):
@@ -22,16 +39,27 @@ class VersionedKVStore(Service):
     def __init__(self):
         #: key -> (value, version); absent key has implicit version 0.
         self.cells: dict[str, tuple[Any, int]] = {}
+        #: key -> txid holding the 2PC prepare lock.
+        self._locks: dict[str, int] = {}
+        #: txid -> staged {key: value} awaiting the decision.
+        self._staged: dict[int, dict[str, Any]] = {}
+        #: txids whose decision already arrived (idempotent redelivery).
+        self._decided: dict[int, str] = {}
+        #: idempotency key -> recorded outcome (saga at-most-once ledger).
+        self._outcomes: dict[str, list] = {}
 
     @operation(readonly=True, compute=5e-6)
     def read(self, key: str) -> list:
         """``[value, version]`` for ``key`` (``[None, 0]`` when absent)."""
+        self._check_unlocked(key)
         value, version = self.cells.get(key, (None, 0))
         return [value, version]
 
     @operation(readonly=True, compute=5e-6)
     def versions(self, keys: list) -> list:
         """Current versions of several keys, in order."""
+        for key in keys:
+            self._check_unlocked(key)
         return [self.cells.get(key, (None, 0))[1] for key in keys]
 
     @operation(invalidates=("key",), compute=8e-6)
@@ -41,6 +69,7 @@ class VersionedKVStore(Service):
         Provided for non-transactional clients; transactional writes go
         through :meth:`apply`.
         """
+        self._check_unlocked(key)
         version = self.cells.get(key, (None, 0))[1] + 1
         self.cells[key] = (value, version)
         return version
@@ -49,6 +78,8 @@ class VersionedKVStore(Service):
     def apply(self, writes: list) -> list:
         """Apply a batch of ``[key, value]`` writes atomically (locally);
         returns the new versions, in order."""
+        for key, _ in writes:
+            self._check_unlocked(key)
         new_versions = []
         for key, value in writes:
             version = self.cells.get(key, (None, 0))[1] + 1
@@ -56,10 +87,126 @@ class VersionedKVStore(Service):
             new_versions.append(version)
         return new_versions
 
+    # -- two-phase commit ---------------------------------------------------
+
+    @operation(compute=1e-5)
+    def prepare(self, txid: int, reads: list, writes: list) -> bool:
+        """Phase one: validate ``[key, version]`` reads, stage ``[key,
+        value]`` writes, and lock every touched key.
+
+        Returns ``False`` (a refusal, not an error) on a version conflict
+        or when any touched key is already locked by another in-doubt
+        transaction.  On ``True`` the keys stay wedged until
+        :meth:`commit_prepared` or :meth:`abort_prepared`.
+        """
+        if txid in self._staged or txid in self._decided:
+            return txid in self._staged  # duplicate prepare: same answer
+        touched = [key for key, _ in reads] + [key for key, _ in writes]
+        for key in touched:
+            holder = self._locks.get(key)
+            if holder is not None and holder != txid:
+                return False
+        for key, version in reads:
+            if self.cells.get(key, (None, 0))[1] != version:
+                return False
+        for key in touched:
+            self._locks[key] = txid
+        self._staged[txid] = {key: value for key, value in writes}
+        return True
+
+    @operation(compute=8e-6)
+    def commit_prepared(self, txid: int) -> bool:
+        """Phase two, commit: apply the staged writes and release locks.
+
+        Idempotent — redelivering a decided txid is a no-op ``True``.
+        """
+        if txid in self._decided:
+            return True
+        staged = self._staged.pop(txid, None)
+        if staged is None:
+            return False
+        for key, value in staged.items():
+            version = self.cells.get(key, (None, 0))[1] + 1
+            self.cells[key] = (value, version)
+        self._release(txid)
+        self._decided[txid] = "commit"
+        return True
+
+    @operation(compute=8e-6)
+    def abort_prepared(self, txid: int) -> bool:
+        """Phase two, abort: drop the staged writes and release locks.
+
+        Idempotent, and safe for a txid never prepared here (presumed
+        abort): the answer is still ``True``.
+        """
+        if txid in self._decided:
+            return True
+        self._staged.pop(txid, None)
+        self._release(txid)
+        self._decided[txid] = "abort"
+        return True
+
+    @operation(readonly=True, compute=3e-6)
+    def locked_keys(self) -> list:
+        """Keys currently wedged under in-doubt transactions (sorted)."""
+        return sorted(self._locks)
+
+    # -- idempotent saga steps ----------------------------------------------
+
+    @operation(compute=1e-5)
+    def adjust_once(self, idem: str, key: str, delta: int,
+                    floor: Any = None, cap: Any = None) -> list:
+        """Bounded increment, at most once per idempotency key.
+
+        Returns ``["applied", new_value]``, ``["refused", current_value]``
+        when the bound would be violated (a *business* refusal, not an
+        error), or ``["cancelled"]`` when :meth:`cancel_once` tombstoned
+        the key first.  Retries with the same ``idem`` replay the recorded
+        outcome without re-applying.
+        """
+        recorded = self._outcomes.get(idem)
+        if recorded is not None:
+            return recorded
+        self._check_unlocked(key)
+        current, version = self.cells.get(key, (0, 0))
+        proposed = (current or 0) + delta
+        if floor is not None and proposed < floor:
+            outcome = ["refused", current]
+        elif cap is not None and proposed > cap:
+            outcome = ["refused", current]
+        else:
+            self.cells[key] = (proposed, version + 1)
+            outcome = ["applied", proposed]
+        self._outcomes[idem] = outcome
+        return outcome
+
+    @operation(compute=8e-6)
+    def cancel_once(self, idem: str) -> list:
+        """Tombstone an idempotency key: the recorded outcome if the step
+        already ran, else ``["cancelled"]`` recorded so a late retry of the
+        forward step cannot apply."""
+        recorded = self._outcomes.get(idem)
+        if recorded is not None:
+            return recorded
+        outcome = ["cancelled"]
+        self._outcomes[idem] = outcome
+        return outcome
+
     @operation(readonly=True, compute=3e-6)
     def snapshot(self) -> dict:
         """Plain ``key -> value`` view (diagnostics/tests)."""
         return {key: value for key, (value, _) in self.cells.items()}
+
+    def _check_unlocked(self, key: str) -> None:
+        if key in self._locks:
+            raise TransactionBlocked(
+                f"key {key!r} is in doubt under 2PC txid "
+                f"{self._locks[key]}; awaiting the coordinator's decision")
+
+    def _release(self, txid: int) -> None:
+        for key in [key for key, holder in self._locks.items()
+                    if holder == txid]:
+            del self._locks[key]
 
     # The versioned store is also a valid persistence/migration capsule.
     def migrate_state(self):

@@ -1,0 +1,156 @@
+"""Sagas: long-lived workflows that complete or compensate, never block.
+
+Where :meth:`~repro.transactions.coordinator.TransactionCoordinator.commit_2pc`
+buys atomicity by *wedging* keys between prepare and decision (a partition
+in that window blocks every reader), a saga gives up the lock and buys
+liveness: a sequence of forward steps, each locally atomic and idempotent,
+paired with compensating actions that semantically undo an applied prefix
+when a later step refuses or cannot be resolved.
+
+The invariant a saga promises is weaker than serialisability but auditable:
+**every saga ends with either all forward effects applied or every applied
+step compensated** — intermediate states are visible (that is the price),
+but money is conserved once the dust settles.
+
+Machinery that makes retries safe:
+
+* every forward step carries an idempotency key ``s<id>/<step>``; the
+  participant records the first outcome and replays it on retries
+  (:meth:`~repro.transactions.participant.VersionedKVStore.adjust_once`);
+* an in-doubt step (participant unreachable after the attempt) is resolved
+  by ``cancel_once`` on the same key — a *tombstone* that either reports
+  what actually happened or forecloses a late retry from applying;
+* compensations use key ``s<id>/<step>/c`` and are unbounded adjustments,
+  so they always apply once the participant is reachable;
+* unreachable cancellations/compensations *park* on the saga's ledger and
+  :meth:`SagaCoordinator.settle` re-drives them after the fault heals —
+  the saga equivalent of 2PC's decision redelivery, except no one was
+  blocked in the meantime.
+"""
+
+from __future__ import annotations
+
+from ..core.service import Service
+from ..iface.interface import operation
+from ..kernel.errors import DistributionError
+
+
+class SagaCoordinator(Service):
+    """Forward steps + compensations with an auditable per-saga ledger."""
+
+    default_policy = "stub"
+
+    def __init__(self):
+        self._next_id = 1
+        #: saga id -> {"state": "committed" | "compensated" | "pending",
+        #:             "parked": [pending action records]}
+        self.ledger: dict[int, dict] = {}
+        self.stats = {"begun": 0, "committed": 0, "compensated": 0,
+                      "parked_actions": 0, "settled_actions": 0}
+
+    @operation(compute=2e-5)
+    def run(self, steps: list) -> list:
+        """Drive one saga to a decision.
+
+        ``steps``: list of ``[store, key, delta, floor, cap]`` — each a
+        bounded idempotent adjustment at a participant (store fields arrive
+        as proxies).  Steps apply in order; the first *business* refusal
+        (bound violated) compensates the applied prefix in reverse and
+        returns ``["refused", step_index]``; success returns
+        ``["committed"]``.
+
+        A participant unreachable on its forward step makes that step
+        in-doubt: the saga decides **abort**, tombstones the step with
+        ``cancel_once`` (compensating it if the tombstone reveals it had
+        applied), compensates the prefix, and returns ``["aborted",
+        step_index]``.  Actions that cannot be delivered park on the
+        ledger for :meth:`settle` — the caller always gets a decision;
+        nothing ever blocks.
+        """
+        saga_id = self._next_id
+        self._next_id += 1
+        self.stats["begun"] += 1
+        entry = {"state": "pending", "parked": []}
+        self.ledger[saga_id] = entry
+        applied: list[int] = []
+        verdict: list | None = None
+        for index, (store, key, delta, floor, cap) in enumerate(steps):
+            idem = f"s{saga_id}/{index}"
+            try:
+                outcome = store.adjust_once(idem, key, delta, floor, cap)
+            except DistributionError:
+                # In doubt: decide abort, tombstone this step.
+                self._cancel(saga_id, entry, steps, index)
+                verdict = ["aborted", index]
+                break
+            if outcome[0] == "applied":
+                applied.append(index)
+                continue
+            # Business refusal (or a tombstone from an earlier incarnation):
+            # nothing applied at this step, compensate the prefix.
+            verdict = ["refused", index]
+            break
+        if verdict is None:
+            entry["state"] = "committed"
+            self.stats["committed"] += 1
+            self.ledger.pop(saga_id, None)
+            return ["committed"]
+        for index in reversed(applied):
+            self._compensate(saga_id, entry, steps, index)
+        entry["state"] = "compensated"
+        self.stats["compensated"] += 1
+        if not entry["parked"]:
+            self.ledger.pop(saga_id, None)
+        return verdict
+
+    @operation(compute=1e-5)
+    def settle(self) -> int:
+        """Re-drive parked cancellations/compensations; returns how many
+        actions resolved this sweep.  Idempotent — participants replay
+        recorded outcomes — so call it as often as you like."""
+        resolved = 0
+        for saga_id in list(self.ledger):
+            entry = self.ledger[saga_id]
+            parked, entry["parked"] = entry["parked"], []
+            for action in parked:
+                resolved += self._drive(saga_id, entry, action)
+            if entry["state"] != "pending" and not entry["parked"]:
+                del self.ledger[saga_id]
+        self.stats["settled_actions"] += resolved
+        return resolved
+
+    @operation(readonly=True, compute=2e-6)
+    def unresolved(self) -> int:
+        """Sagas with parked actions still awaiting delivery."""
+        return sum(1 for entry in self.ledger.values() if entry["parked"])
+
+    def _cancel(self, saga_id: int, entry: dict, steps: list,
+                index: int) -> None:
+        """Tombstone an in-doubt forward step (compensate if it applied)."""
+        self._drive(saga_id, entry,
+                    ["cancel", index, steps[index][0], steps[index][1],
+                     steps[index][2]])
+
+    def _compensate(self, saga_id: int, entry: dict, steps: list,
+                    index: int) -> None:
+        store, key, delta = steps[index][0], steps[index][1], steps[index][2]
+        self._drive(saga_id, entry, ["comp", index, store, key, delta])
+
+    def _drive(self, saga_id: int, entry: dict, action: list) -> int:
+        """Execute one parked-able action; park it again on failure."""
+        kind, index, store, key, delta = action
+        try:
+            if kind == "cancel":
+                outcome = store.cancel_once(f"s{saga_id}/{index}")
+                if outcome[0] == "applied":
+                    # The in-doubt step had actually applied: undo it.
+                    return self._drive(
+                        saga_id, entry, ["comp", index, store, key, delta])
+                return 1
+            store.adjust_once(
+                f"s{saga_id}/{index}/c", key, -delta, None, None)
+            return 1
+        except DistributionError:
+            entry["parked"].append(action)
+            self.stats["parked_actions"] += 1
+            return 0

@@ -1,0 +1,135 @@
+"""Tests for the regional policy: geo-aware, breaker-admitted read order."""
+
+import pytest
+
+import repro
+from repro.apps.kv import KVStore
+from repro.core.policies.regional import RegionalProxy
+from repro.core.policies.replicating import replicate
+from repro.failures.injectors import begin_crash
+from repro.kernel.errors import DistributionError
+from repro.kernel.topology import build_regions
+from repro.naming.bootstrap import install_name_service
+from repro.resilience.breaker import ensure_breakers
+
+
+@pytest.fixture
+def regions(system):
+    """Two regions × three nodes; returns (east, west) Region objects."""
+    east, west = build_regions(system, ["east", "west"], nodes_per_region=3,
+                               wan_factor=10.0)
+    install_name_service(east.contexts[0])
+    return east, west
+
+
+def deploy(east, west, **kwargs):
+    """A three-replica regional group (two east, one west) named 'kv'."""
+    ref = replicate([east.contexts[0], east.contexts[1], west.contexts[0]],
+                    KVStore, read_policy="regional", policy="regional",
+                    extra_config={"regions": ["east", "east", "west"]},
+                    **kwargs)
+    repro.register(east.contexts[0], "kv", ref)
+    return ref
+
+
+class TestReadOrder:
+    def test_clients_get_regional_proxies(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        proxy = repro.bind(west.contexts[2], "kv")
+        assert isinstance(proxy, RegionalProxy)
+
+    def test_each_region_prefers_its_own_replicas(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        east_proxy = repro.bind(east.contexts[2], "kv")
+        west_proxy = repro.bind(west.contexts[2], "kv")
+        east_proxy.put("k", 1)    # resolves the replica groups
+        assert east_proxy._read_order_indices(3)[0] in (0, 1)
+        assert west_proxy._read_order_indices(3)[0] == 2
+
+    def test_local_read_beats_the_wan(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        proxy = repro.bind(west.contexts[2], "kv")
+        proxy.put("k", 1)
+        before = west.contexts[2].now
+        proxy.get("k")
+        elapsed = west.contexts[2].now - before
+        assert elapsed < system.costs.remote_latency * 10, \
+            "a west read must be answered inside the west region"
+
+    def test_explicit_read_policy_overrides_region_ranking(self, system,
+                                                           regions):
+        east, west = regions
+        ref = replicate([east.contexts[0], east.contexts[1],
+                         west.contexts[0]], KVStore, write_quorum=2,
+                        read_policy="roundrobin", policy="regional",
+                        extra_config={"regions": ["east", "east", "west"]})
+        repro.register(east.contexts[0], "kv2", ref)
+        proxy = repro.bind(west.contexts[2], "kv2")
+        proxy.put("k", 1)
+        first, second = (proxy._read_order_indices(3)[0],
+                         proxy._read_order_indices(3)[0])
+        assert (first, second) != (2, 2), \
+            "roundrobin must rotate instead of pinning the near replica"
+
+
+class TestBreakerAdmission:
+    def test_open_breaker_demotes_the_near_replica(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        ensure_breakers(system, failure_threshold=2)
+        proxy = repro.bind(west.contexts[2], "kv")
+        proxy.put("k", 1)
+        assert proxy._read_order_indices(3)[0] == 2
+        restore = begin_crash(system, "west-0")
+        for _ in range(3):    # trip the breaker toward the dead replica
+            try:
+                proxy.get("k")
+            except DistributionError:
+                pass
+        assert proxy._read_order_indices(3)[0] != 2, \
+            "an open breaker must demote the near replica"
+        restore()
+
+    def test_reads_survive_the_local_region_outage(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        ensure_breakers(system, failure_threshold=2)
+        proxy = repro.bind(west.contexts[2], "kv")
+        proxy.put("k", 41)
+        restore = begin_crash(system, "west-0")
+        values = set()
+        for _ in range(4):
+            try:
+                values.add(proxy.get("k"))
+            except DistributionError:
+                pass
+        assert 41 in values, "reads must retreat to the east majority"
+        restore()
+
+    def test_without_breakers_ranking_still_works(self, system, regions):
+        east, west = regions
+        deploy(east, west, write_quorum=2)
+        assert system.breakers is None
+        proxy = repro.bind(west.contexts[2], "kv")
+        proxy.put("k", 1)
+        assert proxy._read_order_indices(3)[0] == 2
+
+
+class TestQuorumComposition:
+    def test_regional_quorum_stays_fresh(self, system, regions):
+        """W=2/R=2 over (east, east, west): write east-side while west is
+        down, heal, and the very next west read is current — region
+        preference never trades away the quorum overlap."""
+        east, west = regions
+        deploy(east, west, write_quorum=2, read_quorum=2,
+               version_key="arg0")
+        east_proxy = repro.bind(east.contexts[2], "kv")
+        west_proxy = repro.bind(west.contexts[2], "kv")
+        east_proxy.put("k", 1)
+        restore = begin_crash(system, "west-0")
+        east_proxy.put("k", 2)    # commits on the east majority
+        restore()
+        assert west_proxy.get("k") == 2

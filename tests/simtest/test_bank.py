@@ -1,0 +1,133 @@
+"""Tests for the bank workload: facades, the audit, and the model oracle."""
+
+import pytest
+
+from repro.simtest.bank import (
+    ACCOUNTS,
+    CAP,
+    INITIAL,
+    BANK_FACADES,
+    SagaBank,
+    SkipCompensationBank,
+    TwoPhaseBank,
+    grade_bank,
+    store_index,
+)
+from repro.simtest.models import MODELS
+from repro.simtest.runner import build_case, run_case
+from repro.simtest.workload import deploy
+from repro.transactions import VersionedKVStore
+
+
+def make_facade(cls):
+    """A facade over two local stores, accounts seeded."""
+    stores = [VersionedKVStore(), VersionedKVStore()]
+    for account in ACCOUNTS:
+        stores[store_index(account)].write(account, INITIAL)
+    return cls(stores)
+
+
+class TestFacades:
+    @pytest.mark.parametrize("cls", [TwoPhaseBank, SagaBank])
+    def test_committed_transfer_moves_money(self, cls):
+        facade = make_facade(cls)
+        assert facade.transfer("a0", "b0", 3) == "committed"
+        assert facade.balance("a0") == INITIAL - 3
+        assert facade.balance("b0") == INITIAL + 3
+        assert facade.total() == INITIAL * len(ACCOUNTS)
+
+    @pytest.mark.parametrize("cls", [TwoPhaseBank, SagaBank])
+    def test_insufficient_funds_refused_first(self, cls):
+        facade = make_facade(cls)
+        assert facade.transfer("a0", "b0", INITIAL + 1) == "insufficient"
+        assert facade.total() == INITIAL * len(ACCOUNTS)
+
+    @pytest.mark.parametrize("cls", [TwoPhaseBank, SagaBank])
+    def test_cap_refuses_and_conserves(self, cls):
+        facade = make_facade(cls)
+        assert facade.transfer("a0", "b0", CAP - INITIAL) == "committed"
+        assert facade.transfer("a1", "b0", 1) == "capped", \
+            "b0 is at the cap now"
+        assert facade.total() == INITIAL * len(ACCOUNTS)
+        assert facade.balance("a1") == INITIAL, \
+            "the saga's debit must be compensated on a capped credit"
+
+    def test_facades_settle_cleanly_when_healthy(self):
+        for name, cls in BANK_FACADES.items():
+            facade = make_facade(cls)
+            assert facade.settle() == 0, name
+            assert facade.unresolved() == 0, name
+
+    def test_skipping_compensation_leaks_money(self):
+        facade = make_facade(SkipCompensationBank)
+        assert facade.transfer("a0", "b0", CAP - INITIAL) == "committed"
+        assert facade.transfer("a1", "b0", 1) == "capped"
+        assert facade.total() < INITIAL * len(ACCOUNTS), \
+            "the skipped compensation must lose the applied debit"
+
+
+class TestBankModel:
+    def test_model_matches_the_facade_step_for_step(self):
+        model = MODELS["bank"]()
+        facade = make_facade(TwoPhaseBank)
+        state = model.initial()
+        script = [("a0", "b0", 3), ("a0", "b1", 9), ("b0", "a1", 2),
+                  ("a1", "b1", 4), ("b1", "a0", 1)]
+        for src, dst, amount in script:
+            expected, state = model.step(state, "transfer",
+                                         (src, dst, amount))
+            assert facade.transfer(src, dst, amount) == expected
+        for account in ACCOUNTS:
+            result, state = model.step(state, "balance", (account,))
+            assert facade.balance(account) == result
+        result, _ = model.step(state, "total", ())
+        assert facade.total() == result
+
+    def test_model_is_single_partition(self):
+        model = MODELS["bank"]()
+        assert model.partition_key("transfer", ("a0", "b0", 1)) is None
+        assert model.partition_key("balance", ("a0",)) is None
+
+    def test_unknown_verb_raises(self):
+        model = MODELS["bank"]()
+        with pytest.raises(ValueError):
+            model.step(model.initial(), "rob", ())
+
+
+class TestDeployment:
+    def test_bank_policy_pins_the_bank_service(self):
+        case = build_case(0, "saga")
+        assert case.service == "bank"
+
+    def test_mismatched_service_is_rejected(self):
+        with pytest.raises(ValueError):
+            deploy(build_case(0, "saga", service="kv", chaos=False))
+        with pytest.raises(ValueError):
+            deploy(build_case(0, "stub", service="bank", chaos=False))
+
+    def test_deployed_bank_passes_the_audit(self):
+        deployment = deploy(build_case(1, "saga", chaos=False))
+        name, ctx, proxy = deployment.clients[0]
+        assert proxy.invoke("transfer", ("a0", "b1", 2), {}) == "committed"
+        assert proxy.invoke("total", (), {}) == INITIAL * len(ACCOUNTS)
+        assert deployment.grade() is None
+
+    def test_fault_free_cases_grade_the_policies_apart(self):
+        for policy in ("txn2pc", "saga"):
+            report = run_case(build_case(3, policy, chaos=False),
+                              minimize=False)
+            assert report.verdict == "ok", policy
+        report = run_case(build_case(3, "sagaskip", chaos=False),
+                          minimize=False)
+        assert report.verdict == "violation", \
+            "capped credits occur naturally, so the leak needs no faults"
+
+    def test_grade_bank_convicts_a_leak(self):
+        deployment = deploy(build_case(2, "sagaskip", chaos=False))
+        name, ctx, proxy = deployment.clients[0]
+        proxy.invoke("transfer", ("a0", "b0", CAP - INITIAL), {})
+        assert proxy.invoke("transfer", ("a1", "b0", 1), {}) == "capped"
+        violation = deployment.grade()
+        assert violation is not None
+        assert violation.partition == "bank-atomicity"
+        assert grade_bank.__doc__ is not None

@@ -115,6 +115,27 @@ class TestCli:
         with pytest.raises(ConfigurationError):
             main(["bench", "e20", "--ops", "10"])
 
+    def test_bench_e21_json_is_deterministic(self, capsys):
+        import json
+        assert main(["bench", "e21", "--ops", "40", "--json"]) == 0
+        first = capsys.readouterr().out
+        payload = json.loads(first)
+        assert payload["experiment"] == "e21"
+        for row in payload["scenarios"]:
+            for field in ("scenario", "deployment", "region", "read_ms",
+                          "write_ms", "read_like_lan", "availability",
+                          "stale_reads"):
+                assert field in row
+        assert main(["bench", "e21", "--ops", "40", "--json"]) == 0
+        assert capsys.readouterr().out == first, \
+            "e21 is virtual-only; its record must be byte-stable"
+
+    def test_bench_e21_rejects_too_few_ops(self):
+        from repro.kernel.errors import ConfigurationError
+        import pytest
+        with pytest.raises(ConfigurationError):
+            main(["bench", "e21", "--ops", "10"])
+
     def test_bench_unknown_benchmark_fails(self, capsys):
         assert main(["bench", "e99"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err

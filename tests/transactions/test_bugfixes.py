@@ -1,0 +1,171 @@
+"""Regression tests for three optimistic-transaction bugs.
+
+Each test here failed against the buggy implementation and pins the fix:
+
+1. ``Transaction.read`` tested the buffered value with ``is not None``, so
+   a buffered write of ``None`` was invisible to the transaction's own
+   reads (and grew the read set with a spurious validation entry).
+2. ``run_transaction`` let a raising body propagate without aborting the
+   open transaction, leaking a half-built read/write set.
+3. ``TransactionCoordinator.commit`` batched participants by ``id(store)``;
+   two proxy objects for the *same* remote store split into separate
+   batches, defeating the documented last-write-wins dedup and applying
+   one transactional write twice.
+"""
+
+import pytest
+
+import repro
+from repro.transactions import (
+    Transaction,
+    TransactionCoordinator,
+    VersionedKVStore,
+    run_transaction,
+    store_key,
+)
+
+
+@pytest.fixture
+def deployed(star):
+    """Store + coordinator on the server; returns (store, clients)."""
+    system, server, clients = star
+    store = VersionedKVStore()
+    repro.register(server, "store", store)
+    repro.register(server, "txn", TransactionCoordinator())
+    return store, clients
+
+
+class TestBufferedNoneRead:
+    def test_buffered_none_shadows_the_store(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+        proxy.write("k", 5)
+        txn = Transaction(coord)
+        txn.write(proxy, "k", None)
+        assert txn.read(proxy, "k") is None, \
+            "a buffered write of None must shadow the committed value"
+
+    def test_buffered_none_read_adds_no_read_set_entry(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+        txn = Transaction(coord)
+        txn.write(proxy, "k", None)
+        txn.read(proxy, "k")
+        assert txn.read_set_size == 0, \
+            "reading your own buffered write must not validate the store"
+        assert txn.commit()
+        assert store.snapshot() == {"k": None}
+
+
+class TestBodyExceptionAborts:
+    def test_raising_body_aborts_the_transaction(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+        seen = []
+
+        def body(txn):
+            seen.append(txn)
+            txn.write(proxy, "k", 1)
+            raise ValueError("business rule says no")
+
+        with pytest.raises(ValueError):
+            run_transaction(coord, body)
+        assert seen[0].finished, "the open transaction must be aborted"
+        assert seen[0].write_set_size == 0
+        assert store.snapshot() == {}, "nothing may reach the store"
+
+    def test_body_that_aborted_itself_is_not_aborted_twice(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+
+        def body(txn):
+            txn.write(proxy, "k", 1)
+            txn.abort()
+            raise ValueError("after explicit abort")
+
+        with pytest.raises(ValueError):
+            run_transaction(coord, body)
+
+    def test_explicit_abort_without_raise_is_honored(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+
+        def body(txn):
+            txn.write(proxy, "k", 1)
+            txn.abort()
+            return "declined"
+
+        result, attempts = run_transaction(coord, body)
+        assert (result, attempts) == ("declined", 1)
+        assert store.snapshot() == {}
+
+
+class TestDuplicateReferenceBatching:
+    def test_two_proxies_one_store_share_a_key(self, deployed):
+        store, clients = deployed
+        proxy_a = repro.bind(clients[0], "store")
+        proxy_b = repro.bind(clients[1], "store")
+        assert proxy_a is not proxy_b
+        assert store_key(proxy_a) == store_key(proxy_b)
+
+    def test_duplicate_references_dedup_at_commit(self, deployed):
+        """One commit, one store reached through two proxy objects: the
+        writes must land in one batch with last-write-wins dedup."""
+        store, clients = deployed
+        proxy_a = repro.bind(clients[0], "store")
+        proxy_b = repro.bind(clients[1], "store")
+        coordinator = TransactionCoordinator()
+        txid = coordinator.begin()
+        assert coordinator.commit(
+            txid, [], [[proxy_a, "x", 1], [proxy_b, "x", 2]])
+        assert store.read("x") == [2, 1], \
+            "one write applied once: the duplicate reference must dedup"
+        assert coordinator.stats["applied_writes"] == 1
+
+    def test_duplicate_read_references_validate_once(self, deployed):
+        store, clients = deployed
+        proxy_a = repro.bind(clients[0], "store")
+        proxy_b = repro.bind(clients[1], "store")
+        store.write("x", 10)
+        coordinator = TransactionCoordinator()
+        txid = coordinator.begin()
+        assert coordinator.commit(
+            txid, [[proxy_a, "x", 1], [proxy_b, "x", 1]], [])
+        assert coordinator.stats["validated_reads"] == 2
+
+    def test_buffered_write_visible_through_other_proxy(self, deployed):
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy_a = repro.bind(clients[0], "store")
+        proxy_b = repro.bind(clients[1], "store")
+        txn = Transaction(coord)
+        txn.write(proxy_a, "k", 7)
+        assert txn.read(proxy_b, "k") == 7, \
+            "read-your-writes must hold across proxy objects for one store"
+
+
+class TestReadOnlyValidation:
+    def test_read_only_transaction_validates(self, deployed):
+        """A read-only transaction still aborts when its snapshot moved."""
+        store, clients = deployed
+        coord = repro.bind(clients[0], "txn")
+        proxy = repro.bind(clients[0], "store")
+        proxy.write("k", 1)
+        txn = Transaction(coord)
+        assert txn.read(proxy, "k") == 1
+        proxy.write("k", 2)    # interloper invalidates the snapshot
+        assert txn.commit() is False
+
+    def test_empty_transaction_skips_the_coordinator(self, deployed):
+        store, clients = deployed
+        coordinator = TransactionCoordinator()
+        committed_before = coordinator.stats["committed"]
+        txn = Transaction(coordinator)
+        assert txn.commit() is True
+        assert coordinator.stats["committed"] == committed_before, \
+            "an empty transaction needs no validate/apply round trip"

@@ -1,0 +1,184 @@
+"""Tests for the saga coordinator: completion, compensation, idempotency."""
+
+import pytest
+
+import repro
+from repro.kernel.errors import DistributionError
+from repro.transactions import SagaCoordinator, VersionedKVStore
+
+
+@pytest.fixture
+def stores(star):
+    """Two stores on different nodes; returns (saga, raw stores, proxies)."""
+    system, server, clients = star
+    east, west = VersionedKVStore(), VersionedKVStore()
+    repro.register(clients[1], "east", east)
+    repro.register(clients[2], "west", west)
+    saga = SagaCoordinator()
+    return saga, (east, west), (repro.bind(clients[0], "east"),
+                                repro.bind(clients[0], "west"))
+
+
+class TestForwardPath:
+    def test_all_steps_apply(self, stores):
+        saga, (east, west), (p_east, p_west) = stores
+        assert saga.run([[p_east, "a", 5, None, None],
+                         [p_west, "b", 3, None, None]]) == ["committed"]
+        assert east.snapshot() == {"a": 5}
+        assert west.snapshot() == {"b": 3}
+        assert saga.ledger == {}, "committed sagas leave no ledger entry"
+        assert saga.stats["committed"] == 1
+
+    def test_refusal_compensates_the_prefix(self, stores):
+        saga, (east, west), (p_east, p_west) = stores
+        east.write("a", 10)
+        outcome = saga.run([[p_east, "a", -4, 0, None],
+                            [p_west, "b", 4, None, 2]])    # cap refuses
+        assert outcome == ["refused", 1]
+        assert east.snapshot()["a"] == 10, "the debit must be undone"
+        assert west.snapshot().get("b") in (None, 0)
+        assert saga.stats["compensated"] == 1
+
+    def test_first_step_refusal_needs_no_compensation(self, stores):
+        saga, (east, west), (p_east, p_west) = stores
+        outcome = saga.run([[p_east, "a", -4, 0, None],
+                            [p_west, "b", 4, None, None]])
+        assert outcome == ["refused", 0]
+        assert east.snapshot() == {} and west.snapshot() == {}
+        assert saga.ledger == {}
+
+
+class TestIdempotency:
+    def test_adjust_once_replays_recorded_outcome(self):
+        store = VersionedKVStore()
+        assert store.adjust_once("i1", "k", 5) == ["applied", 5]
+        assert store.adjust_once("i1", "k", 5) == ["applied", 5]
+        assert store.snapshot()["k"] == 5, "retries must not double-apply"
+
+    def test_refusal_outcomes_replay_too(self):
+        store = VersionedKVStore()
+        assert store.adjust_once("i1", "k", -1, 0, None) == ["refused", 0]
+        store.write("k", 10)
+        assert store.adjust_once("i1", "k", -1, 0, None) == ["refused", 0]
+
+    def test_cancel_tombstone_forecloses_a_late_forward_step(self):
+        store = VersionedKVStore()
+        assert store.cancel_once("i1") == ["cancelled"]
+        assert store.adjust_once("i1", "k", 5) == ["cancelled"]
+        assert store.snapshot() == {}, "the tombstone must win"
+
+    def test_cancel_after_apply_reveals_the_outcome(self):
+        store = VersionedKVStore()
+        store.adjust_once("i1", "k", 5)
+        assert store.cancel_once("i1") == ["applied", 5]
+
+
+class TestInDoubtSteps:
+    class FlakyStore:
+        """Proxy stand-in whose calls fail while ``down`` is set."""
+
+        def __init__(self):
+            self.store = VersionedKVStore()
+            self.down = False
+
+        def adjust_once(self, idem, key, delta, floor=None, cap=None):
+            if self.down:
+                raise DistributionError("unreachable")
+            return self.store.adjust_once(idem, key, delta, floor, cap)
+
+        def cancel_once(self, idem):
+            if self.down:
+                raise DistributionError("unreachable")
+            return self.store.cancel_once(idem)
+
+    def test_in_doubt_step_aborts_and_compensates(self, stores):
+        saga, (east, west), (p_east, p_west) = stores
+        east.write("a", 10)
+        flaky = self.FlakyStore()
+        flaky.down = True
+        outcome = saga.run([[p_east, "a", -4, 0, None],
+                            [flaky, "b", 4, None, None]])
+        assert outcome == ["aborted", 1]
+        assert east.snapshot()["a"] == 10, "the applied debit was undone"
+        assert saga.unresolved() == 1, "the tombstone is parked"
+        assert saga.stats["parked_actions"] >= 1
+
+    def test_settle_drains_parked_tombstones(self, stores):
+        saga, (east, west), (p_east, p_west) = stores
+        east.write("a", 10)
+        flaky = self.FlakyStore()
+        flaky.down = True
+        saga.run([[p_east, "a", -4, 0, None], [flaky, "b", 4, None, None]])
+        assert saga.settle() == 0, "still unreachable: nothing resolves"
+        flaky.down = False
+        assert saga.settle() >= 1
+        assert saga.unresolved() == 0
+        assert saga.ledger == {}
+        assert flaky.store.adjust_once("s1/1", "b", 4) == ["cancelled"], \
+            "the delivered tombstone forecloses the late forward step"
+
+    def test_in_doubt_step_that_applied_is_compensated_via_tombstone(self):
+        """The lost-reply case: the forward step DID apply, the reply died.
+
+        cancel_once reveals ["applied", ...] and the saga must undo it."""
+        saga = SagaCoordinator()
+        first = VersionedKVStore()
+        first.write("a", 10)
+
+        class LostReply:
+            """Forward-step replies are lost; everything else works."""
+
+            def __init__(self):
+                self.store = VersionedKVStore()
+                self.store.write("b", 1)
+
+            def adjust_once(self, idem, key, delta, floor=None, cap=None):
+                outcome = self.store.adjust_once(idem, key, delta, floor,
+                                                 cap)
+                if not idem.endswith("/c"):
+                    raise DistributionError("reply lost after apply")
+                return outcome
+
+            def cancel_once(self, idem):
+                return self.store.cancel_once(idem)
+
+        lost = LostReply()
+        outcome = saga.run([[first, "a", -4, 0, None],
+                            [lost, "b", 4, None, None]])
+        assert outcome == ["aborted", 1]
+        assert lost.store.snapshot()["b"] == 1, \
+            "the applied-but-unacknowledged credit must be compensated"
+        assert first.snapshot()["a"] == 10
+        assert saga.ledger == {}
+
+    def test_parked_compensation_counts_as_unresolved(self):
+        """The fault heals between the refusal and the settle sweep."""
+        saga = SagaCoordinator()
+        second = VersionedKVStore()
+        second.write("b", 20)    # cap 12 already exceeded: step 1 refuses
+
+        class CompLost:
+            """Forward steps work; compensations fail until healed."""
+
+            def __init__(self):
+                self.store = VersionedKVStore()
+                self.healed = False
+
+            def adjust_once(self, idem, key, delta, floor=None, cap=None):
+                if idem.endswith("/c") and not self.healed:
+                    raise DistributionError("unreachable")
+                return self.store.adjust_once(idem, key, delta, floor, cap)
+
+            def cancel_once(self, idem):
+                return self.store.cancel_once(idem)
+
+        flaky = CompLost()
+        outcome = saga.run([[flaky, "a", 4, None, None],
+                            [second, "b", 4, None, 12]])
+        assert outcome == ["refused", 1]
+        assert flaky.store.snapshot()["a"] == 4, "applied, not yet undone"
+        assert saga.unresolved() == 1, "the compensation is parked"
+        flaky.healed = True
+        assert saga.settle() == 1
+        assert flaky.store.snapshot()["a"] == 0, "undone after the heal"
+        assert saga.unresolved() == 0 and saga.ledger == {}

@@ -1,0 +1,168 @@
+"""Tests for strict two-phase commit: wedged keys, decisions, recovery.
+
+The participant-side protocol (prepare locks, idempotent decisions) is
+exercised directly on :class:`VersionedKVStore`; the coordinator's
+decision log and redelivery are exercised through proxies with an
+unreachable-participant stand-in.
+"""
+
+import pytest
+
+import repro
+from repro.kernel.errors import DistributionError, TransactionBlocked
+from repro.transactions import TransactionCoordinator, VersionedKVStore
+
+
+class TestPrepareLocks:
+    def test_prepare_stages_and_locks(self):
+        store = VersionedKVStore()
+        store.write("a", 5)
+        assert store.prepare(1, [["a", 1]], [["a", 4]]) is True
+        assert store.locked_keys() == ["a"]
+        assert store.snapshot()["a"] == 5, "staged writes are not applied"
+
+    def test_wedged_key_refuses_reads_and_writes(self):
+        store = VersionedKVStore()
+        store.prepare(1, [], [["a", 1]])
+        with pytest.raises(TransactionBlocked):
+            store.read("a")
+        with pytest.raises(TransactionBlocked):
+            store.write("a", 2)
+        with pytest.raises(TransactionBlocked):
+            store.versions(["a"])
+        with pytest.raises(TransactionBlocked):
+            store.apply([["a", 3]])
+
+    def test_transaction_blocked_is_a_distribution_error(self):
+        assert issubclass(TransactionBlocked, DistributionError)
+
+    def test_unwedged_keys_stay_answerable(self):
+        store = VersionedKVStore()
+        store.write("b", 1)
+        store.prepare(1, [], [["a", 1]])
+        assert store.read("b") == [1, 1]
+
+    def test_foreign_lock_refuses_prepare(self):
+        store = VersionedKVStore()
+        assert store.prepare(1, [], [["a", 1]])
+        assert store.prepare(2, [], [["a", 9]]) is False
+
+    def test_version_conflict_refuses_prepare(self):
+        store = VersionedKVStore()
+        store.write("a", 5)    # version 1
+        assert store.prepare(1, [["a", 0]], [["a", 9]]) is False
+        assert store.locked_keys() == []
+
+    def test_duplicate_prepare_replays_the_answer(self):
+        store = VersionedKVStore()
+        assert store.prepare(1, [], [["a", 1]]) is True
+        assert store.prepare(1, [], [["a", 1]]) is True
+
+
+class TestDecisions:
+    def test_commit_prepared_applies_and_releases(self):
+        store = VersionedKVStore()
+        store.write("a", 5)
+        store.prepare(1, [["a", 1]], [["a", 4]])
+        assert store.commit_prepared(1) is True
+        assert store.read("a") == [4, 2]
+        assert store.locked_keys() == []
+
+    def test_abort_prepared_drops_and_releases(self):
+        store = VersionedKVStore()
+        store.write("a", 5)
+        store.prepare(1, [["a", 1]], [["a", 4]])
+        assert store.abort_prepared(1) is True
+        assert store.read("a") == [5, 1]
+        assert store.locked_keys() == []
+
+    def test_decisions_are_idempotent(self):
+        store = VersionedKVStore()
+        store.prepare(1, [], [["a", 4]])
+        assert store.commit_prepared(1) is True
+        version = store.read("a")[1]
+        assert store.commit_prepared(1) is True, "redelivery is a no-op"
+        assert store.read("a")[1] == version
+
+    def test_presumed_abort_for_unknown_txid(self):
+        store = VersionedKVStore()
+        assert store.abort_prepared(404) is True
+        assert store.commit_prepared(405) is False, \
+            "commit of an unprepared, undecided txid cannot succeed"
+
+
+class TestCoordinator2PC:
+    @pytest.fixture
+    def deployed(self, star):
+        system, server, clients = star
+        east, west = VersionedKVStore(), VersionedKVStore()
+        repro.register(clients[1], "east", east)
+        repro.register(clients[2], "west", west)
+        coordinator = TransactionCoordinator()
+        proxies = (repro.bind(clients[0], "east"),
+                   repro.bind(clients[0], "west"))
+        return system, coordinator, (east, west), proxies
+
+    def test_commit_2pc_spans_stores(self, deployed):
+        system, coordinator, (east, west), (p_east, p_west) = deployed
+        txid = coordinator.begin()
+        assert coordinator.commit_2pc(
+            txid, [], [[p_east, "a", 1], [p_west, "b", 2]]) is True
+        assert east.snapshot() == {"a": 1}
+        assert west.snapshot() == {"b": 2}
+        assert east.locked_keys() == [] and west.locked_keys() == []
+        assert coordinator.in_doubt() == 0
+
+    def test_refused_prepare_aborts_everywhere(self, deployed):
+        system, coordinator, (east, west), (p_east, p_west) = deployed
+        west.prepare(99, [], [["b", 0]])    # a rival wedge on the west key
+        txid = coordinator.begin()
+        assert coordinator.commit_2pc(
+            txid, [], [[p_east, "a", 1], [p_west, "b", 2]]) is False
+        assert east.snapshot() == {}, "the prepared east write must abort"
+        assert east.locked_keys() == []
+        assert coordinator.stats["aborted"] == 1
+
+    def test_unreachable_decision_parks_and_recovers(self, star):
+        """A participant that dies between prepare and decision wedges its
+        keys; recover() redelivers once it answers again."""
+        system, server, clients = star
+        east = VersionedKVStore()
+        repro.register(clients[1], "east", east)
+        coordinator = TransactionCoordinator()
+        p_east = repro.bind(clients[0], "east")
+
+        class Unreachable:
+            """Proxy stand-in: prepare succeeds, the decision cannot land."""
+
+            def __init__(self):
+                self.store = VersionedKVStore()
+                self.down = False
+
+            def prepare(self, txid, reads, writes):
+                return self.store.prepare(txid, reads, writes)
+
+            def commit_prepared(self, txid):
+                if self.down:
+                    raise DistributionError("partitioned away")
+                return self.store.commit_prepared(txid)
+
+            def abort_prepared(self, txid):
+                if self.down:
+                    raise DistributionError("partitioned away")
+                return self.store.abort_prepared(txid)
+
+        flaky = Unreachable()
+        flaky.down = True
+        txid = coordinator.begin()
+        assert coordinator.commit_2pc(
+            txid, [], [[p_east, "a", 1], [flaky, "b", 2]]) is True
+        assert east.snapshot() == {"a": 1}, "reachable side committed"
+        assert coordinator.in_doubt() == 1
+        assert flaky.store.locked_keys() == ["b"], "wedged until recovery"
+        assert coordinator.recover() == 0, "still unreachable"
+        flaky.down = False
+        assert coordinator.recover() == 1
+        assert coordinator.in_doubt() == 0
+        assert flaky.store.snapshot() == {"b": 2}
+        assert flaky.store.locked_keys() == []

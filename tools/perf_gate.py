@@ -3,7 +3,8 @@
 
 Compares fresh ``python -m repro bench <id> --json`` records against the
 committed baselines (``BENCH_e18.json``, ``BENCH_e19.json``,
-``BENCH_e20.json``).  Each experiment declares its own comparison
+``BENCH_e20.json``, ``BENCH_e21.json``).  Each experiment declares its
+own comparison
 contract in ``EXPERIMENTS``:
 
 * **e18** (wall-clock fast path) — per-policy virtual µs/op, message
@@ -73,6 +74,14 @@ EXPERIMENTS = {
         "key": "scenario",
         # Same discipline as e19: pure virtual-time goodput/latency rows,
         # compared exactly with no tolerance band.
+        "deterministic": None,
+        "throughput": None,
+    },
+    "e21": {
+        "rows": "scenarios",
+        "key": "scenario",
+        # Same discipline as e19/e20: pure virtual-time region latency
+        # and staleness-probe rows, compared exactly.
         "deterministic": None,
         "throughput": None,
     },
